@@ -1,0 +1,21 @@
+#pragma once
+// Shared formatting helpers for the experiment harnesses. Each bench
+// binary regenerates one table or figure of the paper as aligned text,
+// so EXPERIMENTS.md can quote the output directly.
+
+#include <cstdio>
+#include <string>
+
+namespace atlarge::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("============================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("-- %s\n", text.c_str());
+}
+
+}  // namespace atlarge::bench

@@ -1,0 +1,87 @@
+// Google-benchmark microbenchmarks of the substrate hot paths: the DES
+// kernel, the statistics routines, the cluster scheduler, and the elastic
+// simulator. These are throughput sanity checks (challenge C3's
+// "calibration" concern): the what-if simulations inside the portfolio
+// scheduler are only viable online if the kernel is fast.
+
+#include <benchmark/benchmark.h>
+
+#include "atlarge/autoscale/autoscalers.hpp"
+#include "atlarge/autoscale/elastic_sim.hpp"
+#include "atlarge/cluster/machine.hpp"
+#include "atlarge/sched/policies.hpp"
+#include "atlarge/sched/simulator.hpp"
+#include "atlarge/sim/simulation.hpp"
+#include "atlarge/stats/descriptive.hpp"
+#include "atlarge/stats/rng.hpp"
+#include "atlarge/workflow/generators.hpp"
+
+using namespace atlarge;
+
+namespace {
+
+void BM_SimulationScheduleRun(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation s;
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      s.schedule_at(static_cast<double>(i % 1'000), [&fired] { ++fired; });
+    }
+    s.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+}
+BENCHMARK(BM_SimulationScheduleRun)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_RngUniform(benchmark::State& state) {
+  stats::Rng rng(1);
+  double acc = 0.0;
+  for (auto _ : state) acc += rng.uniform();
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_Summarize(benchmark::State& state) {
+  stats::Rng rng(2);
+  std::vector<double> sample(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : sample) x = rng.normal(0.0, 1.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(stats::summarize(sample));
+}
+BENCHMARK(BM_Summarize)->Arg(1'000)->Arg(100'000);
+
+void BM_ClusterSchedule(benchmark::State& state) {
+  workflow::WorkloadSpec spec;
+  spec.cls = workflow::WorkloadClass::kScientific;
+  spec.jobs = static_cast<std::size_t>(state.range(0));
+  spec.seed = 3;
+  const auto wl = workflow::generate(spec);
+  const auto env = cluster::make_homogeneous_cluster("c", 8, 8);
+  for (auto _ : state) {
+    sched::SjfPolicy policy;
+    benchmark::DoNotOptimize(sched::simulate(env, wl, policy));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(spec.jobs) *
+                          state.iterations());
+}
+BENCHMARK(BM_ClusterSchedule)->Arg(50)->Arg(200);
+
+void BM_ElasticRun(benchmark::State& state) {
+  workflow::WorkloadSpec spec;
+  spec.cls = workflow::WorkloadClass::kIndustrial;
+  spec.jobs = 30;
+  spec.seed = 4;
+  const auto wl = workflow::generate(spec);
+  for (auto _ : state) {
+    autoscale::ReactAutoscaler react;
+    benchmark::DoNotOptimize(autoscale::run_elastic(wl, react));
+  }
+}
+BENCHMARK(BM_ElasticRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

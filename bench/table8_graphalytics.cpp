@@ -1,0 +1,138 @@
+// Table 8 / Section 6.5: the Graphalytics ecosystem.
+//  [105] the PAD law: performance depends on the Platform x Algorithm x
+//        Dataset interaction — no platform dominates;
+//  [106] HPAD: heterogeneous hardware (GPU) joins the interaction;
+//  [100] Granula: fine-grained phase breakdowns;
+// plus google-benchmark timings of the native algorithm implementations
+// (the "Native-1N" platform measured for real).
+
+#include <cstdio>
+#include <map>
+
+#include <benchmark/benchmark.h>
+
+#include "atlarge/graph/algorithms.hpp"
+#include "atlarge/graph/granula.hpp"
+#include "atlarge/graph/graph.hpp"
+#include "atlarge/graph/pad.hpp"
+#include "bench_util.hpp"
+
+using namespace atlarge;
+
+namespace {
+
+void pad_study() {
+  bench::header("[105]+[106] The PAD/HPAD law");
+  stats::Rng rng(1);
+  const auto social = graph::preferential_attachment(20'000, 8, rng);
+  const auto random = graph::erdos_renyi(10'000, 16.0, rng);
+  const auto grid = graph::grid_2d(100);
+  // Dataset sizes span the Graphalytics range via work-profile
+  // extrapolation (NamedGraph::scale): from laptop-size graphs to the
+  // billion-edge datasets where platform capacity walls bite.
+  const std::vector<graph::NamedGraph> datasets = {
+      {"social-S", &social, 1.0},      // ~160k edges
+      {"social-L", &social, 500.0},    // ~80M edges
+      {"social-XL", &social, 3'000.0}, // ~480M edges
+      {"random-L", &random, 500.0},    // ~80M edges
+      {"grid-L", &grid, 500.0},        // ~10M edges, high diameter
+  };
+  const auto platforms = graph::standard_platforms();
+  const auto study = graph::run_pad_study(datasets, platforms);
+
+  // Matrix: rows = algorithm x dataset, columns = platforms.
+  std::printf("\npredicted runtime (s); * marks the per-row winner\n");
+  std::printf("%-22s", "A x D \\ P");
+  for (const auto& p : platforms) std::printf(" %14s", p.name.c_str());
+  std::printf("\n");
+  for (std::size_t row = 0; row < study.winners.size(); ++row) {
+    const auto& [label, winner] = study.winners[row];
+    std::printf("%-22s", label.c_str());
+    for (std::size_t col = 0; col < platforms.size(); ++col) {
+      const auto& cell = study.cells[row * platforms.size() + col];
+      std::printf(" %12.2f%s", cell.runtime_s,
+                  cell.platform == winner ? "*" : " ");
+    }
+    std::printf("\n");
+  }
+
+  std::map<std::string, int> wins;
+  for (const auto& [label, winner] : study.winners) ++wins[winner];
+  std::printf("\nwins per platform:");
+  for (const auto& [name, count] : wins)
+    std::printf("  %s=%d", name.c_str(), count);
+  std::printf("\ndistinct winners: %zu => the PAD interaction law %s\n",
+              study.distinct_winners,
+              study.distinct_winners > 1 ? "HOLDS" : "does NOT hold");
+}
+
+void granula_study() {
+  bench::header("[100] Granula-style phase breakdown");
+  stats::Rng rng(2);
+  const auto g = graph::preferential_attachment(20'000, 8, rng);
+  const auto platforms = graph::standard_platforms();
+  const auto work = graph::run_algorithm(g, graph::Algorithm::kPageRank);
+  std::printf("PageRank on social-20k, per-platform modeled breakdown:\n");
+  std::printf("%-14s %10s %10s %10s %10s\n", "platform", "startup%",
+              "sync%", "compute%", "total(s)");
+  for (const auto& p : platforms) {
+    const auto b = graph::modeled_breakdown(p, graph::Algorithm::kPageRank,
+                                            work, g.num_vertices(),
+                                            g.num_edges());
+    std::printf("%-14s %9.1f%% %9.1f%% %9.1f%% %10.2f\n", p.name.c_str(),
+                100.0 * b.share("startup"), 100.0 * b.share("sync"),
+                100.0 * b.share("compute"), b.total());
+  }
+  const auto measured = graph::measured_breakdown(
+      g.num_vertices(), g.edge_list(), graph::Algorithm::kPageRank);
+  std::printf("measured native run: load %.3fs, compute %.3fs\n",
+              measured.phases[0].seconds, measured.phases[1].seconds);
+}
+
+// Google-benchmark microbenchmarks of the native implementations.
+const graph::Graph& bench_graph() {
+  static const graph::Graph g = [] {
+    stats::Rng rng(3);
+    return graph::preferential_attachment(10'000, 8, rng);
+  }();
+  return g;
+}
+
+void BM_Bfs(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(graph::bfs(bench_graph(), 0));
+}
+BENCHMARK(BM_Bfs);
+
+void BM_PageRank(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(graph::pagerank(bench_graph(), 10));
+}
+BENCHMARK(BM_PageRank);
+
+void BM_Wcc(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(graph::wcc(bench_graph()));
+}
+BENCHMARK(BM_Wcc);
+
+void BM_Cdlp(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(graph::cdlp(bench_graph(), 5));
+}
+BENCHMARK(BM_Cdlp);
+
+void BM_Sssp(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(graph::sssp(bench_graph(), 0));
+}
+BENCHMARK(BM_Sssp);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pad_study();
+  granula_study();
+  bench::header("Native-1N measured kernels (google-benchmark)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

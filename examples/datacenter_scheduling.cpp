@@ -1,0 +1,85 @@
+// Example: operating a multi-cluster datacenter with a portfolio
+// scheduler (the Section 6.6 scenario as a user would script it).
+//
+// A mixed scientific + big-data workload arrives at a 3-cluster
+// datacenter. We compare every single policy against the portfolio, then
+// let an autoscaler run the same workload on an elastic cloud and price
+// it with the standard cost models.
+
+#include <cstdio>
+
+#include "atlarge/autoscale/autoscalers.hpp"
+#include "atlarge/autoscale/elastic_sim.hpp"
+#include "atlarge/cluster/cost.hpp"
+#include "atlarge/cluster/machine.hpp"
+#include "atlarge/sched/policies.hpp"
+#include "atlarge/sched/portfolio.hpp"
+#include "atlarge/sched/simulator.hpp"
+#include "atlarge/workflow/generators.hpp"
+
+using namespace atlarge;
+
+namespace {
+
+workflow::Workload mixed_workload() {
+  workflow::WorkloadSpec sci;
+  sci.cls = workflow::WorkloadClass::kScientific;
+  sci.jobs = 40;
+  sci.horizon = 4'000.0;
+  sci.seed = 11;
+  workflow::WorkloadSpec bd;
+  bd.cls = workflow::WorkloadClass::kBigData;
+  bd.jobs = 20;
+  bd.horizon = 4'000.0;
+  bd.seed = 12;
+  auto wl = workflow::generate(sci);
+  auto extra = workflow::generate(bd);
+  for (auto& job : extra.jobs) wl.jobs.push_back(std::move(job));
+  wl.name = "Sci+BD";
+  wl.normalize();
+  return wl;
+}
+
+}  // namespace
+
+int main() {
+  const auto wl = mixed_workload();
+  const auto env = cluster::make_multi_cluster("dc", 3, 2, 8);
+  std::printf("Workload %s: %zu jobs, %.0f core-seconds of work\n",
+              wl.name.c_str(), wl.jobs.size(), wl.total_work());
+  std::printf("Environment: %zu machines, %u cores\n", env.total_machines(),
+              env.total_cores());
+
+  std::printf("\n%-12s %10s %12s %12s %8s\n", "policy", "makespan",
+              "mean slowd.", "p95 slowd.", "util");
+  for (auto& policy : sched::standard_policies()) {
+    const auto r = sched::simulate(env, wl, *policy);
+    std::printf("%-12s %10.0f %12.2f %12.2f %7.0f%%\n",
+                policy->name().c_str(), r.makespan, r.mean_slowdown,
+                r.p95_slowdown, 100.0 * r.utilization);
+  }
+  sched::PortfolioScheduler portfolio(sched::standard_policies(), env, {});
+  const auto r = sched::simulate(env, wl, portfolio);
+  std::printf("%-12s %10.0f %12.2f %12.2f %7.0f%%\n", "PORTFOLIO",
+              r.makespan, r.mean_slowdown, r.p95_slowdown,
+              100.0 * r.utilization);
+  std::printf("portfolio selections:");
+  for (const auto& [name, count] : portfolio.selections())
+    std::printf(" %s x%zu", name.c_str(), count);
+  std::printf("\n");
+
+  // The same workload on an elastic cloud under an autoscaler.
+  autoscale::PlanAutoscaler plan;
+  autoscale::ElasticConfig elastic;
+  elastic.cores_per_machine = 8;
+  elastic.max_machines = 16;
+  const auto er = autoscale::run_elastic(wl, plan, elastic);
+  std::printf("\nElastic cloud under Plan autoscaler: makespan %.0f s, "
+              "mean slowdown %.2f, avg supply %.1f cores\n",
+              er.makespan, er.mean_slowdown, er.metrics.avg_supply);
+  for (const auto& model : cluster::standard_cost_models()) {
+    std::printf("  cost under %-16s $%.0f\n", model.name.c_str(),
+                model.total_cost(er.makespan, er.rentals));
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+#pragma once
+// Autoscaler interface (paper Section 6.7).
+//
+// An autoscaler is "an algorithm used by an autoscaling system to automate
+// elasticity efficiently". Every `interval` seconds the elastic simulator
+// hands the autoscaler an Observation of demand and supply and asks for a
+// target machine count. General autoscalers see only aggregate demand;
+// workflow-aware autoscalers (Plan, Token) additionally see the level of
+// parallelism (LoP) the queued workflows can reach soon — the distinction
+// the paper's first autoscaling experiment [126] was designed around.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace atlarge::autoscale {
+
+/// What an autoscaler can observe at a decision point.
+struct Observation {
+  double now = 0.0;
+  /// Core demand of currently running plus eligible (ready) tasks.
+  double demand_cores = 0.0;
+  /// Machines currently usable (provisioned and not being drained).
+  std::uint32_t supply_machines = 0;
+  /// Machines requested but still within the provisioning delay.
+  std::uint32_t pending_machines = 0;
+  std::uint32_t cores_per_machine = 1;
+  std::size_t queued_tasks = 0;
+  /// Workflow-aware signal: cores that will become eligible within one
+  /// decision interval if currently running tasks finish on schedule.
+  double lop_soon_cores = 0.0;
+};
+
+class Autoscaler {
+ public:
+  virtual ~Autoscaler() = default;
+  virtual std::string name() const = 0;
+  /// Desired total machine count (the simulator clamps to [0, max]).
+  virtual std::uint32_t target_machines(const Observation& obs) = 0;
+  virtual std::unique_ptr<Autoscaler> clone() const = 0;
+};
+
+/// Utility shared by implementations: machines needed for `cores` demand.
+std::uint32_t machines_for_cores(double cores, std::uint32_t cores_per_machine);
+
+}  // namespace atlarge::autoscale

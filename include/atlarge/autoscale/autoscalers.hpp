@@ -1,0 +1,114 @@
+#pragma once
+// The autoscaler zoo of the paper's autoscaling experiments [126]-[128]:
+// five general autoscalers (React, Adapt, Hist, Reg, ConPaaS) and two
+// workflow-aware ones (Plan, Token). Implementations follow the published
+// algorithms in spirit; parameters are the defaults used in the ICPE'17
+// study unless noted.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "atlarge/autoscale/autoscaler.hpp"
+
+namespace atlarge::autoscale {
+
+/// React (Chieu et al. 2009): purely reactive — provision exactly the
+/// machines the current demand needs.
+class ReactAutoscaler final : public Autoscaler {
+ public:
+  std::string name() const override { return "React"; }
+  std::uint32_t target_machines(const Observation& obs) override;
+  std::unique_ptr<Autoscaler> clone() const override;
+};
+
+/// Adapt (Ali-Eldin et al. 2012): reactive with hysteresis — scales up
+/// eagerly, scales down only after `down_patience` consecutive
+/// over-provisioned observations, damped by `down_step` machines per
+/// decision.
+class AdaptAutoscaler final : public Autoscaler {
+ public:
+  explicit AdaptAutoscaler(int down_patience = 2, std::uint32_t down_step = 2)
+      : down_patience_(down_patience), down_step_(down_step) {}
+  std::string name() const override { return "Adapt"; }
+  std::uint32_t target_machines(const Observation& obs) override;
+  std::unique_ptr<Autoscaler> clone() const override;
+
+ private:
+  int down_patience_;
+  std::uint32_t down_step_;
+  int over_streak_ = 0;
+};
+
+/// Hist (Urgaonkar et al. 2008): histogram prediction — provisions the
+/// `percentile` of the demand observed in a sliding window.
+class HistAutoscaler final : public Autoscaler {
+ public:
+  explicit HistAutoscaler(std::size_t window = 24, double percentile = 0.95)
+      : window_(window), percentile_(percentile) {}
+  std::string name() const override { return "Hist"; }
+  std::uint32_t target_machines(const Observation& obs) override;
+  std::unique_ptr<Autoscaler> clone() const override;
+
+ private:
+  std::size_t window_;
+  double percentile_;
+  std::deque<double> history_;
+};
+
+/// Reg (Iqbal et al. 2011): linear regression over the recent demand
+/// trend, provisioning for the extrapolated next-interval demand.
+class RegAutoscaler final : public Autoscaler {
+ public:
+  explicit RegAutoscaler(std::size_t window = 6) : window_(window) {}
+  std::string name() const override { return "Reg"; }
+  std::uint32_t target_machines(const Observation& obs) override;
+  std::unique_ptr<Autoscaler> clone() const override;
+
+ private:
+  std::size_t window_;
+  std::deque<std::pair<double, double>> history_;  // (time, demand)
+};
+
+/// ConPaaS (Fernandez et al. 2014): provisions for the maximum of current
+/// demand and a short-horizon moving-average forecast.
+class ConPaasAutoscaler final : public Autoscaler {
+ public:
+  explicit ConPaasAutoscaler(std::size_t window = 4) : window_(window) {}
+  std::string name() const override { return "ConPaaS"; }
+  std::uint32_t target_machines(const Observation& obs) override;
+  std::unique_ptr<Autoscaler> clone() const override;
+
+ private:
+  std::size_t window_;
+  std::deque<double> history_;
+};
+
+/// Plan (workflow-aware, Ilyushkin et al. 2017): provisions for the level
+/// of parallelism reachable within the next interval — current demand plus
+/// the cores of tasks whose dependencies are about to clear.
+class PlanAutoscaler final : public Autoscaler {
+ public:
+  std::string name() const override { return "Plan"; }
+  std::uint32_t target_machines(const Observation& obs) override;
+  std::unique_ptr<Autoscaler> clone() const override;
+};
+
+/// Token (workflow-aware): like Plan but discounts the soon-eligible cores
+/// by a token fraction, trading responsiveness for stability.
+class TokenAutoscaler final : public Autoscaler {
+ public:
+  explicit TokenAutoscaler(double token_fraction = 0.5)
+      : token_fraction_(token_fraction) {}
+  std::string name() const override { return "Token"; }
+  std::uint32_t target_machines(const Observation& obs) override;
+  std::unique_ptr<Autoscaler> clone() const override;
+
+ private:
+  double token_fraction_;
+};
+
+/// The full zoo in the order the paper's tables list them.
+std::vector<std::unique_ptr<Autoscaler>> standard_autoscalers();
+
+}  // namespace atlarge::autoscale

@@ -1,0 +1,49 @@
+#pragma once
+// Ranking and grading of autoscalers (paper Section 6.7): the experiments
+// designed "two ranking methods to aggregate the results into head-to-head
+// comparisons — which policy is the best?", later extended with "a method
+// to grade autoscalers, by combining their scores judiciously".
+//
+// Method 1 (pairwise): each pair of systems is compared metric-by-metric;
+// a system wins the pair if it is better on a strict majority of metrics.
+// The rank score is the fraction of pairs won.
+//
+// Method 2 (fractional difference): per metric, a system's penalty is its
+// relative distance from the best system on that metric; the rank score is
+// the mean penalty (lower is better).
+//
+// Grading maps both scores onto a 0-10 grade: grade = 10 * (pairwise_score
+// weighted with (1 - normalized fractional penalty)).
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace atlarge::autoscale {
+
+/// One system's metric vector; all metrics are lower-is-better (callers
+/// must pre-negate higher-is-better metrics).
+struct SystemScores {
+  std::string name;
+  std::vector<double> metrics;
+};
+
+struct Ranked {
+  std::string name;
+  double score = 0.0;
+};
+
+/// Fraction of head-to-head pairs won, in [0, 1]; higher is better.
+/// Sorted descending by score (ties broken by name for determinism).
+std::vector<Ranked> rank_pairwise(std::span<const SystemScores> systems);
+
+/// Mean fractional distance from per-metric best; lower is better.
+/// Sorted ascending by score.
+std::vector<Ranked> rank_fractional(std::span<const SystemScores> systems);
+
+/// Combined 0-10 grade per system, sorted descending.
+/// `pairwise_weight` in [0, 1] balances the two methods.
+std::vector<Ranked> grade(std::span<const SystemScores> systems,
+                          double pairwise_weight = 0.5);
+
+}  // namespace atlarge::autoscale

@@ -1,0 +1,43 @@
+#pragma once
+// Cloud cost models. Section 6.7 of the paper extends the autoscaling
+// analysis with "an analysis of cost metrics based on several real-world
+// cost models"; Table 9 row [116] studies on-demand vs reserved instances.
+// This module provides both: hourly on-demand billing with configurable
+// rounding, and reserved capacity with an upfront discount.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atlarge::cluster {
+
+/// Billing granularity for on-demand machines.
+enum class Billing {
+  kPerSecond,  // pay exactly for use (modern clouds)
+  kPerHour,    // round each allocation up to whole hours (EC2-classic)
+};
+
+struct CostModel {
+  std::string name;
+  Billing billing = Billing::kPerHour;
+  double on_demand_rate = 1.0;     // $ per machine-hour
+  double reserved_rate = 0.6;      // $ per machine-hour, reserved capacity
+  double reserved_machines = 0.0;  // machines billed at the reserved rate
+                                   // for the whole horizon, used or not
+
+  /// Cost of one on-demand allocation of `seconds` on one machine.
+  double on_demand_cost(double seconds) const noexcept;
+
+  /// Total cost: reserved floor over [0, horizon] plus the on-demand cost
+  /// of each allocation interval that exceeds the reserved pool. The
+  /// caller passes per-allocation durations for on-demand machines only.
+  double total_cost(double horizon_seconds,
+                    const std::vector<double>& on_demand_allocations)
+      const noexcept;
+};
+
+/// The three cost models used by the autoscaling bench (per-second,
+/// per-hour, and reserved+on-demand hybrid).
+std::vector<CostModel> standard_cost_models();
+
+}  // namespace atlarge::cluster

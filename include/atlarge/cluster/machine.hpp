@@ -1,0 +1,82 @@
+#pragma once
+// Datacenter resource model: machines grouped into clusters, clusters
+// grouped into environments. Environments correspond to the "Env" column
+// of the paper's Table 9: own cluster (CL), grid (G), public cloud (CD),
+// multi-cluster datacenter (MCD), and geo-distributed datacenters (GDC).
+//
+// Machines expose core slots; task placement and timing live in the
+// scheduler module. Clouds additionally support elastic provisioning with
+// a provisioning delay and per-hour billing (cost.hpp).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atlarge::cluster {
+
+using MachineId = std::uint32_t;
+
+/// One machine: `cores` identical cores at relative `speed` (1.0 = the
+/// reference core; a task with runtime r takes r/speed seconds here).
+struct Machine {
+  MachineId id = 0;
+  std::uint32_t cores = 1;
+  double speed = 1.0;
+  std::uint32_t cluster = 0;  // owning cluster index within the environment
+};
+
+/// A named group of machines, typically homogeneous.
+struct Cluster {
+  std::string name;
+  std::vector<Machine> machines;
+
+  std::uint32_t total_cores() const noexcept;
+};
+
+/// Environment archetypes of Table 9.
+enum class EnvironmentType {
+  kOwnCluster,       // CL
+  kGrid,             // G
+  kPublicCloud,      // CD
+  kMultiCluster,     // MCD
+  kGeoDistributed,   // GDC
+};
+
+std::string to_string(EnvironmentType t);
+
+/// A complete execution environment.
+struct Environment {
+  std::string name;
+  EnvironmentType type = EnvironmentType::kOwnCluster;
+  std::vector<Cluster> clusters;
+  /// Inter-cluster latency in seconds; relevant for kGeoDistributed, where
+  /// cross-cluster task dispatch pays this penalty once per task.
+  double inter_cluster_latency = 0.0;
+  /// For kPublicCloud: seconds from provisioning request to usable machine.
+  double provisioning_delay = 0.0;
+
+  std::uint32_t total_cores() const noexcept;
+  std::size_t total_machines() const noexcept;
+  /// Flat view of all machines with cluster indices filled in.
+  std::vector<Machine> all_machines() const;
+};
+
+/// Builders for the standard environments used by the benches.
+Environment make_homogeneous_cluster(std::string name, std::size_t machines,
+                                     std::uint32_t cores_per_machine,
+                                     double speed = 1.0);
+Environment make_grid(std::string name, std::size_t sites,
+                      std::size_t machines_per_site,
+                      std::uint32_t cores_per_machine);
+Environment make_cloud(std::string name, std::size_t max_machines,
+                       std::uint32_t cores_per_machine,
+                       double provisioning_delay);
+Environment make_multi_cluster(std::string name, std::size_t clusters,
+                               std::size_t machines_per_cluster,
+                               std::uint32_t cores_per_machine);
+Environment make_geo_distributed(std::string name, std::size_t datacenters,
+                                 std::size_t machines_per_dc,
+                                 std::uint32_t cores_per_machine,
+                                 double inter_dc_latency);
+
+}  // namespace atlarge::cluster

@@ -1,0 +1,95 @@
+#pragma once
+// The datacenter reference architecture of the paper's Figure 9.
+//
+// Figure 9 (bottom) structures the datacenter ecosystem into five core
+// layers — (5) Front-end, (4) Back-end, (3) Resources, (2) Operations
+// Service, (1) Infrastructure — plus an orthogonal (6) DevOps layer, with
+// sub-layering inside layers 4 and 5. This module makes the architecture a
+// queryable object: a registry of components with layer assignments, plus
+// ecosystem mappings (e.g. the MapReduce stack) validated for completeness
+// ("covers the minimum set of layers necessary for execution", as the
+// figure's caption requires).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace atlarge::cluster {
+
+/// Layers of the 2016+ reference architecture (Figure 9, bottom). Numeric
+/// values match the paper's numbering; kDevOps is orthogonal.
+enum class Layer : std::uint8_t {
+  kInfrastructure = 1,     // physical/virtual resource management
+  kOperationsService = 2,  // distributed-OS-style basic services
+  kResources = 3,          // operator-side task/resource/service mgmt
+  kBackEnd = 4,            // application-side task/resource/service mgmt
+  kFrontEnd = 5,           // application-level functionality
+  kDevOps = 6,             // monitoring, logging, benchmarking (orthogonal)
+};
+
+std::string to_string(Layer layer);
+
+/// A named component with its layer and (for layers 4-5) sub-layer, e.g.
+/// {"Hadoop", kBackEnd, "execution-engine"}.
+struct Component {
+  std::string name;
+  Layer layer = Layer::kInfrastructure;
+  std::string sublayer;  // empty outside layers 4-5
+};
+
+/// An ecosystem mapping: a stack of component names claimed to form a
+/// working ecosystem (the highlighted components of Figure 9).
+struct EcosystemMapping {
+  std::string name;
+  std::vector<std::string> components;
+};
+
+/// Result of validating a mapping against the architecture.
+struct MappingReport {
+  bool all_components_known = false;
+  std::vector<std::string> unknown;     // names not in the registry
+  std::vector<Layer> covered;           // distinct layers covered, ascending
+  /// True when the mapping covers the minimum executable set: at least
+  /// Infrastructure, Operations Service or Resources, Back-End, and
+  /// Front-End (an application entry point).
+  bool executable = false;
+};
+
+class ReferenceArchitecture {
+ public:
+  /// Registers a component; returns false if the name is already taken.
+  bool register_component(Component c);
+
+  std::optional<Component> find(const std::string& name) const;
+  std::vector<Component> in_layer(Layer layer) const;
+  std::size_t size() const noexcept { return components_.size(); }
+
+  MappingReport validate(const EcosystemMapping& mapping) const;
+
+  const std::vector<Component>& components() const noexcept {
+    return components_;
+  }
+
+ private:
+  std::vector<Component> components_;
+};
+
+/// The architecture pre-populated with the components named in the paper
+/// (Pig, Hive, Hadoop, HDFS, YARN, Mesos, Zookeeper, MemEFS, Pocket,
+/// Crail, FlashNet, Graphalytics, Granula, ...).
+ReferenceArchitecture paper_reference_architecture();
+
+/// The MapReduce big-data ecosystem mapping highlighted in Figure 9.
+EcosystemMapping mapreduce_ecosystem();
+
+/// A serverless (FaaS) ecosystem mapping (Kubernetes-Fission style,
+/// Section 6.4).
+EcosystemMapping serverless_ecosystem();
+
+/// The 2011-2016 big-data architecture (Figure 9, top) had only four
+/// conceptual layers; this returns the layer names in top-down order, used
+/// by the bench to contrast the two generations.
+std::vector<std::string> legacy_bigdata_layers();
+
+}  // namespace atlarge::cluster

@@ -1,0 +1,121 @@
+#pragma once
+// The Basic Design Cycle (BDC) and Overall Process (paper Section 3.5,
+// Figure 8).
+//
+// The BDC is the framework's core loop: eight elements from requirements
+// formulation to dissemination, iterated until one of five stopping
+// criteria fires. Two properties the paper emphasizes are first-class
+// here:
+//  * every stage is *skippable* per iteration ("the OP allows each
+//    iteration to be tailored to the remaining parts of the problem");
+//  * the process is *hierarchical*: a complex stage (implementation,
+//    experimentation, dissemination) can expand into a nested BDC — any
+//    stage handler may construct and run a child BasicDesignCycle.
+//
+// The cycle is executable: stages are callbacks over a shared context, so
+// tests and benches can wire real work (e.g. design-space exploration)
+// into stage 4/5 and observe the stopping behavior.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "atlarge/stats/rng.hpp"
+
+namespace atlarge::design {
+
+/// The eight BDC elements, numbered as in the paper.
+enum class Stage : std::uint8_t {
+  kFormulateRequirements = 1,
+  kUnderstandAlternatives = 2,
+  kBootstrapCreative = 3,
+  kHighAndLowLevelDesign = 4,
+  kImplement = 5,            // analysis code, simulators, prototypes
+  kConceptualAnalysis = 6,
+  kExperimentalAnalysis = 7,
+  kDisseminate = 8,          // articles, FOSS, FAIR/FOAD data
+};
+
+std::string to_string(Stage s);
+constexpr std::size_t kStageCount = 8;
+const std::array<Stage, kStageCount>& all_stages();
+
+/// The five stopping criteria of Section 3.5.
+enum class StoppingCriterion : std::uint8_t {
+  kSatisficing = 1,        // one good-enough (or optimal) design
+  kPortfolio = 2,          // a few designs for a human reviewer
+  kSystematicDesign = 3,   // many designs for expert selection
+  kSpaceExhaustion = 4,    // all designs enumerated
+  kResourcesExhausted = 5, // out of time/budget — no result guaranteed
+};
+
+std::string to_string(StoppingCriterion c);
+
+/// Shared state the stage handlers read and write.
+struct BdcContext {
+  std::size_t iteration = 0;
+  double best_quality = 0.0;          // quality of the best design so far
+  std::size_t designs_found = 0;      // satisficing designs accumulated
+  std::size_t space_explored = 0;     // points evaluated (criterion 4)
+  std::size_t space_size = 0;         // 0 = unbounded
+  std::vector<std::string> artifacts; // dissemination outputs
+  atlarge::stats::Rng rng{1};
+};
+
+struct BdcConfig {
+  double satisficing_quality = 0.8;
+  /// Stop once this many satisficing designs exist: 1 = criterion 1,
+  /// small = criterion 2 (portfolio), large = criterion 3 (systematic).
+  std::size_t designs_target = 1;
+  std::size_t max_iterations = 100;  // the resource budget (criterion 5)
+};
+
+struct StageVisit {
+  std::size_t iteration = 0;
+  Stage stage = Stage::kFormulateRequirements;
+  bool skipped = false;
+};
+
+struct BdcReport {
+  StoppingCriterion stopped_by = StoppingCriterion::kResourcesExhausted;
+  std::size_t iterations = 0;
+  std::vector<StageVisit> visits;
+  double best_quality = 0.0;
+  std::size_t designs_found = 0;
+  std::vector<std::string> artifacts;
+  /// The BDC "can, but does not guarantee success" (Section 3.5).
+  bool success() const noexcept {
+    return stopped_by != StoppingCriterion::kResourcesExhausted;
+  }
+};
+
+class BasicDesignCycle {
+ public:
+  using StageHandler = std::function<void(BdcContext&)>;
+  using SkipPredicate = std::function<bool(const BdcContext&)>;
+
+  explicit BasicDesignCycle(BdcConfig config = {});
+
+  /// Installs the work of a stage; stages without a handler are recorded
+  /// as skipped.
+  void on(Stage stage, StageHandler handler);
+
+  /// Installs a per-iteration skip decision for a stage (the OP's
+  /// tailoring feature). A true result skips the stage that iteration.
+  void skip_when(Stage stage, SkipPredicate predicate);
+
+  /// Runs iterations until a stopping criterion fires.
+  BdcReport run(BdcContext context = {});
+
+ private:
+  std::optional<StoppingCriterion> check_stop(const BdcContext& ctx) const;
+
+  BdcConfig config_;
+  std::array<StageHandler, kStageCount> handlers_{};
+  std::array<SkipPredicate, kStageCount> skips_{};
+};
+
+}  // namespace atlarge::design

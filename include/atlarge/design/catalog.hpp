@@ -1,0 +1,127 @@
+#pragma once
+// The framework's catalogs, as queryable data:
+//  * the 8 core principles of MCS design (paper Section 4, Table 2);
+//  * the 10 challenges (Section 5, Table 3), cross-linked to the
+//    principles they derive from;
+//  * the problem archetypes P1-P5 and problem sources S1-S3 of the
+//    problem-finding process (Section 3.4);
+//  * Altshuller's five levels of design creativity and four levels of
+//    performance-against-alternatives (challenge C2).
+//
+// Making the catalogs executable data (rather than prose) is itself an
+// instance of challenge C5 ("establish a catalog of components for MCS
+// design") and enables the problem-finding helpers used by the examples.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace atlarge::design {
+
+enum class PrincipleCategory { kHighest, kSystems, kPeopleware, kMethodology };
+
+std::string to_string(PrincipleCategory c);
+
+struct Principle {
+  std::uint32_t index = 0;  // P1..P8
+  PrincipleCategory category = PrincipleCategory::kHighest;
+  std::string key_aspects;
+  std::string statement;
+};
+
+struct Challenge {
+  std::uint32_t index = 0;  // C1..C10
+  PrincipleCategory category = PrincipleCategory::kHighest;
+  std::string key_aspects;
+  std::string statement;
+  std::vector<std::uint32_t> principles;  // the "Pr." column of Table 3
+};
+
+/// The eight principles of Table 2, in order.
+const std::vector<Principle>& principles();
+
+/// The ten challenges of Table 3, in order.
+const std::vector<Challenge>& challenges();
+
+/// Challenges linked to a given principle index.
+std::vector<Challenge> challenges_for_principle(std::uint32_t principle);
+
+// --------------------------------------------------------- problem-finding
+
+/// Problem archetypes P1-P5 of Section 3.4.
+enum class ProblemArchetype : std::uint8_t {
+  kEcosystemLifecycle = 1,  // P1: new/emerging processes and ecosystems
+  kEmergingNeeds = 2,       // P2: client/operator needs, phenomena, new tech
+  kLegacy = 3,              // P3: leveraging and maintaining legacy parts
+  kMorphology = 4,          // P4: understanding technology in practice
+  kUnexploredNiche = 5,     // P5: curiosity-driven design-space gaps
+};
+
+std::string to_string(ProblemArchetype a);
+
+/// Problem sources S1-S3 for archetypes P1-P3.
+enum class ProblemSource : std::uint8_t {
+  kPeerReviewedStudies = 1,
+  kExpertPractice = 2,
+  kOwnExperiments = 3,
+};
+
+std::string to_string(ProblemSource s);
+
+/// A found problem, classified by archetype and provenance.
+struct ProblemStatement {
+  std::string title;
+  ProblemArchetype archetype = ProblemArchetype::kEcosystemLifecycle;
+  std::optional<ProblemSource> source;  // P4/P5 problems may have none
+  std::string description;
+};
+
+/// A problem-finding log: the framework's "Call for Problems".
+class ProblemCatalog {
+ public:
+  void add(ProblemStatement problem);
+  std::size_t size() const noexcept { return problems_.size(); }
+  std::vector<ProblemStatement> by_archetype(ProblemArchetype a) const;
+  const std::vector<ProblemStatement>& all() const noexcept {
+    return problems_;
+  }
+
+ private:
+  std::vector<ProblemStatement> problems_;
+};
+
+/// The experiment domains of the paper's Section 6, pre-classified — a
+/// worked example of the catalog.
+ProblemCatalog paper_problem_catalog();
+
+// --------------------------------------------------------------- levels --
+
+/// Altshuller's five levels of design creativity (challenge C2).
+enum class CreativityLevel : std::uint8_t {
+  kTrivial = 1,      // minimal local adaptation of an existing design
+  kNormal = 2,       // reasoned selection + adaptation among designs
+  kNovel = 3,        // significant adaptation of an existing design
+  kFundamental = 4,  // new design or feature (big data, serverless)
+  kOutstanding = 5,  // new ecosystem, field-level advance (Internet, cloud)
+};
+
+std::string to_string(CreativityLevel level);
+
+/// Altshuller's four performance baselines a design is judged against.
+enum class PerformanceBaseline : std::uint8_t {
+  kRandom = 1,
+  kNaive = 2,
+  kCurrentPractice = 3,
+  kIdeal = 4,
+};
+
+std::string to_string(PerformanceBaseline b);
+
+/// Maps a review-style quality score in [1, 4] and an innovation score in
+/// [1, 4] onto a creativity level — the overfit-prone quantization the
+/// paper critiques in challenge C2; exposed so the Fig. 3 bench can show
+/// the clustering-around-the-middle effect.
+CreativityLevel assess_creativity(double quality, double innovation);
+
+}  // namespace atlarge::design

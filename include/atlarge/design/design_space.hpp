@@ -1,0 +1,79 @@
+#pragma once
+// Design spaces for MCS design (paper Sections 3.2-3.3).
+//
+// The framework's problem-solving processes explore a *design space*: a
+// set of dimensions (concepts/technologies — the "What?") each with
+// discrete options, and relationships between choices (the "How?") that
+// jointly determine a design's quality. We model the quality landscape as
+// an NK-style rugged fitness function: each dimension's contribution
+// depends on its own choice and the choices of K interacting dimensions.
+// This is the standard abstraction for studying search over design spaces
+// with tunable ruggedness — exactly what challenge C3 of the paper asks
+// the community to characterize.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "atlarge/stats/rng.hpp"
+
+namespace atlarge::design {
+
+/// One axis of the design space, e.g. "consistency model" with options
+/// {eventual, causal, strong}.
+struct Dimension {
+  std::string name;
+  std::uint32_t options = 2;
+};
+
+/// A concrete design: one option index per dimension.
+using DesignPoint = std::vector<std::uint32_t>;
+
+/// A design problem: a space plus a quality landscape and a satisficing
+/// threshold (Simon: "good enough" designs, paper Section 3.5).
+class DesignProblem {
+ public:
+  /// Builds a random NK landscape over `dims` dimensions with `options`
+  /// options each and `k` interaction partners per dimension.
+  /// Quality is in [0, 1]. Deterministic in `seed`.
+  DesignProblem(std::size_t dims, std::uint32_t options, std::size_t k,
+                double satisficing_threshold, std::uint64_t seed);
+
+  std::size_t dimensions() const noexcept { return dims_.size(); }
+  std::uint32_t options(std::size_t dim) const { return dims_[dim].options; }
+  double satisficing_threshold() const noexcept { return threshold_; }
+
+  /// Quality of a design point in [0, 1]. Throws on arity mismatch.
+  double quality(const DesignPoint& point) const;
+
+  bool satisfices(const DesignPoint& point) const {
+    return quality(point) >= threshold_;
+  }
+
+  /// Total number of points in the space.
+  double space_size() const noexcept;
+
+  /// A uniformly random point.
+  DesignPoint random_point(atlarge::stats::Rng& rng) const;
+
+  /// Co-evolution (paper Figure 7): derive a successor problem — the
+  /// landscape is re-drawn for `churn` fraction of dimensions while the
+  /// rest keep their contribution tables, so knowledge from the old
+  /// problem partially transfers. The threshold is kept.
+  DesignProblem evolve(double churn, std::uint64_t seed) const;
+
+ private:
+  DesignProblem() = default;
+  double contribution(std::size_t dim, const DesignPoint& point) const;
+
+  std::vector<Dimension> dims_;
+  std::size_t k_ = 0;
+  double threshold_ = 0.8;
+  /// neighbors_[d]: the K dimensions whose choices interact with d.
+  std::vector<std::vector<std::size_t>> neighbors_;
+  /// table_[d]: contribution lookup indexed by the mixed-radix code of
+  /// (choice(d), choices of neighbors).
+  std::vector<std::vector<double>> table_;
+};
+
+}  // namespace atlarge::design

@@ -1,0 +1,81 @@
+#pragma once
+// Design-space exploration processes (paper Section 3.3, Figures 6-7).
+//
+// Four processes, exactly the paper's taxonomy:
+//  * Free exploration: unconstrained random + local search over the whole
+//    space — can find radical designs, but "its likelihood of success is
+//    limited by the scale of the design space";
+//  * Fix-the-What: a subset of dimensions is frozen to given choices
+//    (fixing the technology), shrinking the searched space;
+//  * Fix-the-How: every dimension keeps only a subset of its options
+//    (re-framing the kinds of relationships considered);
+//  * Co-evolving: explore under a budget; when progress stalls, *evolve
+//    the problem itself* (Figure 7's Problem 1 -> Problem 2), carrying the
+//    best design over as the seed.
+//
+// All processes share one local-search engine (random restarts +
+// first-improvement hill climbing) so differences in outcome are due to
+// the process, not the optimizer.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "atlarge/design/design_space.hpp"
+
+namespace atlarge::design {
+
+struct ExplorationConfig {
+  std::size_t evaluation_budget = 5'000;  // quality() calls allowed
+  std::size_t restart_period = 200;       // evals per restart
+  std::uint64_t seed = 1;
+  /// Co-evolving only: evolve the problem after this many evaluations
+  /// without improvement, and carry over the incumbent design.
+  std::size_t stall_limit = 600;
+  double evolve_churn = 0.4;
+};
+
+/// One solved (or failed) attempt in the trace — the dots and X-boxes of
+/// Figure 7.
+struct Attempt {
+  std::size_t evaluation = 0;  // budget position when recorded
+  double quality = 0.0;
+  bool satisficing = false;
+};
+
+struct ExplorationTrace {
+  std::string process;
+  std::vector<Attempt> attempts;      // improvements over time
+  double best_quality = 0.0;
+  std::size_t evaluations_used = 0;
+  std::size_t satisficing_designs = 0;  // distinct satisficing finds
+  std::size_t failures = 0;             // restarts that never satisficed
+  std::size_t problem_evolutions = 0;   // co-evolving only
+  /// Budget position of the first satisficing design; 0 when none found.
+  std::size_t first_satisficing_at = 0;
+  bool success() const noexcept { return satisficing_designs > 0; }
+};
+
+/// Free exploration over the full space.
+ExplorationTrace explore_free(const DesignProblem& problem,
+                              const ExplorationConfig& config);
+
+/// Fix-the-What: dimensions listed in `fixed_dims` are pinned to the
+/// values in `fixed_values` and never changed.
+ExplorationTrace explore_fix_what(const DesignProblem& problem,
+                                  const std::vector<std::size_t>& fixed_dims,
+                                  const DesignPoint& fixed_values,
+                                  const ExplorationConfig& config);
+
+/// Fix-the-How: each dimension explores only its first
+/// `allowed_options[d]` options (a re-framing that shrinks every axis).
+ExplorationTrace explore_fix_how(const DesignProblem& problem,
+                                 const std::vector<std::uint32_t>&
+                                     allowed_options,
+                                 const ExplorationConfig& config);
+
+/// Co-evolving problem-solution exploration (Figure 7).
+ExplorationTrace explore_co_evolving(DesignProblem problem,
+                                     const ExplorationConfig& config);
+
+}  // namespace atlarge::design

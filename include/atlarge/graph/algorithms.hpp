@@ -1,0 +1,99 @@
+#pragma once
+// The six LDBC Graphalytics algorithms (paper Section 6.5, [99]):
+// BFS, PageRank, Weakly Connected Components, Community Detection via
+// Label Propagation, Local Clustering Coefficient, and Single-Source
+// Shortest Paths. These are real implementations — the PAD-law analysis in
+// pad.hpp uses their measured work profiles, and the table8 bench times
+// them directly.
+//
+// Each algorithm also reports its *work profile* (edges traversed,
+// iterations) — the Granula-style observable that lets platform models
+// price the same algorithm differently (granula.hpp).
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "atlarge/graph/graph.hpp"
+
+namespace atlarge::graph {
+
+/// Work accounting shared by all algorithms.
+struct WorkProfile {
+  std::uint64_t edges_traversed = 0;
+  std::uint32_t iterations = 0;
+};
+
+constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+struct BfsResult {
+  std::vector<std::uint32_t> depth;  // kUnreachable if not reached
+  WorkProfile work;
+};
+
+/// Directed BFS from `source`.
+BfsResult bfs(const Graph& g, VertexId source);
+
+struct PageRankResult {
+  std::vector<double> rank;  // sums to ~1
+  WorkProfile work;
+};
+
+/// Power-iteration PageRank with damping factor `d`, run for `iterations`
+/// rounds (the Graphalytics specification uses a fixed iteration count).
+/// Dangling-vertex mass is redistributed uniformly.
+PageRankResult pagerank(const Graph& g, std::uint32_t iterations = 20,
+                        double d = 0.85);
+
+struct WccResult {
+  std::vector<VertexId> component;  // representative id per vertex
+  std::size_t num_components = 0;
+  WorkProfile work;
+};
+
+/// Weakly connected components (direction-ignoring label propagation to a
+/// fixed point, as the Graphalytics reference does).
+WccResult wcc(const Graph& g);
+
+struct CdlpResult {
+  std::vector<VertexId> label;  // community label per vertex
+  std::size_t num_communities = 0;
+  WorkProfile work;
+};
+
+/// Community detection by synchronous label propagation for `iterations`
+/// rounds: each vertex adopts the most frequent label among its
+/// (direction-ignoring) neighbors, smallest label winning ties.
+CdlpResult cdlp(const Graph& g, std::uint32_t iterations = 10);
+
+struct LccResult {
+  std::vector<double> coefficient;  // per-vertex local clustering in [0,1]
+  double mean = 0.0;
+  WorkProfile work;
+};
+
+/// Local clustering coefficient over the undirected view.
+LccResult lcc(const Graph& g);
+
+struct SsspResult {
+  std::vector<double> distance;  // +inf if unreachable
+  WorkProfile work;
+};
+
+/// Dijkstra single-source shortest paths (non-negative weights; an
+/// unweighted graph degenerates to hop counts).
+SsspResult sssp(const Graph& g, VertexId source);
+
+/// Graphalytics algorithm identifiers, for sweeps.
+enum class Algorithm { kBfs, kPageRank, kWcc, kCdlp, kLcc, kSssp };
+
+std::string to_string(Algorithm a);
+const std::vector<Algorithm>& all_algorithms();
+
+/// Runs the algorithm with default parameters (source 0 where needed) and
+/// returns its work profile — the input to the PAD platform models.
+WorkProfile run_algorithm(const Graph& g, Algorithm a);
+
+}  // namespace atlarge::graph

@@ -1,0 +1,41 @@
+#pragma once
+// Granula-style fine-grained performance breakdown (paper [100]): a
+// benchmark should expose not just end-to-end runtime but *where the time
+// goes*. For modeled platforms the breakdown comes from the cost model;
+// for the native implementations in this library it is measured with
+// wall-clock timers around each phase.
+
+#include <string>
+#include <vector>
+
+#include "atlarge/graph/algorithms.hpp"
+#include "atlarge/graph/pad.hpp"
+
+namespace atlarge::graph {
+
+struct Phase {
+  std::string name;
+  double seconds = 0.0;
+};
+
+struct Breakdown {
+  std::string label;
+  std::vector<Phase> phases;
+  double total() const noexcept;
+  /// Share of the named phase in total time, in [0,1].
+  double share(const std::string& phase) const noexcept;
+};
+
+/// Modeled breakdown of a platform run: startup / synchronization /
+/// compute, from the platform cost model and the measured work profile.
+Breakdown modeled_breakdown(const PlatformModel& platform, Algorithm algo,
+                            const WorkProfile& work, std::uint64_t vertices,
+                            std::uint64_t edges);
+
+/// Measured breakdown of a native in-process run: graph-load (CSR build
+/// from an edge list) vs compute, using wall-clock timers.
+Breakdown measured_breakdown(VertexId n,
+                             std::vector<std::pair<VertexId, VertexId>> edges,
+                             Algorithm algo);
+
+}  // namespace atlarge::graph

@@ -1,0 +1,80 @@
+#pragma once
+// Compressed-sparse-row graph and generators for the Graphalytics substrate
+// (paper Section 6.5). The LDBC Graphalytics benchmark the AtLarge team
+// created runs six algorithms over platform x dataset combinations; this
+// module supplies the datasets (synthetic generators spanning the degree
+// distributions that drive the PAD effect) and the graph representation
+// the algorithms in algorithms.hpp operate on.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "atlarge/stats/rng.hpp"
+
+namespace atlarge::graph {
+
+using VertexId = std::uint32_t;
+
+/// Immutable directed graph in CSR form, with optional edge weights.
+/// Vertices are [0, num_vertices). Self-loops and parallel edges are
+/// removed at build time.
+class Graph {
+ public:
+  /// Builds from an edge list; `n` is the vertex count (edges must stay in
+  /// range or std::invalid_argument is thrown).
+  static Graph from_edges(VertexId n,
+                          std::vector<std::pair<VertexId, VertexId>> edges,
+                          std::vector<double> weights = {});
+
+  VertexId num_vertices() const noexcept { return n_; }
+  std::size_t num_edges() const noexcept { return heads_.size(); }
+
+  /// Out-neighbors of v.
+  std::span<const VertexId> out(VertexId v) const;
+  /// Weight of the i-th out-edge of v (1.0 when the graph is unweighted).
+  double out_weight(VertexId v, std::size_t i) const;
+  std::uint32_t out_degree(VertexId v) const;
+  std::uint32_t in_degree(VertexId v) const;
+
+  /// In-neighbors of v (built lazily is avoided: both directions are
+  /// materialized at construction for algorithmic convenience).
+  std::span<const VertexId> in(VertexId v) const;
+
+  /// Undirected view degree: distinct neighbors in either direction.
+  std::vector<std::vector<VertexId>> undirected_adjacency() const;
+
+  bool weighted() const noexcept { return !weights_.empty(); }
+
+  /// The edge list back out (in CSR order), for re-weighting and I/O.
+  std::vector<std::pair<VertexId, VertexId>> edge_list() const;
+
+ private:
+  VertexId n_ = 0;
+  std::vector<std::size_t> offsets_;   // out-CSR offsets, size n+1
+  std::vector<VertexId> heads_;        // out-edge targets
+  std::vector<double> weights_;        // parallel to heads_ (may be empty)
+  std::vector<std::size_t> in_offsets_;
+  std::vector<VertexId> in_heads_;
+};
+
+/// G(n, p)-style random graph with expected average out-degree `avg_deg`.
+Graph erdos_renyi(VertexId n, double avg_deg, atlarge::stats::Rng& rng);
+
+/// Power-law graph via preferential attachment (Barabási-Albert flavor):
+/// each new vertex attaches `m` out-edges preferentially to high-degree
+/// targets. Produces the skewed degree distributions of web/social graphs.
+Graph preferential_attachment(VertexId n, std::uint32_t m,
+                              atlarge::stats::Rng& rng);
+
+/// 2-D grid (four-neighborhood), the regular-structure extreme: high
+/// diameter, uniform degree — the dataset class where BFS-like algorithms
+/// behave completely differently from social networks.
+Graph grid_2d(VertexId side);
+
+/// Uniform random weights in [lo, hi) attached to an unweighted graph's
+/// edges (for SSSP).
+Graph with_random_weights(const Graph& g, double lo, double hi,
+                          atlarge::stats::Rng& rng);
+
+}  // namespace atlarge::graph

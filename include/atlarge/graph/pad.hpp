@@ -1,0 +1,97 @@
+#pragma once
+// The PAD law and platform performance models (paper Section 6.5).
+//
+// The paper's Graphalytics line of work established that graph-processing
+// performance depends on the *interaction* of Platform, Algorithm, and
+// Dataset (the PAD triangle): no platform dominates across the A x D
+// plane. The follow-up HPAD study [106] added Heterogeneous hardware. We
+// reproduce the law with platform cost models whose terms are calibrated
+// to the published platform archetypes (disk-based MapReduce, in-memory
+// dataflow, single-node native, GPU) applied to *measured* work profiles
+// of the real algorithm implementations in algorithms.hpp.
+
+#include <string>
+#include <vector>
+
+#include "atlarge/graph/algorithms.hpp"
+#include "atlarge/graph/graph.hpp"
+
+namespace atlarge::graph {
+
+/// Algorithm classes with distinct platform affinities.
+enum class AlgoClass {
+  kIterativeRegular,   // PageRank, CDLP: dense, synchronous supersteps
+  kTraversalIrregular, // BFS, SSSP: frontier-driven, latency-sensitive
+  kNeighborhoodLocal,  // LCC: per-vertex neighborhood intersection
+  kPropagation,        // WCC: label propagation to fixpoint
+};
+
+AlgoClass algo_class(Algorithm a);
+
+struct PlatformModel {
+  std::string name;
+  double startup_s = 0.0;       // job submission, JVM/DAG setup
+  double per_iteration_s = 0.0; // superstep/barrier cost
+  double per_edge_ns = 0.0;     // base cost per traversed edge
+  double per_vertex_ns = 0.0;   // base cost per vertex per iteration
+  /// Multiplier applied to per-edge cost per algorithm class (the source
+  /// of platform-algorithm interaction).
+  double class_factor_iterative = 1.0;
+  double class_factor_traversal = 1.0;
+  double class_factor_neighborhood = 1.0;
+  double class_factor_propagation = 1.0;
+  /// Edges beyond which the platform degrades (memory pressure); 0 = no
+  /// limit. Degradation multiplies edge cost by `degraded_factor`.
+  std::uint64_t capacity_edges = 0;
+  double degraded_factor = 10.0;
+
+  double class_factor(AlgoClass c) const noexcept;
+};
+
+/// Predicted runtime of an algorithm run with the given measured work
+/// profile on a graph of (vertices, edges) size.
+double predict_runtime(const PlatformModel& platform, Algorithm algo,
+                       const WorkProfile& work, std::uint64_t vertices,
+                       std::uint64_t edges);
+
+/// The four platform archetypes of the PAD/HPAD studies.
+std::vector<PlatformModel> standard_platforms();
+
+/// One cell of the PAD result matrix.
+struct PadCell {
+  std::string platform;
+  std::string algorithm;
+  std::string dataset;
+  double runtime_s = 0.0;
+};
+
+struct PadStudy {
+  std::vector<PadCell> cells;
+  /// For each (algorithm, dataset) pair: name of the fastest platform.
+  std::vector<std::pair<std::string, std::string>> winners;  // (A:D, P)
+  /// Number of distinct platforms that win at least one (A, D) cell —
+  /// the PAD law holds when this exceeds 1.
+  std::size_t distinct_winners = 0;
+};
+
+struct NamedGraph {
+  std::string name;
+  const Graph* graph = nullptr;
+  /// Work-profile extrapolation factor. Graphalytics datasets reach
+  /// billions of edges — beyond what an in-process graph can hold — but
+  /// the per-edge work profile of each algorithm is measured on the
+  /// in-memory instance and scales linearly in dataset volume. A scale
+  /// of S prices the dataset as if it had S x the vertices and edges
+  /// (iteration counts are kept, a conservative choice for traversals
+  /// whose depth grows sublinearly). This is what lets the study span
+  /// the capacity regimes where the PAD interaction appears.
+  double scale = 1.0;
+};
+
+/// Runs every algorithm on every dataset, measures the work profiles
+/// (extrapolated by each dataset's scale), and prices them on every
+/// platform model.
+PadStudy run_pad_study(const std::vector<NamedGraph>& datasets,
+                       const std::vector<PlatformModel>& platforms);
+
+}  // namespace atlarge::graph

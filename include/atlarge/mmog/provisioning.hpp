@@ -1,0 +1,62 @@
+#pragma once
+// Dynamic resource provisioning for MMOG operations (paper studies [71],
+// [87]: "efficient management of data center resources for massively
+// multiplayer online games").
+//
+// Given a player-population series, a provisioner decides how many game
+// servers to rent each interval. The paper's result — cloud-based dynamic
+// provisioning cuts over-provisioning dramatically versus static
+// peak-sizing while keeping SLA violations low, provided the predictor
+// anticipates the diurnal ramp — re-emerges from these models.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "atlarge/mmog/workload.hpp"
+
+namespace atlarge::mmog {
+
+/// Load predictors evaluated by the paper's MMOG provisioning work.
+enum class Predictor {
+  kLastValue,     // next load = current load
+  kMovingAverage, // mean of a trailing window
+  kExponential,   // exponential smoothing
+  kLinearTrend,   // least-squares extrapolation over a trailing window
+};
+
+std::string to_string(Predictor p);
+
+struct ProvisioningConfig {
+  Predictor predictor = Predictor::kLastValue;
+  double players_per_server = 500.0;
+  double headroom = 1.1;        // provision for predicted * headroom
+  std::size_t window = 12;      // trailing samples for MA / trend
+  double smoothing = 0.5;       // alpha for exponential smoothing
+  double provisioning_delay = 600.0;  // s until new servers are usable
+  std::uint32_t min_servers = 1;
+  std::uint32_t max_servers = 10'000;
+};
+
+struct ProvisioningResult {
+  std::string predictor;
+  double avg_servers = 0.0;
+  double peak_servers = 0.0;
+  /// Fraction of time capacity < demand (degraded service = SLA breach).
+  double sla_violation_share = 0.0;
+  /// Time-averaged over-provisioned capacity, in servers.
+  double avg_overprovision = 0.0;
+  /// Server-hours consumed (the cost driver).
+  double server_hours = 0.0;
+};
+
+/// Simulates dynamic provisioning against the population series.
+ProvisioningResult provision_dynamic(const PopulationSeries& series,
+                                     const ProvisioningConfig& config);
+
+/// Static peak provisioning baseline: rent peak demand (plus headroom)
+/// for the whole horizon.
+ProvisioningResult provision_static(const PopulationSeries& series,
+                                    const ProvisioningConfig& config);
+
+}  // namespace atlarge::mmog

@@ -1,0 +1,57 @@
+#pragma once
+// MMOG player-population dynamics (paper Section 6.2, studies [71]-[73]).
+//
+// The longitudinal MMOG studies uncovered strong short-term (diurnal) and
+// long-term (content-release spikes, genre-dependent decay) dynamics in
+// player populations. This generator produces the population time series
+// those studies measured: a genre-specific baseline modulated by daily and
+// weekly cycles, plus scheduled content-update surges and random noise.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "atlarge/stats/rng.hpp"
+
+namespace atlarge::mmog {
+
+/// Game genres with distinct dynamics, per the paper's studies: MMORPG
+/// (RuneScape-like, strong diurnal), MOBA (match-based, burstier), and
+/// online-social (OS) games (flatter, higher churn).
+enum class Genre { kMmorpg, kMoba, kOnlineSocial };
+
+std::string to_string(Genre g);
+
+struct PopulationConfig {
+  Genre genre = Genre::kMmorpg;
+  double base_players = 10'000.0;
+  double days = 7.0;
+  double step = 300.0;             // series resolution, s
+  double diurnal_amplitude = 0.6;  // relative daily swing
+  double weekend_boost = 0.25;     // relative weekend lift
+  double noise = 0.05;             // multiplicative noise std-dev
+  /// Content updates: each adds a surge of `update_boost` x base decaying
+  /// with a one-day half-life.
+  std::vector<double> update_times;  // in seconds from series start
+  double update_boost = 0.8;
+  std::uint64_t seed = 1;
+};
+
+struct PopulationPoint {
+  double time = 0.0;
+  double players = 0.0;
+};
+
+struct PopulationSeries {
+  Genre genre = Genre::kMmorpg;
+  std::vector<PopulationPoint> points;
+
+  double peak() const noexcept;
+  double mean() const noexcept;
+  /// Peak-to-mean ratio — the over-provisioning cost of static sizing.
+  double peak_to_mean() const noexcept;
+};
+
+PopulationSeries generate_population(const PopulationConfig& config);
+
+}  // namespace atlarge::mmog

@@ -1,0 +1,64 @@
+#pragma once
+// Multi-swarm BitTorrent ecosystem (paper Section 6.1, studies [61]-[63]).
+//
+// A content catalog with Zipf popularity feeds many swarms; titles may be
+// *aliased* (the same media in several formats/releases), splitting their
+// swarm population — the phenomenon discovered by the paper's 2005
+// analytics study [61]. Swarms are announced on multiple trackers, some of
+// which are *spam trackers* reporting fabricated peers — discovered by the
+// BTWorld study [63]. The ecosystem ground truth feeds the biased monitors
+// of monitor.hpp.
+
+#include <cstdint>
+#include <vector>
+
+#include "atlarge/p2p/swarm.hpp"
+
+namespace atlarge::p2p {
+
+struct ContentTitle {
+  std::uint32_t id = 0;
+  double popularity = 0.0;   // expected total peers over the horizon
+  std::uint32_t aliases = 1; // #swarm-splitting copies of this title
+};
+
+struct EcosystemConfig {
+  std::size_t titles = 50;
+  double zipf_exponent = 1.1;
+  double total_peers = 5'000.0;   // expected peers across all titles
+  double aliased_fraction = 0.3;  // titles that exist in multiple formats
+  std::uint32_t alias_copies = 3; // aliases per aliased title
+  std::size_t trackers = 8;
+  double spam_tracker_fraction = 0.25;
+  double spam_inflation = 4.0;    // fake peers per real peer on spam trackers
+  double horizon = 40'000.0;
+  SwarmConfig swarm;              // per-swarm physics
+  std::uint64_t seed = 1;
+};
+
+/// One swarm instance (an alias of a title) and its simulation output.
+struct SwarmInstance {
+  std::uint32_t title = 0;
+  std::uint32_t alias = 0;
+  std::vector<std::uint32_t> trackers;  // tracker ids announcing this swarm
+  SwarmResult result;
+};
+
+struct EcosystemResult {
+  std::vector<ContentTitle> catalog;
+  std::vector<SwarmInstance> swarms;
+  std::vector<bool> tracker_is_spam;
+  double horizon = 0.0;
+
+  /// True number of concurrently connected peers at time t.
+  double true_peers_at(double t) const;
+  /// Largest swarm (peak concurrent peers) in the ecosystem.
+  std::uint32_t giant_swarm_peak() const;
+  /// Mean download time over swarms with >= min_finished completions,
+  /// split by title aliasing: {aliased titles, non-aliased titles}.
+  std::pair<double, double> aliased_vs_plain_download_time() const;
+};
+
+EcosystemResult simulate_ecosystem(const EcosystemConfig& config);
+
+}  // namespace atlarge::p2p

@@ -1,0 +1,50 @@
+#pragma once
+// Flashcrowd identification and characterization (paper study [66],
+// "Identifying, analyzing, and modeling flashcrowds in BitTorrent").
+//
+// A flashcrowd is a sustained surge of the leecher population far above
+// the swarm's *long-term* baseline. The detector follows the published
+// method's structure: compute a robust baseline (the median of the full
+// history so far — a trailing window would chase the surge's own ramp),
+// flag samples whose level exceeds `threshold_factor` x baseline and an
+// absolute minimum, and merge adjacent flagged samples into episodes.
+// The module also quantifies the *negative phenomenon* the study
+// reports: per-peer download rates sag during flashcrowds.
+
+#include <cstddef>
+#include <vector>
+
+#include "atlarge/p2p/swarm.hpp"
+
+namespace atlarge::p2p {
+
+struct FlashcrowdConfig {
+  std::size_t min_history = 30;   // samples before detection may start
+  double threshold_factor = 3.0;  // surge = level > factor * baseline
+  double min_level = 20.0;        // absolute floor, in leechers
+  std::size_t min_duration = 3;   // samples an episode must persist
+};
+
+struct FlashcrowdEpisode {
+  double start = 0.0;
+  double end = 0.0;
+  double peak_leechers = 0.0;
+  double baseline_leechers = 0.0;
+
+  double magnitude() const noexcept {
+    return baseline_leechers > 0.0 ? peak_leechers / baseline_leechers : 0.0;
+  }
+  double duration() const noexcept { return end - start; }
+};
+
+/// Detects flashcrowd episodes in a swarm's leecher time series.
+std::vector<FlashcrowdEpisode> detect_flashcrowds(
+    const std::vector<SwarmSample>& series, const FlashcrowdConfig& config);
+
+/// Mean per-leecher download rate inside vs outside the given episodes:
+/// {inside, outside} in Mbps. Quantifies flashcrowd-induced slowdown.
+std::pair<double, double> rate_inside_outside(
+    const std::vector<SwarmSample>& series,
+    const std::vector<FlashcrowdEpisode>& episodes);
+
+}  // namespace atlarge::p2p

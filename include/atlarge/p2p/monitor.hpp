@@ -1,0 +1,54 @@
+#pragma once
+// Ecosystem monitors and sampling-bias analysis (paper Section 6.1).
+//
+// BTWorld and MultiProbe observed the global BitTorrent ecosystem by
+// scraping trackers. The paper's meta-analysis study [65] showed such
+// instruments introduce *systematic bias*; this module reproduces the
+// three bias sources and quantifies each against the simulated ground
+// truth:
+//  1. coverage bias  — only a fraction of trackers is scraped;
+//  2. duplication bias — a swarm announced on several scraped trackers is
+//     counted once per tracker unless the monitor deduplicates;
+//  3. spam bias — spam trackers report fabricated peers that survive
+//     deduplication (fake identities are unique).
+
+#include <cstdint>
+#include <vector>
+
+#include "atlarge/p2p/ecosystem.hpp"
+#include "atlarge/stats/rng.hpp"
+
+namespace atlarge::p2p {
+
+struct MonitorConfig {
+  double period = 500.0;        // scrape period, s
+  double tracker_coverage = 1.0;  // fraction of trackers scraped
+  bool deduplicate = false;     // peer-identity dedup across trackers
+  std::uint64_t seed = 99;
+};
+
+struct MonitorSample {
+  double time = 0.0;
+  double observed_peers = 0.0;
+  double true_peers = 0.0;
+
+  /// Relative bias: (observed - true) / true; 0 when truth is 0.
+  double bias() const noexcept {
+    return true_peers > 0.0 ? (observed_peers - true_peers) / true_peers
+                            : 0.0;
+  }
+};
+
+struct MonitorReport {
+  std::vector<MonitorSample> samples;
+  std::vector<std::uint32_t> scraped_trackers;
+  double mean_bias = 0.0;       // average relative bias over samples
+  double mean_abs_bias = 0.0;
+};
+
+/// Scrapes the simulated ecosystem with the given monitor configuration
+/// and returns the observed time series next to ground truth.
+MonitorReport scrape(const EcosystemResult& eco, const EcosystemConfig& cfg,
+                     const MonitorConfig& monitor);
+
+}  // namespace atlarge::p2p

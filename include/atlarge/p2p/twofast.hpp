@@ -1,0 +1,32 @@
+#pragma once
+// 2fast collaborative downloads (paper study [68]).
+//
+// In ADSL-asymmetric swarms, downloads are upload-bound: a solo leecher's
+// rate is the swarm fair share r(t), far below its download capacity d.
+// 2fast forms a collaboration group: helpers earn additional fair shares
+// with their own connections and relay the pieces to the collector, whose
+// rate becomes min(d, k * r(t)) for a group of size k. The model operates
+// on the fair-share series produced by simulate_swarm, which is exactly
+// the quantity the original paper's analysis is phrased in.
+
+#include <cstddef>
+#include <vector>
+
+#include "atlarge/p2p/swarm.hpp"
+
+namespace atlarge::p2p {
+
+struct TwoFastOutcome {
+  double solo_download_time = 0.0;       // s; < 0 if never completed
+  double collector_download_time = 0.0;  // s; < 0 if never completed
+  double speedup = 0.0;                  // solo / collector
+};
+
+/// Computes solo vs 2fast-collector download time for a peer joining the
+/// swarm at `join_time`, by integrating the swarm's fair-share rate series.
+/// `group_size` >= 1 (1 reproduces the solo case exactly).
+TwoFastOutcome evaluate_two_fast(const SwarmConfig& config,
+                                 const std::vector<SwarmSample>& series,
+                                 double join_time, std::size_t group_size);
+
+}  // namespace atlarge::p2p

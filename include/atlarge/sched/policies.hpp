@@ -1,0 +1,85 @@
+#pragma once
+// The scheduler zoo: the single-policy baselines a portfolio selects from.
+// The paper's portfolio studies (Table 9) found "no individual technique or
+// policy was consistently better than all others" — the zoo is intentionally
+// diverse so that finding can re-emerge: queue-order policies (FCFS/LIFO),
+// size-based (SJF/LJF/WideFirst), backfilling, randomized, and fair-share.
+
+#include <cstdint>
+
+#include "atlarge/sched/policy.hpp"
+#include "atlarge/stats/rng.hpp"
+
+namespace atlarge::sched {
+
+/// First-come-first-served: by job submit time, then eligibility time.
+class FcfsPolicy final : public Policy {
+ public:
+  std::string name() const override { return "FCFS"; }
+  void order(std::vector<TaskRef>& q, const SchedState& s) override;
+  std::unique_ptr<Policy> clone() const override;
+};
+
+/// FCFS with EASY backfilling.
+class EasyBackfillingPolicy final : public Policy {
+ public:
+  std::string name() const override { return "EASY-BF"; }
+  void order(std::vector<TaskRef>& q, const SchedState& s) override;
+  bool backfilling() const override { return true; }
+  std::unique_ptr<Policy> clone() const override;
+};
+
+/// Shortest task first (by reference runtime).
+class SjfPolicy final : public Policy {
+ public:
+  std::string name() const override { return "SJF"; }
+  void order(std::vector<TaskRef>& q, const SchedState& s) override;
+  std::unique_ptr<Policy> clone() const override;
+};
+
+/// Longest task first; good for utilization under heavy tails, bad for
+/// mean slowdown.
+class LjfPolicy final : public Policy {
+ public:
+  std::string name() const override { return "LJF"; }
+  void order(std::vector<TaskRef>& q, const SchedState& s) override;
+  std::unique_ptr<Policy> clone() const override;
+};
+
+/// Widest task first (most cores), a packing heuristic for multi-core
+/// tasks (business-critical workloads).
+class WideFirstPolicy final : public Policy {
+ public:
+  std::string name() const override { return "WIDE"; }
+  void order(std::vector<TaskRef>& q, const SchedState& s) override;
+  std::unique_ptr<Policy> clone() const override;
+};
+
+/// Uniformly random order; Altshuller's "performance vs random design"
+/// baseline (paper, challenge C2).
+class RandomPolicy final : public Policy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed = 42) : rng_(seed), seed_(seed) {}
+  std::string name() const override { return "RANDOM"; }
+  void order(std::vector<TaskRef>& q, const SchedState& s) override;
+  std::unique_ptr<Policy> clone() const override;
+
+ private:
+  atlarge::stats::Rng rng_;
+  std::uint64_t seed_;
+};
+
+/// Fair-share: tasks of the least-served user first (by consumed
+/// core-seconds), FCFS within a user.
+class FairSharePolicy final : public Policy {
+ public:
+  std::string name() const override { return "FAIR"; }
+  void order(std::vector<TaskRef>& q, const SchedState& s) override;
+  std::unique_ptr<Policy> clone() const override;
+};
+
+/// All zoo policies, freshly constructed — the default portfolio.
+std::vector<std::unique_ptr<Policy>> standard_policies(
+    std::uint64_t random_seed = 42);
+
+}  // namespace atlarge::sched

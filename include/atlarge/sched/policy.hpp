@@ -1,0 +1,71 @@
+#pragma once
+// Scheduling-policy interface.
+//
+// The cluster simulator (simulator.hpp) maintains a queue of *eligible*
+// tasks (arrived, all dependencies finished). A policy's single job is to
+// order that queue; the simulator then places tasks greedily in queue
+// order, optionally with EASY-style backfilling when the policy opts in.
+// This separation lets the portfolio scheduler (portfolio.hpp) treat every
+// policy — including nested copies of itself — uniformly, which is exactly
+// the property Section 6.6 of the paper needs: "simulate all the
+// alternatives" online.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace atlarge::sched {
+
+/// A queued, eligible task as seen by a policy.
+struct TaskRef {
+  std::uint64_t job_id = 0;
+  std::uint32_t task_id = 0;
+  double runtime = 0.0;       // reference-core runtime
+  std::uint32_t cores = 1;
+  double submit_time = 0.0;   // job submit time
+  double eligible_time = 0.0; // when dependencies completed
+  std::string user;
+};
+
+/// Cluster state snapshot offered to policies at decision time.
+struct SchedState {
+  double now = 0.0;
+  std::uint32_t total_cores = 0;
+  std::uint32_t free_cores = 0;
+  std::size_t running_tasks = 0;
+  std::size_t queued_tasks = 0;
+  /// Work (core-seconds) completed per user so far; used by fair-share.
+  const std::vector<std::pair<std::string, double>>* user_usage = nullptr;
+};
+
+/// Base class for scheduling policies. Implementations must be
+/// deterministic given their constructor arguments (randomized policies
+/// take a seed).
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Orders the eligible queue in-place; the simulator places tasks from
+  /// the front. Must be a permutation (no adds/removes).
+  virtual void order(std::vector<TaskRef>& queue, const SchedState& state) = 0;
+
+  /// When true, the simulator applies EASY backfilling: the head task
+  /// reserves its earliest feasible start, and later tasks may jump the
+  /// queue only if they do not delay that reservation.
+  virtual bool backfilling() const { return false; }
+
+  /// Called on every scheduling event before placement. Returns a decision
+  /// overhead in seconds; the simulator delays placement by that amount.
+  /// Default: zero (instant decisions). The portfolio scheduler uses this
+  /// hook to run (and charge for) its nested simulations.
+  virtual double tick(const SchedState& state,
+                      const std::vector<TaskRef>& queue);
+
+  /// Fresh instance with identical configuration, for nested simulation.
+  virtual std::unique_ptr<Policy> clone() const = 0;
+};
+
+}  // namespace atlarge::sched

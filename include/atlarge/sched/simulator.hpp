@@ -1,0 +1,76 @@
+#pragma once
+// Cluster scheduling simulator: the in-silico testbed for Table 9 and for
+// every nested what-if simulation the portfolio scheduler runs.
+//
+// Semantics:
+//  * A task needs `cores` on a *single* machine; runtime scales inversely
+//    with machine speed. Tasks whose core demand exceeds every machine are
+//    rejected at ingest (std::invalid_argument).
+//  * On every scheduling event the policy orders the eligible queue; the
+//    simulator then places tasks greedily in that order, skipping tasks
+//    that do not currently fit ("first fit in policy order"). Policies
+//    with backfilling() == true instead protect the queue head with an
+//    EASY-style reservation: a later task may overtake only if it finishes
+//    before the head's earliest feasible start.
+//  * Geo-distributed environments charge env.inter_cluster_latency once
+//    per task dispatched outside cluster 0.
+//  * Policy::tick may return a decision overhead; the simulator freezes
+//    placement (but not arrivals/completions) for that long, modeling the
+//    paper's finding that portfolio simulation time can make a scheduler
+//    "no longer ... run online".
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "atlarge/cluster/machine.hpp"
+#include "atlarge/sched/policy.hpp"
+#include "atlarge/workflow/job.hpp"
+
+namespace atlarge::sched {
+
+struct JobStats {
+  std::uint64_t id = 0;
+  double submit = 0.0;
+  double start = 0.0;    // first task start
+  double finish = 0.0;   // last task finish
+  double critical_path = 0.0;
+
+  double response() const noexcept { return finish - submit; }
+  double wait() const noexcept { return start - submit; }
+  /// Bounded slowdown: response over critical path, floored at 1.
+  double slowdown() const noexcept;
+};
+
+struct SchedResult {
+  std::vector<JobStats> jobs;
+  double makespan = 0.0;          // latest finish time
+  double mean_wait = 0.0;
+  double mean_slowdown = 0.0;
+  double median_slowdown = 0.0;
+  double p95_slowdown = 0.0;
+  double utilization = 0.0;       // time-weighted busy/total cores
+  double decision_overhead = 0.0; // total policy tick() seconds
+  std::size_t tasks_completed = 0;
+  /// Per-machine busy seconds, indexed by flat machine id; feeds the cloud
+  /// cost models.
+  std::vector<double> machine_busy_seconds;
+  /// Portfolio bookkeeping: how often each policy was selected (empty for
+  /// plain policies).
+  std::map<std::string, std::size_t> selections;
+};
+
+struct SimOptions {
+  /// Hard stop; jobs not finished by then are excluded from job stats but
+  /// counted in utilization.
+  double time_limit = std::numeric_limits<double>::infinity();
+};
+
+/// Runs `workload` on `env` under `policy`. Deterministic for fixed inputs.
+SchedResult simulate(const cluster::Environment& env,
+                     const workflow::Workload& workload, Policy& policy,
+                     const SimOptions& options = {});
+
+}  // namespace atlarge::sched

@@ -1,0 +1,85 @@
+#pragma once
+// FaaS platform simulator (paper Section 6.4).
+//
+// The structure follows the SPEC-RG FaaS reference architecture the paper
+// co-authored [103]: an event *router* receives invocations, a *function
+// registry* holds function specs, an *instance manager* keeps per-function
+// pools of warm instances (keep-alive policy) and performs cold starts,
+// and a *resource pool* caps platform concurrency. The serverless
+// principles of [101] are encoded directly: operational logic abstracted
+// away (the platform manages the lifecycle), fine-grained pay-per-use
+// (billing = instance busy+warm seconds), and event-driven elastic scaling.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "atlarge/stats/rng.hpp"
+
+namespace atlarge::serverless {
+
+struct FunctionSpec {
+  std::string name;
+  double exec_time = 0.1;        // warm execution time, s
+  double cold_start = 1.5;       // extra latency when no warm instance, s
+  double memory_mb = 128.0;
+};
+
+struct PlatformConfig {
+  double keep_alive = 600.0;     // warm-instance retention after last use, s
+  std::uint32_t max_instances = 1'000;  // platform-wide concurrency cap
+  /// Pre-warmed instances per function at t=0 (0 = pure scale-from-zero).
+  std::uint32_t prewarmed = 0;
+};
+
+/// One invocation request.
+struct Invocation {
+  std::size_t function = 0;  // index into the platform's registry
+  double arrival = 0.0;
+};
+
+struct InvocationStats {
+  std::size_t function = 0;
+  double arrival = 0.0;
+  double start = 0.0;     // execution start (after cold start if any)
+  double finish = 0.0;
+  bool cold = false;
+
+  double latency() const noexcept { return finish - arrival; }
+};
+
+struct PlatformResult {
+  std::vector<InvocationStats> invocations;
+  double p50_latency = 0.0;
+  double p95_latency = 0.0;
+  double p99_latency = 0.0;
+  double cold_fraction = 0.0;
+  /// Billed seconds: busy time plus warm idle time across instances — the
+  /// serverless cost driver.
+  double billed_instance_seconds = 0.0;
+  /// Busy seconds only (useful work).
+  double busy_instance_seconds = 0.0;
+  std::uint32_t peak_instances = 0;
+};
+
+/// Simulates the invocations (sorted by arrival) against the platform.
+PlatformResult run_platform(const std::vector<FunctionSpec>& registry,
+                            const std::vector<Invocation>& invocations,
+                            const PlatformConfig& config);
+
+/// Microservice baseline: `instances` always-on servers per function, FIFO
+/// queueing, no cold starts, billed for the full horizon.
+PlatformResult run_microservice_baseline(
+    const std::vector<FunctionSpec>& registry,
+    const std::vector<Invocation>& invocations, std::uint32_t instances,
+    double horizon);
+
+/// Bursty invocation workload: Poisson background plus periodic bursts —
+/// the traffic shape that makes serverless economics interesting.
+std::vector<Invocation> bursty_invocations(std::size_t functions,
+                                           double base_rate, double horizon,
+                                           double burst_every,
+                                           std::size_t burst_size,
+                                           atlarge::stats::Rng& rng);
+
+}  // namespace atlarge::serverless

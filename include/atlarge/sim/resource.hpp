@@ -1,0 +1,58 @@
+#pragma once
+// Queued resources for the DES kernel: a fixed-capacity pool of identical
+// servers with a FIFO (or priority) wait queue. Machines, network links,
+// tracker sockets, and FaaS instance slots are all modeled as Resources.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "atlarge/sim/simulation.hpp"
+
+namespace atlarge::sim {
+
+/// A counting resource with `capacity` units and a FIFO wait queue.
+///
+/// acquire(n, cb) grants n units to cb as soon as they are available, in
+/// request order (no overtaking, even if a later, smaller request would
+/// fit — FIFO keeps the model simple and starvation-free).
+class Resource {
+ public:
+  using Grant = std::function<void()>;
+
+  Resource(Simulation& sim, std::uint64_t capacity);
+
+  /// Requests `units` (<= capacity); invokes `on_grant` (via the event
+  /// queue, never inline) once granted.
+  void acquire(std::uint64_t units, Grant on_grant);
+
+  /// Returns `units` to the pool and admits waiting requests.
+  void release(std::uint64_t units);
+
+  std::uint64_t capacity() const noexcept { return capacity_; }
+  std::uint64_t in_use() const noexcept { return in_use_; }
+  std::uint64_t available() const noexcept { return capacity_ - in_use_; }
+  std::size_t queue_length() const noexcept { return waiting_.size(); }
+
+  /// Utilization in [0, 1] at this instant.
+  double utilization() const noexcept {
+    return capacity_ == 0 ? 0.0
+                          : static_cast<double>(in_use_) /
+                                static_cast<double>(capacity_);
+  }
+
+ private:
+  struct Waiter {
+    std::uint64_t units;
+    Grant on_grant;
+  };
+
+  void admit();
+
+  Simulation& sim_;
+  std::uint64_t capacity_;
+  std::uint64_t in_use_ = 0;
+  std::deque<Waiter> waiting_;
+};
+
+}  // namespace atlarge::sim

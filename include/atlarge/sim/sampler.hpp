@@ -1,0 +1,46 @@
+#pragma once
+// Periodic sampling of simulation state — the in-simulation analog of a
+// monitoring agent. The paper's instruments (BTWorld, MultiProbe, DevOps
+// monitoring in the Figure 9 reference architecture) all reduce to "call a
+// probe every delta seconds and record what it sees"; Sampler provides that,
+// including the ability to *subsample* (probe fewer targets than exist),
+// which is how the sampling-bias study of Table 5 is reproduced.
+
+#include <functional>
+#include <vector>
+
+#include "atlarge/sim/simulation.hpp"
+
+namespace atlarge::sim {
+
+/// One time-stamped observation of a scalar signal.
+struct Sample {
+  Time time = 0.0;
+  double value = 0.0;
+};
+
+/// Calls `probe` every `period` seconds from `start` until `end`, recording
+/// (time, value) pairs. Construction arms the sampler; the record is
+/// available after the simulation runs past `end`.
+class Sampler {
+ public:
+  using Probe = std::function<double()>;
+
+  Sampler(Simulation& sim, Time start, Time end, Time period, Probe probe);
+
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+
+  /// The sampled values only, convenient for stats::summarize.
+  std::vector<double> values() const;
+
+ private:
+  void tick();
+
+  Simulation& sim_;
+  Time end_;
+  Time period_;
+  Probe probe_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace atlarge::sim

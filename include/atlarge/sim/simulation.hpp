@@ -1,0 +1,99 @@
+#pragma once
+// Discrete-event simulation (DES) kernel.
+//
+// Every AtLarge substrate — datacenter, P2P swarm, MMOG world, FaaS
+// platform — is built on this kernel: a simulated clock plus a totally
+// ordered event queue. Events at equal timestamps fire in scheduling order
+// (a strictly increasing sequence number breaks ties), which makes every
+// simulation a deterministic function of its inputs and RNG seed; the
+// determinism tests in tests/sim_test.cpp rely on this.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace atlarge::sim {
+
+/// Simulated time, in seconds since simulation start.
+using Time = double;
+
+/// Handle to a scheduled event; allows cancellation. Default-constructed
+/// handles are inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if this handle refers to an event that has not yet fired or been
+  /// cancelled.
+  bool pending() const noexcept;
+
+  /// Cancels the event if still pending; returns true if it was cancelled
+  /// by this call.
+  bool cancel() noexcept;
+
+ private:
+  friend class Simulation;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// The event-driven simulation engine.
+class Simulation {
+ public:
+  using Action = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  Time now() const noexcept { return now_; }
+
+  /// Schedules `action` at absolute simulated time `at` (>= now()).
+  /// Scheduling in the past is clamped to now().
+  EventHandle schedule_at(Time at, Action action);
+
+  /// Schedules `action` after a relative delay (>= 0).
+  EventHandle schedule_after(Time delay, Action action);
+
+  /// Runs until the event queue drains or the clock would pass `until`.
+  /// Events scheduled exactly at `until` still fire. Returns the number of
+  /// events executed.
+  std::size_t run_until(Time until);
+
+  /// Runs until the event queue drains completely.
+  std::size_t run();
+
+  /// Executes at most one event; returns false if the queue is empty.
+  bool step();
+
+  /// Upper bound on the number of pending events (cancelled events still in
+  /// the queue are counted until they are popped and discarded).
+  std::size_t pending() const noexcept;
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() noexcept { stopped_ = true; }
+
+ private:
+  struct Event {
+    Time time = 0.0;
+    std::uint64_t seq = 0;
+    Action action;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace atlarge::sim

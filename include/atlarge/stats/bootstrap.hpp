@@ -1,0 +1,35 @@
+#pragma once
+// Nonparametric bootstrap confidence intervals. The benches report measured
+// effects (speedups, metric differences) with percentile-bootstrap CIs so
+// that "who wins" claims are backed by resampled uncertainty, not single
+// point estimates — part of the paper's methodological push (P7: a science
+// of MCS design needs falsifiable, reproducible measurement).
+
+#include <functional>
+#include <span>
+
+#include "atlarge/stats/rng.hpp"
+
+namespace atlarge::stats {
+
+struct Interval {
+  double lo = 0.0;
+  double point = 0.0;
+  double hi = 0.0;
+  bool contains(double x) const noexcept { return lo <= x && x <= hi; }
+};
+
+/// Percentile bootstrap CI for an arbitrary statistic of one sample.
+/// `statistic` maps a resampled vector to a scalar (e.g. mean or median).
+Interval bootstrap_ci(std::span<const double> sample,
+                      const std::function<double(std::span<const double>)>&
+                          statistic,
+                      Rng& rng, std::size_t resamples = 1000,
+                      double confidence = 0.95);
+
+/// Convenience: CI of the mean.
+Interval bootstrap_mean_ci(std::span<const double> sample, Rng& rng,
+                           std::size_t resamples = 1000,
+                           double confidence = 0.95);
+
+}  // namespace atlarge::stats

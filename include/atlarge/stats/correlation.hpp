@@ -1,0 +1,25 @@
+#pragma once
+// Correlation and ranking utilities. The paper's experiments repeatedly
+// compare rankings of systems/policies (autoscaler head-to-head rankings in
+// Section 6.7, PAD-law interaction analysis in Section 6.5); Spearman and
+// Kendall coefficients quantify agreement between two rankings, and
+// `ranks` converts scores to fractional ranks.
+
+#include <span>
+#include <vector>
+
+namespace atlarge::stats {
+
+/// Pearson linear correlation; 0 for degenerate inputs.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Fractional ranks (average rank for ties), 1-based.
+std::vector<double> ranks(std::span<const double> values);
+
+/// Spearman rank correlation.
+double spearman(std::span<const double> x, std::span<const double> y);
+
+/// Kendall tau-b rank correlation (tie-corrected).
+double kendall(std::span<const double> x, std::span<const double> y);
+
+}  // namespace atlarge::stats

@@ -1,0 +1,54 @@
+#pragma once
+// Violin-plot summaries, reproducing the statistical content of the paper's
+// Figure 3: for each article category, the figure shows the score
+// distribution as a kernel-density "violin" annotated with mean (star),
+// median (white dot), IQR (thick bar), and 1.5x-IQR whiskers clipped to the
+// data range. ViolinSummary computes exactly those elements plus the density
+// curve, so a bench can print the same information as rows.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "atlarge/stats/descriptive.hpp"
+
+namespace atlarge::stats {
+
+/// Gaussian kernel density estimate evaluated on a regular grid.
+struct DensityCurve {
+  std::vector<double> grid;     // evaluation points, ascending
+  std::vector<double> density;  // estimated density at each grid point
+  double bandwidth = 0.0;       // Silverman's rule-of-thumb bandwidth
+};
+
+/// Computes a Gaussian KDE over [min(sample), max(sample)] (padded by one
+/// bandwidth on each side) at `points` grid positions. Empty samples yield
+/// an empty curve.
+DensityCurve kde(std::span<const double> sample, std::size_t points = 64);
+
+/// Everything Figure 3 draws for one violin.
+struct ViolinSummary {
+  Summary stats;                // mean (star), median (dot), q1/q3 (bar)
+  double whisker_lo = 0.0;      // max(min, q1 - 1.5*IQR)
+  double whisker_hi = 0.0;      // min(max, q3 + 1.5*IQR)
+  DensityCurve curve;           // the violin outline
+  std::size_t below(double threshold) const;  // #points strictly below
+  std::vector<double> sample;   // retained, sorted ascending
+};
+
+ViolinSummary violin(std::span<const double> sample,
+                     std::size_t grid_points = 64);
+
+/// A labeled group of violins, e.g. "merit" scores split by article
+/// category, ready for side-by-side textual rendering.
+struct ViolinGroup {
+  std::string title;
+  std::vector<std::string> labels;
+  std::vector<ViolinSummary> violins;
+};
+
+/// Renders the group as an aligned ASCII table (one row per violin:
+/// label, n, mean, median, q1, q3, whiskers, %below-threshold).
+std::string render_table(const ViolinGroup& group, double threshold);
+
+}  // namespace atlarge::stats

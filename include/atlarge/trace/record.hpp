@@ -1,0 +1,64 @@
+#pragma once
+// Generic tabular trace records with schema-checked CSV I/O.
+//
+// The paper argues (Sections 3.6 and 6.1-6.2) that sharing workload and
+// operational traces through FAIR/FOAD archives is a first-class design
+// output. This module is the storage substrate for that: a small, typed,
+// dependency-free table format every simulator can serialize into.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace atlarge::trace {
+
+/// Cell value: integer, real, or text.
+using Field = std::variant<std::int64_t, double, std::string>;
+
+enum class FieldType { kInt, kReal, kText };
+
+/// Ordered column declaration.
+struct Column {
+  std::string name;
+  FieldType type = FieldType::kReal;
+};
+
+/// A table: schema plus rows. Rows are checked against the schema on
+/// append, so a Table is well-formed by construction.
+class Table {
+ public:
+  explicit Table(std::vector<Column> schema);
+
+  const std::vector<Column>& schema() const noexcept { return schema_; }
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return schema_.size(); }
+
+  /// Appends a row; throws std::invalid_argument on arity or type mismatch.
+  void append(std::vector<Field> row);
+
+  const std::vector<Field>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Column index by name; returns npos when absent.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t column_index(const std::string& name) const noexcept;
+
+  /// Extracts a numeric column (ints widened to double).
+  /// Throws std::invalid_argument for text columns or unknown names.
+  std::vector<double> numeric_column(const std::string& name) const;
+
+  /// Serializes as CSV with a header row. Text cells are quoted when they
+  /// contain separators or quotes.
+  void write_csv(std::ostream& out) const;
+
+  /// Parses a CSV produced by write_csv, validating against `schema`.
+  /// Throws std::runtime_error on malformed input.
+  static Table read_csv(std::istream& in, std::vector<Column> schema);
+
+ private:
+  std::vector<Column> schema_;
+  std::vector<std::vector<Field>> rows_;
+};
+
+}  // namespace atlarge::trace

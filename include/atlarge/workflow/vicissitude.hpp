@@ -1,0 +1,70 @@
+#pragma once
+// Vicissitude (paper Section 2.5, discovered in [38] while scaling the
+// BTWorld big-data workflow): "a class of phenomena where several known
+// bottlenecks appear seemingly at random in various parts of the system".
+//
+// Two pieces:
+//  * a multi-stage pipeline simulator whose stage capacities fluctuate
+//    (stragglers, GC pauses, contention), producing per-stage utilization
+//    series under a bursty input;
+//  * an analyzer that identifies the bottleneck stage per window and
+//    quantifies rotation — the signature that distinguishes vicissitude
+//    from a classic static bottleneck.
+
+#include <cstdint>
+#include <vector>
+
+#include "atlarge/stats/rng.hpp"
+
+namespace atlarge::workflow {
+
+/// One observation window: per-stage utilization in [0, 1+] (values above
+/// 1 mean the stage was saturated and queuing).
+struct StageSample {
+  double time = 0.0;
+  std::vector<double> utilization;
+};
+
+struct PipelineConfig {
+  std::size_t stages = 5;
+  double horizon = 10'000.0;
+  double window = 50.0;            // observation window, s
+  double input_rate = 100.0;       // records/s entering stage 0
+  double burst_factor = 3.0;       // input multiplier during bursts
+  double burst_share = 0.2;        // fraction of windows that are bursts
+  /// Nominal per-stage capacity in records/s; sized so the pipeline is
+  /// near-critical (that is where vicissitude lives).
+  double stage_capacity = 120.0;
+  /// Relative std-dev of per-window capacity fluctuation (stragglers,
+  /// interference). 0 yields a static system.
+  double capacity_noise = 0.25;
+  std::uint64_t seed = 1;
+};
+
+/// Simulates the pipeline: each window, every stage processes up to its
+/// (fluctuating) capacity; unprocessed records queue and carry over.
+/// Utilization = offered load / capacity for the window.
+std::vector<StageSample> simulate_pipeline(const PipelineConfig& config);
+
+struct VicissitudeReport {
+  /// Windows in which each stage was the bottleneck (the most utilized
+  /// stage, provided its utilization exceeded the saturation threshold).
+  std::vector<std::size_t> bottleneck_windows;
+  std::size_t saturated_windows = 0;  // windows with any bottleneck
+  std::size_t distinct_bottlenecks = 0;
+  /// Fraction of consecutive saturated windows where the bottleneck moved
+  /// to a different stage.
+  double rotation_rate = 0.0;
+  /// The vicissitude verdict: at least two stages bottleneck and the
+  /// bottleneck moves in at least `rotation_threshold` of transitions.
+  bool vicissitude = false;
+};
+
+/// Analyzes the utilization series. A stage is saturated when its window
+/// utilization >= `saturation`; vicissitude requires rotation_rate >=
+/// `rotation_threshold` across >= 2 distinct bottleneck stages.
+VicissitudeReport analyze_vicissitude(
+    const std::vector<StageSample>& samples, double saturation = 0.95,
+    double rotation_threshold = 0.2);
+
+}  // namespace atlarge::workflow

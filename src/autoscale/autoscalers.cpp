@@ -1,0 +1,142 @@
+#include "atlarge/autoscale/autoscalers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "atlarge/stats/descriptive.hpp"
+
+namespace atlarge::autoscale {
+
+std::uint32_t machines_for_cores(double cores,
+                                 std::uint32_t cores_per_machine) {
+  if (cores <= 0.0) return 0;
+  const double per = std::max<std::uint32_t>(cores_per_machine, 1);
+  return static_cast<std::uint32_t>(std::ceil(cores / per));
+}
+
+std::uint32_t ReactAutoscaler::target_machines(const Observation& obs) {
+  return machines_for_cores(obs.demand_cores, obs.cores_per_machine);
+}
+
+std::unique_ptr<Autoscaler> ReactAutoscaler::clone() const {
+  return std::make_unique<ReactAutoscaler>();
+}
+
+std::uint32_t AdaptAutoscaler::target_machines(const Observation& obs) {
+  const std::uint32_t needed =
+      machines_for_cores(obs.demand_cores, obs.cores_per_machine);
+  const std::uint32_t current = obs.supply_machines + obs.pending_machines;
+  if (needed > current) {
+    over_streak_ = 0;
+    return needed;  // eager scale-up
+  }
+  if (needed < current) {
+    if (++over_streak_ >= down_patience_) {
+      over_streak_ = 0;
+      const std::uint32_t step = std::min(down_step_, current - needed);
+      return current - step;  // damped scale-down
+    }
+    return current;
+  }
+  over_streak_ = 0;
+  return current;
+}
+
+std::unique_ptr<Autoscaler> AdaptAutoscaler::clone() const {
+  return std::make_unique<AdaptAutoscaler>(down_patience_, down_step_);
+}
+
+std::uint32_t HistAutoscaler::target_machines(const Observation& obs) {
+  history_.push_back(obs.demand_cores);
+  while (history_.size() > window_) history_.pop_front();
+  std::vector<double> window(history_.begin(), history_.end());
+  const double predicted = stats::quantile(window, percentile_);
+  return machines_for_cores(std::max(predicted, obs.demand_cores * 0.0),
+                            obs.cores_per_machine);
+}
+
+std::unique_ptr<Autoscaler> HistAutoscaler::clone() const {
+  return std::make_unique<HistAutoscaler>(window_, percentile_);
+}
+
+std::uint32_t RegAutoscaler::target_machines(const Observation& obs) {
+  history_.emplace_back(obs.now, obs.demand_cores);
+  while (history_.size() > window_) history_.pop_front();
+  if (history_.size() < 2)
+    return machines_for_cores(obs.demand_cores, obs.cores_per_machine);
+  // Least-squares line through (time, demand); predict one interval ahead.
+  const double n = static_cast<double>(history_.size());
+  double st = 0.0;
+  double sd = 0.0;
+  double stt = 0.0;
+  double std_ = 0.0;
+  for (const auto& [t, d] : history_) {
+    st += t;
+    sd += d;
+    stt += t * t;
+    std_ += t * d;
+  }
+  const double denom = n * stt - st * st;
+  double predicted = obs.demand_cores;
+  if (denom != 0.0) {
+    const double slope = (n * std_ - st * sd) / denom;
+    const double intercept = (sd - slope * st) / n;
+    const double step = history_.size() >= 2
+                            ? history_.back().first - history_[history_.size() - 2].first
+                            : 0.0;
+    predicted = intercept + slope * (obs.now + step);
+  }
+  predicted = std::max(predicted, 0.0);
+  return machines_for_cores(predicted, obs.cores_per_machine);
+}
+
+std::unique_ptr<Autoscaler> RegAutoscaler::clone() const {
+  return std::make_unique<RegAutoscaler>(window_);
+}
+
+std::uint32_t ConPaasAutoscaler::target_machines(const Observation& obs) {
+  history_.push_back(obs.demand_cores);
+  while (history_.size() > window_) history_.pop_front();
+  double avg = 0.0;
+  for (double d : history_) avg += d;
+  avg /= static_cast<double>(history_.size());
+  const double predicted = std::max(avg, obs.demand_cores);
+  return machines_for_cores(predicted, obs.cores_per_machine);
+}
+
+std::unique_ptr<Autoscaler> ConPaasAutoscaler::clone() const {
+  return std::make_unique<ConPaasAutoscaler>(window_);
+}
+
+std::uint32_t PlanAutoscaler::target_machines(const Observation& obs) {
+  return machines_for_cores(obs.demand_cores + obs.lop_soon_cores,
+                            obs.cores_per_machine);
+}
+
+std::unique_ptr<Autoscaler> PlanAutoscaler::clone() const {
+  return std::make_unique<PlanAutoscaler>();
+}
+
+std::uint32_t TokenAutoscaler::target_machines(const Observation& obs) {
+  return machines_for_cores(
+      obs.demand_cores + token_fraction_ * obs.lop_soon_cores,
+      obs.cores_per_machine);
+}
+
+std::unique_ptr<Autoscaler> TokenAutoscaler::clone() const {
+  return std::make_unique<TokenAutoscaler>(token_fraction_);
+}
+
+std::vector<std::unique_ptr<Autoscaler>> standard_autoscalers() {
+  std::vector<std::unique_ptr<Autoscaler>> zoo;
+  zoo.push_back(std::make_unique<ReactAutoscaler>());
+  zoo.push_back(std::make_unique<AdaptAutoscaler>());
+  zoo.push_back(std::make_unique<HistAutoscaler>());
+  zoo.push_back(std::make_unique<RegAutoscaler>());
+  zoo.push_back(std::make_unique<ConPaasAutoscaler>());
+  zoo.push_back(std::make_unique<PlanAutoscaler>());
+  zoo.push_back(std::make_unique<TokenAutoscaler>());
+  return zoo;
+}
+
+}  // namespace atlarge::autoscale

@@ -1,0 +1,112 @@
+#include "atlarge/autoscale/ranking.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace atlarge::autoscale {
+namespace {
+
+void check_shape(std::span<const SystemScores> systems) {
+  if (systems.empty()) return;
+  const std::size_t n = systems.front().metrics.size();
+  for (const auto& s : systems) {
+    if (s.metrics.size() != n)
+      throw std::invalid_argument("ranking: ragged metric vectors");
+  }
+}
+
+void sort_desc(std::vector<Ranked>& out) {
+  std::sort(out.begin(), out.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.name < b.name;
+  });
+}
+
+void sort_asc(std::vector<Ranked>& out) {
+  std::sort(out.begin(), out.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.name < b.name;
+  });
+}
+
+}  // namespace
+
+std::vector<Ranked> rank_pairwise(std::span<const SystemScores> systems) {
+  check_shape(systems);
+  const std::size_t n = systems.size();
+  std::vector<Ranked> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t wins = 0;
+    std::size_t pairs = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      ++pairs;
+      std::size_t better = 0;
+      std::size_t worse = 0;
+      for (std::size_t k = 0; k < systems[i].metrics.size(); ++k) {
+        if (systems[i].metrics[k] < systems[j].metrics[k]) ++better;
+        if (systems[i].metrics[k] > systems[j].metrics[k]) ++worse;
+      }
+      if (better > worse) ++wins;
+    }
+    out.push_back(Ranked{systems[i].name,
+                         pairs == 0 ? 0.0
+                                    : static_cast<double>(wins) /
+                                          static_cast<double>(pairs)});
+  }
+  sort_desc(out);
+  return out;
+}
+
+std::vector<Ranked> rank_fractional(std::span<const SystemScores> systems) {
+  check_shape(systems);
+  std::vector<Ranked> out;
+  if (systems.empty()) return out;
+  const std::size_t metrics = systems.front().metrics.size();
+  std::vector<double> best(metrics, 0.0);
+  for (std::size_t k = 0; k < metrics; ++k) {
+    best[k] = systems.front().metrics[k];
+    for (const auto& s : systems) best[k] = std::min(best[k], s.metrics[k]);
+  }
+  for (const auto& s : systems) {
+    double penalty = 0.0;
+    for (std::size_t k = 0; k < metrics; ++k) {
+      const double denom = std::abs(best[k]) > 1e-12 ? std::abs(best[k]) : 1.0;
+      penalty += (s.metrics[k] - best[k]) / denom;
+    }
+    out.push_back(Ranked{s.name, metrics == 0
+                                     ? 0.0
+                                     : penalty / static_cast<double>(metrics)});
+  }
+  sort_asc(out);
+  return out;
+}
+
+std::vector<Ranked> grade(std::span<const SystemScores> systems,
+                          double pairwise_weight) {
+  const auto pw = rank_pairwise(systems);
+  const auto fr = rank_fractional(systems);
+  double max_penalty = 0.0;
+  for (const auto& r : fr) max_penalty = std::max(max_penalty, r.score);
+  const auto find = [](const std::vector<Ranked>& v, const std::string& name) {
+    for (const auto& r : v)
+      if (r.name == name) return r.score;
+    return 0.0;
+  };
+  std::vector<Ranked> out;
+  out.reserve(systems.size());
+  for (const auto& s : systems) {
+    const double p = find(pw, s.name);
+    const double f = find(fr, s.name);
+    const double f_norm = max_penalty > 0.0 ? 1.0 - f / max_penalty : 1.0;
+    const double g =
+        10.0 * (pairwise_weight * p + (1.0 - pairwise_weight) * f_norm);
+    out.push_back(Ranked{s.name, g});
+  }
+  sort_desc(out);
+  return out;
+}
+
+}  // namespace atlarge::autoscale

@@ -1,0 +1,34 @@
+#include "atlarge/cluster/cost.hpp"
+
+#include <cmath>
+
+namespace atlarge::cluster {
+
+double CostModel::on_demand_cost(double seconds) const noexcept {
+  if (seconds <= 0.0) return 0.0;
+  const double hours = seconds / 3600.0;
+  const double billed_hours =
+      billing == Billing::kPerHour ? std::ceil(hours) : hours;
+  return billed_hours * on_demand_rate;
+}
+
+double CostModel::total_cost(
+    double horizon_seconds,
+    const std::vector<double>& on_demand_allocations) const noexcept {
+  double cost =
+      reserved_machines * reserved_rate * horizon_seconds / 3600.0;
+  for (double seconds : on_demand_allocations)
+    cost += on_demand_cost(seconds);
+  return cost;
+}
+
+std::vector<CostModel> standard_cost_models() {
+  std::vector<CostModel> models;
+  models.push_back(CostModel{"per-second", Billing::kPerSecond, 1.0, 0.6, 0});
+  models.push_back(CostModel{"per-hour", Billing::kPerHour, 1.0, 0.6, 0});
+  models.push_back(
+      CostModel{"hybrid-reserved", Billing::kPerHour, 1.0, 0.6, 8});
+  return models;
+}
+
+}  // namespace atlarge::cluster

@@ -1,0 +1,139 @@
+#include "atlarge/cluster/refarch.hpp"
+
+#include <algorithm>
+
+namespace atlarge::cluster {
+
+std::string to_string(Layer layer) {
+  switch (layer) {
+    case Layer::kInfrastructure: return "infrastructure";
+    case Layer::kOperationsService: return "operations-service";
+    case Layer::kResources: return "resources";
+    case Layer::kBackEnd: return "back-end";
+    case Layer::kFrontEnd: return "front-end";
+    case Layer::kDevOps: return "devops";
+  }
+  return "?";
+}
+
+bool ReferenceArchitecture::register_component(Component c) {
+  if (find(c.name)) return false;
+  components_.push_back(std::move(c));
+  return true;
+}
+
+std::optional<Component> ReferenceArchitecture::find(
+    const std::string& name) const {
+  for (const auto& c : components_)
+    if (c.name == name) return c;
+  return std::nullopt;
+}
+
+std::vector<Component> ReferenceArchitecture::in_layer(Layer layer) const {
+  std::vector<Component> out;
+  for (const auto& c : components_)
+    if (c.layer == layer) out.push_back(c);
+  return out;
+}
+
+MappingReport ReferenceArchitecture::validate(
+    const EcosystemMapping& mapping) const {
+  MappingReport report;
+  std::vector<Layer> covered;
+  for (const auto& name : mapping.components) {
+    const auto c = find(name);
+    if (!c) {
+      report.unknown.push_back(name);
+      continue;
+    }
+    covered.push_back(c->layer);
+  }
+  std::sort(covered.begin(), covered.end());
+  covered.erase(std::unique(covered.begin(), covered.end()), covered.end());
+  report.covered = covered;
+  report.all_components_known = report.unknown.empty();
+  const auto has = [&](Layer l) {
+    return std::find(covered.begin(), covered.end(), l) != covered.end();
+  };
+  report.executable = has(Layer::kInfrastructure) &&
+                      (has(Layer::kOperationsService) ||
+                       has(Layer::kResources)) &&
+                      has(Layer::kBackEnd) && has(Layer::kFrontEnd);
+  return report;
+}
+
+ReferenceArchitecture paper_reference_architecture() {
+  ReferenceArchitecture ra;
+  // Layer 5: Front-end (application-level functionality). Sub-layers:
+  // high-level language, programming model, portal/SaaS.
+  ra.register_component({"Pig", Layer::kFrontEnd, "high-level-language"});
+  ra.register_component({"Hive", Layer::kFrontEnd, "high-level-language"});
+  ra.register_component({"SQL-on-Hadoop", Layer::kFrontEnd,
+                         "high-level-language"});
+  ra.register_component({"MapReduce-Model", Layer::kFrontEnd,
+                         "programming-model"});
+  ra.register_component({"Spark-Model", Layer::kFrontEnd,
+                         "programming-model"});
+  ra.register_component({"FaaS-Functions", Layer::kFrontEnd,
+                         "programming-model"});
+  ra.register_component({"Analytics-Portal", Layer::kFrontEnd, "portal"});
+
+  // Layer 4: Back-end (application-side management). Sub-layers:
+  // execution engine, runtime engine, storage engine.
+  ra.register_component({"Hadoop", Layer::kBackEnd, "execution-engine"});
+  ra.register_component({"Spark", Layer::kBackEnd, "execution-engine"});
+  ra.register_component({"Fission-Workflows", Layer::kBackEnd,
+                         "execution-engine"});
+  ra.register_component({"HDFS", Layer::kBackEnd, "storage-engine"});
+  ra.register_component({"MemEFS", Layer::kBackEnd, "storage-engine"});
+  ra.register_component({"Pocket", Layer::kBackEnd, "storage-engine"});
+  ra.register_component({"Crail", Layer::kBackEnd, "storage-engine"});
+  ra.register_component({"FlashNet", Layer::kBackEnd, "storage-engine"});
+
+  // Layer 3: Resources (operator-side management).
+  ra.register_component({"YARN", Layer::kResources, ""});
+  ra.register_component({"Mesos", Layer::kResources, ""});
+  ra.register_component({"Kubernetes", Layer::kResources, ""});
+  ra.register_component({"Portfolio-Scheduler", Layer::kResources, ""});
+  ra.register_component({"Autoscaler", Layer::kResources, ""});
+
+  // Layer 2: Operations Service (distributed-OS basic services).
+  ra.register_component({"Zookeeper", Layer::kOperationsService, ""});
+  ra.register_component({"etcd", Layer::kOperationsService, ""});
+  ra.register_component({"Naming-Service", Layer::kOperationsService, ""});
+
+  // Layer 1: Infrastructure (physical and virtual resources).
+  ra.register_component({"VM-Hypervisor", Layer::kInfrastructure, ""});
+  ra.register_component({"Bare-Metal", Layer::kInfrastructure, ""});
+  ra.register_component({"Datacenter-Network", Layer::kInfrastructure, ""});
+
+  // Layer 6: DevOps (orthogonal).
+  ra.register_component({"Graphalytics", Layer::kDevOps, ""});
+  ra.register_component({"Granula", Layer::kDevOps, ""});
+  ra.register_component({"Grade10", Layer::kDevOps, ""});
+  ra.register_component({"Monitoring-Agent", Layer::kDevOps, ""});
+  ra.register_component({"Log-Aggregator", Layer::kDevOps, ""});
+  return ra;
+}
+
+EcosystemMapping mapreduce_ecosystem() {
+  return EcosystemMapping{
+      "MapReduce big data",
+      {"Pig", "Hive", "MapReduce-Model", "Hadoop", "HDFS", "YARN",
+       "Zookeeper", "VM-Hypervisor", "Datacenter-Network",
+       "Monitoring-Agent"}};
+}
+
+EcosystemMapping serverless_ecosystem() {
+  return EcosystemMapping{
+      "Kubernetes-Fission serverless",
+      {"FaaS-Functions", "Fission-Workflows", "Pocket", "Kubernetes", "etcd",
+       "VM-Hypervisor", "Datacenter-Network", "Monitoring-Agent"}};
+}
+
+std::vector<std::string> legacy_bigdata_layers() {
+  return {"High-Level Language", "Programming Model", "Execution Engine",
+          "Storage Engine"};
+}
+
+}  // namespace atlarge::cluster

@@ -1,0 +1,90 @@
+#include "atlarge/design/bdc.hpp"
+
+namespace atlarge::design {
+
+std::string to_string(Stage s) {
+  switch (s) {
+    case Stage::kFormulateRequirements: return "formulate-requirements";
+    case Stage::kUnderstandAlternatives: return "understand-alternatives";
+    case Stage::kBootstrapCreative: return "bootstrap-creative";
+    case Stage::kHighAndLowLevelDesign: return "high-low-design";
+    case Stage::kImplement: return "implement";
+    case Stage::kConceptualAnalysis: return "conceptual-analysis";
+    case Stage::kExperimentalAnalysis: return "experimental-analysis";
+    case Stage::kDisseminate: return "disseminate";
+  }
+  return "?";
+}
+
+const std::array<Stage, kStageCount>& all_stages() {
+  static const std::array<Stage, kStageCount> kStages = {
+      Stage::kFormulateRequirements, Stage::kUnderstandAlternatives,
+      Stage::kBootstrapCreative,     Stage::kHighAndLowLevelDesign,
+      Stage::kImplement,             Stage::kConceptualAnalysis,
+      Stage::kExperimentalAnalysis,  Stage::kDisseminate};
+  return kStages;
+}
+
+std::string to_string(StoppingCriterion c) {
+  switch (c) {
+    case StoppingCriterion::kSatisficing: return "satisficing";
+    case StoppingCriterion::kPortfolio: return "portfolio";
+    case StoppingCriterion::kSystematicDesign: return "systematic-design";
+    case StoppingCriterion::kSpaceExhaustion: return "space-exhaustion";
+    case StoppingCriterion::kResourcesExhausted: return "resources-exhausted";
+  }
+  return "?";
+}
+
+BasicDesignCycle::BasicDesignCycle(BdcConfig config) : config_(config) {}
+
+void BasicDesignCycle::on(Stage stage, StageHandler handler) {
+  handlers_[static_cast<std::size_t>(stage) - 1] = std::move(handler);
+}
+
+void BasicDesignCycle::skip_when(Stage stage, SkipPredicate predicate) {
+  skips_[static_cast<std::size_t>(stage) - 1] = std::move(predicate);
+}
+
+std::optional<StoppingCriterion> BasicDesignCycle::check_stop(
+    const BdcContext& ctx) const {
+  // Criterion 4: the whole space has been enumerated.
+  if (ctx.space_size > 0 && ctx.space_explored >= ctx.space_size)
+    return StoppingCriterion::kSpaceExhaustion;
+  // Criteria 1-3 differ only in how many answers the client asked for.
+  if (ctx.designs_found >= config_.designs_target &&
+      ctx.best_quality >= config_.satisficing_quality) {
+    if (config_.designs_target <= 1) return StoppingCriterion::kSatisficing;
+    if (config_.designs_target <= 5) return StoppingCriterion::kPortfolio;
+    return StoppingCriterion::kSystematicDesign;
+  }
+  // Criterion 5: out of iterations.
+  if (ctx.iteration >= config_.max_iterations)
+    return StoppingCriterion::kResourcesExhausted;
+  return std::nullopt;
+}
+
+BdcReport BasicDesignCycle::run(BdcContext ctx) {
+  BdcReport report;
+  while (true) {
+    if (const auto stop = check_stop(ctx)) {
+      report.stopped_by = *stop;
+      break;
+    }
+    ++ctx.iteration;
+    for (Stage stage : all_stages()) {
+      const std::size_t idx = static_cast<std::size_t>(stage) - 1;
+      const bool skip =
+          !handlers_[idx] || (skips_[idx] && skips_[idx](ctx));
+      report.visits.push_back(StageVisit{ctx.iteration, stage, skip});
+      if (!skip) handlers_[idx](ctx);
+    }
+  }
+  report.iterations = ctx.iteration;
+  report.best_quality = ctx.best_quality;
+  report.designs_found = ctx.designs_found;
+  report.artifacts = std::move(ctx.artifacts);
+  return report;
+}
+
+}  // namespace atlarge::design

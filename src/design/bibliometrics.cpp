@@ -1,0 +1,114 @@
+#include "atlarge/design/bibliometrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "atlarge/stats/rng.hpp"
+
+namespace atlarge::design {
+
+double KeywordTrend::probability(int year) const {
+  const double z = rate * static_cast<double>(year - midpoint_year);
+  return floor + (ceil - floor) / (1.0 + std::exp(-z));
+}
+
+CorpusConfig paper_corpus_config() {
+  CorpusConfig config;
+  config.venues = {
+      {"ICDCS", 1981, 70, 0.012},   {"SC", 1988, 80, 0.015},
+      {"HPDC", 1992, 45, 0.010},    {"SOSP/OSDI", 1987, 35, 0.008},
+      {"NSDI", 2004, 40, 0.020},    {"EuroSys", 2006, 35, 0.018},
+      {"CCGrid", 2001, 60, 0.012},  {"Middleware", 1998, 30, 0.010},
+  };
+  config.keywords = {
+      // "design" rises markedly after 2000 — the Figure 2 trend.
+      {"design", 0.06, 0.38, 0.30, 2004},
+      {"performance", 0.25, 0.45, 0.10, 1995},
+      {"scalability", 0.02, 0.30, 0.25, 2002},
+      {"cloud", 0.00, 0.35, 0.60, 2011},
+      {"ecosystem", 0.00, 0.10, 0.45, 2015},
+  };
+  config.from_year = 1980;
+  config.to_year = 2018;
+  return config;
+}
+
+Corpus generate_corpus(const CorpusConfig& config) {
+  if (config.keywords.size() > 32)
+    throw std::invalid_argument("generate_corpus: > 32 keywords");
+  Corpus corpus;
+  corpus.config = config;
+  stats::Rng rng(config.seed);
+  for (std::uint32_t vi = 0; vi < config.venues.size(); ++vi) {
+    const auto& venue = config.venues[vi];
+    for (int year = std::max(config.from_year, venue.first_year);
+         year <= config.to_year; ++year) {
+      const double growth = 1.0 + venue.growth_per_year *
+                                      static_cast<double>(year -
+                                                          venue.first_year);
+      const auto count = static_cast<std::size_t>(
+          std::max(1.0, std::round(static_cast<double>(
+                                       venue.articles_per_year) *
+                                   growth)));
+      for (std::size_t a = 0; a < count; ++a) {
+        CorpusArticle article;
+        article.venue = vi;
+        article.year = year;
+        for (std::uint32_t ki = 0; ki < config.keywords.size(); ++ki) {
+          if (rng.bernoulli(config.keywords[ki].probability(year)))
+            article.keyword_mask |= (1u << ki);
+        }
+        corpus.articles.push_back(article);
+      }
+    }
+  }
+  return corpus;
+}
+
+double keyword_presence(const Corpus& corpus, std::uint32_t venue,
+                        std::uint32_t keyword, int from_year, int to_year) {
+  std::size_t total = 0;
+  std::size_t with = 0;
+  for (const auto& a : corpus.articles) {
+    if (a.venue != venue || a.year < from_year || a.year > to_year) continue;
+    ++total;
+    if (a.keyword_mask & (1u << keyword)) ++with;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(with) / static_cast<double>(total);
+}
+
+BlockCounts design_articles_per_block(const Corpus& corpus) {
+  BlockCounts blocks;
+  const auto& config = corpus.config;
+
+  std::uint32_t design_bit = 0;
+  bool found = false;
+  for (std::uint32_t ki = 0; ki < config.keywords.size(); ++ki) {
+    if (config.keywords[ki].keyword == "design") {
+      design_bit = ki;
+      found = true;
+      break;
+    }
+  }
+  if (!found)
+    throw std::invalid_argument(
+        "design_articles_per_block: corpus lacks a 'design' keyword");
+
+  for (int y = config.from_year; y <= config.to_year; y += 5)
+    blocks.block_start_years.push_back(y);
+  blocks.counts.assign(config.venues.size(),
+                       std::vector<std::size_t>(
+                           blocks.block_start_years.size(), 0));
+  for (const auto& a : corpus.articles) {
+    if (!(a.keyword_mask & (1u << design_bit))) continue;
+    const auto block = static_cast<std::size_t>((a.year - config.from_year) /
+                                                5);
+    if (block < blocks.block_start_years.size())
+      ++blocks.counts[a.venue][block];
+  }
+  return blocks;
+}
+
+}  // namespace atlarge::design

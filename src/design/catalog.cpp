@@ -1,0 +1,215 @@
+#include "atlarge/design/catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atlarge::design {
+
+std::string to_string(PrincipleCategory c) {
+  switch (c) {
+    case PrincipleCategory::kHighest: return "highest";
+    case PrincipleCategory::kSystems: return "systems";
+    case PrincipleCategory::kPeopleware: return "peopleware";
+    case PrincipleCategory::kMethodology: return "methodology";
+  }
+  return "?";
+}
+
+const std::vector<Principle>& principles() {
+  static const std::vector<Principle> kPrinciples = {
+      {1, PrincipleCategory::kHighest, "design of design",
+       "Design needs design: MCS design must be designed, not left to "
+       "intuition and selective experience."},
+      {2, PrincipleCategory::kSystems, "age of distributed ecosystems",
+       "This is the Age of Distributed Ecosystems: the designer is "
+       "constantly aware systems live inside ecosystems."},
+      {3, PrincipleCategory::kSystems, "NFRs, phenomena",
+       "Dynamic non-functional properties and phenomena are first-class "
+       "concerns."},
+      {4, PrincipleCategory::kSystems, "RM&S, self-awareness",
+       "Resource Management and Scheduling, and its interplay with "
+       "information sources for local and global self-awareness, are key "
+       "concerns."},
+      {5, PrincipleCategory::kPeopleware, "education in design",
+       "Education practices for MCS must ensure the competence and "
+       "integrity needed for experimenting, creating, and operating "
+       "ecosystems."},
+      {6, PrincipleCategory::kPeopleware, "pragmatic, innovative, ethical",
+       "Design communities can foster and curate pragmatic, innovative, "
+       "and ethical design practices."},
+      {7, PrincipleCategory::kMethodology, "design science, practice, culture",
+       "We understand and create together a science, practice, and culture "
+       "of MCS design."},
+      {8, PrincipleCategory::kMethodology, "evolution and emergence",
+       "We are aware of the history and evolution of MCS designs, key "
+       "debates, and evolving patterns."},
+  };
+  return kPrinciples;
+}
+
+const std::vector<Challenge>& challenges() {
+  static const std::vector<Challenge> kChallenges = {
+      {1, PrincipleCategory::kHighest, "Design of design",
+       "Creating processes that enable and facilitate pragmatic and "
+       "innovative MCS designs.",
+       {1}},
+      {2, PrincipleCategory::kHighest, "What is good design?",
+       "Understand (automatically) what is good design, and how to assess "
+       "it.",
+       {1}},
+      {3, PrincipleCategory::kHighest, "Design space exploration",
+       "Simulation-based approaches and experimentation for design space "
+       "exploration; calibration and reproducibility are key.",
+       {1}},
+      {4, PrincipleCategory::kSystems, "Design for ecosystems",
+       "Design for MCS, not for individual systems.",
+       {2}},
+      {5, PrincipleCategory::kSystems, "Catalog for MCS design",
+       "Establish a catalog of components for MCS design.",
+       {3, 4}},
+      {6, PrincipleCategory::kPeopleware, "Education, curriculum",
+       "Create a teachable common body of knowledge for MCS designs; "
+       "design effective teaching practices.",
+       {5}},
+      {7, PrincipleCategory::kPeopleware, "Community engagement",
+       "Create communities and environments for people to engage with the "
+       "design and operation of ecosystems.",
+       {6}},
+      {8, PrincipleCategory::kMethodology, "Documenting designs",
+       "Design a formalism for documenting designs and tracing their "
+       "evolution.",
+       {5, 6, 7}},
+      {9, PrincipleCategory::kMethodology, "Design in practice",
+       "Understand MCS design in practice: how and when do practitioners "
+       "design what they design?",
+       {7}},
+      {10, PrincipleCategory::kMethodology, "Organizational similarity",
+       "Look for evidence of organizational similarity across designs "
+       "originating in similar organizations.",
+       {7}},
+  };
+  return kChallenges;
+}
+
+std::vector<Challenge> challenges_for_principle(std::uint32_t principle) {
+  std::vector<Challenge> out;
+  for (const auto& c : challenges()) {
+    if (std::find(c.principles.begin(), c.principles.end(), principle) !=
+        c.principles.end())
+      out.push_back(c);
+  }
+  return out;
+}
+
+std::string to_string(ProblemArchetype a) {
+  switch (a) {
+    case ProblemArchetype::kEcosystemLifecycle: return "P1-lifecycle";
+    case ProblemArchetype::kEmergingNeeds: return "P2-emerging-needs";
+    case ProblemArchetype::kLegacy: return "P3-legacy";
+    case ProblemArchetype::kMorphology: return "P4-morphology";
+    case ProblemArchetype::kUnexploredNiche: return "P5-niche";
+  }
+  return "?";
+}
+
+std::string to_string(ProblemSource s) {
+  switch (s) {
+    case ProblemSource::kPeerReviewedStudies: return "S1-studies";
+    case ProblemSource::kExpertPractice: return "S2-expert-practice";
+    case ProblemSource::kOwnExperiments: return "S3-own-experiments";
+  }
+  return "?";
+}
+
+void ProblemCatalog::add(ProblemStatement problem) {
+  problems_.push_back(std::move(problem));
+}
+
+std::vector<ProblemStatement> ProblemCatalog::by_archetype(
+    ProblemArchetype a) const {
+  std::vector<ProblemStatement> out;
+  for (const auto& p : problems_)
+    if (p.archetype == a) out.push_back(p);
+  return out;
+}
+
+ProblemCatalog paper_problem_catalog() {
+  ProblemCatalog catalog;
+  catalog.add({"Understand the global BitTorrent ecosystem",
+               ProblemArchetype::kMorphology,
+               ProblemSource::kOwnExperiments,
+               "Longitudinal measurement of swarms, trackers, and peers "
+               "(BTWorld, MultiProbe)."});
+  catalog.add({"Collaborative downloads under bandwidth asymmetry",
+               ProblemArchetype::kEmergingNeeds,
+               ProblemSource::kPeerReviewedStudies,
+               "ADSL asymmetry leaves download capacity idle; 2fast pools "
+               "group upload."});
+  catalog.add({"Scale MMOGs beyond single-server virtual worlds",
+               ProblemArchetype::kEcosystemLifecycle,
+               ProblemSource::kExpertPractice,
+               "Dynamic provisioning and Area-of-Simulation for V-World "
+               "operation."});
+  catalog.add({"Reference architecture for datacenter ecosystems",
+               ProblemArchetype::kMorphology,
+               ProblemSource::kPeerReviewedStudies,
+               "Map the emerging big-data and cloud stacks onto common "
+               "layers (Figure 9)."});
+  catalog.add({"Understand serverless computing",
+               ProblemArchetype::kEcosystemLifecycle,
+               ProblemSource::kExpertPractice,
+               "Terminology, performance challenges, and a FaaS reference "
+               "architecture (SPEC RG)."});
+  catalog.add({"Benchmark graph processing across PAD",
+               ProblemArchetype::kMorphology,
+               ProblemSource::kOwnExperiments,
+               "Graphalytics: multi-platform, multi-algorithm, "
+               "multi-dataset benchmarking."});
+  catalog.add({"Keep legacy MapReduce stacks efficient in new ecosystems",
+               ProblemArchetype::kLegacy,
+               ProblemSource::kExpertPractice,
+               "Elastic MapReduce (Fawkes) and portfolio scheduling for "
+               "mixed workloads."});
+  catalog.add({"Characterize unexplored corners of scheduler design space",
+               ProblemArchetype::kUnexploredNiche, std::nullopt,
+               "Portfolio scheduling: online policy selection as a new "
+               "design axis."});
+  return catalog;
+}
+
+std::string to_string(CreativityLevel level) {
+  switch (level) {
+    case CreativityLevel::kTrivial: return "trivial";
+    case CreativityLevel::kNormal: return "normal";
+    case CreativityLevel::kNovel: return "novel";
+    case CreativityLevel::kFundamental: return "fundamental";
+    case CreativityLevel::kOutstanding: return "outstanding";
+  }
+  return "?";
+}
+
+std::string to_string(PerformanceBaseline b) {
+  switch (b) {
+    case PerformanceBaseline::kRandom: return "vs-random";
+    case PerformanceBaseline::kNaive: return "vs-naive";
+    case PerformanceBaseline::kCurrentPractice: return "vs-current-practice";
+    case PerformanceBaseline::kIdeal: return "vs-ideal";
+  }
+  return "?";
+}
+
+CreativityLevel assess_creativity(double quality, double innovation) {
+  // The discrete quantization reviewers apply: average the two 1-4 scores
+  // and round — which is precisely why scores cluster around the middle
+  // (challenge C2).
+  const double score = std::clamp((quality + innovation) / 2.0, 1.0, 4.0);
+  const int level = static_cast<int>(std::lround(score));
+  switch (level) {
+    case 1: return CreativityLevel::kTrivial;
+    case 2: return CreativityLevel::kNormal;
+    case 3: return CreativityLevel::kNovel;
+    default: return CreativityLevel::kFundamental;
+  }
+}
+
+}  // namespace atlarge::design

@@ -1,0 +1,95 @@
+#include "atlarge/design/design_space.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace atlarge::design {
+
+DesignProblem::DesignProblem(std::size_t dims, std::uint32_t options,
+                             std::size_t k, double satisficing_threshold,
+                             std::uint64_t seed)
+    : k_(std::min(k, dims > 0 ? dims - 1 : 0)),
+      threshold_(satisficing_threshold) {
+  if (dims == 0) throw std::invalid_argument("DesignProblem: zero dims");
+  if (options < 2)
+    throw std::invalid_argument("DesignProblem: need >= 2 options");
+  stats::Rng rng(seed);
+  dims_.reserve(dims);
+  for (std::size_t d = 0; d < dims; ++d)
+    dims_.push_back(Dimension{"dim" + std::to_string(d), options});
+
+  neighbors_.resize(dims);
+  table_.resize(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    // K distinct interaction partners (excluding d itself), drawn
+    // deterministically.
+    while (neighbors_[d].size() < k_) {
+      const auto cand = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(dims) - 1));
+      if (cand == d) continue;
+      bool seen = false;
+      for (std::size_t existing : neighbors_[d]) {
+        if (existing == cand) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) neighbors_[d].push_back(cand);
+    }
+    std::size_t entries = options;
+    for (std::size_t i = 0; i < k_; ++i) entries *= options;
+    table_[d].resize(entries);
+    for (auto& cell : table_[d]) cell = rng.uniform();
+  }
+}
+
+double DesignProblem::contribution(std::size_t dim,
+                                   const DesignPoint& point) const {
+  std::size_t code = point[dim];
+  std::size_t radix = dims_[dim].options;
+  for (std::size_t nb : neighbors_[dim]) {
+    code += point[nb] * radix;
+    radix *= dims_[nb].options;
+  }
+  return table_[dim][code];
+}
+
+double DesignProblem::quality(const DesignPoint& point) const {
+  if (point.size() != dims_.size())
+    throw std::invalid_argument("quality: arity mismatch");
+  for (std::size_t d = 0; d < point.size(); ++d) {
+    if (point[d] >= dims_[d].options)
+      throw std::invalid_argument("quality: option out of range");
+  }
+  double total = 0.0;
+  for (std::size_t d = 0; d < dims_.size(); ++d)
+    total += contribution(d, point);
+  return total / static_cast<double>(dims_.size());
+}
+
+double DesignProblem::space_size() const noexcept {
+  double size = 1.0;
+  for (const auto& d : dims_) size *= static_cast<double>(d.options);
+  return size;
+}
+
+DesignPoint DesignProblem::random_point(stats::Rng& rng) const {
+  DesignPoint point(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    point[d] = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(dims_[d].options) - 1));
+  }
+  return point;
+}
+
+DesignProblem DesignProblem::evolve(double churn, std::uint64_t seed) const {
+  DesignProblem next = *this;
+  stats::Rng rng(seed);
+  for (std::size_t d = 0; d < next.table_.size(); ++d) {
+    if (!rng.bernoulli(churn)) continue;  // this dimension carries over
+    for (auto& cell : next.table_[d]) cell = rng.uniform();
+  }
+  return next;
+}
+
+}  // namespace atlarge::design

@@ -1,0 +1,237 @@
+#include "atlarge/design/exploration.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace atlarge::design {
+namespace {
+
+/// The search domain a process is allowed to touch: which dimensions may
+/// change and how many options each exposes.
+struct Domain {
+  std::vector<std::size_t> free_dims;
+  std::vector<std::uint32_t> allowed;  // per dimension, <= problem options
+  DesignPoint base;                    // values for pinned dimensions
+
+  DesignPoint random_point(const DesignProblem& problem,
+                           stats::Rng& rng) const {
+    DesignPoint point = base;
+    for (std::size_t d : free_dims) {
+      point[d] = static_cast<std::uint32_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(allowed[d]) - 1));
+    }
+    (void)problem;
+    return point;
+  }
+
+  /// Mutates one free dimension to a different allowed option; returns
+  /// false when no move exists (all axes have one option).
+  bool neighbor(DesignPoint& point, stats::Rng& rng) const {
+    if (free_dims.empty()) return false;
+    for (int tries = 0; tries < 16; ++tries) {
+      const std::size_t d = free_dims[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(free_dims.size()) - 1))];
+      if (allowed[d] < 2) continue;
+      const auto next = static_cast<std::uint32_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(allowed[d]) - 1));
+      if (next != point[d]) {
+        point[d] = next;
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+Domain full_domain(const DesignProblem& problem) {
+  Domain domain;
+  domain.base.assign(problem.dimensions(), 0);
+  domain.allowed.resize(problem.dimensions());
+  for (std::size_t d = 0; d < problem.dimensions(); ++d) {
+    domain.free_dims.push_back(d);
+    domain.allowed[d] = problem.options(d);
+  }
+  return domain;
+}
+
+/// Restart hill climbing within the domain. Shared by all processes so
+/// outcome differences are attributable to the process alone.
+ExplorationTrace run_search(const DesignProblem& problem,
+                            const Domain& domain, std::string process,
+                            const ExplorationConfig& config) {
+  ExplorationTrace trace;
+  trace.process = std::move(process);
+  stats::Rng rng(config.seed);
+
+  DesignPoint current;
+  double current_q = 0.0;
+  bool restart_satisficed = false;
+  std::size_t evals_since_restart = 0;
+
+  const auto evaluate = [&](const DesignPoint& p) {
+    ++trace.evaluations_used;
+    ++evals_since_restart;
+    return problem.quality(p);
+  };
+
+  const auto restart = [&] {
+    if (trace.evaluations_used > 0 && !restart_satisficed) ++trace.failures;
+    current = domain.random_point(problem, rng);
+    current_q = evaluate(current);
+    restart_satisficed = false;
+    evals_since_restart = 1;
+  };
+
+  const auto record_if_best = [&] {
+    if (current_q > trace.best_quality) {
+      trace.best_quality = current_q;
+      trace.attempts.push_back(Attempt{trace.evaluations_used, current_q,
+                                       problem.satisfices(current)});
+    }
+    if (problem.satisfices(current) && !restart_satisficed) {
+      restart_satisficed = true;
+      ++trace.satisficing_designs;
+      if (trace.first_satisficing_at == 0)
+        trace.first_satisficing_at = trace.evaluations_used;
+    }
+  };
+
+  restart();
+  record_if_best();
+  while (trace.evaluations_used < config.evaluation_budget) {
+    if (evals_since_restart >= config.restart_period) {
+      restart();
+      record_if_best();
+      continue;
+    }
+    DesignPoint candidate = current;
+    if (!domain.neighbor(candidate, rng)) break;  // degenerate domain
+    const double q = evaluate(candidate);
+    if (q >= current_q) {
+      current = std::move(candidate);
+      current_q = q;
+      record_if_best();
+    }
+  }
+  if (!restart_satisficed) ++trace.failures;
+  return trace;
+}
+
+}  // namespace
+
+ExplorationTrace explore_free(const DesignProblem& problem,
+                              const ExplorationConfig& config) {
+  return run_search(problem, full_domain(problem), "free", config);
+}
+
+ExplorationTrace explore_fix_what(const DesignProblem& problem,
+                                  const std::vector<std::size_t>& fixed_dims,
+                                  const DesignPoint& fixed_values,
+                                  const ExplorationConfig& config) {
+  if (fixed_dims.size() != fixed_values.size())
+    throw std::invalid_argument("explore_fix_what: dims/values mismatch");
+  Domain domain = full_domain(problem);
+  for (std::size_t i = 0; i < fixed_dims.size(); ++i) {
+    const std::size_t d = fixed_dims[i];
+    if (d >= problem.dimensions())
+      throw std::invalid_argument("explore_fix_what: dim out of range");
+    domain.base[d] = fixed_values[i];
+    domain.free_dims.erase(std::remove(domain.free_dims.begin(),
+                                       domain.free_dims.end(), d),
+                           domain.free_dims.end());
+  }
+  return run_search(problem, domain, "fix-the-what", config);
+}
+
+ExplorationTrace explore_fix_how(const DesignProblem& problem,
+                                 const std::vector<std::uint32_t>&
+                                     allowed_options,
+                                 const ExplorationConfig& config) {
+  if (allowed_options.size() != problem.dimensions())
+    throw std::invalid_argument("explore_fix_how: arity mismatch");
+  Domain domain = full_domain(problem);
+  for (std::size_t d = 0; d < allowed_options.size(); ++d) {
+    if (allowed_options[d] == 0 || allowed_options[d] > problem.options(d))
+      throw std::invalid_argument("explore_fix_how: bad allowed count");
+    domain.allowed[d] = allowed_options[d];
+  }
+  return run_search(problem, domain, "fix-the-how", config);
+}
+
+ExplorationTrace explore_co_evolving(DesignProblem problem,
+                                     const ExplorationConfig& config) {
+  ExplorationTrace trace;
+  trace.process = "co-evolving";
+  stats::Rng rng(config.seed);
+  Domain domain = full_domain(problem);
+
+  DesignPoint current = domain.random_point(problem, rng);
+  double current_q = problem.quality(current);
+  ++trace.evaluations_used;
+  double best_q = current_q;
+  std::size_t since_improvement = 0;
+  std::size_t evals_since_restart = 1;
+  bool epoch_satisficed = false;
+  std::uint64_t evolve_seed = config.seed ^ 0xc0ffee;
+
+  const auto note = [&] {
+    if (current_q > trace.best_quality) {
+      trace.best_quality = current_q;
+      trace.attempts.push_back(Attempt{trace.evaluations_used, current_q,
+                                       problem.satisfices(current)});
+    }
+    if (problem.satisfices(current) && !epoch_satisficed) {
+      epoch_satisficed = true;
+      ++trace.satisficing_designs;
+      if (trace.first_satisficing_at == 0)
+        trace.first_satisficing_at = trace.evaluations_used;
+    }
+  };
+  note();
+
+  while (trace.evaluations_used < config.evaluation_budget) {
+    if (since_improvement >= config.stall_limit) {
+      // Stuck: evolve the problem (Figure 7, Problem 1 -> Problem 2),
+      // keeping the incumbent design as the seed in the new landscape.
+      problem = problem.evolve(config.evolve_churn, evolve_seed++);
+      ++trace.problem_evolutions;
+      current_q = problem.quality(current);
+      ++trace.evaluations_used;
+      best_q = current_q;
+      since_improvement = 0;
+      epoch_satisficed = false;
+      note();
+      continue;
+    }
+    if (evals_since_restart >= config.restart_period) {
+      if (!epoch_satisficed) ++trace.failures;
+      current = domain.random_point(problem, rng);
+      current_q = problem.quality(current);
+      ++trace.evaluations_used;
+      evals_since_restart = 1;
+      note();
+      continue;
+    }
+    DesignPoint candidate = current;
+    if (!domain.neighbor(candidate, rng)) break;
+    const double q = problem.quality(candidate);
+    ++trace.evaluations_used;
+    ++evals_since_restart;
+    if (q >= current_q) {
+      if (q > best_q) {
+        best_q = q;
+        since_improvement = 0;
+      } else {
+        ++since_improvement;
+      }
+      current = std::move(candidate);
+      current_q = q;
+      note();
+    } else {
+      ++since_improvement;
+    }
+  }
+  return trace;
+}
+
+}  // namespace atlarge::design

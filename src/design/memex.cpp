@@ -1,0 +1,168 @@
+#include "atlarge/design/memex.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace atlarge::design {
+
+DecisionId ProvenanceGraph::record(DecisionRecord record) {
+  for (DecisionId dep : record.supersedes) {
+    if (dep >= records_.size())
+      throw std::invalid_argument(
+          "ProvenanceGraph: supersedes unknown decision");
+  }
+  record.id = static_cast<DecisionId>(records_.size());
+  records_.push_back(std::move(record));
+  return records_.back().id;
+}
+
+const DecisionRecord& ProvenanceGraph::get(DecisionId id) const {
+  return records_.at(id);
+}
+
+std::vector<DecisionId> ProvenanceGraph::active() const {
+  std::vector<bool> superseded(records_.size(), false);
+  for (const auto& r : records_) {
+    for (DecisionId dep : r.supersedes) superseded[dep] = true;
+  }
+  std::vector<DecisionId> out;
+  for (DecisionId id = 0; id < records_.size(); ++id) {
+    if (!superseded[id]) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<DecisionId> ProvenanceGraph::lineage(DecisionId id) const {
+  if (id >= records_.size())
+    throw std::invalid_argument("ProvenanceGraph: unknown decision");
+  // DFS through supersedes edges; ids are append-ordered, so sorting
+  // ascending yields oldest-first.
+  std::vector<bool> seen(records_.size(), false);
+  std::vector<DecisionId> stack{id};
+  std::vector<DecisionId> out;
+  while (!stack.empty()) {
+    const DecisionId cur = stack.back();
+    stack.pop_back();
+    if (seen[cur]) continue;
+    seen[cur] = true;
+    out.push_back(cur);
+    for (DecisionId dep : records_[cur].supersedes) stack.push_back(dep);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t ProvenanceGraph::revision_depth(DecisionId id) const {
+  return lineage(id).size();
+}
+
+std::vector<DecisionId> ProvenanceGraph::by_author(
+    const std::string& author) const {
+  std::vector<DecisionId> out;
+  for (const auto& r : records_) {
+    if (r.author == author) out.push_back(r.id);
+  }
+  return out;
+}
+
+bool Memex::add(MemexEntry entry) {
+  if (find(entry.system) != nullptr) return false;
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+const MemexEntry* Memex::find(const std::string& system) const {
+  for (const auto& e : entries_) {
+    if (e.system == system) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Memex::active_between(int from, int to) const {
+  std::vector<std::string> out;
+  for (const auto& e : entries_) {
+    if (e.first_year <= to && e.last_year >= from) out.push_back(e.system);
+  }
+  return out;
+}
+
+std::size_t Memex::decisions_preserved() const noexcept {
+  std::size_t total = 0;
+  for (const auto& e : entries_) total += e.provenance.size();
+  return total;
+}
+
+Memex paper_memex() {
+  Memex memex;
+
+  {
+    MemexEntry p2p;
+    p2p.system = "BTWorld/Tribler";
+    p2p.first_year = 2004;
+    p2p.last_year = 2014;
+    p2p.trace_dataset_ids = {"p2p-suprnova-2004", "p2p-piratebay-2005",
+                             "p2p-btworld-2010"};
+    const auto probe = p2p.provenance.record(
+        {0, "per-swarm probing (MultiProbe)",
+         "Internet-level correlation required per-peer visibility",
+         {"tracker scraping only"}, {}, 2006, "AtLarge"});
+    p2p.provenance.record(
+        {0, "aggregate tracker scraping (BTWorld)",
+         "global scale (10M swarms) made per-peer probing infeasible; "
+         "GDPR later forbade Internet tracing",
+         {"per-peer probing", "client instrumentation"},
+         {probe}, 2010, "AtLarge"});
+    p2p.provenance.record(
+        {0, "2fast: group-donated upload credit",
+         "asymmetric ADSL leaves download pipes idle; groups convert "
+         "idle upload into collector bandwidth without immediate repay",
+         {"tit-for-tat only", "central credit bank"}, {}, 2006,
+         "AtLarge"});
+    memex.add(std::move(p2p));
+  }
+
+  {
+    MemexEntry ga;
+    ga.system = "Graphalytics";
+    ga.first_year = 2014;
+    ga.last_year = 2018;
+    ga.trace_dataset_ids = {"graph-datagen-ldbc"};
+    const auto pad = ga.provenance.record(
+        {0, "benchmark spans the full PAD triangle",
+         "the PAD study showed performance is an interaction effect; "
+         "single-algorithm or single-dataset benchmarks mislead",
+         {"single-platform suites", "algorithm-only kernels"}, {}, 2014,
+         "AtLarge+LDBC"});
+    ga.provenance.record(
+        {0, "HPAD: add heterogeneous hardware as a dimension",
+         "KNL/GPU results showed the PAD law holds only in special "
+         "situations on heterogeneous hardware",
+         {"keep PAD as-is"}, {pad}, 2018, "AtLarge"});
+    memex.add(std::move(ga));
+  }
+
+  {
+    MemexEntry ps;
+    ps.system = "Portfolio-Scheduler";
+    ps.first_year = 2013;
+    ps.last_year = 2018;
+    ps.trace_dataset_ids = {"grid-workloads-archive"};
+    const auto all = ps.provenance.record(
+        {0, "simulate every policy each interval",
+         "no single policy is consistently best; online what-if "
+         "simulation tracks the incumbent best",
+         {"static best policy", "random policy rotation"}, {}, 2013,
+         "AtLarge"});
+    ps.provenance.record(
+        {0, "active-set limiting",
+         "simulation time grows with #policies x queue length; the "
+         "full portfolio could no longer run online",
+         {"faster simulator", "coarser snapshots"}, {all}, 2013,
+         "AtLarge"});
+    memex.add(std::move(ps));
+  }
+
+  return memex;
+}
+
+}  // namespace atlarge::design

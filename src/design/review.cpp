@@ -1,0 +1,118 @@
+#include "atlarge/design/review.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "atlarge/stats/rng.hpp"
+
+namespace atlarge::design {
+
+std::string to_string(ReviewAspect a) {
+  switch (a) {
+    case ReviewAspect::kMerit: return "merit";
+    case ReviewAspect::kQuality: return "quality";
+    case ReviewAspect::kTopic: return "topic";
+  }
+  return "?";
+}
+
+double ArticleReview::aspect(ReviewAspect a) const noexcept {
+  switch (a) {
+    case ReviewAspect::kMerit: return merit;
+    case ReviewAspect::kQuality: return quality;
+    case ReviewAspect::kTopic: return topic;
+  }
+  return 0.0;
+}
+
+std::vector<ArticleReview> generate_reviews(const ReviewModelConfig& config) {
+  stats::Rng rng(config.seed);
+  std::vector<ArticleReview> reviews;
+  reviews.reserve(config.articles);
+
+  const auto reviewer_score = [&](double latent) {
+    const double noisy = latent + rng.normal(0.0, config.reviewer_noise);
+    return std::clamp(std::round(noisy), 1.0, 4.0);
+  };
+
+  for (std::size_t i = 0; i < config.articles; ++i) {
+    ArticleReview r;
+    r.is_design = rng.bernoulli(config.design_fraction);
+    const double latent_quality =
+        rng.normal(r.is_design ? config.design_mean : config.non_design_mean,
+                   config.latent_stddev);
+    // Merit correlates with quality but adds presentation/impact spread.
+    const double latent_merit =
+        0.7 * latent_quality +
+        0.3 * rng.normal(r.is_design ? config.design_mean
+                                     : config.non_design_mean,
+                         config.latent_stddev);
+    const double latent_topic = rng.normal(config.topic_mean, 0.4);
+
+    const auto reviewers = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(config.reviewers_min),
+        static_cast<std::int64_t>(config.reviewers_max)));
+    double merit_sum = 0.0;
+    double quality_sum = 0.0;
+    double topic_sum = 0.0;
+    for (std::size_t k = 0; k < reviewers; ++k) {
+      merit_sum += reviewer_score(latent_merit);
+      quality_sum += reviewer_score(latent_quality);
+      topic_sum += reviewer_score(latent_topic);
+    }
+    r.merit = merit_sum / static_cast<double>(reviewers);
+    r.quality = quality_sum / static_cast<double>(reviewers);
+    r.topic = topic_sum / static_cast<double>(reviewers);
+    reviews.push_back(r);
+  }
+
+  // Accept the top accept_rate by merit (ties broken by quality).
+  std::vector<std::size_t> order(reviews.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (reviews[a].merit != reviews[b].merit)
+      return reviews[a].merit > reviews[b].merit;
+    return reviews[a].quality > reviews[b].quality;
+  });
+  const auto accepted =
+      static_cast<std::size_t>(std::round(config.accept_rate *
+                                          static_cast<double>(reviews.size())));
+  for (std::size_t k = 0; k < accepted && k < order.size(); ++k)
+    reviews[order[k]].accepted = true;
+  return reviews;
+}
+
+atlarge::stats::ViolinGroup violins_by_category(
+    const std::vector<ArticleReview>& reviews, ReviewAspect aspect) {
+  atlarge::stats::ViolinGroup group;
+  group.title = "Review scores: " + to_string(aspect);
+
+  struct Category {
+    std::string label;
+    std::function<bool(const ArticleReview&)> member;
+  };
+  const std::vector<Category> categories = {
+      {"design", [](const ArticleReview& r) { return r.is_design; }},
+      {"non-design", [](const ArticleReview& r) { return !r.is_design; }},
+      {"design+accepted",
+       [](const ArticleReview& r) { return r.is_design && r.accepted; }},
+      {"design+rejected",
+       [](const ArticleReview& r) { return r.is_design && !r.accepted; }},
+      {"non-design+accepted",
+       [](const ArticleReview& r) { return !r.is_design && r.accepted; }},
+      {"non-design+rejected",
+       [](const ArticleReview& r) { return !r.is_design && !r.accepted; }},
+  };
+  for (const auto& cat : categories) {
+    std::vector<double> sample;
+    for (const auto& r : reviews) {
+      if (cat.member(r)) sample.push_back(r.aspect(aspect));
+    }
+    group.labels.push_back(cat.label);
+    group.violins.push_back(atlarge::stats::violin(sample));
+  }
+  return group;
+}
+
+}  // namespace atlarge::design

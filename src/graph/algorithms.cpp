@@ -1,0 +1,228 @@
+#include "atlarge/graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace atlarge::graph {
+
+BfsResult bfs(const Graph& g, VertexId source) {
+  BfsResult result;
+  result.depth.assign(g.num_vertices(), kUnreachable);
+  if (source >= g.num_vertices()) return result;
+  std::vector<VertexId> frontier{source};
+  result.depth[source] = 0;
+  std::uint32_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    ++result.work.iterations;
+    std::vector<VertexId> next;
+    for (VertexId v : frontier) {
+      for (VertexId u : g.out(v)) {
+        ++result.work.edges_traversed;
+        if (result.depth[u] == kUnreachable) {
+          result.depth[u] = depth;
+          next.push_back(u);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+PageRankResult pagerank(const Graph& g, std::uint32_t iterations, double d) {
+  PageRankResult result;
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return result;
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    ++result.work.iterations;
+    double dangling = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (VertexId v = 0; v < n; ++v) {
+      const auto out = g.out(v);
+      if (out.empty()) {
+        dangling += rank[v];
+        continue;
+      }
+      const double share = rank[v] / static_cast<double>(out.size());
+      for (VertexId u : out) {
+        ++result.work.edges_traversed;
+        next[u] += share;
+      }
+    }
+    const double base =
+        (1.0 - d) / static_cast<double>(n) +
+        d * dangling / static_cast<double>(n);
+    for (VertexId v = 0; v < n; ++v) next[v] = base + d * next[v];
+    rank.swap(next);
+  }
+  result.rank = std::move(rank);
+  return result;
+}
+
+WccResult wcc(const Graph& g) {
+  WccResult result;
+  const std::size_t n = g.num_vertices();
+  result.component.resize(n);
+  for (VertexId v = 0; v < n; ++v) result.component[v] = v;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.work.iterations;
+    for (VertexId v = 0; v < n; ++v) {
+      VertexId best = result.component[v];
+      for (VertexId u : g.out(v)) {
+        ++result.work.edges_traversed;
+        best = std::min(best, result.component[u]);
+      }
+      for (VertexId u : g.in(v)) {
+        ++result.work.edges_traversed;
+        best = std::min(best, result.component[u]);
+      }
+      if (best < result.component[v]) {
+        result.component[v] = best;
+        changed = true;
+      }
+    }
+  }
+  std::vector<VertexId> reps(result.component);
+  std::sort(reps.begin(), reps.end());
+  result.num_components = static_cast<std::size_t>(
+      std::unique(reps.begin(), reps.end()) - reps.begin());
+  return result;
+}
+
+CdlpResult cdlp(const Graph& g, std::uint32_t iterations) {
+  CdlpResult result;
+  const std::size_t n = g.num_vertices();
+  std::vector<VertexId> label(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = v;
+  std::vector<VertexId> next(n);
+  std::unordered_map<VertexId, std::uint32_t> votes;
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    ++result.work.iterations;
+    for (VertexId v = 0; v < n; ++v) {
+      votes.clear();
+      for (VertexId u : g.out(v)) {
+        ++result.work.edges_traversed;
+        ++votes[label[u]];
+      }
+      for (VertexId u : g.in(v)) {
+        ++result.work.edges_traversed;
+        ++votes[label[u]];
+      }
+      if (votes.empty()) {
+        next[v] = label[v];
+        continue;
+      }
+      VertexId best = label[v];
+      std::uint32_t best_count = 0;
+      for (const auto& [candidate, count] : votes) {
+        if (count > best_count ||
+            (count == best_count && candidate < best)) {
+          best = candidate;
+          best_count = count;
+        }
+      }
+      next[v] = best;
+    }
+    label.swap(next);
+  }
+  result.label = std::move(label);
+  std::vector<VertexId> reps(result.label);
+  std::sort(reps.begin(), reps.end());
+  result.num_communities = static_cast<std::size_t>(
+      std::unique(reps.begin(), reps.end()) - reps.begin());
+  return result;
+}
+
+LccResult lcc(const Graph& g) {
+  LccResult result;
+  const auto adj = g.undirected_adjacency();
+  const std::size_t n = adj.size();
+  result.coefficient.assign(n, 0.0);
+  result.work.iterations = 1;
+  double total = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto& neighbors = adj[v];
+    const std::size_t d = neighbors.size();
+    if (d < 2) continue;
+    std::size_t closed = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = i + 1; j < d; ++j) {
+        ++result.work.edges_traversed;
+        const auto& a = adj[neighbors[i]];
+        if (std::binary_search(a.begin(), a.end(), neighbors[j])) ++closed;
+      }
+    }
+    result.coefficient[v] =
+        2.0 * static_cast<double>(closed) /
+        (static_cast<double>(d) * static_cast<double>(d - 1));
+    total += result.coefficient[v];
+  }
+  result.mean = n > 0 ? total / static_cast<double>(n) : 0.0;
+  return result;
+}
+
+SsspResult sssp(const Graph& g, VertexId source) {
+  SsspResult result;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  result.distance.assign(g.num_vertices(), kInf);
+  if (source >= g.num_vertices()) return result;
+  using Entry = std::pair<double, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  result.distance[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [dist, v] = heap.top();
+    heap.pop();
+    if (dist > result.distance[v]) continue;
+    ++result.work.iterations;
+    const auto out = g.out(v);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ++result.work.edges_traversed;
+      const double candidate = dist + g.out_weight(v, i);
+      if (candidate < result.distance[out[i]]) {
+        result.distance[out[i]] = candidate;
+        heap.emplace(candidate, out[i]);
+      }
+    }
+  }
+  return result;
+}
+
+std::string to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kBfs: return "BFS";
+    case Algorithm::kPageRank: return "PR";
+    case Algorithm::kWcc: return "WCC";
+    case Algorithm::kCdlp: return "CDLP";
+    case Algorithm::kLcc: return "LCC";
+    case Algorithm::kSssp: return "SSSP";
+  }
+  return "?";
+}
+
+const std::vector<Algorithm>& all_algorithms() {
+  static const std::vector<Algorithm> kAll = {
+      Algorithm::kBfs,  Algorithm::kPageRank, Algorithm::kWcc,
+      Algorithm::kCdlp, Algorithm::kLcc,      Algorithm::kSssp};
+  return kAll;
+}
+
+WorkProfile run_algorithm(const Graph& g, Algorithm a) {
+  switch (a) {
+    case Algorithm::kBfs: return bfs(g, 0).work;
+    case Algorithm::kPageRank: return pagerank(g).work;
+    case Algorithm::kWcc: return wcc(g).work;
+    case Algorithm::kCdlp: return cdlp(g).work;
+    case Algorithm::kLcc: return lcc(g).work;
+    case Algorithm::kSssp: return sssp(g, 0).work;
+  }
+  return {};
+}
+
+}  // namespace atlarge::graph

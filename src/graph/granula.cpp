@@ -1,0 +1,63 @@
+#include "atlarge/graph/granula.hpp"
+
+#include <chrono>
+
+namespace atlarge::graph {
+
+double Breakdown::total() const noexcept {
+  double sum = 0.0;
+  for (const auto& p : phases) sum += p.seconds;
+  return sum;
+}
+
+double Breakdown::share(const std::string& phase) const noexcept {
+  const double all = total();
+  if (all <= 0.0) return 0.0;
+  for (const auto& p : phases) {
+    if (p.name == phase) return p.seconds / all;
+  }
+  return 0.0;
+}
+
+Breakdown modeled_breakdown(const PlatformModel& platform, Algorithm algo,
+                            const WorkProfile& work, std::uint64_t vertices,
+                            std::uint64_t edges) {
+  Breakdown b;
+  b.label = platform.name + "/" + to_string(algo);
+  double edge_ns = platform.per_edge_ns *
+                   platform.class_factor(algo_class(algo));
+  if (platform.capacity_edges > 0 && edges > platform.capacity_edges)
+    edge_ns *= platform.degraded_factor;
+  const double compute =
+      static_cast<double>(work.edges_traversed) * edge_ns * 1e-9 +
+      static_cast<double>(vertices) * static_cast<double>(work.iterations) *
+          platform.per_vertex_ns * 1e-9;
+  b.phases.push_back(Phase{"startup", platform.startup_s});
+  b.phases.push_back(Phase{
+      "sync", static_cast<double>(work.iterations) * platform.per_iteration_s});
+  b.phases.push_back(Phase{"compute", compute});
+  return b;
+}
+
+Breakdown measured_breakdown(VertexId n,
+                             std::vector<std::pair<VertexId, VertexId>> edges,
+                             Algorithm algo) {
+  using Clock = std::chrono::steady_clock;
+  Breakdown b;
+  b.label = "native/" + to_string(algo);
+
+  const auto t0 = Clock::now();
+  const Graph g = Graph::from_edges(n, std::move(edges));
+  const auto t1 = Clock::now();
+  (void)run_algorithm(g, algo);
+  const auto t2 = Clock::now();
+
+  const auto seconds = [](auto a, auto z) {
+    return std::chrono::duration<double>(z - a).count();
+  };
+  b.phases.push_back(Phase{"load", seconds(t0, t1)});
+  b.phases.push_back(Phase{"compute", seconds(t1, t2)});
+  return b;
+}
+
+}  // namespace atlarge::graph

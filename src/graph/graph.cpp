@@ -1,0 +1,162 @@
+#include "atlarge/graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace atlarge::graph {
+
+Graph Graph::from_edges(VertexId n,
+                        std::vector<std::pair<VertexId, VertexId>> edges,
+                        std::vector<double> weights) {
+  if (!weights.empty() && weights.size() != edges.size())
+    throw std::invalid_argument("Graph: weights/edges size mismatch");
+  for (const auto& [u, v] : edges) {
+    if (u >= n || v >= n)
+      throw std::invalid_argument("Graph: edge endpoint out of range");
+  }
+
+  // Sort edges (stably carrying weights), drop self-loops and duplicates.
+  std::vector<std::size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return edges[a] < edges[b];
+  });
+
+  Graph g;
+  g.n_ = n;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<std::pair<VertexId, VertexId>> kept;
+  kept.reserve(edges.size());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const auto& e = edges[order[k]];
+    if (e.first == e.second) continue;                     // self-loop
+    if (!kept.empty() && kept.back() == e) continue;       // duplicate
+    kept.push_back(e);
+    g.heads_.push_back(e.second);
+    if (!weights.empty()) g.weights_.push_back(weights[order[k]]);
+    ++g.offsets_[e.first + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i)
+    g.offsets_[i] += g.offsets_[i - 1];
+
+  // In-CSR.
+  g.in_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& e : kept) ++g.in_offsets_[e.second + 1];
+  for (std::size_t i = 1; i < g.in_offsets_.size(); ++i)
+    g.in_offsets_[i] += g.in_offsets_[i - 1];
+  g.in_heads_.resize(kept.size());
+  std::vector<std::size_t> cursor(g.in_offsets_.begin(),
+                                  g.in_offsets_.end() - 1);
+  for (const auto& [u, v] : kept) g.in_heads_[cursor[v]++] = u;
+  return g;
+}
+
+std::span<const VertexId> Graph::out(VertexId v) const {
+  return {heads_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+}
+
+std::span<const VertexId> Graph::in(VertexId v) const {
+  return {in_heads_.data() + in_offsets_[v],
+          in_offsets_[v + 1] - in_offsets_[v]};
+}
+
+double Graph::out_weight(VertexId v, std::size_t i) const {
+  if (weights_.empty()) return 1.0;
+  return weights_[offsets_[v] + i];
+}
+
+std::uint32_t Graph::out_degree(VertexId v) const {
+  return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+}
+
+std::uint32_t Graph::in_degree(VertexId v) const {
+  return static_cast<std::uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+}
+
+std::vector<std::vector<VertexId>> Graph::undirected_adjacency() const {
+  std::vector<std::vector<VertexId>> adj(n_);
+  for (VertexId v = 0; v < n_; ++v) {
+    for (VertexId u : out(v)) {
+      adj[v].push_back(u);
+      adj[u].push_back(v);
+    }
+  }
+  for (auto& neighbors : adj) {
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+  }
+  return adj;
+}
+
+std::vector<std::pair<VertexId, VertexId>> Graph::edge_list() const {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(heads_.size());
+  for (VertexId v = 0; v < n_; ++v) {
+    for (VertexId u : out(v)) edges.emplace_back(v, u);
+  }
+  return edges;
+}
+
+Graph erdos_renyi(VertexId n, double avg_deg, stats::Rng& rng) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  const auto m = static_cast<std::size_t>(avg_deg * n);
+  edges.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto u = static_cast<VertexId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const auto v = static_cast<VertexId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    edges.emplace_back(u, v);
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph preferential_attachment(VertexId n, std::uint32_t m, stats::Rng& rng) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  // targets_ holds one entry per edge endpoint; sampling uniformly from it
+  // is sampling proportionally to degree.
+  std::vector<VertexId> targets;
+  const VertexId seed_vertices = std::max<VertexId>(m, 2);
+  for (VertexId v = 0; v + 1 < seed_vertices; ++v) {
+    edges.emplace_back(v, v + 1);
+    targets.push_back(v);
+    targets.push_back(v + 1);
+  }
+  for (VertexId v = seed_vertices; v < n; ++v) {
+    for (std::uint32_t k = 0; k < m; ++k) {
+      const VertexId target = targets[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(targets.size()) - 1))];
+      edges.emplace_back(v, target);
+      targets.push_back(v);
+      targets.push_back(target);
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph grid_2d(VertexId side) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  const auto at = [side](VertexId x, VertexId y) { return y * side + x; };
+  for (VertexId y = 0; y < side; ++y) {
+    for (VertexId x = 0; x < side; ++x) {
+      if (x + 1 < side) edges.emplace_back(at(x, y), at(x + 1, y));
+      if (y + 1 < side) edges.emplace_back(at(x, y), at(x, y + 1));
+    }
+  }
+  return Graph::from_edges(side * side, std::move(edges));
+}
+
+Graph with_random_weights(const Graph& g, double lo, double hi,
+                          stats::Rng& rng) {
+  auto edges = g.edge_list();
+  std::vector<double> weights;
+  weights.reserve(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    weights.push_back(rng.uniform(lo, hi));
+  return Graph::from_edges(g.num_vertices(), std::move(edges),
+                           std::move(weights));
+}
+
+}  // namespace atlarge::graph

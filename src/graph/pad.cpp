@@ -1,0 +1,145 @@
+#include "atlarge/graph/pad.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace atlarge::graph {
+
+AlgoClass algo_class(Algorithm a) {
+  switch (a) {
+    case Algorithm::kPageRank:
+    case Algorithm::kCdlp:
+      return AlgoClass::kIterativeRegular;
+    case Algorithm::kBfs:
+    case Algorithm::kSssp:
+      return AlgoClass::kTraversalIrregular;
+    case Algorithm::kLcc:
+      return AlgoClass::kNeighborhoodLocal;
+    case Algorithm::kWcc:
+      return AlgoClass::kPropagation;
+  }
+  return AlgoClass::kPropagation;
+}
+
+double PlatformModel::class_factor(AlgoClass c) const noexcept {
+  switch (c) {
+    case AlgoClass::kIterativeRegular: return class_factor_iterative;
+    case AlgoClass::kTraversalIrregular: return class_factor_traversal;
+    case AlgoClass::kNeighborhoodLocal: return class_factor_neighborhood;
+    case AlgoClass::kPropagation: return class_factor_propagation;
+  }
+  return 1.0;
+}
+
+double predict_runtime(const PlatformModel& platform, Algorithm algo,
+                       const WorkProfile& work, std::uint64_t vertices,
+                       std::uint64_t edges) {
+  double edge_ns = platform.per_edge_ns *
+                   platform.class_factor(algo_class(algo));
+  if (platform.capacity_edges > 0 && edges > platform.capacity_edges)
+    edge_ns *= platform.degraded_factor;
+  const double compute =
+      static_cast<double>(work.edges_traversed) * edge_ns * 1e-9 +
+      static_cast<double>(vertices) * static_cast<double>(work.iterations) *
+          platform.per_vertex_ns * 1e-9;
+  const double sync =
+      static_cast<double>(work.iterations) * platform.per_iteration_s;
+  return platform.startup_s + sync + compute;
+}
+
+std::vector<PlatformModel> standard_platforms() {
+  std::vector<PlatformModel> platforms;
+
+  // Disk-based MapReduce (Giraph-on-Hadoop archetype): huge startup and
+  // per-superstep materialization, but no capacity wall.
+  PlatformModel mr;
+  mr.name = "MapReduce-MR";
+  mr.startup_s = 30.0;
+  mr.per_iteration_s = 4.0;
+  mr.per_edge_ns = 60.0;
+  mr.per_vertex_ns = 40.0;
+  mr.class_factor_traversal = 1.5;  // frontier steps waste full sweeps
+  platforms.push_back(mr);
+
+  // In-memory dataflow (Spark/GraphX archetype).
+  PlatformModel mem;
+  mem.name = "InMemory-DF";
+  mem.startup_s = 6.0;
+  mem.per_iteration_s = 0.4;
+  mem.per_edge_ns = 25.0;
+  mem.per_vertex_ns = 15.0;
+  mem.capacity_edges = 400'000'000;  // cluster-memory wall
+  platforms.push_back(mem);
+
+  // Single-node native (GraphMat/Gunrock-CPU archetype): negligible
+  // startup, best constants, hard memory wall.
+  PlatformModel native;
+  native.name = "Native-1N";
+  native.startup_s = 0.05;
+  native.per_iteration_s = 0.002;
+  native.per_edge_ns = 4.0;
+  native.per_vertex_ns = 2.0;
+  native.capacity_edges = 50'000'000;
+  native.degraded_factor = 25.0;  // thrashing past memory
+  platforms.push_back(native);
+
+  // GPU (the "H" of HPAD): superb on regular iterative kernels, penalized
+  // on irregular traversals and launch/transfer overhead per iteration.
+  PlatformModel gpu;
+  gpu.name = "GPU-HET";
+  gpu.startup_s = 2.0;  // device setup + H2D transfer
+  gpu.per_iteration_s = 0.01;
+  gpu.per_edge_ns = 0.8;
+  gpu.per_vertex_ns = 0.5;
+  gpu.class_factor_iterative = 1.0;
+  gpu.class_factor_traversal = 8.0;      // divergence on frontiers
+  gpu.class_factor_neighborhood = 0.6;   // intersection is GPU-friendly
+  gpu.class_factor_propagation = 1.5;
+  gpu.capacity_edges = 120'000'000;  // device memory wall
+  gpu.degraded_factor = 100.0;       // out-of-core GPU transfers dominate
+  platforms.push_back(gpu);
+
+  return platforms;
+}
+
+PadStudy run_pad_study(const std::vector<NamedGraph>& datasets,
+                       const std::vector<PlatformModel>& platforms) {
+  PadStudy study;
+  std::vector<std::string> winner_names;
+  for (const auto& dataset : datasets) {
+    const Graph& g = *dataset.graph;
+    const double scale = dataset.scale > 0.0 ? dataset.scale : 1.0;
+    const auto scaled_vertices =
+        static_cast<std::uint64_t>(g.num_vertices() * scale);
+    const auto scaled_edges =
+        static_cast<std::uint64_t>(static_cast<double>(g.num_edges()) *
+                                   scale);
+    for (Algorithm algo : all_algorithms()) {
+      WorkProfile work = run_algorithm(g, algo);
+      work.edges_traversed = static_cast<std::uint64_t>(
+          static_cast<double>(work.edges_traversed) * scale);
+      double best_time = std::numeric_limits<double>::infinity();
+      std::string best_platform;
+      for (const auto& platform : platforms) {
+        const double t = predict_runtime(platform, algo, work,
+                                         scaled_vertices, scaled_edges);
+        study.cells.push_back(
+            PadCell{platform.name, to_string(algo), dataset.name, t});
+        if (t < best_time) {
+          best_time = t;
+          best_platform = platform.name;
+        }
+      }
+      study.winners.emplace_back(to_string(algo) + ":" + dataset.name,
+                                 best_platform);
+      winner_names.push_back(best_platform);
+    }
+  }
+  std::sort(winner_names.begin(), winner_names.end());
+  study.distinct_winners = static_cast<std::size_t>(
+      std::unique(winner_names.begin(), winner_names.end()) -
+      winner_names.begin());
+  return study;
+}
+
+}  // namespace atlarge::graph

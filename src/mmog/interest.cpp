@@ -1,0 +1,186 @@
+#include "atlarge/mmog/interest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace atlarge::mmog {
+
+std::string to_string(ImTechnique t) {
+  switch (t) {
+    case ImTechnique::kZoning: return "zoning";
+    case ImTechnique::kFullReplication: return "full-replication";
+    case ImTechnique::kAreaOfSimulation: return "area-of-simulation";
+  }
+  return "?";
+}
+
+World generate_world(const WorldConfig& config) {
+  World world;
+  world.config = config;
+  stats::Rng rng(config.seed);
+  world.hotspots.reserve(config.hotspots);
+  for (std::size_t h = 0; h < config.hotspots; ++h) {
+    world.hotspots.emplace_back(rng.uniform(0.0, config.size),
+                                rng.uniform(0.0, config.size));
+  }
+  world.entities.reserve(config.entities);
+  for (std::size_t i = 0; i < config.entities; ++i) {
+    Entity e;
+    if (!world.hotspots.empty() && rng.bernoulli(config.hotspot_fraction)) {
+      const auto& [hx, hy] = world.hotspots[static_cast<std::size_t>(
+          rng.uniform_int(0,
+                          static_cast<std::int64_t>(world.hotspots.size()) -
+                              1))];
+      e.x = std::clamp(hx + rng.normal(0.0, config.hotspot_sigma), 0.0,
+                       config.size);
+      e.y = std::clamp(hy + rng.normal(0.0, config.hotspot_sigma), 0.0,
+                       config.size);
+      e.in_hotspot = true;
+    } else {
+      e.x = rng.uniform(0.0, config.size);
+      e.y = rng.uniform(0.0, config.size);
+    }
+    world.entities.push_back(e);
+  }
+  return world;
+}
+
+namespace {
+
+double pair_cost(std::size_t n, double cost_per_pair) {
+  const double dn = static_cast<double>(n);
+  return cost_per_pair * dn * (dn - 1.0) / 2.0;
+}
+
+ImReport finalize(std::string technique, std::vector<double> server_costs,
+                  double sync, const ImConfig& config) {
+  ImReport report;
+  report.technique = std::move(technique);
+  report.sync_overhead = sync;
+  if (server_costs.empty()) return report;
+  const double total =
+      std::accumulate(server_costs.begin(), server_costs.end(), 0.0);
+  const double busiest =
+      *std::max_element(server_costs.begin(), server_costs.end());
+  const double mean = total / static_cast<double>(server_costs.size());
+  report.total_cost = total + sync;
+  report.busiest_server_cost = busiest + sync / static_cast<double>(
+                                             server_costs.size());
+  report.imbalance = mean > 0.0 ? busiest / mean : 0.0;
+  report.playable = report.busiest_server_cost <= config.tick_budget;
+  return report;
+}
+
+}  // namespace
+
+ImReport evaluate_interest_management(ImTechnique technique,
+                                      const World& world,
+                                      const ImConfig& config) {
+  const std::size_t servers = std::max<std::size_t>(config.servers, 1);
+
+  switch (technique) {
+    case ImTechnique::kZoning: {
+      // Static grid; zones assigned round-robin to servers.
+      const std::size_t grid = std::max<std::size_t>(config.zone_grid, 1);
+      const double cell = world.config.size / static_cast<double>(grid);
+      std::vector<std::size_t> zone_counts(grid * grid, 0);
+      for (const auto& e : world.entities) {
+        const auto zx = std::min(static_cast<std::size_t>(e.x / cell),
+                                 grid - 1);
+        const auto zy = std::min(static_cast<std::size_t>(e.y / cell),
+                                 grid - 1);
+        ++zone_counts[zy * grid + zx];
+      }
+      std::vector<double> server_costs(servers, 0.0);
+      for (std::size_t z = 0; z < zone_counts.size(); ++z) {
+        const double cost =
+            config.cost_per_entity * static_cast<double>(zone_counts[z]) +
+            pair_cost(zone_counts[z], config.cost_per_pair);
+        server_costs[z % servers] += cost;
+      }
+      // Zone-border consistency: entities near borders sync to neighbors;
+      // approximate with a fixed fraction of entities.
+      const double sync = config.sync_cost_per_entity * 0.1 *
+                          static_cast<double>(world.entities.size());
+      return finalize(to_string(technique), std::move(server_costs), sync,
+                      config);
+    }
+
+    case ImTechnique::kFullReplication: {
+      // Every server simulates the whole world; inputs are broadcast.
+      const std::size_t n = world.entities.size();
+      const double per_server = config.cost_per_entity *
+                                    static_cast<double>(n) +
+                                pair_cost(n, config.cost_per_pair);
+      std::vector<double> server_costs(servers, per_server);
+      const double sync = config.sync_cost_per_entity *
+                          static_cast<double>(n) *
+                          static_cast<double>(servers);
+      return finalize(to_string(technique), std::move(server_costs), sync,
+                      config);
+    }
+
+    case ImTechnique::kAreaOfSimulation: {
+      // Full-fidelity areas around hotspots; casual simulation elsewhere.
+      const double r2 = config.aos_radius * config.aos_radius;
+      std::vector<std::size_t> area_counts(world.hotspots.size(), 0);
+      std::size_t outside = 0;
+      for (const auto& e : world.entities) {
+        bool in_area = false;
+        for (std::size_t h = 0; h < world.hotspots.size(); ++h) {
+          const double dx = e.x - world.hotspots[h].first;
+          const double dy = e.y - world.hotspots[h].second;
+          if (dx * dx + dy * dy <= r2) {
+            ++area_counts[h];
+            in_area = true;
+            break;  // an entity belongs to its nearest-hit area
+          }
+        }
+        if (!in_area) ++outside;
+      }
+      // Greedy balanced assignment of areas to servers (largest first).
+      std::vector<double> area_costs;
+      area_costs.reserve(area_counts.size());
+      for (std::size_t n : area_counts) {
+        area_costs.push_back(config.cost_per_entity * static_cast<double>(n) +
+                             pair_cost(n, config.cost_per_pair));
+      }
+      std::sort(area_costs.rbegin(), area_costs.rend());
+      std::vector<double> server_costs(servers, 0.0);
+      for (double cost : area_costs) {
+        auto it = std::min_element(server_costs.begin(), server_costs.end());
+        *it += cost;
+      }
+      // Outside-area entities are casually simulated, spread evenly.
+      const double casual =
+          config.cost_per_entity * static_cast<double>(outside) /
+          static_cast<double>(servers);
+      for (auto& c : server_costs) c += casual;
+      // Consistency: area state is replicated to interested servers.
+      double in_areas = 0.0;
+      for (std::size_t n : area_counts) in_areas += static_cast<double>(n);
+      const double sync = config.sync_cost_per_entity * in_areas;
+      return finalize(to_string(technique), std::move(server_costs), sync,
+                      config);
+    }
+  }
+  return ImReport{};
+}
+
+std::size_t max_sustainable_entities(
+    ImTechnique technique, const WorldConfig& world_template,
+    const ImConfig& config, const std::vector<std::size_t>& candidates) {
+  std::size_t best = 0;
+  for (std::size_t n : candidates) {
+    WorldConfig wc = world_template;
+    wc.entities = n;
+    const World world = generate_world(wc);
+    const ImReport report =
+        evaluate_interest_management(technique, world, config);
+    if (report.playable) best = n;
+  }
+  return best;
+}
+
+}  // namespace atlarge::mmog

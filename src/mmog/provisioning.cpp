@@ -1,0 +1,171 @@
+#include "atlarge/mmog/provisioning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace atlarge::mmog {
+
+std::string to_string(Predictor p) {
+  switch (p) {
+    case Predictor::kLastValue: return "last-value";
+    case Predictor::kMovingAverage: return "moving-average";
+    case Predictor::kExponential: return "exp-smoothing";
+    case Predictor::kLinearTrend: return "linear-trend";
+  }
+  return "?";
+}
+
+namespace {
+
+class LoadPredictor {
+ public:
+  LoadPredictor(const ProvisioningConfig& config) : config_(config) {}
+
+  double predict(double now, double current) {
+    history_.emplace_back(now, current);
+    while (history_.size() > config_.window) history_.pop_front();
+    switch (config_.predictor) {
+      case Predictor::kLastValue:
+        return current;
+      case Predictor::kMovingAverage: {
+        double total = 0.0;
+        for (const auto& [t, v] : history_) total += v;
+        return total / static_cast<double>(history_.size());
+      }
+      case Predictor::kExponential: {
+        if (!smoothed_init_) {
+          smoothed_ = current;
+          smoothed_init_ = true;
+        } else {
+          smoothed_ = config_.smoothing * current +
+                      (1.0 - config_.smoothing) * smoothed_;
+        }
+        return smoothed_;
+      }
+      case Predictor::kLinearTrend: {
+        if (history_.size() < 2) return current;
+        const double n = static_cast<double>(history_.size());
+        double st = 0.0;
+        double sv = 0.0;
+        double stt = 0.0;
+        double stv = 0.0;
+        for (const auto& [t, v] : history_) {
+          st += t;
+          sv += v;
+          stt += t * t;
+          stv += t * v;
+        }
+        const double denom = n * stt - st * st;
+        if (denom == 0.0) return current;
+        const double slope = (n * stv - st * sv) / denom;
+        const double intercept = (sv - slope * st) / n;
+        const double step =
+            history_.back().first - history_[history_.size() - 2].first;
+        // Predict one provisioning delay ahead: the capacity requested now
+        // arrives then.
+        return std::max(
+            0.0, intercept + slope * (now + std::max(step,
+                                                     config_.provisioning_delay)));
+      }
+    }
+    return current;
+  }
+
+ private:
+  const ProvisioningConfig& config_;
+  std::deque<std::pair<double, double>> history_;
+  double smoothed_ = 0.0;
+  bool smoothed_init_ = false;
+};
+
+}  // namespace
+
+ProvisioningResult provision_dynamic(const PopulationSeries& series,
+                                     const ProvisioningConfig& config) {
+  ProvisioningResult result;
+  result.predictor = to_string(config.predictor);
+  if (series.points.empty()) return result;
+
+  LoadPredictor predictor(config);
+  double capacity = config.min_servers;       // usable now
+  std::deque<std::pair<double, double>> arriving;  // (ready_time, servers)
+
+  double violation_time = 0.0;
+  double over_integral = 0.0;
+  double server_integral = 0.0;
+  double total_time = 0.0;
+
+  for (std::size_t i = 0; i < series.points.size(); ++i) {
+    const auto& pt = series.points[i];
+    const double next_time = i + 1 < series.points.size()
+                                 ? series.points[i + 1].time
+                                 : pt.time;
+    const double dt = std::max(next_time - pt.time, 0.0);
+
+    // Deliver capacity whose provisioning delay has elapsed.
+    while (!arriving.empty() && arriving.front().first <= pt.time) {
+      capacity += arriving.front().second;
+      arriving.pop_front();
+    }
+
+    const double predicted = predictor.predict(pt.time, pt.players);
+    const double target = std::clamp(
+        std::ceil(predicted * config.headroom / config.players_per_server),
+        static_cast<double>(config.min_servers),
+        static_cast<double>(config.max_servers));
+    double committed = capacity;
+    for (const auto& [t, s] : arriving) committed += s;
+    if (target > committed) {
+      arriving.emplace_back(pt.time + config.provisioning_delay,
+                            target - committed);
+    } else if (target < capacity) {
+      capacity = std::max(target, static_cast<double>(config.min_servers));
+    }
+
+    const double demand_servers = pt.players / config.players_per_server;
+    if (capacity < demand_servers) violation_time += dt;
+    over_integral += std::max(capacity - demand_servers, 0.0) * dt;
+    server_integral += capacity * dt;
+    result.peak_servers = std::max(result.peak_servers, capacity);
+    total_time += dt;
+  }
+
+  if (total_time > 0.0) {
+    result.sla_violation_share = violation_time / total_time;
+    result.avg_overprovision = over_integral / total_time;
+    result.avg_servers = server_integral / total_time;
+    result.server_hours = server_integral / 3600.0;
+  }
+  return result;
+}
+
+ProvisioningResult provision_static(const PopulationSeries& series,
+                                    const ProvisioningConfig& config) {
+  ProvisioningResult result;
+  result.predictor = "static-peak";
+  if (series.points.empty()) return result;
+  const double capacity = std::clamp(
+      std::ceil(series.peak() * config.headroom / config.players_per_server),
+      static_cast<double>(config.min_servers),
+      static_cast<double>(config.max_servers));
+  double over_integral = 0.0;
+  double total_time = 0.0;
+  for (std::size_t i = 0; i + 1 < series.points.size(); ++i) {
+    const double dt = series.points[i + 1].time - series.points[i].time;
+    const double demand =
+        series.points[i].players / config.players_per_server;
+    over_integral += std::max(capacity - demand, 0.0) * dt;
+    total_time += dt;
+  }
+  result.avg_servers = capacity;
+  result.peak_servers = capacity;
+  result.sla_violation_share = 0.0;
+  if (total_time > 0.0) {
+    result.avg_overprovision = over_integral / total_time;
+    result.server_hours = capacity * total_time / 3600.0;
+  }
+  return result;
+}
+
+}  // namespace atlarge::mmog

@@ -1,0 +1,82 @@
+#include "atlarge/mmog/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace atlarge::mmog {
+
+std::string to_string(Genre g) {
+  switch (g) {
+    case Genre::kMmorpg: return "MMORPG";
+    case Genre::kMoba: return "MOBA";
+    case Genre::kOnlineSocial: return "OnlineSocial";
+  }
+  return "?";
+}
+
+double PopulationSeries::peak() const noexcept {
+  double p = 0.0;
+  for (const auto& pt : points) p = std::max(p, pt.players);
+  return p;
+}
+
+double PopulationSeries::mean() const noexcept {
+  if (points.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& pt : points) total += pt.players;
+  return total / static_cast<double>(points.size());
+}
+
+double PopulationSeries::peak_to_mean() const noexcept {
+  const double m = mean();
+  return m > 0.0 ? peak() / m : 0.0;
+}
+
+PopulationSeries generate_population(const PopulationConfig& config) {
+  PopulationSeries series;
+  series.genre = config.genre;
+  stats::Rng rng(config.seed);
+
+  // Genre-specific shape parameters.
+  double diurnal = config.diurnal_amplitude;
+  double burst_noise = config.noise;
+  switch (config.genre) {
+    case Genre::kMmorpg:
+      break;  // defaults: strong diurnal, modest noise
+    case Genre::kMoba:
+      diurnal *= 0.8;
+      burst_noise *= 3.0;  // match-based populations are bursty
+      break;
+    case Genre::kOnlineSocial:
+      diurnal *= 0.4;      // flatter profile, global audience
+      burst_noise *= 1.5;
+      break;
+  }
+
+  const double horizon = config.days * 86'400.0;
+  constexpr double kDay = 86'400.0;
+  for (double t = 0.0; t < horizon; t += config.step) {
+    // Diurnal cycle peaking at 20:00 (phase shift of 5/6 day).
+    const double daily =
+        1.0 + diurnal * std::sin(2.0 * std::numbers::pi *
+                                 (t / kDay - 5.0 / 6.0));
+    // Weekend lift on days 5-6 of each week.
+    const int day_of_week = static_cast<int>(t / kDay) % 7;
+    const double weekly =
+        (day_of_week >= 5) ? 1.0 + config.weekend_boost : 1.0;
+    // Content-update surges with one-day half-life.
+    double surge = 0.0;
+    for (double ut : config.update_times) {
+      if (t >= ut)
+        surge += config.update_boost * std::exp2(-(t - ut) / kDay);
+    }
+    const double noise = std::max(0.0, 1.0 + rng.normal(0.0, burst_noise));
+    const double players =
+        config.base_players * daily * weekly * (1.0 + surge) * noise;
+    series.points.push_back(PopulationPoint{t, std::max(players, 0.0)});
+  }
+  return series;
+}
+
+}  // namespace atlarge::mmog

@@ -1,0 +1,114 @@
+#include "atlarge/p2p/ecosystem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "atlarge/stats/distributions.hpp"
+
+namespace atlarge::p2p {
+
+double EcosystemResult::true_peers_at(double t) const {
+  double total = 0.0;
+  for (const auto& s : swarms) {
+    // Series samples are epoch-spaced; find the last sample at or before t.
+    const auto& series = s.result.series;
+    if (series.empty() || series.front().time > t) continue;
+    auto it = std::upper_bound(
+        series.begin(), series.end(), t,
+        [](double value, const SwarmSample& sample) {
+          return value < sample.time;
+        });
+    --it;
+    total += it->seeds + it->leechers;
+  }
+  return total;
+}
+
+std::uint32_t EcosystemResult::giant_swarm_peak() const {
+  std::uint32_t peak = 0;
+  for (const auto& s : swarms)
+    peak = std::max(peak, s.result.peak_swarm_size);
+  return peak;
+}
+
+std::pair<double, double>
+EcosystemResult::aliased_vs_plain_download_time() const {
+  double aliased_sum = 0.0;
+  std::size_t aliased_n = 0;
+  double plain_sum = 0.0;
+  std::size_t plain_n = 0;
+  for (const auto& s : swarms) {
+    if (s.result.finished < 3) continue;  // too few completions to average
+    const bool aliased = catalog[s.title].aliases > 1;
+    if (aliased) {
+      aliased_sum += s.result.mean_download_time;
+      ++aliased_n;
+    } else {
+      plain_sum += s.result.mean_download_time;
+      ++plain_n;
+    }
+  }
+  return {aliased_n ? aliased_sum / static_cast<double>(aliased_n) : 0.0,
+          plain_n ? plain_sum / static_cast<double>(plain_n) : 0.0};
+}
+
+EcosystemResult simulate_ecosystem(const EcosystemConfig& config) {
+  EcosystemResult result;
+  result.horizon = config.horizon;
+  stats::Rng rng(config.seed);
+
+  // Catalog with Zipf popularity.
+  stats::Zipf zipf(config.titles, config.zipf_exponent);
+  result.catalog.resize(config.titles);
+  for (std::size_t i = 0; i < config.titles; ++i) {
+    auto& title = result.catalog[i];
+    title.id = static_cast<std::uint32_t>(i);
+    title.popularity = config.total_peers * zipf.pmf(i + 1);
+    title.aliases =
+        rng.bernoulli(config.aliased_fraction) ? config.alias_copies : 1;
+  }
+
+  // Trackers; the first tracker is always honest so every swarm has a
+  // trustworthy announcement point.
+  result.tracker_is_spam.assign(config.trackers, false);
+  for (std::size_t t = 1; t < config.trackers; ++t)
+    result.tracker_is_spam[t] = rng.bernoulli(config.spam_tracker_fraction);
+
+  // One swarm per alias; the title's peer population splits evenly across
+  // aliases (the fragmentation cost of aliased media).
+  for (const auto& title : result.catalog) {
+    const double peers_per_alias =
+        title.popularity / static_cast<double>(title.aliases);
+    for (std::uint32_t a = 0; a < title.aliases; ++a) {
+      SwarmInstance inst;
+      inst.title = title.id;
+      inst.alias = a;
+      // Announce on tracker 0 plus 0-2 random others.
+      inst.trackers.push_back(0);
+      const auto extra = static_cast<std::size_t>(rng.uniform_int(0, 2));
+      for (std::size_t e = 0; e < extra; ++e) {
+        const auto t = static_cast<std::uint32_t>(rng.uniform_int(
+            1, static_cast<std::int64_t>(config.trackers) - 1));
+        if (std::find(inst.trackers.begin(), inst.trackers.end(), t) ==
+            inst.trackers.end())
+          inst.trackers.push_back(t);
+      }
+
+      const double rate = peers_per_alias / config.horizon;
+      auto swarm_rng = rng.fork();
+      const auto arrivals =
+          poisson_arrivals(std::max(rate, 1e-9), config.horizon, swarm_rng);
+      SwarmConfig sc = config.swarm;
+      // Aliasing fragments the title's seeder community: the origin
+      // seeding capacity splits across the alias swarms (the mechanism
+      // behind the paper's aliased-media slowdown).
+      sc.seed_upload_mbps /= static_cast<double>(title.aliases);
+      sc.seed = swarm_rng();
+      inst.result = simulate_swarm(sc, arrivals, config.horizon);
+      result.swarms.push_back(std::move(inst));
+    }
+  }
+  return result;
+}
+
+}  // namespace atlarge::p2p

@@ -1,0 +1,86 @@
+#include "atlarge/p2p/flashcrowd.hpp"
+
+#include <algorithm>
+
+#include "atlarge/stats/descriptive.hpp"
+
+namespace atlarge::p2p {
+
+std::vector<FlashcrowdEpisode> detect_flashcrowds(
+    const std::vector<SwarmSample>& series, const FlashcrowdConfig& config) {
+  std::vector<FlashcrowdEpisode> episodes;
+  if (series.size() < config.min_history) return episodes;
+
+  // Long-term baseline: the median of all samples seen so far, maintained
+  // incrementally via sorted insertion. A short trailing window would
+  // chase the surge's own ramp and truncate detection.
+  std::vector<double> baseline(series.size(), 0.0);
+  std::vector<double> history;
+  history.reserve(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    baseline[i] =
+        history.empty() ? 0.0 : stats::quantile_sorted(history, 0.5);
+    const double level = series[i].leechers;
+    history.insert(std::lower_bound(history.begin(), history.end(), level),
+                   level);
+  }
+
+  std::vector<bool> flagged(series.size(), false);
+  for (std::size_t i = config.min_history; i < series.size(); ++i) {
+    const double level = series[i].leechers;
+    flagged[i] = level >= config.min_level &&
+                 level > config.threshold_factor * std::max(baseline[i], 1.0);
+  }
+
+  // Merge consecutive flagged samples into episodes.
+  std::size_t i = 0;
+  while (i < series.size()) {
+    if (!flagged[i]) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j + 1 < series.size() && flagged[j + 1]) ++j;
+    if (j - i + 1 >= config.min_duration) {
+      FlashcrowdEpisode ep;
+      ep.start = series[i].time;
+      ep.end = series[j].time;
+      ep.baseline_leechers = std::max(baseline[i], 1.0);
+      for (std::size_t k = i; k <= j; ++k)
+        ep.peak_leechers =
+            std::max(ep.peak_leechers, static_cast<double>(series[k].leechers));
+      episodes.push_back(ep);
+    }
+    i = j + 1;
+  }
+  return episodes;
+}
+
+std::pair<double, double> rate_inside_outside(
+    const std::vector<SwarmSample>& series,
+    const std::vector<FlashcrowdEpisode>& episodes) {
+  const auto inside = [&](double t) {
+    return std::any_of(episodes.begin(), episodes.end(),
+                       [&](const FlashcrowdEpisode& ep) {
+                         return t >= ep.start && t <= ep.end;
+                       });
+  };
+  double in_sum = 0.0;
+  std::size_t in_n = 0;
+  double out_sum = 0.0;
+  std::size_t out_n = 0;
+  for (const auto& s : series) {
+    if (s.leechers == 0) continue;  // no one downloading, rate undefined
+    if (inside(s.time)) {
+      in_sum += s.per_leecher_mbps;
+      ++in_n;
+    } else {
+      out_sum += s.per_leecher_mbps;
+      ++out_n;
+    }
+  }
+  return {in_n ? in_sum / static_cast<double>(in_n) : 0.0,
+          out_n ? out_sum / static_cast<double>(out_n) : 0.0};
+}
+
+}  // namespace atlarge::p2p

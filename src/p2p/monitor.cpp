@@ -1,0 +1,84 @@
+#include "atlarge/p2p/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atlarge::p2p {
+namespace {
+
+/// Peers of one swarm visible at time t (from its true series).
+double swarm_peers_at(const SwarmInstance& s, double t) {
+  const auto& series = s.result.series;
+  if (series.empty() || series.front().time > t) return 0.0;
+  auto it = std::upper_bound(series.begin(), series.end(), t,
+                             [](double value, const SwarmSample& sample) {
+                               return value < sample.time;
+                             });
+  --it;
+  return static_cast<double>(it->seeds + it->leechers);
+}
+
+}  // namespace
+
+MonitorReport scrape(const EcosystemResult& eco, const EcosystemConfig& cfg,
+                     const MonitorConfig& monitor) {
+  MonitorReport report;
+  stats::Rng rng(monitor.seed);
+
+  // Choose which trackers this monitor scrapes (tracker 0 always included,
+  // matching how real studies anchor on the dominant tracker).
+  for (std::uint32_t t = 0; t < cfg.trackers; ++t) {
+    if (t == 0 || rng.bernoulli(monitor.tracker_coverage))
+      report.scraped_trackers.push_back(t);
+  }
+  const auto scraped = [&](std::uint32_t t) {
+    return std::find(report.scraped_trackers.begin(),
+                     report.scraped_trackers.end(),
+                     t) != report.scraped_trackers.end();
+  };
+
+  for (double t = 0.0; t < eco.horizon; t += monitor.period) {
+    double observed = 0.0;
+    for (const auto& s : eco.swarms) {
+      const double peers = swarm_peers_at(s, t);
+      if (peers <= 0.0) continue;
+      std::size_t scraped_count = 0;
+      double fake = 0.0;
+      for (std::uint32_t tr : s.trackers) {
+        if (!scraped(tr)) continue;
+        ++scraped_count;
+        if (eco.tracker_is_spam[tr]) fake += peers * cfg.spam_inflation;
+      }
+      if (scraped_count == 0) continue;
+      // Dedup collapses real peers across trackers to one count; fake
+      // identities are unique per tracker and survive dedup.
+      const double real =
+          monitor.deduplicate
+              ? peers
+              : peers * static_cast<double>(scraped_count);
+      observed += real + fake;
+    }
+    MonitorSample sample;
+    sample.time = t;
+    sample.observed_peers = observed;
+    sample.true_peers = eco.true_peers_at(t);
+    report.samples.push_back(sample);
+  }
+
+  double bias_sum = 0.0;
+  double abs_sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : report.samples) {
+    if (s.true_peers <= 0.0) continue;
+    bias_sum += s.bias();
+    abs_sum += std::abs(s.bias());
+    ++n;
+  }
+  if (n > 0) {
+    report.mean_bias = bias_sum / static_cast<double>(n);
+    report.mean_abs_bias = abs_sum / static_cast<double>(n);
+  }
+  return report;
+}
+
+}  // namespace atlarge::p2p

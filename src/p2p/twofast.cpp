@@ -1,0 +1,56 @@
+#include "atlarge/p2p/twofast.hpp"
+
+#include <algorithm>
+
+namespace atlarge::p2p {
+namespace {
+
+constexpr double kMbPerMbpsSecond = 1.0 / 8.0;
+
+/// Integrates a rate transform over the fair-share series until
+/// `content_mb` is accumulated; returns completion time or -1.
+double integrate_download(const SwarmConfig& config,
+                          const std::vector<SwarmSample>& series,
+                          double join_time, double rate_multiplier) {
+  double downloaded = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const auto& s = series[i];
+    const double next =
+        i + 1 < series.size() ? series[i + 1].time : s.time + config.epoch;
+    if (next <= join_time) continue;
+    const double lo = std::max(s.time, join_time);
+    const double dt = next - lo;
+    if (dt <= 0.0) continue;
+    const double rate = std::min(config.peer_download_mbps,
+                                 s.per_leecher_mbps * rate_multiplier);
+    const double gained = rate * dt * kMbPerMbpsSecond;
+    if (downloaded + gained >= config.content_mb) {
+      const double need = config.content_mb - downloaded;
+      const double frac = rate > 0.0 ? need / (rate * kMbPerMbpsSecond) : dt;
+      return lo + frac;
+    }
+    downloaded += gained;
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+TwoFastOutcome evaluate_two_fast(const SwarmConfig& config,
+                                 const std::vector<SwarmSample>& series,
+                                 double join_time, std::size_t group_size) {
+  TwoFastOutcome out;
+  const double solo_end =
+      integrate_download(config, series, join_time, 1.0);
+  const double collector_end = integrate_download(
+      config, series, join_time, static_cast<double>(std::max<std::size_t>(
+                                     group_size, 1)));
+  out.solo_download_time = solo_end < 0.0 ? -1.0 : solo_end - join_time;
+  out.collector_download_time =
+      collector_end < 0.0 ? -1.0 : collector_end - join_time;
+  if (out.solo_download_time > 0.0 && out.collector_download_time > 0.0)
+    out.speedup = out.solo_download_time / out.collector_download_time;
+  return out;
+}
+
+}  // namespace atlarge::p2p

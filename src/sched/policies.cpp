@@ -1,0 +1,124 @@
+#include "atlarge/sched/policies.hpp"
+
+#include <algorithm>
+
+namespace atlarge::sched {
+namespace {
+
+/// Stable tie-break: job id then task id, so every policy is a total order
+/// and simulation stays deterministic.
+bool by_identity(const TaskRef& a, const TaskRef& b) {
+  if (a.job_id != b.job_id) return a.job_id < b.job_id;
+  return a.task_id < b.task_id;
+}
+
+}  // namespace
+
+double Policy::tick(const SchedState&, const std::vector<TaskRef>&) {
+  return 0.0;
+}
+
+void FcfsPolicy::order(std::vector<TaskRef>& q, const SchedState&) {
+  std::sort(q.begin(), q.end(), [](const TaskRef& a, const TaskRef& b) {
+    if (a.submit_time != b.submit_time) return a.submit_time < b.submit_time;
+    if (a.eligible_time != b.eligible_time)
+      return a.eligible_time < b.eligible_time;
+    return by_identity(a, b);
+  });
+}
+
+std::unique_ptr<Policy> FcfsPolicy::clone() const {
+  return std::make_unique<FcfsPolicy>();
+}
+
+void EasyBackfillingPolicy::order(std::vector<TaskRef>& q,
+                                  const SchedState& s) {
+  FcfsPolicy{}.order(q, s);
+}
+
+std::unique_ptr<Policy> EasyBackfillingPolicy::clone() const {
+  return std::make_unique<EasyBackfillingPolicy>();
+}
+
+void SjfPolicy::order(std::vector<TaskRef>& q, const SchedState&) {
+  std::sort(q.begin(), q.end(), [](const TaskRef& a, const TaskRef& b) {
+    if (a.runtime != b.runtime) return a.runtime < b.runtime;
+    return by_identity(a, b);
+  });
+}
+
+std::unique_ptr<Policy> SjfPolicy::clone() const {
+  return std::make_unique<SjfPolicy>();
+}
+
+void LjfPolicy::order(std::vector<TaskRef>& q, const SchedState&) {
+  std::sort(q.begin(), q.end(), [](const TaskRef& a, const TaskRef& b) {
+    if (a.runtime != b.runtime) return a.runtime > b.runtime;
+    return by_identity(a, b);
+  });
+}
+
+std::unique_ptr<Policy> LjfPolicy::clone() const {
+  return std::make_unique<LjfPolicy>();
+}
+
+void WideFirstPolicy::order(std::vector<TaskRef>& q, const SchedState&) {
+  std::sort(q.begin(), q.end(), [](const TaskRef& a, const TaskRef& b) {
+    if (a.cores != b.cores) return a.cores > b.cores;
+    if (a.runtime != b.runtime) return a.runtime > b.runtime;
+    return by_identity(a, b);
+  });
+}
+
+std::unique_ptr<Policy> WideFirstPolicy::clone() const {
+  return std::make_unique<WideFirstPolicy>();
+}
+
+void RandomPolicy::order(std::vector<TaskRef>& q, const SchedState&) {
+  // Fisher-Yates with our own RNG (std::shuffle's result is
+  // implementation-defined; this keeps runs bit-reproducible).
+  for (std::size_t i = q.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(q[i - 1], q[j]);
+  }
+}
+
+std::unique_ptr<Policy> RandomPolicy::clone() const {
+  return std::make_unique<RandomPolicy>(seed_);
+}
+
+void FairSharePolicy::order(std::vector<TaskRef>& q, const SchedState& s) {
+  const auto usage_of = [&](const std::string& user) {
+    if (s.user_usage == nullptr) return 0.0;
+    for (const auto& [name, used] : *s.user_usage)
+      if (name == user) return used;
+    return 0.0;
+  };
+  std::sort(q.begin(), q.end(), [&](const TaskRef& a, const TaskRef& b) {
+    const double ua = usage_of(a.user);
+    const double ub = usage_of(b.user);
+    if (ua != ub) return ua < ub;
+    if (a.submit_time != b.submit_time) return a.submit_time < b.submit_time;
+    return by_identity(a, b);
+  });
+}
+
+std::unique_ptr<Policy> FairSharePolicy::clone() const {
+  return std::make_unique<FairSharePolicy>();
+}
+
+std::vector<std::unique_ptr<Policy>> standard_policies(
+    std::uint64_t random_seed) {
+  std::vector<std::unique_ptr<Policy>> zoo;
+  zoo.push_back(std::make_unique<FcfsPolicy>());
+  zoo.push_back(std::make_unique<EasyBackfillingPolicy>());
+  zoo.push_back(std::make_unique<SjfPolicy>());
+  zoo.push_back(std::make_unique<LjfPolicy>());
+  zoo.push_back(std::make_unique<WideFirstPolicy>());
+  zoo.push_back(std::make_unique<RandomPolicy>(random_seed));
+  zoo.push_back(std::make_unique<FairSharePolicy>());
+  return zoo;
+}
+
+}  // namespace atlarge::sched

@@ -1,0 +1,370 @@
+#include "atlarge/sched/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "atlarge/sim/simulation.hpp"
+#include "atlarge/stats/descriptive.hpp"
+
+namespace atlarge::sched {
+
+double JobStats::slowdown() const noexcept {
+  if (critical_path <= 0.0) return 1.0;
+  return std::max(1.0, response() / critical_path);
+}
+
+namespace {
+
+enum class TaskStatus : std::uint8_t { kPending, kEligible, kRunning, kDone };
+
+struct TaskState {
+  TaskStatus status = TaskStatus::kPending;
+  std::uint32_t remaining_deps = 0;
+  double eligible_time = 0.0;
+};
+
+struct JobState {
+  const workflow::Job* job = nullptr;
+  std::vector<TaskState> tasks;
+  std::size_t remaining = 0;
+  double start = -1.0;
+  double finish = -1.0;
+  bool arrived = false;
+};
+
+struct MachineState {
+  std::uint32_t total = 0;
+  std::uint32_t free = 0;
+  double speed = 1.0;
+  std::uint32_t cluster = 0;
+};
+
+struct RunningTask {
+  double finish = 0.0;
+  std::uint32_t machine = 0;
+  std::uint32_t cores = 0;
+};
+
+class Engine {
+ public:
+  Engine(const cluster::Environment& env, const workflow::Workload& workload,
+         Policy& policy, const SimOptions& options)
+      : env_(env), policy_(policy), options_(options) {
+    const auto machines = env.all_machines();
+    if (machines.empty())
+      throw std::invalid_argument("simulate: environment has no machines");
+    std::uint32_t max_cores = 0;
+    machines_.reserve(machines.size());
+    for (const auto& m : machines) {
+      machines_.push_back(MachineState{m.cores, m.cores, m.speed, m.cluster});
+      max_cores = std::max(max_cores, m.cores);
+    }
+    result_.machine_busy_seconds.assign(machines_.size(), 0.0);
+
+    jobs_.reserve(workload.jobs.size());
+    for (const auto& job : workload.jobs) {
+      for (const auto& t : job.tasks) {
+        if (t.cores > max_cores)
+          throw std::invalid_argument(
+              "simulate: task demands more cores than any machine offers");
+      }
+      JobState js;
+      js.job = &job;
+      js.remaining = job.tasks.size();
+      js.tasks.resize(job.tasks.size());
+      for (std::size_t ti = 0; ti < job.tasks.size(); ++ti)
+        js.tasks[ti].remaining_deps =
+            static_cast<std::uint32_t>(job.tasks[ti].deps.size());
+      jobs_.push_back(std::move(js));
+    }
+  }
+
+  SchedResult run() {
+    for (std::size_t ji = 0; ji < jobs_.size(); ++ji) {
+      sim_.schedule_at(jobs_[ji].job->submit_time,
+                       [this, ji] { arrive(ji); });
+    }
+    sim_.run_until(options_.time_limit);
+    finalize();
+    return std::move(result_);
+  }
+
+ private:
+  void arrive(std::size_t ji) {
+    auto& js = jobs_[ji];
+    js.arrived = true;
+    for (std::size_t ti = 0; ti < js.tasks.size(); ++ti) {
+      if (js.tasks[ti].remaining_deps == 0) {
+        js.tasks[ti].status = TaskStatus::kEligible;
+        js.tasks[ti].eligible_time = sim_.now();
+        eligible_.emplace_back(ji, ti);
+      }
+    }
+    request_pass();
+  }
+
+  void request_pass() {
+    if (pass_pending_) return;
+    pass_pending_ = true;
+    sim_.schedule_after(0.0, [this] { pass(); });
+  }
+
+  std::uint32_t free_cores() const {
+    std::uint32_t total = 0;
+    for (const auto& m : machines_) total += m.free;
+    return total;
+  }
+
+  std::uint32_t total_cores() const {
+    std::uint32_t total = 0;
+    for (const auto& m : machines_) total += m.total;
+    return total;
+  }
+
+  SchedState make_state(std::size_t queued) const {
+    SchedState s;
+    s.now = sim_.now();
+    s.total_cores = total_cores();
+    s.free_cores = free_cores();
+    s.running_tasks = running_.size();
+    s.queued_tasks = queued;
+    s.user_usage = &user_usage_;
+    return s;
+  }
+
+  TaskRef make_ref(std::size_t ji, std::size_t ti) const {
+    const auto& js = jobs_[ji];
+    const auto& task = js.job->tasks[ti];
+    TaskRef ref;
+    ref.job_id = js.job->id;
+    ref.task_id = static_cast<std::uint32_t>(ti);
+    ref.runtime = task.runtime;
+    ref.cores = task.cores;
+    ref.submit_time = js.job->submit_time;
+    ref.eligible_time = js.tasks[ti].eligible_time;
+    ref.user = js.job->user;
+    return ref;
+  }
+
+  /// Earliest time a machine can host `cores` given current running tasks.
+  double compute_shadow(std::uint32_t cores) const {
+    double shadow = std::numeric_limits<double>::infinity();
+    for (std::size_t mi = 0; mi < machines_.size(); ++mi) {
+      const auto& m = machines_[mi];
+      if (m.total < cores) continue;
+      if (m.free >= cores) return sim_.now();
+      // Running tasks on this machine, by finish time.
+      std::vector<const RunningTask*> local;
+      for (const auto& r : running_)
+        if (r.machine == mi) local.push_back(&r);
+      std::sort(local.begin(), local.end(),
+                [](const RunningTask* a, const RunningTask* b) {
+                  return a->finish < b->finish;
+                });
+      std::uint32_t available = m.free;
+      for (const auto* r : local) {
+        available += r->cores;
+        if (available >= cores) {
+          shadow = std::min(shadow, r->finish);
+          break;
+        }
+      }
+    }
+    return shadow;
+  }
+
+  /// First machine that fits, preferring faster machines then lower ids.
+  std::size_t find_fit(std::uint32_t cores) const {
+    std::size_t best = machines_.size();
+    for (std::size_t mi = 0; mi < machines_.size(); ++mi) {
+      if (machines_[mi].free < cores) continue;
+      if (best == machines_.size() ||
+          machines_[mi].speed > machines_[best].speed) {
+        best = mi;
+      }
+    }
+    return best;
+  }
+
+  void pass() {
+    pass_pending_ = false;
+    if (eligible_.empty()) return;
+    if (sim_.now() < blocked_until_) {
+      sim_.schedule_at(blocked_until_, [this] { request_pass(); });
+      return;
+    }
+
+    std::vector<TaskRef> queue;
+    queue.reserve(eligible_.size());
+    for (const auto& [ji, ti] : eligible_) queue.push_back(make_ref(ji, ti));
+    const SchedState state = make_state(queue.size());
+
+    const double overhead = policy_.tick(state, queue);
+    if (overhead > 0.0) {
+      blocked_until_ = sim_.now() + overhead;
+      result_.decision_overhead += overhead;
+      sim_.schedule_at(blocked_until_, [this] { request_pass(); });
+      return;
+    }
+
+    policy_.order(queue, state);
+
+    bool constrain = false;
+    double shadow = std::numeric_limits<double>::infinity();
+    for (const auto& ref : queue) {
+      const std::size_t mi = find_fit(ref.cores);
+      if (mi == machines_.size()) {
+        if (policy_.backfilling() && !constrain) {
+          constrain = true;
+          shadow = compute_shadow(ref.cores);
+        }
+        continue;
+      }
+      const double latency =
+          machines_[mi].cluster == 0 ? 0.0 : env_.inter_cluster_latency;
+      const double elapsed = latency + ref.runtime / machines_[mi].speed;
+      if (constrain && sim_.now() + elapsed > shadow) continue;
+      place(ref, mi, elapsed);
+    }
+  }
+
+  void place(const TaskRef& ref, std::size_t mi, double elapsed) {
+    // Locate the eligible entry (job_id is the index after normalize()).
+    const auto it = std::find_if(
+        eligible_.begin(), eligible_.end(), [&](const auto& e) {
+          return jobs_[e.first].job->id == ref.job_id &&
+                 e.second == ref.task_id;
+        });
+    if (it == eligible_.end()) return;  // policy returned a stale ref
+    const std::size_t ji = it->first;
+    const std::size_t ti = it->second;
+    eligible_.erase(it);
+
+    auto& js = jobs_[ji];
+    js.tasks[ti].status = TaskStatus::kRunning;
+    if (js.start < 0.0) js.start = sim_.now();
+
+    machines_[mi].free -= ref.cores;
+    observe_busy();
+    running_.push_back(
+        RunningTask{sim_.now() + elapsed, static_cast<std::uint32_t>(mi),
+                    ref.cores});
+    result_.machine_busy_seconds[mi] += elapsed;
+
+    sim_.schedule_after(elapsed, [this, ji, ti, mi, cores = ref.cores,
+                                  elapsed] {
+      complete(ji, ti, mi, cores, elapsed);
+    });
+  }
+
+  void complete(std::size_t ji, std::size_t ti, std::size_t mi,
+                std::uint32_t cores, double elapsed) {
+    auto& js = jobs_[ji];
+    js.tasks[ti].status = TaskStatus::kDone;
+    machines_[mi].free += cores;
+    observe_busy();
+    ++result_.tasks_completed;
+
+    // Remove one matching running record.
+    const double finish = sim_.now();
+    const auto rit = std::find_if(
+        running_.begin(), running_.end(), [&](const RunningTask& r) {
+          return r.machine == mi && r.cores == cores &&
+                 std::abs(r.finish - finish) < 1e-9;
+        });
+    if (rit != running_.end()) running_.erase(rit);
+
+    add_usage(js.job->user, elapsed * cores);
+
+    // Unlock dependents.
+    for (std::size_t other = 0; other < js.job->tasks.size(); ++other) {
+      if (js.tasks[other].status != TaskStatus::kPending) continue;
+      const auto& deps = js.job->tasks[other].deps;
+      if (std::find(deps.begin(), deps.end(),
+                    static_cast<workflow::TaskId>(ti)) == deps.end())
+        continue;
+      if (--js.tasks[other].remaining_deps == 0 && js.arrived) {
+        js.tasks[other].status = TaskStatus::kEligible;
+        js.tasks[other].eligible_time = sim_.now();
+        eligible_.emplace_back(ji, other);
+      }
+    }
+
+    if (--js.remaining == 0) js.finish = sim_.now();
+    request_pass();
+  }
+
+  void add_usage(const std::string& user, double work) {
+    for (auto& [name, used] : user_usage_) {
+      if (name == user) {
+        used += work;
+        return;
+      }
+    }
+    user_usage_.emplace_back(user, work);
+  }
+
+  void observe_busy() {
+    std::uint32_t busy = 0;
+    for (const auto& m : machines_) busy += m.total - m.free;
+    busy_.observe(sim_.now(), static_cast<double>(busy));
+  }
+
+  void finalize() {
+    double first_submit = std::numeric_limits<double>::infinity();
+    std::vector<double> slowdowns;
+    std::vector<double> waits;
+    for (const auto& js : jobs_) {
+      first_submit = std::min(first_submit, js.job->submit_time);
+      if (js.finish < 0.0) continue;  // unfinished at time limit
+      JobStats stats;
+      stats.id = js.job->id;
+      stats.submit = js.job->submit_time;
+      stats.start = js.start;
+      stats.finish = js.finish;
+      stats.critical_path = js.job->critical_path();
+      result_.makespan = std::max(result_.makespan, js.finish);
+      slowdowns.push_back(stats.slowdown());
+      waits.push_back(stats.wait());
+      result_.jobs.push_back(stats);
+    }
+    result_.mean_wait = stats::mean(waits);
+    result_.mean_slowdown = stats::mean(slowdowns);
+    result_.median_slowdown = stats::quantile(slowdowns, 0.5);
+    result_.p95_slowdown = stats::quantile(slowdowns, 0.95);
+    const double horizon = result_.makespan - (std::isfinite(first_submit)
+                                                   ? first_submit
+                                                   : 0.0);
+    if (horizon > 0.0) {
+      result_.utilization = busy_.average(result_.makespan) /
+                            static_cast<double>(total_cores());
+    }
+  }
+
+  const cluster::Environment& env_;
+  Policy& policy_;
+  SimOptions options_;
+
+  sim::Simulation sim_;
+  std::vector<MachineState> machines_;
+  std::vector<JobState> jobs_;
+  std::vector<std::pair<std::size_t, std::size_t>> eligible_;
+  std::vector<RunningTask> running_;
+  std::vector<std::pair<std::string, double>> user_usage_;
+  stats::TimeWeighted busy_;
+  bool pass_pending_ = false;
+  double blocked_until_ = 0.0;
+  SchedResult result_;
+};
+
+}  // namespace
+
+SchedResult simulate(const cluster::Environment& env,
+                     const workflow::Workload& workload, Policy& policy,
+                     const SimOptions& options) {
+  Engine engine(env, workload, policy, options);
+  return engine.run();
+}
+
+}  // namespace atlarge::sched

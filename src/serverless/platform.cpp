@@ -1,0 +1,273 @@
+#include "atlarge/serverless/platform.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "atlarge/sim/simulation.hpp"
+#include "atlarge/stats/descriptive.hpp"
+
+namespace atlarge::serverless {
+namespace {
+
+struct Instance {
+  std::size_t function = 0;
+  bool busy = false;
+  bool alive = true;
+  double idle_since = 0.0;
+  sim::EventHandle expiry;
+};
+
+class FaasEngine {
+ public:
+  FaasEngine(const std::vector<FunctionSpec>& registry,
+             const std::vector<Invocation>& invocations,
+             const PlatformConfig& config)
+      : registry_(registry), invocations_(invocations), config_(config) {
+    for (const auto& inv : invocations_) {
+      if (inv.function >= registry_.size())
+        throw std::invalid_argument("run_platform: unknown function index");
+    }
+  }
+
+  PlatformResult run() {
+    // Pre-warm pools.
+    for (std::size_t f = 0; f < registry_.size(); ++f) {
+      for (std::uint32_t i = 0; i < config_.prewarmed; ++i) {
+        if (live_count_ >= config_.max_instances) break;
+        make_instance(f, /*busy=*/false);
+      }
+    }
+    for (const auto& inv : invocations_)
+      sim_.schedule_at(inv.arrival, [this, &inv] { dispatch(inv); });
+    sim_.run();
+    finalize();
+    return std::move(result_);
+  }
+
+ private:
+  std::size_t find_idle(std::size_t function) {
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+      if (instances_[i].alive && !instances_[i].busy &&
+          instances_[i].function == function)
+        return i;
+    }
+    return instances_.size();
+  }
+
+  std::size_t make_instance(std::size_t function, bool busy) {
+    Instance inst;
+    inst.function = function;
+    inst.busy = busy;
+    inst.idle_since = sim_.now();
+    instances_.push_back(std::move(inst));
+    ++live_count_;
+    result_.peak_instances = std::max(result_.peak_instances, live_count_);
+    const std::size_t idx = instances_.size() - 1;
+    if (!busy) arm_expiry(idx);
+    return idx;
+  }
+
+  void destroy_instance(std::size_t idx) {
+    auto& inst = instances_[idx];
+    if (!inst.alive) return;
+    inst.alive = false;
+    inst.expiry.cancel();
+    --live_count_;
+    if (!inst.busy)
+      result_.billed_instance_seconds += sim_.now() - inst.idle_since;
+  }
+
+  void arm_expiry(std::size_t idx) {
+    instances_[idx].expiry = sim_.schedule_after(config_.keep_alive, [this,
+                                                                      idx] {
+      auto& inst = instances_[idx];
+      if (inst.alive && !inst.busy) destroy_instance(idx);
+    });
+  }
+
+  void dispatch(const Invocation& inv) {
+    const std::size_t idle = find_idle(inv.function);
+    if (idle != instances_.size()) {
+      start_execution(inv, idle, /*cold=*/false);
+      return;
+    }
+    if (live_count_ < config_.max_instances) {
+      const std::size_t idx = make_instance(inv.function, /*busy=*/true);
+      start_execution(inv, idx, /*cold=*/true);
+      return;
+    }
+    pending_.push_back(inv);
+  }
+
+  void start_execution(const Invocation& inv, std::size_t idx, bool cold) {
+    auto& inst = instances_[idx];
+    if (!inst.busy) {
+      // Leaving the warm pool: bill the idle stretch, cancel expiry.
+      inst.expiry.cancel();
+      result_.billed_instance_seconds += sim_.now() - inst.idle_since;
+      inst.busy = true;
+    }
+    const auto& spec = registry_[inv.function];
+    const double start = sim_.now() + (cold ? spec.cold_start : 0.0);
+    const double finish = start + spec.exec_time;
+    InvocationStats stats;
+    stats.function = inv.function;
+    stats.arrival = inv.arrival;
+    stats.start = start;
+    stats.finish = finish;
+    stats.cold = cold;
+    result_.invocations.push_back(stats);
+    const double busy = finish - sim_.now();
+    result_.busy_instance_seconds += spec.exec_time;
+    result_.billed_instance_seconds += busy;
+    sim_.schedule_after(busy, [this, idx] { release(idx); });
+  }
+
+  void release(std::size_t idx) {
+    auto& inst = instances_[idx];
+    inst.busy = false;
+    inst.idle_since = sim_.now();
+
+    // Serve a queued request for the same function warm, if any.
+    const auto same = std::find_if(
+        pending_.begin(), pending_.end(),
+        [&](const Invocation& p) { return p.function == inst.function; });
+    if (same != pending_.end()) {
+      const Invocation inv = *same;
+      pending_.erase(same);
+      start_execution(inv, idx, /*cold=*/false);
+      return;
+    }
+    // Otherwise recycle this instance for the head-of-queue request
+    // (destroy + cold start) so a full platform never deadlocks.
+    if (!pending_.empty()) {
+      const Invocation inv = pending_.front();
+      pending_.pop_front();
+      destroy_instance(idx);
+      const std::size_t fresh = make_instance(inv.function, /*busy=*/true);
+      start_execution(inv, fresh, /*cold=*/true);
+      return;
+    }
+    arm_expiry(idx);
+  }
+
+  void finalize() {
+    double end = 0.0;
+    std::vector<double> latencies;
+    std::size_t cold = 0;
+    for (const auto& s : result_.invocations) {
+      end = std::max(end, s.finish);
+      latencies.push_back(s.latency());
+      if (s.cold) ++cold;
+    }
+    // Bill the residual idle time of still-warm instances up to the last
+    // event (capped by keep-alive, which would have fired afterwards).
+    for (auto& inst : instances_) {
+      if (inst.alive && !inst.busy) {
+        result_.billed_instance_seconds +=
+            std::clamp(end - inst.idle_since, 0.0, config_.keep_alive);
+        inst.alive = false;
+      }
+    }
+    result_.p50_latency = stats::quantile(latencies, 0.5);
+    result_.p95_latency = stats::quantile(latencies, 0.95);
+    result_.p99_latency = stats::quantile(latencies, 0.99);
+    if (!result_.invocations.empty()) {
+      result_.cold_fraction = static_cast<double>(cold) /
+                              static_cast<double>(result_.invocations.size());
+    }
+  }
+
+  const std::vector<FunctionSpec>& registry_;
+  const std::vector<Invocation>& invocations_;
+  PlatformConfig config_;
+  sim::Simulation sim_;
+  std::vector<Instance> instances_;
+  std::deque<Invocation> pending_;
+  std::uint32_t live_count_ = 0;
+  PlatformResult result_;
+};
+
+}  // namespace
+
+PlatformResult run_platform(const std::vector<FunctionSpec>& registry,
+                            const std::vector<Invocation>& invocations,
+                            const PlatformConfig& config) {
+  FaasEngine engine(registry, invocations, config);
+  return engine.run();
+}
+
+PlatformResult run_microservice_baseline(
+    const std::vector<FunctionSpec>& registry,
+    const std::vector<Invocation>& invocations, std::uint32_t instances,
+    double horizon) {
+  PlatformResult result;
+  // Per-function FIFO over `instances` always-on servers: track each
+  // server's next-free time.
+  std::vector<std::vector<double>> free_at(
+      registry.size(), std::vector<double>(std::max<std::uint32_t>(instances,
+                                                                   1),
+                                           0.0));
+  std::vector<double> latencies;
+  for (const auto& inv : invocations) {
+    if (inv.function >= registry.size())
+      throw std::invalid_argument("baseline: unknown function index");
+    auto& servers = free_at[inv.function];
+    auto it = std::min_element(servers.begin(), servers.end());
+    const double start = std::max(inv.arrival, *it);
+    const double finish = start + registry[inv.function].exec_time;
+    *it = finish;
+    InvocationStats s;
+    s.function = inv.function;
+    s.arrival = inv.arrival;
+    s.start = start;
+    s.finish = finish;
+    s.cold = false;
+    result.invocations.push_back(s);
+    latencies.push_back(s.latency());
+    result.busy_instance_seconds += registry[inv.function].exec_time;
+  }
+  result.p50_latency = stats::quantile(latencies, 0.5);
+  result.p95_latency = stats::quantile(latencies, 0.95);
+  result.p99_latency = stats::quantile(latencies, 0.99);
+  result.billed_instance_seconds =
+      static_cast<double>(instances) * static_cast<double>(registry.size()) *
+      horizon;
+  result.peak_instances =
+      instances * static_cast<std::uint32_t>(registry.size());
+  return result;
+}
+
+std::vector<Invocation> bursty_invocations(std::size_t functions,
+                                           double base_rate, double horizon,
+                                           double burst_every,
+                                           std::size_t burst_size,
+                                           stats::Rng& rng) {
+  std::vector<Invocation> out;
+  double now = 0.0;
+  while (true) {
+    now += rng.exponential(base_rate);
+    if (now >= horizon) break;
+    out.push_back(Invocation{static_cast<std::size_t>(rng.uniform_int(
+                                 0, static_cast<std::int64_t>(functions) - 1)),
+                             now});
+  }
+  for (double burst = burst_every; burst < horizon; burst += burst_every) {
+    const auto f = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(functions) - 1));
+    double t = burst;
+    for (std::size_t i = 0; i < burst_size; ++i) {
+      t += rng.exponential(50.0);  // ~20 ms gaps inside a burst
+      if (t >= horizon) break;
+      out.push_back(Invocation{f, t});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Invocation& a, const Invocation& b) {
+              return a.arrival < b.arrival;
+            });
+  return out;
+}
+
+}  // namespace atlarge::serverless

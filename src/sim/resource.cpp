@@ -1,0 +1,35 @@
+#include "atlarge/sim/resource.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace atlarge::sim {
+
+Resource::Resource(Simulation& sim, std::uint64_t capacity)
+    : sim_(sim), capacity_(capacity) {}
+
+void Resource::acquire(std::uint64_t units, Grant on_grant) {
+  assert(units <= capacity_ && "request exceeds total capacity");
+  waiting_.push_back(Waiter{units, std::move(on_grant)});
+  admit();
+}
+
+void Resource::release(std::uint64_t units) {
+  assert(units <= in_use_ && "releasing more than acquired");
+  in_use_ -= units;
+  admit();
+}
+
+void Resource::admit() {
+  while (!waiting_.empty() &&
+         waiting_.front().units <= capacity_ - in_use_) {
+    Waiter w = std::move(waiting_.front());
+    waiting_.pop_front();
+    in_use_ += w.units;
+    // Defer through the event queue so grants never run inside the caller's
+    // stack frame (re-entrancy safety).
+    sim_.schedule_after(0.0, std::move(w.on_grant));
+  }
+}
+
+}  // namespace atlarge::sim

@@ -1,0 +1,28 @@
+#include "atlarge/sim/sampler.hpp"
+
+#include <utility>
+
+namespace atlarge::sim {
+
+Sampler::Sampler(Simulation& sim, Time start, Time end, Time period,
+                 Probe probe)
+    : sim_(sim), end_(end), period_(period), probe_(std::move(probe)) {
+  sim_.schedule_at(start, [this] { tick(); });
+}
+
+void Sampler::tick() {
+  if (sim_.now() > end_) return;
+  samples_.push_back(Sample{sim_.now(), probe_()});
+  if (sim_.now() + period_ <= end_) {
+    sim_.schedule_after(period_, [this] { tick(); });
+  }
+}
+
+std::vector<double> Sampler::values() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.value);
+  return out;
+}
+
+}  // namespace atlarge::sim

@@ -1,0 +1,44 @@
+#include "atlarge/stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "atlarge/stats/descriptive.hpp"
+
+namespace atlarge::stats {
+
+Interval bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic, Rng& rng,
+    std::size_t resamples, double confidence) {
+  Interval ci;
+  if (sample.empty()) return ci;
+  ci.point = statistic(sample);
+  if (sample.size() == 1 || resamples == 0) {
+    ci.lo = ci.hi = ci.point;
+    return ci;
+  }
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  std::vector<double> resample(sample.size());
+  const auto n = static_cast<std::int64_t>(sample.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& x : resample)
+      x = sample[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    stats.push_back(statistic(resample));
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  ci.lo = quantile_sorted(stats, alpha);
+  ci.hi = quantile_sorted(stats, 1.0 - alpha);
+  return ci;
+}
+
+Interval bootstrap_mean_ci(std::span<const double> sample, Rng& rng,
+                           std::size_t resamples, double confidence) {
+  return bootstrap_ci(
+      sample, [](std::span<const double> s) { return mean(s); }, rng,
+      resamples, confidence);
+}
+
+}  // namespace atlarge::stats

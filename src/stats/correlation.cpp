@@ -1,0 +1,86 @@
+#include "atlarge/stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "atlarge/stats/descriptive.hpp"
+
+namespace atlarge::stats {
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> ranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<double> result(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Average rank for the tie group [i, j].
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0
+                       + 1.0;
+    for (std::size_t k = i; k <= j; ++k) result[order[k]] = avg;
+    i = j + 1;
+  }
+  return result;
+}
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const auto rx = ranks(x);
+  const auto ry = ranks(y);
+  return pearson(rx, ry);
+}
+
+double kendall(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const std::size_t n = x.size();
+  long long concordant = 0;
+  long long discordant = 0;
+  long long ties_x = 0;
+  long long ties_y = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx == 0.0 && dy == 0.0) continue;
+      if (dx == 0.0) {
+        ++ties_x;
+      } else if (dy == 0.0) {
+        ++ties_y;
+      } else if ((dx > 0) == (dy > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0 = static_cast<double>(n) * (static_cast<double>(n) - 1) / 2;
+  const double denom = std::sqrt((n0 - static_cast<double>(ties_x)) *
+                                 (n0 - static_cast<double>(ties_y)));
+  if (denom == 0.0) return 0.0;
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+}  // namespace atlarge::stats

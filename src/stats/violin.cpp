@@ -1,0 +1,85 @@
+#include "atlarge/stats/violin.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+namespace atlarge::stats {
+
+DensityCurve kde(std::span<const double> sample, std::size_t points) {
+  DensityCurve curve;
+  if (sample.empty() || points == 0) return curve;
+  const Summary s = summarize(sample);
+  // Silverman's rule of thumb; fall back to a small constant for
+  // degenerate (constant) samples so the violin still has width.
+  double sigma = std::min(s.stddev, s.iqr() / 1.34);
+  if (sigma <= 0.0) sigma = s.stddev > 0.0 ? s.stddev : 0.25;
+  const double n = static_cast<double>(sample.size());
+  curve.bandwidth = 0.9 * sigma * std::pow(n, -0.2);
+  if (curve.bandwidth <= 0.0) curve.bandwidth = 0.25;
+
+  const double lo = s.min - curve.bandwidth;
+  const double hi = s.max + curve.bandwidth;
+  const double step = points > 1 ? (hi - lo) / static_cast<double>(points - 1)
+                                 : 0.0;
+  curve.grid.resize(points);
+  curve.density.resize(points);
+  const double norm =
+      1.0 / (n * curve.bandwidth * std::sqrt(2.0 * std::numbers::pi));
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    curve.grid[i] = x;
+    double density = 0.0;
+    for (double xi : sample) {
+      const double z = (x - xi) / curve.bandwidth;
+      density += std::exp(-0.5 * z * z);
+    }
+    curve.density[i] = density * norm;
+  }
+  return curve;
+}
+
+std::size_t ViolinSummary::below(double threshold) const {
+  return static_cast<std::size_t>(
+      std::lower_bound(sample.begin(), sample.end(), threshold) -
+      sample.begin());
+}
+
+ViolinSummary violin(std::span<const double> data, std::size_t grid_points) {
+  ViolinSummary v;
+  v.stats = summarize(data);
+  v.sample.assign(data.begin(), data.end());
+  std::sort(v.sample.begin(), v.sample.end());
+  const double iqr = v.stats.iqr();
+  v.whisker_lo = std::max(v.stats.min, v.stats.q1 - 1.5 * iqr);
+  v.whisker_hi = std::min(v.stats.max, v.stats.q3 + 1.5 * iqr);
+  v.curve = kde(data, grid_points);
+  return v;
+}
+
+std::string render_table(const ViolinGroup& group, double threshold) {
+  std::string out = group.title + "\n";
+  char line[256];
+  std::snprintf(line, sizeof line, "%-24s %6s %7s %7s %7s %7s %7s %7s %8s\n",
+                "category", "n", "mean", "median", "q1", "q3", "w_lo", "w_hi",
+                "%below");
+  out += line;
+  for (std::size_t i = 0; i < group.violins.size(); ++i) {
+    const auto& v = group.violins[i];
+    const double pct =
+        v.stats.count == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(v.below(threshold)) /
+                  static_cast<double>(v.stats.count);
+    std::snprintf(line, sizeof line,
+                  "%-24s %6zu %7.3f %7.3f %7.3f %7.3f %7.3f %7.3f %7.1f%%\n",
+                  i < group.labels.size() ? group.labels[i].c_str() : "?",
+                  v.stats.count, v.stats.mean, v.stats.median, v.stats.q1,
+                  v.stats.q3, v.whisker_lo, v.whisker_hi, pct);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace atlarge::stats

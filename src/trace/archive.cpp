@@ -1,0 +1,70 @@
+#include "atlarge/trace/archive.hpp"
+
+#include <algorithm>
+
+namespace atlarge::trace {
+
+std::string to_string(Domain d) {
+  switch (d) {
+    case Domain::kP2P: return "p2p";
+    case Domain::kGaming: return "gaming";
+    case Domain::kDatacenter: return "datacenter";
+    case Domain::kServerless: return "serverless";
+    case Domain::kGraph: return "graph";
+    case Domain::kWorkflow: return "workflow";
+    case Domain::kOther: return "other";
+  }
+  return "other";
+}
+
+double FairAssessment::score() const noexcept {
+  const int satisfied = static_cast<int>(findable_identifier) +
+                        static_cast<int>(findable_metadata) +
+                        static_cast<int>(accessible_protocol) +
+                        static_cast<int>(interoperable_format) +
+                        static_cast<int>(reusable_license) +
+                        static_cast<int>(reusable_provenance);
+  return static_cast<double>(satisfied) / 6.0;
+}
+
+bool Archive::add(DatasetEntry entry) {
+  const bool taken = std::any_of(
+      entries_.begin(), entries_.end(),
+      [&](const DatasetEntry& e) { return e.id == entry.id; });
+  if (taken) return false;
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+std::optional<DatasetEntry> Archive::find(const std::string& id) const {
+  for (const auto& e : entries_)
+    if (e.id == id) return e;
+  return std::nullopt;
+}
+
+std::vector<DatasetEntry> Archive::by_domain(Domain d) const {
+  std::vector<DatasetEntry> out;
+  for (const auto& e : entries_)
+    if (e.domain == d) out.push_back(e);
+  return out;
+}
+
+std::vector<DatasetEntry> Archive::by_keyword(const std::string& kw) const {
+  std::vector<DatasetEntry> out;
+  for (const auto& e : entries_) {
+    if (std::find(e.keywords.begin(), e.keywords.end(), kw) !=
+        e.keywords.end()) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+double Archive::mean_fair_score() const noexcept {
+  if (entries_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& e : entries_) total += e.fair.score();
+  return total / static_cast<double>(entries_.size());
+}
+
+}  // namespace atlarge::trace

@@ -1,0 +1,194 @@
+#include "atlarge/trace/record.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace atlarge::trace {
+namespace {
+
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+void write_quoted(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+// Splits one CSV line honoring quotes. Assumes no embedded newlines (the
+// writer never produces them inside cells because \n triggers quoting but
+// our records never contain newlines; the reader rejects them).
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+}  // namespace
+
+Table::Table(std::vector<Column> schema) : schema_(std::move(schema)) {
+  if (schema_.empty())
+    throw std::invalid_argument("Table: schema must be non-empty");
+}
+
+void Table::append(std::vector<Field> row) {
+  if (row.size() != schema_.size())
+    throw std::invalid_argument("Table::append: arity mismatch");
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const bool ok =
+        (schema_[i].type == FieldType::kInt &&
+         std::holds_alternative<std::int64_t>(row[i])) ||
+        (schema_[i].type == FieldType::kReal &&
+         std::holds_alternative<double>(row[i])) ||
+        (schema_[i].type == FieldType::kText &&
+         std::holds_alternative<std::string>(row[i]));
+    if (!ok)
+      throw std::invalid_argument("Table::append: type mismatch in column " +
+                                  schema_[i].name);
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::size_t Table::column_index(const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < schema_.size(); ++i)
+    if (schema_[i].name == name) return i;
+  return npos;
+}
+
+std::vector<double> Table::numeric_column(const std::string& name) const {
+  const std::size_t idx = column_index(name);
+  if (idx == npos)
+    throw std::invalid_argument("numeric_column: unknown column " + name);
+  if (schema_[idx].type == FieldType::kText)
+    throw std::invalid_argument("numeric_column: column is text: " + name);
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    if (schema_[idx].type == FieldType::kInt) {
+      out.push_back(static_cast<double>(std::get<std::int64_t>(row[idx])));
+    } else {
+      out.push_back(std::get<double>(row[idx]));
+    }
+  }
+  return out;
+}
+
+void Table::write_csv(std::ostream& out) const {
+  for (std::size_t i = 0; i < schema_.size(); ++i) {
+    if (i) out << ',';
+    out << schema_[i].name;
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      switch (schema_[i].type) {
+        case FieldType::kInt:
+          out << std::get<std::int64_t>(row[i]);
+          break;
+        case FieldType::kReal: {
+          std::ostringstream tmp;
+          tmp.precision(17);
+          tmp << std::get<double>(row[i]);
+          out << tmp.str();
+          break;
+        }
+        case FieldType::kText: {
+          const auto& s = std::get<std::string>(row[i]);
+          if (needs_quoting(s)) {
+            write_quoted(out, s);
+          } else {
+            out << s;
+          }
+          break;
+        }
+      }
+    }
+    out << '\n';
+  }
+}
+
+Table Table::read_csv(std::istream& in, std::vector<Column> schema) {
+  Table table(std::move(schema));
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::runtime_error("read_csv: missing header");
+  const auto header = split_csv_line(line);
+  if (header.size() != table.schema_.size())
+    throw std::runtime_error("read_csv: header arity mismatch");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] != table.schema_[i].name)
+      throw std::runtime_error("read_csv: header name mismatch: got " +
+                               header[i] + ", want " + table.schema_[i].name);
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    if (cells.size() != table.schema_.size())
+      throw std::runtime_error("read_csv: row arity mismatch");
+    std::vector<Field> row;
+    row.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      switch (table.schema_[i].type) {
+        case FieldType::kInt: {
+          std::int64_t v = 0;
+          const auto [ptr, ec] = std::from_chars(
+              cells[i].data(), cells[i].data() + cells[i].size(), v);
+          if (ec != std::errc() || ptr != cells[i].data() + cells[i].size())
+            throw std::runtime_error("read_csv: bad int cell: " + cells[i]);
+          row.emplace_back(v);
+          break;
+        }
+        case FieldType::kReal: {
+          try {
+            std::size_t pos = 0;
+            const double v = std::stod(cells[i], &pos);
+            if (pos != cells[i].size()) throw std::invalid_argument("trail");
+            row.emplace_back(v);
+          } catch (const std::exception&) {
+            throw std::runtime_error("read_csv: bad real cell: " + cells[i]);
+          }
+          break;
+        }
+        case FieldType::kText:
+          row.emplace_back(cells[i]);
+          break;
+      }
+    }
+    table.append(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace atlarge::trace

@@ -1,0 +1,233 @@
+#include "atlarge/workflow/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numbers>
+
+#include "atlarge/stats/distributions.hpp"
+
+namespace atlarge::workflow {
+
+using atlarge::stats::BoundedPareto;
+using atlarge::stats::LogNormal;
+using atlarge::stats::Rng;
+
+Job make_bag_of_tasks(std::size_t n, double lo, double hi, double alpha,
+                      Rng& rng) {
+  BoundedPareto demand(lo, hi, alpha);
+  Job job;
+  job.tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Task t;
+    t.runtime = demand(rng);
+    job.tasks.push_back(std::move(t));
+  }
+  return job;
+}
+
+Job make_chain(std::size_t n, double mean_runtime, Rng& rng) {
+  Job job;
+  job.tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Task t;
+    t.runtime = rng.exponential(1.0 / mean_runtime);
+    if (t.runtime <= 0.0) t.runtime = mean_runtime;
+    if (i > 0) t.deps.push_back(static_cast<TaskId>(i - 1));
+    job.tasks.push_back(std::move(t));
+  }
+  return job;
+}
+
+Job make_fork_join(std::size_t width, double mean_runtime, Rng& rng) {
+  Job job;
+  job.tasks.reserve(width + 2);
+  Task source;
+  source.runtime = std::max(mean_runtime * 0.1, 1e-3);
+  job.tasks.push_back(std::move(source));
+  for (std::size_t i = 0; i < width; ++i) {
+    Task t;
+    t.runtime = rng.exponential(1.0 / mean_runtime);
+    if (t.runtime <= 0.0) t.runtime = mean_runtime;
+    t.deps.push_back(0);
+    job.tasks.push_back(std::move(t));
+  }
+  Task sink;
+  sink.runtime = std::max(mean_runtime * 0.1, 1e-3);
+  for (std::size_t i = 0; i < width; ++i)
+    sink.deps.push_back(static_cast<TaskId>(i + 1));
+  job.tasks.push_back(std::move(sink));
+  return job;
+}
+
+Job make_random_dag(std::size_t layers, std::size_t width,
+                    std::size_t max_fan_in, double mean_runtime, Rng& rng) {
+  Job job;
+  job.tasks.reserve(layers * width);
+  LogNormal demand(std::log(std::max(mean_runtime, 1e-6)), 0.8);
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    for (std::size_t i = 0; i < width; ++i) {
+      Task t;
+      t.runtime = std::max(demand(rng), 1e-3);
+      if (layer > 0) {
+        const std::size_t fan =
+            1 + static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<std::int64_t>(
+                                           std::min(max_fan_in, width)) -
+                                           1));
+        const TaskId prev_base = static_cast<TaskId>((layer - 1) * width);
+        for (std::size_t k = 0; k < fan; ++k) {
+          const TaskId dep =
+              prev_base + static_cast<TaskId>(rng.uniform_int(
+                              0, static_cast<std::int64_t>(width) - 1));
+          if (std::find(t.deps.begin(), t.deps.end(), dep) == t.deps.end())
+            t.deps.push_back(dep);
+        }
+      }
+      job.tasks.push_back(std::move(t));
+    }
+  }
+  return job;
+}
+
+double PoissonArrivals::next_gap(double /*now*/, Rng& rng) {
+  return rng.exponential(rate_);
+}
+
+FlashcrowdArrivals::FlashcrowdArrivals(double base_rate, double surge_factor,
+                                       double surge_start, double surge_end)
+    : base_rate_(base_rate),
+      surge_factor_(surge_factor),
+      surge_start_(surge_start),
+      surge_end_(surge_end) {}
+
+double FlashcrowdArrivals::next_gap(double now, Rng& rng) {
+  const bool surging = now >= surge_start_ && now < surge_end_;
+  const double rate = surging ? base_rate_ * surge_factor_ : base_rate_;
+  return rng.exponential(rate);
+}
+
+DiurnalArrivals::DiurnalArrivals(double mean_rate, double amplitude,
+                                 double period)
+    : mean_rate_(mean_rate), amplitude_(amplitude), period_(period) {}
+
+double DiurnalArrivals::next_gap(double now, Rng& rng) {
+  const double phase = 2.0 * std::numbers::pi * now / period_;
+  const double rate = mean_rate_ * (1.0 + amplitude_ * std::sin(phase));
+  return rng.exponential(std::max(rate, mean_rate_ * 0.05));
+}
+
+std::string to_string(WorkloadClass wc) {
+  switch (wc) {
+    case WorkloadClass::kSynthetic: return "Syn";
+    case WorkloadClass::kScientific: return "Sci";
+    case WorkloadClass::kGaming: return "Gam";
+    case WorkloadClass::kComputerEng: return "CE";
+    case WorkloadClass::kBusinessCritical: return "BC";
+    case WorkloadClass::kIndustrial: return "Ind";
+    case WorkloadClass::kBigData: return "BD";
+  }
+  return "?";
+}
+
+namespace {
+
+Job make_job_for_class(WorkloadClass cls, Rng& rng) {
+  switch (cls) {
+    case WorkloadClass::kSynthetic: {
+      const auto n = static_cast<std::size_t>(rng.uniform_int(4, 32));
+      Job job;
+      for (std::size_t i = 0; i < n; ++i) {
+        Task t;
+        t.runtime = rng.uniform(10.0, 100.0);
+        job.tasks.push_back(std::move(t));
+      }
+      return job;
+    }
+    case WorkloadClass::kScientific: {
+      // Heavy-tailed bags (cluster/grid batch jobs) mixed with chains.
+      if (rng.bernoulli(0.7)) {
+        const auto n = static_cast<std::size_t>(rng.uniform_int(8, 128));
+        return make_bag_of_tasks(n, 5.0, 3'000.0, 1.2, rng);
+      }
+      return make_chain(static_cast<std::size_t>(rng.uniform_int(3, 12)),
+                        120.0, rng);
+    }
+    case WorkloadClass::kGaming: {
+      // Short interactive simulation ticks: small fork-joins.
+      return make_fork_join(static_cast<std::size_t>(rng.uniform_int(2, 8)),
+                            5.0, rng);
+    }
+    case WorkloadClass::kComputerEng: {
+      // EDA regression runs: wide fork-joins with moderate runtimes.
+      return make_fork_join(static_cast<std::size_t>(rng.uniform_int(16, 64)),
+                            300.0, rng);
+    }
+    case WorkloadClass::kBusinessCritical: {
+      // Few long-running multi-core tasks per job.
+      Job job;
+      const auto n = static_cast<std::size_t>(rng.uniform_int(1, 4));
+      for (std::size_t i = 0; i < n; ++i) {
+        Task t;
+        t.runtime = rng.uniform(1'000.0, 20'000.0);
+        t.cores = static_cast<std::uint32_t>(rng.uniform_int(2, 8));
+        job.tasks.push_back(std::move(t));
+      }
+      return job;
+    }
+    case WorkloadClass::kIndustrial: {
+      // Periodic IoT analytics: small layered DAGs.
+      return make_random_dag(3, 4, 2, 60.0, rng);
+    }
+    case WorkloadClass::kBigData: {
+      // Wide layered DAGs with skewed runtimes (stragglers).
+      return make_random_dag(
+          static_cast<std::size_t>(rng.uniform_int(2, 5)),
+          static_cast<std::size_t>(rng.uniform_int(8, 48)), 3, 90.0, rng);
+    }
+  }
+  return Job{};
+}
+
+std::unique_ptr<ArrivalProcess> make_arrivals_for_class(WorkloadClass cls,
+                                                        double rate) {
+  switch (cls) {
+    case WorkloadClass::kGaming:
+    case WorkloadClass::kBusinessCritical:
+      return std::make_unique<DiurnalArrivals>(rate, 0.8, 86'400.0);
+    case WorkloadClass::kBigData:
+      // Big-data pipelines exhibit bursts (the vicissitude setting).
+      return std::make_unique<FlashcrowdArrivals>(rate, 8.0, 0.0, 0.0);
+    default:
+      return std::make_unique<PoissonArrivals>(rate);
+  }
+}
+
+}  // namespace
+
+Workload generate(const WorkloadSpec& spec) {
+  Rng rng(spec.seed);
+  Workload wl;
+  wl.name = to_string(spec.cls);
+  const double rate =
+      static_cast<double>(spec.jobs) / std::max(spec.horizon, 1.0);
+  auto arrivals = make_arrivals_for_class(spec.cls, rate);
+  // Big-data bursts: place a surge window in the middle third of the horizon.
+  if (spec.cls == WorkloadClass::kBigData) {
+    arrivals = std::make_unique<FlashcrowdArrivals>(
+        rate * 0.6, 6.0, spec.horizon / 3.0, spec.horizon / 2.0);
+  }
+  double now = 0.0;
+  for (std::size_t i = 0; i < spec.jobs; ++i) {
+    now += arrivals->next_gap(now, rng);
+    Job job = make_job_for_class(spec.cls, rng);
+    job.submit_time = now;
+    job.user = wl.name;
+    job.validate();
+    wl.jobs.push_back(std::move(job));
+  }
+  wl.normalize();
+  return wl;
+}
+
+}  // namespace atlarge::workflow

@@ -1,0 +1,80 @@
+#include "atlarge/workflow/vicissitude.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atlarge::workflow {
+
+std::vector<StageSample> simulate_pipeline(const PipelineConfig& config) {
+  stats::Rng rng(config.seed);
+  std::vector<StageSample> samples;
+  std::vector<double> queue(config.stages, 0.0);  // carried-over records
+
+  for (double t = 0.0; t < config.horizon; t += config.window) {
+    StageSample sample;
+    sample.time = t;
+    sample.utilization.resize(config.stages);
+
+    const bool burst = rng.bernoulli(config.burst_share);
+    double incoming = config.input_rate * config.window *
+                      (burst ? config.burst_factor : 1.0);
+    for (std::size_t s = 0; s < config.stages; ++s) {
+      const double capacity_rate =
+          config.stage_capacity *
+          std::max(0.05, 1.0 + rng.normal(0.0, config.capacity_noise));
+      const double capacity = capacity_rate * config.window;
+      const double offered = queue[s] + incoming;
+      const double processed = std::min(offered, capacity);
+      queue[s] = offered - processed;
+      sample.utilization[s] = capacity > 0.0 ? offered / capacity : 0.0;
+      incoming = processed;  // output of stage s feeds stage s+1
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+VicissitudeReport analyze_vicissitude(const std::vector<StageSample>& samples,
+                                      double saturation,
+                                      double rotation_threshold) {
+  VicissitudeReport report;
+  if (samples.empty()) return report;
+  const std::size_t stages = samples.front().utilization.size();
+  report.bottleneck_windows.assign(stages, 0);
+
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t previous = kNone;
+  std::size_t transitions = 0;
+  std::size_t moved = 0;
+  for (const auto& sample : samples) {
+    std::size_t bottleneck = kNone;
+    double peak = saturation;
+    for (std::size_t s = 0; s < sample.utilization.size(); ++s) {
+      if (sample.utilization[s] >= peak) {
+        peak = sample.utilization[s];
+        bottleneck = s;
+      }
+    }
+    if (bottleneck == kNone) continue;  // unsaturated window
+    ++report.saturated_windows;
+    ++report.bottleneck_windows[bottleneck];
+    if (previous != kNone) {
+      ++transitions;
+      if (bottleneck != previous) ++moved;
+    }
+    previous = bottleneck;
+  }
+
+  for (std::size_t count : report.bottleneck_windows) {
+    if (count > 0) ++report.distinct_bottlenecks;
+  }
+  report.rotation_rate =
+      transitions == 0 ? 0.0
+                       : static_cast<double>(moved) /
+                             static_cast<double>(transitions);
+  report.vicissitude = report.distinct_bottlenecks >= 2 &&
+                       report.rotation_rate >= rotation_threshold;
+  return report;
+}
+
+}  // namespace atlarge::workflow

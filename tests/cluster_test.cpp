@@ -1,0 +1,169 @@
+// Tests for the datacenter model, cost models, and the Figure 9 reference
+// architecture.
+
+#include <gtest/gtest.h>
+
+#include "atlarge/cluster/cost.hpp"
+#include "atlarge/cluster/machine.hpp"
+#include "atlarge/cluster/refarch.hpp"
+
+namespace cluster = atlarge::cluster;
+
+TEST(Machine, HomogeneousClusterTotals) {
+  const auto env = cluster::make_homogeneous_cluster("cl", 8, 4);
+  EXPECT_EQ(env.type, cluster::EnvironmentType::kOwnCluster);
+  EXPECT_EQ(env.total_machines(), 8u);
+  EXPECT_EQ(env.total_cores(), 32u);
+}
+
+TEST(Machine, AllMachinesFlattensWithIds) {
+  const auto env = cluster::make_multi_cluster("mcd", 3, 2, 4);
+  const auto machines = env.all_machines();
+  ASSERT_EQ(machines.size(), 6u);
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    EXPECT_EQ(machines[i].id, i);
+    EXPECT_EQ(machines[i].cluster, i / 2);
+  }
+}
+
+TEST(Machine, GridIsHeterogeneousAcrossSites) {
+  const auto env = cluster::make_grid("grid", 3, 4, 2);
+  ASSERT_EQ(env.clusters.size(), 3u);
+  EXPECT_NE(env.clusters[0].machines[0].speed,
+            env.clusters[1].machines[0].speed);
+}
+
+TEST(Machine, CloudHasProvisioningDelay) {
+  const auto env = cluster::make_cloud("cd", 100, 8, 120.0);
+  EXPECT_EQ(env.type, cluster::EnvironmentType::kPublicCloud);
+  EXPECT_DOUBLE_EQ(env.provisioning_delay, 120.0);
+}
+
+TEST(Machine, GeoDistributedHasLatency) {
+  const auto env = cluster::make_geo_distributed("gdc", 4, 2, 8, 0.08);
+  EXPECT_EQ(env.type, cluster::EnvironmentType::kGeoDistributed);
+  EXPECT_DOUBLE_EQ(env.inter_cluster_latency, 0.08);
+  EXPECT_EQ(env.clusters.size(), 4u);
+}
+
+TEST(Machine, EnvironmentTypeNames) {
+  EXPECT_EQ(cluster::to_string(cluster::EnvironmentType::kOwnCluster), "CL");
+  EXPECT_EQ(cluster::to_string(cluster::EnvironmentType::kGrid), "G");
+  EXPECT_EQ(cluster::to_string(cluster::EnvironmentType::kPublicCloud), "CD");
+  EXPECT_EQ(cluster::to_string(cluster::EnvironmentType::kMultiCluster),
+            "MCD");
+  EXPECT_EQ(cluster::to_string(cluster::EnvironmentType::kGeoDistributed),
+            "GDC");
+}
+
+// ------------------------------------------------------------------- cost --
+
+TEST(Cost, PerSecondBillsExactly) {
+  cluster::CostModel model{"s", cluster::Billing::kPerSecond, 2.0, 1.0, 0};
+  EXPECT_DOUBLE_EQ(model.on_demand_cost(1'800.0), 1.0);  // half hour at $2/h
+}
+
+TEST(Cost, PerHourRoundsUp) {
+  cluster::CostModel model{"h", cluster::Billing::kPerHour, 2.0, 1.0, 0};
+  EXPECT_DOUBLE_EQ(model.on_demand_cost(1.0), 2.0);       // 1s -> 1h
+  EXPECT_DOUBLE_EQ(model.on_demand_cost(3'600.0), 2.0);   // exactly 1h
+  EXPECT_DOUBLE_EQ(model.on_demand_cost(3'601.0), 4.0);   // just over
+}
+
+TEST(Cost, ZeroDurationIsFree) {
+  cluster::CostModel model{"h", cluster::Billing::kPerHour, 2.0, 1.0, 0};
+  EXPECT_DOUBLE_EQ(model.on_demand_cost(0.0), 0.0);
+}
+
+TEST(Cost, ReservedFloorAlwaysPaid) {
+  cluster::CostModel model{"r", cluster::Billing::kPerHour, 1.0, 0.5, 4};
+  // 4 reserved machines at $0.5/h over 2h, no on-demand use.
+  EXPECT_DOUBLE_EQ(model.total_cost(7'200.0, {}), 4.0);
+}
+
+TEST(Cost, HybridAddsOnDemand) {
+  cluster::CostModel model{"r", cluster::Billing::kPerHour, 1.0, 0.5, 2};
+  const double cost = model.total_cost(3'600.0, {3'600.0, 1'800.0});
+  // Reserved: 2 * 0.5 * 1h = 1.0; on-demand: 1h + ceil(0.5h) = 2h at $1.
+  EXPECT_DOUBLE_EQ(cost, 3.0);
+}
+
+TEST(Cost, StandardModelsShapes) {
+  const auto models = cluster::standard_cost_models();
+  ASSERT_EQ(models.size(), 3u);
+  EXPECT_EQ(models[0].billing, cluster::Billing::kPerSecond);
+  EXPECT_EQ(models[1].billing, cluster::Billing::kPerHour);
+  EXPECT_GT(models[2].reserved_machines, 0.0);
+}
+
+// ---------------------------------------------------------------- refarch --
+
+TEST(RefArch, PaperArchitectureNonEmptyLayers) {
+  const auto ra = cluster::paper_reference_architecture();
+  EXPECT_GT(ra.size(), 20u);
+  for (auto layer :
+       {cluster::Layer::kInfrastructure, cluster::Layer::kOperationsService,
+        cluster::Layer::kResources, cluster::Layer::kBackEnd,
+        cluster::Layer::kFrontEnd, cluster::Layer::kDevOps}) {
+    EXPECT_FALSE(ra.in_layer(layer).empty()) << cluster::to_string(layer);
+  }
+}
+
+TEST(RefArch, DuplicateRegistrationRejected) {
+  cluster::ReferenceArchitecture ra;
+  EXPECT_TRUE(ra.register_component(
+      {"X", cluster::Layer::kInfrastructure, ""}));
+  EXPECT_FALSE(ra.register_component({"X", cluster::Layer::kBackEnd, ""}));
+  EXPECT_EQ(ra.size(), 1u);
+}
+
+TEST(RefArch, FindReturnsLayer) {
+  const auto ra = cluster::paper_reference_architecture();
+  const auto hadoop = ra.find("Hadoop");
+  ASSERT_TRUE(hadoop.has_value());
+  EXPECT_EQ(hadoop->layer, cluster::Layer::kBackEnd);
+  EXPECT_EQ(hadoop->sublayer, "execution-engine");
+  EXPECT_FALSE(ra.find("Nonexistent").has_value());
+}
+
+TEST(RefArch, MapReduceMappingIsExecutable) {
+  const auto ra = cluster::paper_reference_architecture();
+  const auto report = ra.validate(cluster::mapreduce_ecosystem());
+  EXPECT_TRUE(report.all_components_known);
+  EXPECT_TRUE(report.executable);
+  // Covers at least 5 distinct layers (Figure 9's highlighted stack).
+  EXPECT_GE(report.covered.size(), 5u);
+}
+
+TEST(RefArch, ServerlessMappingIsExecutable) {
+  const auto ra = cluster::paper_reference_architecture();
+  const auto report = ra.validate(cluster::serverless_ecosystem());
+  EXPECT_TRUE(report.all_components_known);
+  EXPECT_TRUE(report.executable);
+}
+
+TEST(RefArch, IncompleteMappingNotExecutable) {
+  const auto ra = cluster::paper_reference_architecture();
+  cluster::EcosystemMapping mapping{"frontend-only", {"Pig", "Hive"}};
+  const auto report = ra.validate(mapping);
+  EXPECT_TRUE(report.all_components_known);
+  EXPECT_FALSE(report.executable);
+}
+
+TEST(RefArch, UnknownComponentsReported) {
+  const auto ra = cluster::paper_reference_architecture();
+  cluster::EcosystemMapping mapping{"bad", {"Hadoop", "NotAThing"}};
+  const auto report = ra.validate(mapping);
+  EXPECT_FALSE(report.all_components_known);
+  ASSERT_EQ(report.unknown.size(), 1u);
+  EXPECT_EQ(report.unknown[0], "NotAThing");
+}
+
+TEST(RefArch, LegacyLayersAreFour) {
+  EXPECT_EQ(cluster::legacy_bigdata_layers().size(), 4u);
+}
+
+TEST(RefArch, LayerNames) {
+  EXPECT_EQ(cluster::to_string(cluster::Layer::kDevOps), "devops");
+  EXPECT_EQ(cluster::to_string(cluster::Layer::kFrontEnd), "front-end");
+}

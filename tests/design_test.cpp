@@ -1,0 +1,552 @@
+// Tests for the ATLARGE design framework: design spaces, exploration
+// processes, the BDC, catalogs, the review model, and bibliometrics.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "atlarge/design/bdc.hpp"
+#include "atlarge/design/bibliometrics.hpp"
+#include "atlarge/design/catalog.hpp"
+#include "atlarge/design/design_space.hpp"
+#include "atlarge/design/exploration.hpp"
+#include "atlarge/design/review.hpp"
+
+namespace design = atlarge::design;
+using atlarge::stats::Rng;
+
+namespace {
+
+design::DesignProblem rugged_problem(std::uint64_t seed = 1) {
+  return design::DesignProblem(/*dims=*/12, /*options=*/4, /*k=*/3,
+                               /*threshold=*/0.7, seed);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ design space --
+
+TEST(DesignSpace, QualityInUnitInterval) {
+  const auto problem = rugged_problem();
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double q = problem.quality(problem.random_point(rng));
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+  }
+}
+
+TEST(DesignSpace, QualityDeterministic) {
+  const auto problem = rugged_problem();
+  Rng rng(3);
+  const auto point = problem.random_point(rng);
+  EXPECT_DOUBLE_EQ(problem.quality(point), problem.quality(point));
+}
+
+TEST(DesignSpace, SameSeedSameLandscape) {
+  const auto a = rugged_problem(9);
+  const auto b = rugged_problem(9);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const auto point = a.random_point(rng);
+    EXPECT_DOUBLE_EQ(a.quality(point), b.quality(point));
+  }
+}
+
+TEST(DesignSpace, ArityMismatchRejected) {
+  const auto problem = rugged_problem();
+  EXPECT_THROW(problem.quality({0, 1}), std::invalid_argument);
+}
+
+TEST(DesignSpace, OptionOutOfRangeRejected) {
+  const auto problem = rugged_problem();
+  design::DesignPoint point(problem.dimensions(), 0);
+  point[0] = 99;
+  EXPECT_THROW(problem.quality(point), std::invalid_argument);
+}
+
+TEST(DesignSpace, BadConstructionRejected) {
+  EXPECT_THROW(design::DesignProblem(0, 2, 1, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(design::DesignProblem(5, 1, 1, 0.5, 1), std::invalid_argument);
+}
+
+TEST(DesignSpace, SpaceSizeIsProduct) {
+  const auto problem = rugged_problem();
+  EXPECT_DOUBLE_EQ(problem.space_size(), std::pow(4.0, 12.0));
+}
+
+TEST(DesignSpace, EvolvePartiallyPreservesLandscape) {
+  const auto problem = rugged_problem(11);
+  const auto evolved = problem.evolve(/*churn=*/0.3, 99);
+  Rng rng(5);
+  std::size_t same = 0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    const auto point = problem.random_point(rng);
+    if (std::abs(problem.quality(point) - evolved.quality(point)) < 1e-12)
+      ++same;
+  }
+  // Some points keep their quality (carried dimensions), some change.
+  EXPECT_LT(same, static_cast<std::size_t>(trials));
+  const auto identical = problem.evolve(0.0, 99);
+  const auto point = problem.random_point(rng);
+  EXPECT_DOUBLE_EQ(problem.quality(point), identical.quality(point));
+}
+
+// ------------------------------------------------------------- exploration --
+
+TEST(Exploration, FreeFindsSatisficingDesign) {
+  const auto problem = rugged_problem();
+  design::ExplorationConfig config;
+  config.evaluation_budget = 8'000;
+  const auto trace = design::explore_free(problem, config);
+  EXPECT_TRUE(trace.success());
+  EXPECT_GE(trace.best_quality, problem.satisficing_threshold());
+  EXPECT_LE(trace.evaluations_used, config.evaluation_budget + 1);
+}
+
+TEST(Exploration, TraceAttemptsMonotoneInQuality) {
+  const auto problem = rugged_problem();
+  const auto trace = design::explore_free(problem, {});
+  for (std::size_t i = 1; i < trace.attempts.size(); ++i)
+    EXPECT_GE(trace.attempts[i].quality, trace.attempts[i - 1].quality);
+}
+
+TEST(Exploration, FixWhatNeverMovesPinnedDims) {
+  const auto problem = rugged_problem();
+  // Pinning half the dimensions shrinks the effective space; the process
+  // still runs and reports evaluations.
+  std::vector<std::size_t> fixed = {0, 2, 4, 6, 8, 10};
+  design::DesignPoint values = {1, 1, 1, 1, 1, 1};
+  const auto trace =
+      design::explore_fix_what(problem, fixed, values, {});
+  EXPECT_GT(trace.evaluations_used, 0u);
+}
+
+TEST(Exploration, FixWhatValidatesArguments) {
+  const auto problem = rugged_problem();
+  EXPECT_THROW(design::explore_fix_what(problem, {0, 1}, {0}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(design::explore_fix_what(problem, {99}, {0}, {}),
+               std::invalid_argument);
+}
+
+TEST(Exploration, FixHowValidatesArguments) {
+  const auto problem = rugged_problem();
+  EXPECT_THROW(design::explore_fix_how(problem, {2, 2}, {}),
+               std::invalid_argument);
+  std::vector<std::uint32_t> bad(problem.dimensions(), 9);
+  EXPECT_THROW(design::explore_fix_how(problem, bad, {}),
+               std::invalid_argument);
+}
+
+TEST(Exploration, FixHowRestrictsOptions) {
+  const auto problem = rugged_problem();
+  std::vector<std::uint32_t> allowed(problem.dimensions(), 2);
+  const auto trace = design::explore_fix_how(problem, allowed, {});
+  EXPECT_GT(trace.evaluations_used, 0u);
+  EXPECT_LE(trace.best_quality, 1.0);
+}
+
+TEST(Exploration, CoEvolvingEvolvesWhenStuck) {
+  // A near-impossible threshold forces stalls and problem evolutions.
+  design::DesignProblem problem(10, 3, 2, 0.999, 21);
+  design::ExplorationConfig config;
+  config.evaluation_budget = 6'000;
+  config.stall_limit = 300;
+  const auto trace = design::explore_co_evolving(problem, config);
+  EXPECT_GT(trace.problem_evolutions, 0u);
+}
+
+TEST(Exploration, CoEvolvingBeatsFreeOnHardProblems) {
+  // The Figure 7 narrative: when the problem is too hard, evolving it
+  // yields satisficing designs free exploration cannot reach.
+  std::size_t co_wins = 0;
+  std::size_t free_wins = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    design::DesignProblem problem(14, 4, 6, 0.82, seed);
+    design::ExplorationConfig config;
+    config.evaluation_budget = 6'000;
+    config.stall_limit = 500;
+    config.seed = seed;
+    co_wins += design::explore_co_evolving(problem, config).success();
+    free_wins += design::explore_free(problem, config).success();
+  }
+  EXPECT_GE(co_wins, free_wins);
+  EXPECT_GT(co_wins, 0u);
+}
+
+TEST(Exploration, DeterministicForSeed) {
+  const auto problem = rugged_problem();
+  design::ExplorationConfig config;
+  config.seed = 77;
+  const auto a = design::explore_free(problem, config);
+  const auto b = design::explore_free(problem, config);
+  EXPECT_DOUBLE_EQ(a.best_quality, b.best_quality);
+  EXPECT_EQ(a.evaluations_used, b.evaluations_used);
+  EXPECT_EQ(a.satisficing_designs, b.satisficing_designs);
+}
+
+// -------------------------------------------------------------------- BDC --
+
+TEST(Bdc, StopsOnSatisficing) {
+  design::BdcConfig config;
+  config.satisficing_quality = 0.5;
+  config.designs_target = 1;
+  design::BasicDesignCycle bdc(config);
+  bdc.on(design::Stage::kHighAndLowLevelDesign, [](design::BdcContext& ctx) {
+    ctx.best_quality = 0.6;
+    ctx.designs_found = 1;
+  });
+  const auto report = bdc.run();
+  EXPECT_EQ(report.stopped_by, design::StoppingCriterion::kSatisficing);
+  EXPECT_EQ(report.iterations, 1u);
+  EXPECT_TRUE(report.success());
+}
+
+TEST(Bdc, StopsOnResourceExhaustion) {
+  design::BdcConfig config;
+  config.max_iterations = 5;
+  design::BasicDesignCycle bdc(config);  // no handlers, no progress
+  const auto report = bdc.run();
+  EXPECT_EQ(report.stopped_by,
+            design::StoppingCriterion::kResourcesExhausted);
+  EXPECT_EQ(report.iterations, 5u);
+  EXPECT_FALSE(report.success());
+}
+
+TEST(Bdc, PortfolioCriterionForSmallTargets) {
+  design::BdcConfig config;
+  config.designs_target = 3;
+  config.satisficing_quality = 0.5;
+  design::BasicDesignCycle bdc(config);
+  bdc.on(design::Stage::kHighAndLowLevelDesign, [](design::BdcContext& ctx) {
+    ctx.best_quality = 0.9;
+    ++ctx.designs_found;
+  });
+  const auto report = bdc.run();
+  EXPECT_EQ(report.stopped_by, design::StoppingCriterion::kPortfolio);
+  EXPECT_EQ(report.designs_found, 3u);
+}
+
+TEST(Bdc, SystematicCriterionForLargeTargets) {
+  design::BdcConfig config;
+  config.designs_target = 10;
+  config.satisficing_quality = 0.1;
+  design::BasicDesignCycle bdc(config);
+  bdc.on(design::Stage::kHighAndLowLevelDesign, [](design::BdcContext& ctx) {
+    ctx.best_quality = 0.9;
+    ctx.designs_found += 5;
+  });
+  const auto report = bdc.run();
+  EXPECT_EQ(report.stopped_by, design::StoppingCriterion::kSystematicDesign);
+}
+
+TEST(Bdc, SpaceExhaustionCriterion) {
+  design::BdcConfig config;
+  config.max_iterations = 100;
+  design::BasicDesignCycle bdc(config);
+  bdc.on(design::Stage::kExperimentalAnalysis, [](design::BdcContext& ctx) {
+    ctx.space_explored += 10;
+  });
+  design::BdcContext ctx;
+  ctx.space_size = 30;
+  const auto report = bdc.run(std::move(ctx));
+  EXPECT_EQ(report.stopped_by, design::StoppingCriterion::kSpaceExhaustion);
+  EXPECT_EQ(report.iterations, 3u);
+}
+
+TEST(Bdc, StagesWithoutHandlersAreSkipped) {
+  design::BdcConfig config;
+  config.max_iterations = 1;
+  design::BasicDesignCycle bdc(config);
+  bdc.on(design::Stage::kImplement, [](design::BdcContext&) {});
+  const auto report = bdc.run();
+  ASSERT_EQ(report.visits.size(), design::kStageCount);
+  for (const auto& v : report.visits) {
+    if (v.stage == design::Stage::kImplement) {
+      EXPECT_FALSE(v.skipped);
+    } else {
+      EXPECT_TRUE(v.skipped);
+    }
+  }
+}
+
+TEST(Bdc, SkipPredicateTailorsIterations) {
+  design::BdcConfig config;
+  config.max_iterations = 3;
+  design::BasicDesignCycle bdc(config);
+  int executions = 0;
+  bdc.on(design::Stage::kDisseminate,
+         [&](design::BdcContext&) { ++executions; });
+  // Skip dissemination until the final iteration.
+  bdc.skip_when(design::Stage::kDisseminate,
+                [](const design::BdcContext& ctx) {
+                  return ctx.iteration < 3;
+                });
+  (void)bdc.run();
+  EXPECT_EQ(executions, 1);
+}
+
+TEST(Bdc, HierarchicalNestedCycle) {
+  // Stage 5 (implementation) expands into its own BDC — the Overall
+  // Process of Figure 8.
+  design::BdcConfig outer_config;
+  outer_config.satisficing_quality = 0.5;
+  design::BasicDesignCycle outer(outer_config);
+  outer.on(design::Stage::kImplement, [](design::BdcContext& ctx) {
+    design::BdcConfig inner_config;
+    inner_config.satisficing_quality = 0.5;
+    design::BasicDesignCycle inner(inner_config);
+    inner.on(design::Stage::kHighAndLowLevelDesign,
+             [](design::BdcContext& inner_ctx) {
+               inner_ctx.best_quality = 0.8;
+               inner_ctx.designs_found = 1;
+             });
+    const auto inner_report = inner.run();
+    ctx.best_quality = inner_report.best_quality;
+    ctx.designs_found += inner_report.designs_found;
+    ctx.artifacts.push_back("prototype");
+  });
+  const auto report = outer.run();
+  EXPECT_EQ(report.stopped_by, design::StoppingCriterion::kSatisficing);
+  ASSERT_EQ(report.artifacts.size(), 1u);
+  EXPECT_EQ(report.artifacts[0], "prototype");
+}
+
+TEST(Bdc, StageAndCriterionNames) {
+  EXPECT_EQ(design::to_string(design::Stage::kImplement), "implement");
+  EXPECT_EQ(design::to_string(design::StoppingCriterion::kSatisficing),
+            "satisficing");
+  EXPECT_EQ(design::all_stages().size(), design::kStageCount);
+}
+
+// ---------------------------------------------------------------- catalogs --
+
+TEST(Catalog, EightPrinciplesInPaperOrder) {
+  const auto& ps = design::principles();
+  ASSERT_EQ(ps.size(), 8u);
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    EXPECT_EQ(ps[i].index, i + 1);
+  EXPECT_EQ(ps[0].category, design::PrincipleCategory::kHighest);
+  EXPECT_EQ(ps[4].category, design::PrincipleCategory::kPeopleware);
+}
+
+TEST(Catalog, TenChallengesCrossLinked) {
+  const auto& cs = design::challenges();
+  ASSERT_EQ(cs.size(), 10u);
+  for (const auto& c : cs) {
+    EXPECT_FALSE(c.principles.empty());
+    for (auto p : c.principles) {
+      EXPECT_GE(p, 1u);
+      EXPECT_LE(p, 8u);
+    }
+  }
+}
+
+TEST(Catalog, ChallengesForPrincipleMatchesTable3) {
+  // Table 3: C1-C3 derive from P1.
+  const auto linked = design::challenges_for_principle(1);
+  ASSERT_EQ(linked.size(), 3u);
+  EXPECT_EQ(linked[0].index, 1u);
+  EXPECT_EQ(linked[2].index, 3u);
+  // P7 links C8, C9, C10.
+  EXPECT_EQ(design::challenges_for_principle(7).size(), 3u);
+}
+
+TEST(Catalog, PaperProblemCatalogClassified) {
+  const auto catalog = design::paper_problem_catalog();
+  EXPECT_GE(catalog.size(), 8u);
+  EXPECT_FALSE(
+      catalog.by_archetype(design::ProblemArchetype::kMorphology).empty());
+  EXPECT_FALSE(
+      catalog.by_archetype(design::ProblemArchetype::kLegacy).empty());
+  EXPECT_FALSE(
+      catalog.by_archetype(design::ProblemArchetype::kUnexploredNiche)
+          .empty());
+}
+
+TEST(Catalog, CreativityAssessmentQuantizes) {
+  EXPECT_EQ(design::assess_creativity(1.0, 1.0),
+            design::CreativityLevel::kTrivial);
+  EXPECT_EQ(design::assess_creativity(2.0, 2.0),
+            design::CreativityLevel::kNormal);
+  EXPECT_EQ(design::assess_creativity(3.0, 3.0),
+            design::CreativityLevel::kNovel);
+  EXPECT_EQ(design::assess_creativity(4.0, 4.0),
+            design::CreativityLevel::kFundamental);
+  // The clustering effect: mid scores all map to the same level.
+  EXPECT_EQ(design::assess_creativity(2.3, 2.4),
+            design::assess_creativity(2.0, 2.1));
+}
+
+// ------------------------------------------------------------------ review --
+
+TEST(Review, GeneratesRequestedArticles) {
+  design::ReviewModelConfig config;
+  config.articles = 200;
+  const auto reviews = design::generate_reviews(config);
+  EXPECT_EQ(reviews.size(), 200u);
+  for (const auto& r : reviews) {
+    EXPECT_GE(r.merit, 1.0);
+    EXPECT_LE(r.merit, 4.0);
+    EXPECT_GE(r.quality, 1.0);
+    EXPECT_LE(r.quality, 4.0);
+  }
+}
+
+TEST(Review, AcceptanceRateHonored) {
+  design::ReviewModelConfig config;
+  config.articles = 500;
+  config.accept_rate = 0.2;
+  const auto reviews = design::generate_reviews(config);
+  std::size_t accepted = 0;
+  for (const auto& r : reviews) accepted += r.accepted;
+  EXPECT_EQ(accepted, 100u);
+}
+
+TEST(Review, DesignArticlesSlightlyBetter) {
+  // Finding (1) of Figure 3.
+  design::ReviewModelConfig config;
+  config.articles = 4'000;
+  const auto reviews = design::generate_reviews(config);
+  double design_sum = 0.0;
+  std::size_t design_n = 0;
+  double other_sum = 0.0;
+  std::size_t other_n = 0;
+  for (const auto& r : reviews) {
+    if (r.is_design) {
+      design_sum += r.merit;
+      ++design_n;
+    } else {
+      other_sum += r.merit;
+      ++other_n;
+    }
+  }
+  EXPECT_GT(design_sum / design_n, other_sum / other_n);
+}
+
+TEST(Review, ManyDesignArticlesBelowThree) {
+  // Finding (2) of Figure 3.
+  design::ReviewModelConfig config;
+  config.articles = 2'000;
+  const auto reviews = design::generate_reviews(config);
+  std::size_t design_total = 0;
+  std::size_t below = 0;
+  for (const auto& r : reviews) {
+    if (!r.is_design) continue;
+    ++design_total;
+    if (r.merit < 3.0) ++below;
+  }
+  EXPECT_GT(static_cast<double>(below) / design_total, 0.3);
+}
+
+TEST(Review, TopicScoresHigh) {
+  // Finding (3): CfP focuses authors.
+  design::ReviewModelConfig config;
+  config.articles = 1'000;
+  const auto reviews = design::generate_reviews(config);
+  double topic_sum = 0.0;
+  for (const auto& r : reviews) topic_sum += r.topic;
+  EXPECT_GT(topic_sum / reviews.size(), 3.0);
+}
+
+TEST(Review, ViolinGroupHasSixCategories) {
+  design::ReviewModelConfig config;
+  config.articles = 300;
+  const auto reviews = design::generate_reviews(config);
+  const auto group =
+      design::violins_by_category(reviews, design::ReviewAspect::kMerit);
+  EXPECT_EQ(group.labels.size(), 6u);
+  EXPECT_EQ(group.violins.size(), 6u);
+}
+
+TEST(Review, AcceptedScoreHigherThanRejected) {
+  design::ReviewModelConfig config;
+  config.articles = 1'000;
+  const auto reviews = design::generate_reviews(config);
+  const auto group =
+      design::violins_by_category(reviews, design::ReviewAspect::kMerit);
+  // labels: design+accepted (2) vs design+rejected (3).
+  EXPECT_GT(group.violins[2].stats.mean, group.violins[3].stats.mean);
+}
+
+// ------------------------------------------------------------ bibliometrics --
+
+TEST(Bibliometrics, LogisticTrendMonotone) {
+  design::KeywordTrend trend;
+  trend.floor = 0.05;
+  trend.ceil = 0.4;
+  trend.rate = 0.3;
+  trend.midpoint_year = 2005;
+  EXPECT_LT(trend.probability(1985), trend.probability(2005));
+  EXPECT_LT(trend.probability(2005), trend.probability(2018));
+  EXPECT_GT(trend.probability(1980), 0.0);
+  EXPECT_LT(trend.probability(2030), 0.4);
+}
+
+TEST(Bibliometrics, CorpusRespectsVenueStartYears) {
+  const auto corpus = design::generate_corpus(design::paper_corpus_config());
+  for (const auto& a : corpus.articles) {
+    EXPECT_GE(a.year, corpus.config.venues[a.venue].first_year);
+    EXPECT_LE(a.year, corpus.config.to_year);
+  }
+}
+
+TEST(Bibliometrics, DesignPresenceRisesPost2000) {
+  const auto corpus = design::generate_corpus(design::paper_corpus_config());
+  // keyword 0 is "design"; venue 0 is ICDCS.
+  const double early = design::keyword_presence(corpus, 0, 0, 1981, 1995);
+  const double late = design::keyword_presence(corpus, 0, 0, 2005, 2018);
+  EXPECT_GT(late, early * 1.5);
+}
+
+TEST(Bibliometrics, BlockCountsCensoredForLateVenues) {
+  const auto corpus = design::generate_corpus(design::paper_corpus_config());
+  const auto blocks = design::design_articles_per_block(corpus);
+  // NSDI (venue 4) started 2004: the 1980-1999 blocks are all zero.
+  for (std::size_t b = 0; b < 4; ++b) EXPECT_EQ(blocks.counts[4][b], 0u);
+  // ICDCS (venue 0): recent blocks exceed early blocks.
+  const auto& icdcs = blocks.counts[0];
+  EXPECT_GT(icdcs[icdcs.size() - 2], icdcs[0]);
+}
+
+TEST(Bibliometrics, MissingDesignKeywordRejected) {
+  design::CorpusConfig config;
+  config.venues = {{"V", 1980, 10, 0.0}};
+  config.keywords = {{"performance", 0.1, 0.2, 0.1, 2000}};
+  const auto corpus = design::generate_corpus(config);
+  EXPECT_THROW(design::design_articles_per_block(corpus),
+               std::invalid_argument);
+}
+
+TEST(Bibliometrics, TooManyKeywordsRejected) {
+  design::CorpusConfig config;
+  config.venues = {{"V", 1980, 1, 0.0}};
+  config.keywords.resize(40);
+  EXPECT_THROW(design::generate_corpus(config), std::invalid_argument);
+}
+
+// Property: every exploration process respects its evaluation budget.
+class BudgetRespected : public ::testing::TestWithParam<int> {};
+
+TEST_P(BudgetRespected, Holds) {
+  const auto problem = rugged_problem(31);
+  design::ExplorationConfig config;
+  config.evaluation_budget = 500 + 100 * GetParam();
+  design::ExplorationTrace trace;
+  switch (GetParam() % 3) {
+    case 0: trace = design::explore_free(problem, config); break;
+    case 1: {
+      std::vector<std::uint32_t> allowed(problem.dimensions(), 3);
+      trace = design::explore_fix_how(problem, allowed, config);
+      break;
+    }
+    default: trace = design::explore_co_evolving(problem, config); break;
+  }
+  EXPECT_LE(trace.evaluations_used, config.evaluation_budget + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetRespected, ::testing::Range(0, 9));

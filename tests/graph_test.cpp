@@ -1,0 +1,363 @@
+// Tests for the graph substrate: CSR representation, generators, the six
+// Graphalytics algorithms, the PAD study, and Granula breakdowns.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "atlarge/graph/algorithms.hpp"
+#include "atlarge/graph/granula.hpp"
+#include "atlarge/graph/graph.hpp"
+#include "atlarge/graph/pad.hpp"
+
+namespace graph = atlarge::graph;
+using atlarge::stats::Rng;
+using graph::VertexId;
+
+namespace {
+
+// 0 -> 1 -> 2, 0 -> 2, isolated 3.
+graph::Graph tiny() {
+  return graph::Graph::from_edges(4, {{0, 1}, {1, 2}, {0, 2}});
+}
+
+}  // namespace
+
+TEST(Graph, FromEdgesBasics) {
+  const auto g = tiny();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(2), 2u);
+  EXPECT_EQ(g.out_degree(3), 0u);
+}
+
+TEST(Graph, SelfLoopsAndDuplicatesRemoved) {
+  const auto g = graph::Graph::from_edges(3, {{0, 0}, {0, 1}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Graph, OutOfRangeEdgeRejected) {
+  EXPECT_THROW(graph::Graph::from_edges(2, {{0, 5}}), std::invalid_argument);
+}
+
+TEST(Graph, WeightsParallelEdges) {
+  const auto g =
+      graph::Graph::from_edges(2, {{0, 1}}, {2.5});
+  EXPECT_TRUE(g.weighted());
+  EXPECT_DOUBLE_EQ(g.out_weight(0, 0), 2.5);
+}
+
+TEST(Graph, WeightArityMismatchRejected) {
+  EXPECT_THROW(graph::Graph::from_edges(2, {{0, 1}}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Graph, UnweightedDefaultsToUnitWeight) {
+  const auto g = tiny();
+  EXPECT_DOUBLE_EQ(g.out_weight(0, 0), 1.0);
+}
+
+TEST(Graph, EdgeListRoundTrips) {
+  const auto g = tiny();
+  const auto edges = g.edge_list();
+  const auto g2 = graph::Graph::from_edges(4, edges);
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+}
+
+TEST(Graph, UndirectedAdjacencySymmetric) {
+  const auto adj = tiny().undirected_adjacency();
+  // 0-1 edge visible from both sides.
+  EXPECT_NE(std::find(adj[0].begin(), adj[0].end(), 1u), adj[0].end());
+  EXPECT_NE(std::find(adj[1].begin(), adj[1].end(), 0u), adj[1].end());
+}
+
+TEST(Generators, ErdosRenyiApproxDegree) {
+  Rng rng(1);
+  const auto g = graph::erdos_renyi(2'000, 8.0, rng);
+  const double avg =
+      static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_NEAR(avg, 8.0, 0.5);  // slight dedup loss
+}
+
+TEST(Generators, PreferentialAttachmentSkewed) {
+  Rng rng(2);
+  const auto g = graph::preferential_attachment(3'000, 3, rng);
+  std::vector<double> degrees;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    degrees.push_back(g.out_degree(v) + g.in_degree(v));
+  std::sort(degrees.rbegin(), degrees.rend());
+  const double total = std::accumulate(degrees.begin(), degrees.end(), 0.0);
+  double top_share = 0.0;
+  for (std::size_t i = 0; i < degrees.size() / 100; ++i)
+    top_share += degrees[i];
+  // Top 1% of vertices holds a disproportionate degree share.
+  EXPECT_GT(top_share / total, 0.05);
+}
+
+TEST(Generators, GridShape) {
+  const auto g = graph::grid_2d(10);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 2u * 9u * 10u);
+}
+
+// -------------------------------------------------------------- algorithms --
+
+TEST(Bfs, DepthsOnTiny) {
+  const auto result = graph::bfs(tiny(), 0);
+  EXPECT_EQ(result.depth[0], 0u);
+  EXPECT_EQ(result.depth[1], 1u);
+  EXPECT_EQ(result.depth[2], 1u);
+  EXPECT_EQ(result.depth[3], graph::kUnreachable);
+}
+
+TEST(Bfs, GridDiameter) {
+  const auto g = graph::grid_2d(20);
+  const auto result = graph::bfs(g, 0);
+  // Directed grid edges point right/down: farthest corner at depth 38.
+  EXPECT_EQ(result.depth[g.num_vertices() - 1], 38u);
+}
+
+TEST(Bfs, WorkProfileCountsEdges) {
+  const auto result = graph::bfs(tiny(), 0);
+  EXPECT_EQ(result.work.edges_traversed, 3u);
+}
+
+TEST(PageRank, SumsToOne) {
+  Rng rng(3);
+  const auto g = graph::erdos_renyi(500, 6.0, rng);
+  const auto result = graph::pagerank(g, 25);
+  const double total =
+      std::accumulate(result.rank.begin(), result.rank.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(PageRank, HubRanksHigher) {
+  // Star: everyone points at vertex 0.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 1; v < 50; ++v) edges.emplace_back(v, 0);
+  const auto g = graph::Graph::from_edges(50, edges);
+  const auto result = graph::pagerank(g, 30);
+  for (VertexId v = 1; v < 50; ++v)
+    EXPECT_GT(result.rank[0], result.rank[v]);
+}
+
+TEST(PageRank, DanglingMassRedistributed) {
+  // 0 -> 1, vertex 1 dangles; rank must still sum to 1.
+  const auto g = graph::Graph::from_edges(2, {{0, 1}});
+  const auto result = graph::pagerank(g, 50);
+  EXPECT_NEAR(result.rank[0] + result.rank[1], 1.0, 1e-9);
+  EXPECT_GT(result.rank[1], result.rank[0]);
+}
+
+TEST(Wcc, CountsComponents) {
+  const auto g = graph::Graph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}});
+  const auto result = graph::wcc(g);
+  EXPECT_EQ(result.num_components, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(result.component[0], result.component[2]);
+  EXPECT_NE(result.component[0], result.component[3]);
+}
+
+TEST(Wcc, DirectionIgnored) {
+  const auto g = graph::Graph::from_edges(3, {{2, 0}, {1, 0}});
+  const auto result = graph::wcc(g);
+  EXPECT_EQ(result.num_components, 1u);
+}
+
+TEST(Cdlp, CliquesGetOneLabel) {
+  // Two disjoint triangles.
+  const auto g = graph::Graph::from_edges(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  const auto result = graph::cdlp(g, 10);
+  EXPECT_EQ(result.label[0], result.label[1]);
+  EXPECT_EQ(result.label[1], result.label[2]);
+  EXPECT_EQ(result.label[3], result.label[4]);
+  EXPECT_NE(result.label[0], result.label[3]);
+  EXPECT_EQ(result.num_communities, 2u);
+}
+
+TEST(Lcc, TriangleIsOne) {
+  const auto g = graph::Graph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+  const auto result = graph::lcc(g);
+  for (double c : result.coefficient) EXPECT_DOUBLE_EQ(c, 1.0);
+  EXPECT_DOUBLE_EQ(result.mean, 1.0);
+}
+
+TEST(Lcc, PathHasZero) {
+  const auto g = graph::Graph::from_edges(3, {{0, 1}, {1, 2}});
+  const auto result = graph::lcc(g);
+  EXPECT_DOUBLE_EQ(result.mean, 0.0);
+}
+
+TEST(Sssp, WeightedShortestPath) {
+  // 0 -> 1 (5), 0 -> 2 (1), 2 -> 1 (1): best 0->1 is 2 via 2.
+  const auto g = graph::Graph::from_edges(3, {{0, 1}, {0, 2}, {2, 1}},
+                                          {5.0, 1.0, 1.0});
+  const auto result = graph::sssp(g, 0);
+  EXPECT_DOUBLE_EQ(result.distance[1], 2.0);
+  EXPECT_DOUBLE_EQ(result.distance[2], 1.0);
+}
+
+TEST(Sssp, UnreachableIsInfinite) {
+  const auto result = graph::sssp(tiny(), 0);
+  EXPECT_TRUE(std::isinf(result.distance[3]));
+}
+
+TEST(Sssp, MatchesBfsOnUnitWeights) {
+  Rng rng(4);
+  const auto g = graph::erdos_renyi(300, 4.0, rng);
+  const auto d = graph::sssp(g, 0);
+  const auto b = graph::bfs(g, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (b.depth[v] == graph::kUnreachable) {
+      EXPECT_TRUE(std::isinf(d.distance[v]));
+    } else {
+      EXPECT_DOUBLE_EQ(d.distance[v], static_cast<double>(b.depth[v]));
+    }
+  }
+}
+
+TEST(Algorithms, AllSixRunViaDispatch) {
+  Rng rng(5);
+  const auto g = graph::erdos_renyi(200, 4.0, rng);
+  for (auto algo : graph::all_algorithms()) {
+    const auto work = graph::run_algorithm(g, algo);
+    EXPECT_GT(work.iterations, 0u) << graph::to_string(algo);
+  }
+}
+
+// -------------------------------------------------------------------- PAD --
+
+TEST(Pad, PlatformsHaveDistinctProfiles) {
+  const auto platforms = graph::standard_platforms();
+  ASSERT_EQ(platforms.size(), 4u);
+  EXPECT_GT(platforms[0].startup_s, platforms[2].startup_s);
+}
+
+TEST(Pad, CapacityWallDegradesRuntime) {
+  graph::PlatformModel model;
+  model.per_edge_ns = 10.0;
+  model.capacity_edges = 100;
+  model.degraded_factor = 10.0;
+  graph::WorkProfile work;
+  work.edges_traversed = 1'000;
+  work.iterations = 1;
+  const double small =
+      graph::predict_runtime(model, graph::Algorithm::kBfs, work, 10, 50);
+  const double large =
+      graph::predict_runtime(model, graph::Algorithm::kBfs, work, 10, 500);
+  EXPECT_NEAR(large / small, 10.0, 0.1);
+}
+
+TEST(Pad, InteractionLawHolds) {
+  // The PAD law: with datasets spanning the platform capacity regimes
+  // (via work-profile extrapolation), no single platform wins every
+  // (algorithm, dataset) cell.
+  Rng rng(6);
+  const auto social = graph::preferential_attachment(8'000, 8, rng);
+  const auto grid = graph::grid_2d(60);
+  const std::vector<graph::NamedGraph> datasets = {
+      {"social-S", &social, 1.0},
+      {"social-L", &social, 2'000.0},
+      {"social-XL", &social, 10'000.0},
+      {"grid-L", &grid, 2'000.0}};
+  const auto study =
+      graph::run_pad_study(datasets, graph::standard_platforms());
+  EXPECT_EQ(study.winners.size(), 24u);  // 6 algorithms x 4 datasets
+  EXPECT_GT(study.distinct_winners, 1u);
+}
+
+TEST(Pad, SmallDatasetsFavorSingleNode) {
+  // The complementary PAD prediction: in-memory-scale datasets sit in
+  // the single-node platform's sweet spot, so it wins every cell.
+  Rng rng(6);
+  const auto social = graph::preferential_attachment(8'000, 8, rng);
+  const std::vector<graph::NamedGraph> datasets = {{"small", &social, 1.0}};
+  const auto study =
+      graph::run_pad_study(datasets, graph::standard_platforms());
+  EXPECT_EQ(study.distinct_winners, 1u);
+  EXPECT_EQ(study.winners.front().second, "Native-1N");
+}
+
+TEST(Pad, ScaleExtrapolatesWork) {
+  Rng rng(7);
+  const auto g = graph::erdos_renyi(500, 4.0, rng);
+  graph::PlatformModel linear;  // pure per-edge cost, no walls
+  linear.name = "linear";
+  linear.per_edge_ns = 10.0;
+  const std::vector<graph::NamedGraph> base = {{"g", &g, 1.0}};
+  const std::vector<graph::NamedGraph> scaled = {{"g", &g, 100.0}};
+  const auto s1 = graph::run_pad_study(base, {linear});
+  const auto s100 = graph::run_pad_study(scaled, {linear});
+  for (std::size_t i = 0; i < s1.cells.size(); ++i) {
+    EXPECT_NEAR(s100.cells[i].runtime_s / s1.cells[i].runtime_s, 100.0,
+                1.0);
+  }
+}
+
+TEST(Pad, CellsCoverFullCross) {
+  Rng rng(7);
+  const auto g = graph::erdos_renyi(500, 4.0, rng);
+  const std::vector<graph::NamedGraph> datasets = {{"g", &g}};
+  const auto study =
+      graph::run_pad_study(datasets, graph::standard_platforms());
+  EXPECT_EQ(study.cells.size(), 6u * 4u);
+  for (const auto& cell : study.cells) EXPECT_GT(cell.runtime_s, 0.0);
+}
+
+// ---------------------------------------------------------------- granula --
+
+TEST(Granula, ModeledBreakdownMatchesPrediction) {
+  const auto platforms = graph::standard_platforms();
+  graph::WorkProfile work;
+  work.edges_traversed = 1'000'000;
+  work.iterations = 20;
+  const auto breakdown = graph::modeled_breakdown(
+      platforms[0], graph::Algorithm::kPageRank, work, 10'000, 100'000);
+  const double predicted = graph::predict_runtime(
+      platforms[0], graph::Algorithm::kPageRank, work, 10'000, 100'000);
+  EXPECT_NEAR(breakdown.total(), predicted, 1e-9);
+  EXPECT_EQ(breakdown.phases.size(), 3u);
+}
+
+TEST(Granula, SharesSumToOne) {
+  const auto platforms = graph::standard_platforms();
+  graph::WorkProfile work;
+  work.edges_traversed = 500'000;
+  work.iterations = 10;
+  const auto b = graph::modeled_breakdown(
+      platforms[1], graph::Algorithm::kBfs, work, 5'000, 50'000);
+  const double total =
+      b.share("startup") + b.share("sync") + b.share("compute");
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Granula, MeasuredBreakdownPositive) {
+  Rng rng(8);
+  const auto g = graph::erdos_renyi(2'000, 8.0, rng);
+  const auto b = graph::measured_breakdown(g.num_vertices(), g.edge_list(),
+                                           graph::Algorithm::kPageRank);
+  EXPECT_EQ(b.phases.size(), 2u);
+  EXPECT_GT(b.total(), 0.0);
+  EXPECT_GT(b.share("compute"), 0.0);
+}
+
+// Property: every algorithm's work profile grows with graph size.
+class WorkGrowsWithSize
+    : public ::testing::TestWithParam<graph::Algorithm> {};
+
+TEST_P(WorkGrowsWithSize, MoreEdgesMoreWork) {
+  Rng rng(9);
+  const auto small = graph::erdos_renyi(200, 4.0, rng);
+  const auto large = graph::erdos_renyi(2'000, 8.0, rng);
+  const auto w_small = graph::run_algorithm(small, GetParam());
+  const auto w_large = graph::run_algorithm(large, GetParam());
+  EXPECT_GT(w_large.edges_traversed, w_small.edges_traversed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, WorkGrowsWithSize,
+    ::testing::ValuesIn(graph::all_algorithms()),
+    [](const auto& info) { return graph::to_string(info.param); });

@@ -1,0 +1,217 @@
+// Cross-module integration tests: each scenario wires several AtLarge
+// modules together the way the benches and examples do.
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "atlarge/atlarge.hpp"
+
+using namespace atlarge;
+
+TEST(Integration, WorkloadThroughSchedulerIntoTraceTable) {
+  // Generate a workload, schedule it, archive per-job stats as a trace.
+  workflow::WorkloadSpec spec;
+  spec.cls = workflow::WorkloadClass::kScientific;
+  spec.jobs = 25;
+  spec.seed = 1;
+  const auto wl = workflow::generate(spec);
+  const auto env = cluster::make_homogeneous_cluster("c", 4, 8);
+  sched::SjfPolicy policy;
+  const auto result = sched::simulate(env, wl, policy);
+
+  trace::Table table({{"job", trace::FieldType::kInt},
+                      {"slowdown", trace::FieldType::kReal},
+                      {"user", trace::FieldType::kText}});
+  for (const auto& j : result.jobs) {
+    table.append({static_cast<std::int64_t>(j.id), j.slowdown(),
+                  std::string("Sci")});
+  }
+  std::stringstream buffer;
+  table.write_csv(buffer);
+  const auto back = trace::Table::read_csv(
+      buffer, {{"job", trace::FieldType::kInt},
+               {"slowdown", trace::FieldType::kReal},
+               {"user", trace::FieldType::kText}});
+  EXPECT_EQ(back.rows(), result.jobs.size());
+  const auto slowdowns = back.numeric_column("slowdown");
+  for (double s : slowdowns) EXPECT_GE(s, 1.0);
+}
+
+TEST(Integration, PortfolioSelectionsFeedRankings) {
+  // Rank the zoo policies on one workload using the autoscale ranking
+  // machinery (metrics: mean slowdown, p95 slowdown, makespan).
+  workflow::WorkloadSpec spec;
+  spec.cls = workflow::WorkloadClass::kBigData;
+  spec.jobs = 30;
+  spec.seed = 2;
+  const auto wl = workflow::generate(spec);
+  const auto env = cluster::make_homogeneous_cluster("c", 2, 8);
+  std::vector<autoscale::SystemScores> systems;
+  for (auto& p : sched::standard_policies()) {
+    const auto r = sched::simulate(env, wl, *p);
+    systems.push_back(autoscale::SystemScores{
+        p->name(), {r.mean_slowdown, r.p95_slowdown, r.makespan}});
+  }
+  const auto pairwise = autoscale::rank_pairwise(systems);
+  const auto fractional = autoscale::rank_fractional(systems);
+  EXPECT_EQ(pairwise.size(), 7u);
+  EXPECT_EQ(fractional.size(), 7u);
+  // Both rankings agree on who is worst-or-best often enough that the
+  // top pairwise scorer is in the top half fractionally.
+  const auto& top = pairwise.front().name;
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < fractional.size(); ++i) {
+    if (fractional[i].name == top) pos = i;
+  }
+  EXPECT_LT(pos, 4u);
+}
+
+TEST(Integration, ElasticCostAccounting) {
+  // Autoscaled run -> rentals -> cloud cost models.
+  workflow::WorkloadSpec spec;
+  spec.cls = workflow::WorkloadClass::kIndustrial;
+  spec.jobs = 20;
+  spec.seed = 3;
+  const auto wl = workflow::generate(spec);
+  autoscale::ReactAutoscaler react;
+  const auto result = autoscale::run_elastic(wl, react);
+  for (const auto& model : cluster::standard_cost_models()) {
+    const double cost = model.total_cost(result.makespan, result.rentals);
+    EXPECT_GT(cost, 0.0) << model.name;
+  }
+  // Per-hour billing never cheaper than per-second for the same rentals.
+  const auto models = cluster::standard_cost_models();
+  EXPECT_GE(models[1].total_cost(result.makespan, result.rentals),
+            models[0].total_cost(result.makespan, result.rentals));
+}
+
+TEST(Integration, P2PEcosystemArchivedAsFairDatasets) {
+  p2p::EcosystemConfig config;
+  config.titles = 10;
+  config.total_peers = 500.0;
+  config.horizon = 15'000.0;
+  config.swarm.content_mb = 50.0;
+  const auto eco = p2p::simulate_ecosystem(config);
+
+  trace::Archive archive("p2p-trace-archive");
+  for (std::size_t i = 0; i < eco.swarms.size(); ++i) {
+    trace::DatasetEntry entry;
+    entry.id = "swarm-" + std::to_string(i);
+    entry.domain = trace::Domain::kP2P;
+    entry.collector = "BTWorld-sim";
+    entry.records = eco.swarms[i].result.series.size();
+    entry.fair = {true, true, true, true, true, true};
+    EXPECT_TRUE(archive.add(std::move(entry)));
+  }
+  EXPECT_EQ(archive.size(), eco.swarms.size());
+  EXPECT_DOUBLE_EQ(archive.mean_fair_score(), 1.0);
+}
+
+TEST(Integration, BdcDrivesDesignSpaceExploration) {
+  // The BDC's design/implement stages run real design-space exploration —
+  // the framework orchestrating the substrate, as in the paper's process.
+  design::DesignProblem problem(10, 3, 2, 0.7, 5);
+  design::BdcConfig config;
+  config.satisficing_quality = 0.7;
+  config.max_iterations = 20;
+  design::BasicDesignCycle bdc(config);
+  bdc.on(design::Stage::kHighAndLowLevelDesign,
+         [&](design::BdcContext& ctx) {
+           design::ExplorationConfig ec;
+           ec.evaluation_budget = 400;
+           ec.seed = ctx.rng();
+           const auto trace = design::explore_free(problem, ec);
+           if (trace.best_quality > ctx.best_quality)
+             ctx.best_quality = trace.best_quality;
+           ctx.designs_found += trace.satisficing_designs;
+           ctx.space_explored += trace.evaluations_used;
+         });
+  const auto report = bdc.run();
+  EXPECT_TRUE(report.success());
+  EXPECT_GE(report.best_quality, 0.7);
+}
+
+TEST(Integration, RefArchValidatesSimulatedServerlessStack) {
+  // The serverless simulator's conceptual stack maps onto Figure 9.
+  const auto ra = cluster::paper_reference_architecture();
+  const auto report = ra.validate(cluster::serverless_ecosystem());
+  EXPECT_TRUE(report.executable);
+
+  // And the platform itself runs.
+  const auto registry = serverless::uniform_registry(2, 0.1, 1.0);
+  stats::Rng rng(4);
+  const auto invocations =
+      serverless::bursty_invocations(2, 0.2, 500.0, 100.0, 5, rng);
+  const auto result = serverless::run_platform(registry, invocations, {});
+  EXPECT_EQ(result.invocations.size(), invocations.size());
+}
+
+TEST(Integration, GraphWorkProfilesPriceConsistently) {
+  stats::Rng rng(5);
+  const auto g = graph::preferential_attachment(2'000, 3, rng);
+  const auto platforms = graph::standard_platforms();
+  for (auto algo : graph::all_algorithms()) {
+    const auto work = graph::run_algorithm(g, algo);
+    for (const auto& p : platforms) {
+      const double t = graph::predict_runtime(p, algo, work,
+                                              g.num_vertices(),
+                                              g.num_edges());
+      const auto breakdown = graph::modeled_breakdown(
+          p, algo, work, g.num_vertices(), g.num_edges());
+      EXPECT_NEAR(breakdown.total(), t, 1e-9);
+    }
+  }
+}
+
+TEST(Integration, MmogPopulationDrivesElasticSimulator) {
+  // Convert an MMOG population series into a gaming workload and run it
+  // through the autoscaled cloud — two substrates composed.
+  mmog::PopulationConfig pop_config;
+  pop_config.days = 0.5;
+  pop_config.step = 600.0;
+  pop_config.base_players = 200.0;
+  const auto series = mmog::generate_population(pop_config);
+
+  workflow::Workload wl;
+  wl.name = "mmog-ticks";
+  std::uint64_t id = 0;
+  for (const auto& point : series.points) {
+    workflow::Job job;
+    job.id = id++;
+    job.submit_time = point.time;
+    job.user = "game";
+    workflow::Task t;
+    t.runtime = std::max(1.0, point.players / 100.0);
+    job.tasks.push_back(std::move(t));
+    wl.jobs.push_back(std::move(job));
+  }
+  autoscale::PlanAutoscaler plan;
+  autoscale::ElasticConfig config;
+  config.interval = 300.0;
+  const auto result = autoscale::run_elastic(wl, plan, config);
+  EXPECT_EQ(result.jobs.size(), wl.jobs.size());
+  EXPECT_GT(result.metrics.avg_demand, 0.0);
+}
+
+TEST(Integration, SamplerObservesSchedulerLoad) {
+  // The sim kernel's Sampler plays the DevOps monitoring role over a toy
+  // system built directly on the kernel.
+  sim::Simulation s;
+  sim::Resource cores(s, 4);
+  for (int i = 0; i < 12; ++i) {
+    s.schedule_at(static_cast<double>(i), [&cores, &s] {
+      cores.acquire(1, [&cores, &s] {
+        s.schedule_after(3.0, [&cores] { cores.release(1); });
+      });
+    });
+  }
+  sim::Sampler sampler(s, 0.0, 20.0, 1.0,
+                       [&] { return cores.utilization(); });
+  s.run();
+  const auto values = sampler.values();
+  ASSERT_FALSE(values.empty());
+  const double peak = *std::max_element(values.begin(), values.end());
+  EXPECT_GT(peak, 0.5);
+}

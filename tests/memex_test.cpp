@@ -1,0 +1,146 @@
+// Tests for the Distributed Systems Memex and the design-provenance
+// formalism (challenges C6/C8).
+
+#include <gtest/gtest.h>
+
+#include "atlarge/design/memex.hpp"
+
+namespace design = atlarge::design;
+
+namespace {
+
+design::ProvenanceGraph chain_of(std::size_t revisions) {
+  design::ProvenanceGraph graph;
+  design::DecisionId prev = 0;
+  for (std::size_t i = 0; i < revisions; ++i) {
+    design::DecisionRecord r;
+    r.title = "rev" + std::to_string(i);
+    r.year = 2000 + static_cast<int>(i);
+    r.author = "team";
+    if (i > 0) r.supersedes = {prev};
+    prev = graph.record(std::move(r));
+  }
+  return graph;
+}
+
+}  // namespace
+
+TEST(Provenance, RecordAssignsSequentialIds) {
+  design::ProvenanceGraph graph;
+  EXPECT_EQ(graph.record({0, "a", "", {}, {}, 2020, "x"}), 0u);
+  EXPECT_EQ(graph.record({0, "b", "", {}, {}, 2021, "x"}), 1u);
+  EXPECT_EQ(graph.size(), 2u);
+  EXPECT_EQ(graph.get(1).title, "b");
+}
+
+TEST(Provenance, SupersedingUnknownDecisionRejected) {
+  design::ProvenanceGraph graph;
+  design::DecisionRecord r;
+  r.title = "bad";
+  r.supersedes = {42};
+  EXPECT_THROW(graph.record(std::move(r)), std::invalid_argument);
+}
+
+TEST(Provenance, ActiveExcludesSuperseded) {
+  auto graph = chain_of(3);
+  const auto active = graph.active();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(graph.get(active[0]).title, "rev2");
+}
+
+TEST(Provenance, ParallelDecisionsAllActive) {
+  design::ProvenanceGraph graph;
+  graph.record({0, "a", "", {}, {}, 2020, "x"});
+  graph.record({0, "b", "", {}, {}, 2020, "y"});
+  EXPECT_EQ(graph.active().size(), 2u);
+}
+
+TEST(Provenance, LineageOldestFirst) {
+  auto graph = chain_of(4);
+  const auto lineage = graph.lineage(3);
+  ASSERT_EQ(lineage.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(lineage[i], i);
+  EXPECT_EQ(graph.revision_depth(3), 4u);
+  EXPECT_EQ(graph.revision_depth(0), 1u);
+}
+
+TEST(Provenance, LineageOfUnknownRejected) {
+  design::ProvenanceGraph graph;
+  EXPECT_THROW(graph.lineage(0), std::invalid_argument);
+}
+
+TEST(Provenance, LineageMergesBranches) {
+  design::ProvenanceGraph graph;
+  const auto a = graph.record({0, "a", "", {}, {}, 2019, "x"});
+  const auto b = graph.record({0, "b", "", {}, {}, 2019, "x"});
+  const auto merged = graph.record({0, "merge", "", {}, {a, b}, 2020, "x"});
+  EXPECT_EQ(graph.lineage(merged).size(), 3u);
+}
+
+TEST(Provenance, ByAuthorFilters) {
+  design::ProvenanceGraph graph;
+  graph.record({0, "a", "", {}, {}, 2020, "alice"});
+  graph.record({0, "b", "", {}, {}, 2020, "bob"});
+  graph.record({0, "c", "", {}, {}, 2021, "alice"});
+  EXPECT_EQ(graph.by_author("alice").size(), 2u);
+  EXPECT_EQ(graph.by_author("nobody").size(), 0u);
+}
+
+TEST(Memex, AddRejectsDuplicateSystems) {
+  design::Memex memex;
+  EXPECT_TRUE(memex.add({"sys", {}, {}, 2000, 2010}));
+  EXPECT_FALSE(memex.add({"sys", {}, {}, 2005, 2015}));
+  EXPECT_EQ(memex.size(), 1u);
+}
+
+TEST(Memex, FindReturnsEntry) {
+  design::Memex memex;
+  design::MemexEntry entry;
+  entry.system = "Tribler";
+  entry.trace_dataset_ids = {"p2p-0001"};
+  memex.add(std::move(entry));
+  const auto* found = memex.find("Tribler");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->trace_dataset_ids.size(), 1u);
+  EXPECT_EQ(memex.find("missing"), nullptr);
+}
+
+TEST(Memex, ActiveBetweenOverlapsInclusive) {
+  design::Memex memex;
+  memex.add({"early", {}, {}, 2000, 2005});
+  memex.add({"late", {}, {}, 2010, 2015});
+  EXPECT_EQ(memex.active_between(2004, 2011).size(), 2u);
+  EXPECT_EQ(memex.active_between(2006, 2009).size(), 0u);
+  EXPECT_EQ(memex.active_between(2005, 2005).size(), 1u);
+}
+
+TEST(Memex, PaperMemexPreservesHeritage) {
+  const auto memex = design::paper_memex();
+  EXPECT_EQ(memex.size(), 3u);
+  EXPECT_GE(memex.decisions_preserved(), 6u);
+
+  // The BTWorld decision supersedes MultiProbe — the lineage the paper
+  // says must not be lost.
+  const auto* p2p = memex.find("BTWorld/Tribler");
+  ASSERT_NE(p2p, nullptr);
+  const auto active = p2p->provenance.active();
+  bool btworld_active = false;
+  for (auto id : active) {
+    if (p2p->provenance.get(id).title.find("BTWorld") != std::string::npos)
+      btworld_active = true;
+    // MultiProbe must not be active anymore.
+    EXPECT_EQ(p2p->provenance.get(id).title.find("MultiProbe"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(btworld_active);
+}
+
+TEST(Memex, PaperMemexRationalesRecorded) {
+  const auto memex = design::paper_memex();
+  const auto* ps = memex.find("Portfolio-Scheduler");
+  ASSERT_NE(ps, nullptr);
+  for (design::DecisionId id = 0; id < ps->provenance.size(); ++id) {
+    EXPECT_FALSE(ps->provenance.get(id).rationale.empty());
+    EXPECT_FALSE(ps->provenance.get(id).alternatives.empty());
+  }
+}

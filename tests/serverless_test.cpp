@@ -1,0 +1,263 @@
+// Tests for the FaaS platform and the serverless workflow engine
+// (paper Section 6.4).
+
+#include <gtest/gtest.h>
+
+#include "atlarge/serverless/platform.hpp"
+#include "atlarge/serverless/workflow_engine.hpp"
+
+namespace sl = atlarge::serverless;
+using atlarge::stats::Rng;
+
+namespace {
+
+std::vector<sl::FunctionSpec> two_functions() {
+  return {{"alpha", 0.2, 1.0, 128.0}, {"beta", 0.5, 2.0, 256.0}};
+}
+
+}  // namespace
+
+TEST(Platform, FirstInvocationIsCold) {
+  const auto registry = two_functions();
+  const std::vector<sl::Invocation> invocations = {{0, 0.0}};
+  const auto result = sl::run_platform(registry, invocations, {});
+  ASSERT_EQ(result.invocations.size(), 1u);
+  EXPECT_TRUE(result.invocations[0].cold);
+  EXPECT_DOUBLE_EQ(result.invocations[0].latency(), 1.0 + 0.2);
+}
+
+TEST(Platform, SecondInvocationReusesWarmInstance) {
+  const auto registry = two_functions();
+  const std::vector<sl::Invocation> invocations = {{0, 0.0}, {0, 5.0}};
+  const auto result = sl::run_platform(registry, invocations, {});
+  ASSERT_EQ(result.invocations.size(), 2u);
+  EXPECT_FALSE(result.invocations[1].cold);
+  EXPECT_NEAR(result.invocations[1].latency(), 0.2, 1e-9);
+}
+
+TEST(Platform, KeepAliveExpiryForcesColdStart) {
+  const auto registry = two_functions();
+  sl::PlatformConfig config;
+  config.keep_alive = 10.0;
+  const std::vector<sl::Invocation> invocations = {{0, 0.0}, {0, 100.0}};
+  const auto result = sl::run_platform(registry, invocations, config);
+  EXPECT_TRUE(result.invocations[1].cold);
+}
+
+TEST(Platform, PrewarmedPoolAvoidsFirstCold) {
+  const auto registry = two_functions();
+  sl::PlatformConfig config;
+  config.prewarmed = 1;
+  const std::vector<sl::Invocation> invocations = {{0, 1.0}, {1, 1.0}};
+  const auto result = sl::run_platform(registry, invocations, config);
+  EXPECT_DOUBLE_EQ(result.cold_fraction, 0.0);
+}
+
+TEST(Platform, ConcurrencyCapQueuesRequests) {
+  const auto registry = two_functions();
+  sl::PlatformConfig config;
+  config.max_instances = 1;
+  // Three concurrent requests to the same function.
+  const std::vector<sl::Invocation> invocations = {{0, 0.0}, {0, 0.0},
+                                                   {0, 0.0}};
+  const auto result = sl::run_platform(registry, invocations, config);
+  ASSERT_EQ(result.invocations.size(), 3u);
+  EXPECT_EQ(result.peak_instances, 1u);
+  // They serialize: each finishes ~exec_time after the previous.
+  std::vector<double> finishes;
+  for (const auto& s : result.invocations) finishes.push_back(s.finish);
+  std::sort(finishes.begin(), finishes.end());
+  EXPECT_GT(finishes[1], finishes[0]);
+  EXPECT_GT(finishes[2], finishes[1]);
+}
+
+TEST(Platform, MixedFunctionsUnderCapDoNotDeadlock) {
+  const auto registry = two_functions();
+  sl::PlatformConfig config;
+  config.max_instances = 1;
+  const std::vector<sl::Invocation> invocations = {{0, 0.0}, {1, 0.0},
+                                                   {0, 0.0}};
+  const auto result = sl::run_platform(registry, invocations, config);
+  EXPECT_EQ(result.invocations.size(), 3u);
+}
+
+TEST(Platform, UnknownFunctionRejected) {
+  const auto registry = two_functions();
+  const std::vector<sl::Invocation> invocations = {{9, 0.0}};
+  EXPECT_THROW(sl::run_platform(registry, invocations, {}),
+               std::invalid_argument);
+}
+
+TEST(Platform, BilledAtLeastBusy) {
+  Rng rng(1);
+  const auto registry = two_functions();
+  const auto invocations =
+      sl::bursty_invocations(2, 0.5, 2'000.0, 500.0, 20, rng);
+  const auto result = sl::run_platform(registry, invocations, {});
+  EXPECT_GE(result.billed_instance_seconds,
+            result.busy_instance_seconds - 1e-6);
+}
+
+TEST(Platform, ColdFractionDropsWithLongerKeepAlive) {
+  Rng rng(2);
+  const auto registry = two_functions();
+  const auto invocations =
+      sl::bursty_invocations(2, 0.05, 10'000.0, 2'000.0, 10, rng);
+  sl::PlatformConfig ephemeral;
+  ephemeral.keep_alive = 1.0;
+  sl::PlatformConfig sticky;
+  sticky.keep_alive = 3'600.0;
+  const auto r_eph = sl::run_platform(registry, invocations, ephemeral);
+  const auto r_sticky = sl::run_platform(registry, invocations, sticky);
+  EXPECT_GT(r_eph.cold_fraction, r_sticky.cold_fraction);
+}
+
+TEST(Platform, KeepAliveTradesBillingForLatency) {
+  Rng rng(3);
+  const auto registry = two_functions();
+  const auto invocations =
+      sl::bursty_invocations(2, 0.05, 10'000.0, 2'000.0, 10, rng);
+  sl::PlatformConfig ephemeral;
+  ephemeral.keep_alive = 1.0;
+  sl::PlatformConfig sticky;
+  sticky.keep_alive = 3'600.0;
+  const auto r_eph = sl::run_platform(registry, invocations, ephemeral);
+  const auto r_sticky = sl::run_platform(registry, invocations, sticky);
+  EXPECT_LT(r_eph.billed_instance_seconds, r_sticky.billed_instance_seconds);
+  EXPECT_GE(r_eph.p95_latency, r_sticky.p95_latency);
+}
+
+TEST(Platform, MicroserviceBaselineHasNoColdStarts) {
+  Rng rng(4);
+  const auto registry = two_functions();
+  const auto invocations =
+      sl::bursty_invocations(2, 0.2, 5'000.0, 1'000.0, 15, rng);
+  const auto result =
+      sl::run_microservice_baseline(registry, invocations, 4, 5'000.0);
+  EXPECT_DOUBLE_EQ(result.cold_fraction, 0.0);
+  // Always-on billing: instances x functions x horizon.
+  EXPECT_DOUBLE_EQ(result.billed_instance_seconds, 4.0 * 2.0 * 5'000.0);
+}
+
+TEST(Platform, ServerlessCheaperForSparseTraffic) {
+  // The serverless economics claim of [101]: pay-per-use wins when
+  // traffic is sparse.
+  Rng rng(5);
+  const auto registry = two_functions();
+  const auto invocations =
+      sl::bursty_invocations(2, 0.01, 20'000.0, 10'000.0, 5, rng);
+  sl::PlatformConfig config;
+  config.keep_alive = 60.0;
+  const auto faas = sl::run_platform(registry, invocations, config);
+  const auto micro =
+      sl::run_microservice_baseline(registry, invocations, 2, 20'000.0);
+  EXPECT_LT(faas.billed_instance_seconds,
+            micro.billed_instance_seconds * 0.25);
+}
+
+TEST(Platform, BurstyGeneratorSortedAndBounded) {
+  Rng rng(6);
+  const auto invocations =
+      sl::bursty_invocations(3, 0.5, 1'000.0, 200.0, 25, rng);
+  for (std::size_t i = 1; i < invocations.size(); ++i)
+    EXPECT_GE(invocations[i].arrival, invocations[i - 1].arrival);
+  for (const auto& inv : invocations) {
+    EXPECT_LT(inv.function, 3u);
+    EXPECT_LT(inv.arrival, 1'000.0);
+  }
+}
+
+// --------------------------------------------------------- workflow engine --
+
+TEST(WorkflowEngine, ChainExecutesSequentially) {
+  // 5 distinct functions: every step pays a cold start the first time.
+  const auto registry = sl::uniform_registry(5, 0.1, 1.0);
+  std::vector<atlarge::workflow::Job> jobs = {
+      sl::make_chain_workflow(5, 5, 0.0)};
+  sl::OrchestratorConfig orch;
+  orch.kind = sl::OrchestratorKind::kIntegratedEngine;
+  orch.step_overhead = 0.0;
+  const auto result = sl::run_workflows(registry, jobs, {}, orch);
+  ASSERT_EQ(result.runs.size(), 1u);
+  // 5 steps, all cold: 5 * (1.0 + 0.1).
+  EXPECT_NEAR(result.runs[0].makespan(), 5.5, 1e-6);
+  EXPECT_EQ(result.runs[0].cold_steps, 5u);
+}
+
+TEST(WorkflowEngine, ChainReusesWarmContainersAcrossSteps) {
+  // 5 steps cycling over 3 functions: steps 4 and 5 reuse the containers
+  // steps 1 and 2 warmed up.
+  const auto registry = sl::uniform_registry(3, 0.1, 1.0);
+  std::vector<atlarge::workflow::Job> jobs = {
+      sl::make_chain_workflow(5, 3, 0.0)};
+  sl::OrchestratorConfig orch;
+  orch.step_overhead = 0.0;
+  const auto result = sl::run_workflows(registry, jobs, {}, orch);
+  ASSERT_EQ(result.runs.size(), 1u);
+  EXPECT_EQ(result.runs[0].cold_steps, 3u);
+  EXPECT_NEAR(result.runs[0].makespan(), 3 * 1.1 + 2 * 0.1, 1e-6);
+}
+
+TEST(WorkflowEngine, WarmReuseAcrossRuns) {
+  const auto registry = sl::uniform_registry(2, 0.1, 1.0);
+  std::vector<atlarge::workflow::Job> jobs = {
+      sl::make_chain_workflow(4, 2, 0.0),
+      sl::make_chain_workflow(4, 2, 100.0)};  // later run reuses containers
+  sl::OrchestratorConfig orch;
+  orch.step_overhead = 0.0;
+  const auto result = sl::run_workflows(registry, jobs, {}, orch);
+  ASSERT_EQ(result.runs.size(), 2u);
+  EXPECT_GT(result.runs[0].cold_steps, 0u);
+  EXPECT_EQ(result.runs[1].cold_steps, 0u);
+  EXPECT_LT(result.runs[1].makespan(), result.runs[0].makespan());
+}
+
+TEST(WorkflowEngine, FanoutRunsInParallel) {
+  const auto registry = sl::uniform_registry(8, 0.5, 0.0);
+  std::vector<atlarge::workflow::Job> jobs = {
+      sl::make_fanout_workflow(6, 8, 0.0)};
+  sl::OrchestratorConfig orch;
+  orch.step_overhead = 0.0;
+  const auto result = sl::run_workflows(registry, jobs, {}, orch);
+  // source + parallel stage + sink = ~3 x exec, far below 8 x exec.
+  EXPECT_NEAR(result.runs[0].makespan(), 1.5, 0.1);
+}
+
+TEST(WorkflowEngine, ExternalPollingAddsLatency) {
+  // The Fission-Workflows design argument: integrated orchestration beats
+  // an external poller.
+  const auto registry = sl::uniform_registry(4, 0.1, 0.5);
+  std::vector<atlarge::workflow::Job> jobs;
+  for (int i = 0; i < 10; ++i)
+    jobs.push_back(sl::make_chain_workflow(6, 4, i * 50.0));
+  sl::OrchestratorConfig integrated;
+  integrated.kind = sl::OrchestratorKind::kIntegratedEngine;
+  sl::OrchestratorConfig polling;
+  polling.kind = sl::OrchestratorKind::kExternalPolling;
+  polling.poll_interval = 1.0;
+  const auto fast = sl::run_workflows(registry, jobs, {}, integrated);
+  const auto slow = sl::run_workflows(registry, jobs, {}, polling);
+  EXPECT_LT(fast.mean_makespan, slow.mean_makespan);
+  EXPECT_LT(fast.orchestration_overhead, slow.orchestration_overhead);
+}
+
+TEST(WorkflowEngine, RejectsBadFunctionIndex) {
+  const auto registry = sl::uniform_registry(2, 0.1, 0.5);
+  atlarge::workflow::Job bad;
+  atlarge::workflow::Task t;
+  t.runtime = 1.0;
+  t.cores = 7;  // registry has 2 functions
+  bad.tasks.push_back(t);
+  std::vector<atlarge::workflow::Job> jobs = {bad};
+  EXPECT_THROW(sl::run_workflows(registry, jobs, {}, {}),
+               std::invalid_argument);
+}
+
+TEST(WorkflowEngine, ColdFractionAggregates) {
+  const auto registry = sl::uniform_registry(2, 0.1, 1.0);
+  std::vector<atlarge::workflow::Job> jobs = {
+      sl::make_chain_workflow(4, 2, 0.0)};
+  const auto result = sl::run_workflows(registry, jobs, {}, {});
+  EXPECT_GT(result.cold_fraction, 0.0);
+  EXPECT_LE(result.cold_fraction, 1.0);
+}

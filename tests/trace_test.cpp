@@ -1,0 +1,174 @@
+// Tests for trace tables and FAIR archive catalogs.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "atlarge/trace/archive.hpp"
+#include "atlarge/trace/record.hpp"
+
+namespace trace = atlarge::trace;
+
+namespace {
+
+std::vector<trace::Column> job_schema() {
+  return {{"job_id", trace::FieldType::kInt},
+          {"runtime", trace::FieldType::kReal},
+          {"user", trace::FieldType::kText}};
+}
+
+}  // namespace
+
+TEST(Table, RequiresNonEmptySchema) {
+  EXPECT_THROW(trace::Table({}), std::invalid_argument);
+}
+
+TEST(Table, AppendAndRead) {
+  trace::Table t(job_schema());
+  t.append({std::int64_t{1}, 2.5, std::string("alice")});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(t.row(0)[0]), 1);
+  EXPECT_DOUBLE_EQ(std::get<double>(t.row(0)[1]), 2.5);
+  EXPECT_EQ(std::get<std::string>(t.row(0)[2]), "alice");
+}
+
+TEST(Table, AppendRejectsArityMismatch) {
+  trace::Table t(job_schema());
+  EXPECT_THROW(t.append({std::int64_t{1}, 2.5}), std::invalid_argument);
+}
+
+TEST(Table, AppendRejectsTypeMismatch) {
+  trace::Table t(job_schema());
+  EXPECT_THROW(t.append({2.5, std::int64_t{1}, std::string("x")}),
+               std::invalid_argument);
+}
+
+TEST(Table, ColumnIndexLookup) {
+  trace::Table t(job_schema());
+  EXPECT_EQ(t.column_index("runtime"), 1u);
+  EXPECT_EQ(t.column_index("nope"), trace::Table::npos);
+}
+
+TEST(Table, NumericColumnWidensInts) {
+  trace::Table t(job_schema());
+  t.append({std::int64_t{4}, 1.0, std::string("a")});
+  t.append({std::int64_t{9}, 2.0, std::string("b")});
+  const auto col = t.numeric_column("job_id");
+  EXPECT_EQ(col, (std::vector<double>{4.0, 9.0}));
+}
+
+TEST(Table, NumericColumnRejectsText) {
+  trace::Table t(job_schema());
+  EXPECT_THROW(t.numeric_column("user"), std::invalid_argument);
+  EXPECT_THROW(t.numeric_column("missing"), std::invalid_argument);
+}
+
+TEST(Table, CsvRoundTrip) {
+  trace::Table t(job_schema());
+  t.append({std::int64_t{1}, 3.14159, std::string("plain")});
+  t.append({std::int64_t{2}, -0.5, std::string("with,comma")});
+  t.append({std::int64_t{3}, 1e-10, std::string("with\"quote")});
+  std::stringstream buffer;
+  t.write_csv(buffer);
+  const auto back = trace::Table::read_csv(buffer, job_schema());
+  ASSERT_EQ(back.rows(), 3u);
+  EXPECT_EQ(std::get<std::string>(back.row(1)[2]), "with,comma");
+  EXPECT_EQ(std::get<std::string>(back.row(2)[2]), "with\"quote");
+  EXPECT_DOUBLE_EQ(std::get<double>(back.row(0)[1]), 3.14159);
+  EXPECT_DOUBLE_EQ(std::get<double>(back.row(2)[1]), 1e-10);
+}
+
+TEST(Table, ReadCsvRejectsHeaderMismatch) {
+  std::stringstream buffer("a,b\n1,2\n");
+  EXPECT_THROW(trace::Table::read_csv(buffer, job_schema()),
+               std::runtime_error);
+}
+
+TEST(Table, ReadCsvRejectsBadCells) {
+  std::stringstream buffer("job_id,runtime,user\nnot_an_int,1.0,x\n");
+  EXPECT_THROW(trace::Table::read_csv(buffer, job_schema()),
+               std::runtime_error);
+}
+
+TEST(Table, ReadCsvSkipsBlankLines) {
+  std::stringstream buffer("job_id,runtime,user\n1,1.0,x\n\n2,2.0,y\n");
+  const auto t = trace::Table::read_csv(buffer, job_schema());
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+// ---------------------------------------------------------------- Archive --
+
+TEST(Fair, ScoreCountsSatisfiedCriteria) {
+  trace::FairAssessment fair;
+  EXPECT_DOUBLE_EQ(fair.score(), 0.0);
+  fair.findable_identifier = true;
+  fair.findable_metadata = true;
+  fair.accessible_protocol = true;
+  EXPECT_DOUBLE_EQ(fair.score(), 0.5);
+  fair.interoperable_format = true;
+  fair.reusable_license = true;
+  fair.reusable_provenance = true;
+  EXPECT_DOUBLE_EQ(fair.score(), 1.0);
+}
+
+TEST(Archive, AddRejectsDuplicateIds) {
+  trace::Archive archive("p2p-trace-archive");
+  EXPECT_TRUE(archive.add({.id = "d1", .title = "one"}));
+  EXPECT_FALSE(archive.add({.id = "d1", .title = "dup"}));
+  EXPECT_EQ(archive.size(), 1u);
+}
+
+TEST(Archive, FindById) {
+  trace::Archive archive("gta");
+  archive.add({.id = "g1", .title = "runescape traces"});
+  const auto found = archive.find("g1");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->title, "runescape traces");
+  EXPECT_FALSE(archive.find("missing").has_value());
+}
+
+TEST(Archive, FilterByDomain) {
+  trace::Archive archive("a");
+  archive.add({.id = "1", .domain = trace::Domain::kP2P});
+  archive.add({.id = "2", .domain = trace::Domain::kGaming});
+  archive.add({.id = "3", .domain = trace::Domain::kP2P});
+  EXPECT_EQ(archive.by_domain(trace::Domain::kP2P).size(), 2u);
+  EXPECT_EQ(archive.by_domain(trace::Domain::kServerless).size(), 0u);
+}
+
+TEST(Archive, FilterByKeyword) {
+  trace::Archive archive("a");
+  trace::DatasetEntry e;
+  e.id = "1";
+  e.keywords = {"bittorrent", "flashcrowd"};
+  archive.add(e);
+  EXPECT_EQ(archive.by_keyword("flashcrowd").size(), 1u);
+  EXPECT_EQ(archive.by_keyword("mmog").size(), 0u);
+}
+
+TEST(Archive, MeanFairScore) {
+  trace::Archive archive("a");
+  trace::DatasetEntry good;
+  good.id = "good";
+  good.fair = {true, true, true, true, true, true};
+  trace::DatasetEntry poor;
+  poor.id = "poor";
+  archive.add(good);
+  archive.add(poor);
+  EXPECT_DOUBLE_EQ(archive.mean_fair_score(), 0.5);
+}
+
+TEST(Archive, EmptyMeanIsZero) {
+  trace::Archive archive("a");
+  EXPECT_DOUBLE_EQ(archive.mean_fair_score(), 0.0);
+}
+
+TEST(Domain, ToStringCoversAll) {
+  EXPECT_EQ(trace::to_string(trace::Domain::kP2P), "p2p");
+  EXPECT_EQ(trace::to_string(trace::Domain::kGaming), "gaming");
+  EXPECT_EQ(trace::to_string(trace::Domain::kDatacenter), "datacenter");
+  EXPECT_EQ(trace::to_string(trace::Domain::kServerless), "serverless");
+  EXPECT_EQ(trace::to_string(trace::Domain::kGraph), "graph");
+  EXPECT_EQ(trace::to_string(trace::Domain::kWorkflow), "workflow");
+  EXPECT_EQ(trace::to_string(trace::Domain::kOther), "other");
+}

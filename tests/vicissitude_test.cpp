@@ -1,0 +1,107 @@
+// Tests for the vicissitude phenomenon analysis (paper Section 2.5, [38]).
+
+#include <gtest/gtest.h>
+
+#include "atlarge/workflow/vicissitude.hpp"
+
+namespace wf = atlarge::workflow;
+
+namespace {
+
+wf::PipelineConfig near_critical() {
+  wf::PipelineConfig config;
+  config.stages = 5;
+  config.horizon = 20'000.0;
+  config.input_rate = 100.0;
+  config.stage_capacity = 140.0;  // headroom lets backlogs drain
+  config.capacity_noise = 0.35;  // stragglers/interference
+  config.seed = 3;
+  return config;
+}
+
+}  // namespace
+
+TEST(Pipeline, ProducesOneSamplePerWindow) {
+  auto config = near_critical();
+  config.horizon = 1'000.0;
+  config.window = 50.0;
+  const auto samples = wf::simulate_pipeline(config);
+  EXPECT_EQ(samples.size(), 20u);
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.utilization.size(), config.stages);
+    for (double u : s.utilization) EXPECT_GE(u, 0.0);
+  }
+}
+
+TEST(Pipeline, DeterministicForSeed) {
+  const auto a = wf::simulate_pipeline(near_critical());
+  const auto b = wf::simulate_pipeline(near_critical());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t s = 0; s < a[i].utilization.size(); ++s)
+      EXPECT_DOUBLE_EQ(a[i].utilization[s], b[i].utilization[s]);
+  }
+}
+
+TEST(Pipeline, OverProvisionedStaysUnsaturated) {
+  auto config = near_critical();
+  config.stage_capacity = 1'000.0;  // 10x headroom
+  config.capacity_noise = 0.0;
+  config.burst_factor = 1.0;
+  const auto samples = wf::simulate_pipeline(config);
+  for (const auto& s : samples) {
+    for (double u : s.utilization) EXPECT_LT(u, 0.95);
+  }
+}
+
+TEST(Vicissitude, DetectedInNearCriticalNoisyPipeline) {
+  // The [38] phenomenon: with fluctuating capacities near the critical
+  // load, bottlenecks appear "seemingly at random in various parts of
+  // the system".
+  const auto samples = wf::simulate_pipeline(near_critical());
+  const auto report = wf::analyze_vicissitude(samples);
+  EXPECT_TRUE(report.vicissitude);
+  EXPECT_GE(report.distinct_bottlenecks, 2u);
+  EXPECT_GT(report.rotation_rate, 0.2);
+}
+
+TEST(Vicissitude, StaticBottleneckIsNotVicissitude) {
+  // A classic fixed bottleneck: stage capacities are deterministic, so
+  // the first stage saturates every window and never rotates.
+  auto config = near_critical();
+  config.capacity_noise = 0.0;
+  config.stage_capacity = 90.0;  // below the input rate
+  config.burst_factor = 1.0;
+  config.burst_share = 0.0;
+  const auto samples = wf::simulate_pipeline(config);
+  const auto report = wf::analyze_vicissitude(samples);
+  EXPECT_GT(report.saturated_windows, 0u);
+  EXPECT_EQ(report.distinct_bottlenecks, 1u);
+  EXPECT_DOUBLE_EQ(report.rotation_rate, 0.0);
+  EXPECT_FALSE(report.vicissitude);
+}
+
+TEST(Vicissitude, UnsaturatedPipelineReportsNothing) {
+  auto config = near_critical();
+  config.stage_capacity = 1'000.0;
+  config.capacity_noise = 0.0;
+  config.burst_factor = 1.0;
+  const auto samples = wf::simulate_pipeline(config);
+  const auto report = wf::analyze_vicissitude(samples);
+  EXPECT_EQ(report.saturated_windows, 0u);
+  EXPECT_FALSE(report.vicissitude);
+}
+
+TEST(Vicissitude, EmptySeriesHandled) {
+  const auto report = wf::analyze_vicissitude({});
+  EXPECT_FALSE(report.vicissitude);
+  EXPECT_EQ(report.saturated_windows, 0u);
+}
+
+TEST(Vicissitude, BottleneckWindowsSumToSaturated) {
+  const auto samples = wf::simulate_pipeline(near_critical());
+  const auto report = wf::analyze_vicissitude(samples);
+  std::size_t total = 0;
+  for (std::size_t c : report.bottleneck_windows) total += c;
+  EXPECT_EQ(total, report.saturated_windows);
+}
