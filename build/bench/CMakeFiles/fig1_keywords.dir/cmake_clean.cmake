@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_keywords.dir/fig1_keywords.cpp.o"
+  "CMakeFiles/fig1_keywords.dir/fig1_keywords.cpp.o.d"
+  "fig1_keywords"
+  "fig1_keywords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_keywords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

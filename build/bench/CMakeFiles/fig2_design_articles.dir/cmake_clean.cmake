@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_design_articles.dir/fig2_design_articles.cpp.o"
+  "CMakeFiles/fig2_design_articles.dir/fig2_design_articles.cpp.o.d"
+  "fig2_design_articles"
+  "fig2_design_articles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_design_articles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

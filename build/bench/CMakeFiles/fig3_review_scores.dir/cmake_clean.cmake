@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_review_scores.dir/fig3_review_scores.cpp.o"
+  "CMakeFiles/fig3_review_scores.dir/fig3_review_scores.cpp.o.d"
+  "fig3_review_scores"
+  "fig3_review_scores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_review_scores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_exploration.dir/fig7_exploration.cpp.o"
+  "CMakeFiles/fig7_exploration.dir/fig7_exploration.cpp.o.d"
+  "fig7_exploration"
+  "fig7_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

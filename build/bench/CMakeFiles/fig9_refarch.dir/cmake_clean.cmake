@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_refarch.dir/fig9_refarch.cpp.o"
+  "CMakeFiles/fig9_refarch.dir/fig9_refarch.cpp.o.d"
+  "fig9_refarch"
+  "fig9_refarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_refarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

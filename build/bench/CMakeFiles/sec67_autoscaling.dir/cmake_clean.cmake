@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec67_autoscaling.dir/sec67_autoscaling.cpp.o"
+  "CMakeFiles/sec67_autoscaling.dir/sec67_autoscaling.cpp.o.d"
+  "sec67_autoscaling"
+  "sec67_autoscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec67_autoscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

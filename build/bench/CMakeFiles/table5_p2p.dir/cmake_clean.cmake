@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_p2p.dir/table5_p2p.cpp.o"
+  "CMakeFiles/table5_p2p.dir/table5_p2p.cpp.o.d"
+  "table5_p2p"
+  "table5_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

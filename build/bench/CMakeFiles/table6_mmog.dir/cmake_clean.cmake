@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_mmog.dir/table6_mmog.cpp.o"
+  "CMakeFiles/table6_mmog.dir/table6_mmog.cpp.o.d"
+  "table6_mmog"
+  "table6_mmog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_mmog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

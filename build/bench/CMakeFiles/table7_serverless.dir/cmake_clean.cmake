@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_serverless.dir/table7_serverless.cpp.o"
+  "CMakeFiles/table7_serverless.dir/table7_serverless.cpp.o.d"
+  "table7_serverless"
+  "table7_serverless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_serverless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

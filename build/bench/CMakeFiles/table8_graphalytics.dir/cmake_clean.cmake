@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_graphalytics.dir/table8_graphalytics.cpp.o"
+  "CMakeFiles/table8_graphalytics.dir/table8_graphalytics.cpp.o.d"
+  "table8_graphalytics"
+  "table8_graphalytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_graphalytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_portfolio.dir/table9_portfolio.cpp.o"
+  "CMakeFiles/table9_portfolio.dir/table9_portfolio.cpp.o.d"
+  "table9_portfolio"
+  "table9_portfolio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

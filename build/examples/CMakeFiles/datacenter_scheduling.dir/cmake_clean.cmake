@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_scheduling.dir/datacenter_scheduling.cpp.o"
+  "CMakeFiles/datacenter_scheduling.dir/datacenter_scheduling.cpp.o.d"
+  "datacenter_scheduling"
+  "datacenter_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

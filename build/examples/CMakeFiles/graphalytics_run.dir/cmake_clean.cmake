@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphalytics_run.dir/graphalytics_run.cpp.o"
+  "CMakeFiles/graphalytics_run.dir/graphalytics_run.cpp.o.d"
+  "graphalytics_run"
+  "graphalytics_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphalytics_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

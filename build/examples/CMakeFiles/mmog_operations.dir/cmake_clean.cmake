@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmog_operations.dir/mmog_operations.cpp.o"
+  "CMakeFiles/mmog_operations.dir/mmog_operations.cpp.o.d"
+  "mmog_operations"
+  "mmog_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmog_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

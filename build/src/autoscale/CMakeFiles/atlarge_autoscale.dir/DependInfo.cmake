@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autoscale/autoscalers.cpp" "src/autoscale/CMakeFiles/atlarge_autoscale.dir/autoscalers.cpp.o" "gcc" "src/autoscale/CMakeFiles/atlarge_autoscale.dir/autoscalers.cpp.o.d"
+  "/root/repo/src/autoscale/elastic_sim.cpp" "src/autoscale/CMakeFiles/atlarge_autoscale.dir/elastic_sim.cpp.o" "gcc" "src/autoscale/CMakeFiles/atlarge_autoscale.dir/elastic_sim.cpp.o.d"
+  "/root/repo/src/autoscale/metrics.cpp" "src/autoscale/CMakeFiles/atlarge_autoscale.dir/metrics.cpp.o" "gcc" "src/autoscale/CMakeFiles/atlarge_autoscale.dir/metrics.cpp.o.d"
+  "/root/repo/src/autoscale/ranking.cpp" "src/autoscale/CMakeFiles/atlarge_autoscale.dir/ranking.cpp.o" "gcc" "src/autoscale/CMakeFiles/atlarge_autoscale.dir/ranking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/atlarge_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/atlarge_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atlarge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/atlarge_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/atlarge_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

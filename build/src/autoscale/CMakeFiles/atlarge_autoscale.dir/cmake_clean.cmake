@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlarge_autoscale.dir/autoscalers.cpp.o"
+  "CMakeFiles/atlarge_autoscale.dir/autoscalers.cpp.o.d"
+  "CMakeFiles/atlarge_autoscale.dir/elastic_sim.cpp.o"
+  "CMakeFiles/atlarge_autoscale.dir/elastic_sim.cpp.o.d"
+  "CMakeFiles/atlarge_autoscale.dir/metrics.cpp.o"
+  "CMakeFiles/atlarge_autoscale.dir/metrics.cpp.o.d"
+  "CMakeFiles/atlarge_autoscale.dir/ranking.cpp.o"
+  "CMakeFiles/atlarge_autoscale.dir/ranking.cpp.o.d"
+  "libatlarge_autoscale.a"
+  "libatlarge_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlarge_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

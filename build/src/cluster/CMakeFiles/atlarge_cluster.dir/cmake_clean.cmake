@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlarge_cluster.dir/cost.cpp.o"
+  "CMakeFiles/atlarge_cluster.dir/cost.cpp.o.d"
+  "CMakeFiles/atlarge_cluster.dir/machine.cpp.o"
+  "CMakeFiles/atlarge_cluster.dir/machine.cpp.o.d"
+  "CMakeFiles/atlarge_cluster.dir/refarch.cpp.o"
+  "CMakeFiles/atlarge_cluster.dir/refarch.cpp.o.d"
+  "libatlarge_cluster.a"
+  "libatlarge_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlarge_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

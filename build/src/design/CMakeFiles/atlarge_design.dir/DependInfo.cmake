@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/design/bdc.cpp" "src/design/CMakeFiles/atlarge_design.dir/bdc.cpp.o" "gcc" "src/design/CMakeFiles/atlarge_design.dir/bdc.cpp.o.d"
+  "/root/repo/src/design/bibliometrics.cpp" "src/design/CMakeFiles/atlarge_design.dir/bibliometrics.cpp.o" "gcc" "src/design/CMakeFiles/atlarge_design.dir/bibliometrics.cpp.o.d"
+  "/root/repo/src/design/catalog.cpp" "src/design/CMakeFiles/atlarge_design.dir/catalog.cpp.o" "gcc" "src/design/CMakeFiles/atlarge_design.dir/catalog.cpp.o.d"
+  "/root/repo/src/design/design_space.cpp" "src/design/CMakeFiles/atlarge_design.dir/design_space.cpp.o" "gcc" "src/design/CMakeFiles/atlarge_design.dir/design_space.cpp.o.d"
+  "/root/repo/src/design/exploration.cpp" "src/design/CMakeFiles/atlarge_design.dir/exploration.cpp.o" "gcc" "src/design/CMakeFiles/atlarge_design.dir/exploration.cpp.o.d"
+  "/root/repo/src/design/memex.cpp" "src/design/CMakeFiles/atlarge_design.dir/memex.cpp.o" "gcc" "src/design/CMakeFiles/atlarge_design.dir/memex.cpp.o.d"
+  "/root/repo/src/design/review.cpp" "src/design/CMakeFiles/atlarge_design.dir/review.cpp.o" "gcc" "src/design/CMakeFiles/atlarge_design.dir/review.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/atlarge_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlarge_design.dir/bdc.cpp.o"
+  "CMakeFiles/atlarge_design.dir/bdc.cpp.o.d"
+  "CMakeFiles/atlarge_design.dir/bibliometrics.cpp.o"
+  "CMakeFiles/atlarge_design.dir/bibliometrics.cpp.o.d"
+  "CMakeFiles/atlarge_design.dir/catalog.cpp.o"
+  "CMakeFiles/atlarge_design.dir/catalog.cpp.o.d"
+  "CMakeFiles/atlarge_design.dir/design_space.cpp.o"
+  "CMakeFiles/atlarge_design.dir/design_space.cpp.o.d"
+  "CMakeFiles/atlarge_design.dir/exploration.cpp.o"
+  "CMakeFiles/atlarge_design.dir/exploration.cpp.o.d"
+  "CMakeFiles/atlarge_design.dir/memex.cpp.o"
+  "CMakeFiles/atlarge_design.dir/memex.cpp.o.d"
+  "CMakeFiles/atlarge_design.dir/review.cpp.o"
+  "CMakeFiles/atlarge_design.dir/review.cpp.o.d"
+  "libatlarge_design.a"
+  "libatlarge_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlarge_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

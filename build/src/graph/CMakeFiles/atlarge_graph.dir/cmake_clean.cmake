@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlarge_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/atlarge_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/atlarge_graph.dir/granula.cpp.o"
+  "CMakeFiles/atlarge_graph.dir/granula.cpp.o.d"
+  "CMakeFiles/atlarge_graph.dir/graph.cpp.o"
+  "CMakeFiles/atlarge_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/atlarge_graph.dir/pad.cpp.o"
+  "CMakeFiles/atlarge_graph.dir/pad.cpp.o.d"
+  "libatlarge_graph.a"
+  "libatlarge_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlarge_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

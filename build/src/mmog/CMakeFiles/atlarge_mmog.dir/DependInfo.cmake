@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmog/analytics.cpp" "src/mmog/CMakeFiles/atlarge_mmog.dir/analytics.cpp.o" "gcc" "src/mmog/CMakeFiles/atlarge_mmog.dir/analytics.cpp.o.d"
+  "/root/repo/src/mmog/interest.cpp" "src/mmog/CMakeFiles/atlarge_mmog.dir/interest.cpp.o" "gcc" "src/mmog/CMakeFiles/atlarge_mmog.dir/interest.cpp.o.d"
+  "/root/repo/src/mmog/provisioning.cpp" "src/mmog/CMakeFiles/atlarge_mmog.dir/provisioning.cpp.o" "gcc" "src/mmog/CMakeFiles/atlarge_mmog.dir/provisioning.cpp.o.d"
+  "/root/repo/src/mmog/workload.cpp" "src/mmog/CMakeFiles/atlarge_mmog.dir/workload.cpp.o" "gcc" "src/mmog/CMakeFiles/atlarge_mmog.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/atlarge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/atlarge_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlarge_mmog.dir/analytics.cpp.o"
+  "CMakeFiles/atlarge_mmog.dir/analytics.cpp.o.d"
+  "CMakeFiles/atlarge_mmog.dir/interest.cpp.o"
+  "CMakeFiles/atlarge_mmog.dir/interest.cpp.o.d"
+  "CMakeFiles/atlarge_mmog.dir/provisioning.cpp.o"
+  "CMakeFiles/atlarge_mmog.dir/provisioning.cpp.o.d"
+  "CMakeFiles/atlarge_mmog.dir/workload.cpp.o"
+  "CMakeFiles/atlarge_mmog.dir/workload.cpp.o.d"
+  "libatlarge_mmog.a"
+  "libatlarge_mmog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlarge_mmog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p2p/ecosystem.cpp" "src/p2p/CMakeFiles/atlarge_p2p.dir/ecosystem.cpp.o" "gcc" "src/p2p/CMakeFiles/atlarge_p2p.dir/ecosystem.cpp.o.d"
+  "/root/repo/src/p2p/flashcrowd.cpp" "src/p2p/CMakeFiles/atlarge_p2p.dir/flashcrowd.cpp.o" "gcc" "src/p2p/CMakeFiles/atlarge_p2p.dir/flashcrowd.cpp.o.d"
+  "/root/repo/src/p2p/monitor.cpp" "src/p2p/CMakeFiles/atlarge_p2p.dir/monitor.cpp.o" "gcc" "src/p2p/CMakeFiles/atlarge_p2p.dir/monitor.cpp.o.d"
+  "/root/repo/src/p2p/swarm.cpp" "src/p2p/CMakeFiles/atlarge_p2p.dir/swarm.cpp.o" "gcc" "src/p2p/CMakeFiles/atlarge_p2p.dir/swarm.cpp.o.d"
+  "/root/repo/src/p2p/twofast.cpp" "src/p2p/CMakeFiles/atlarge_p2p.dir/twofast.cpp.o" "gcc" "src/p2p/CMakeFiles/atlarge_p2p.dir/twofast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/atlarge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/atlarge_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlarge_p2p.dir/ecosystem.cpp.o"
+  "CMakeFiles/atlarge_p2p.dir/ecosystem.cpp.o.d"
+  "CMakeFiles/atlarge_p2p.dir/flashcrowd.cpp.o"
+  "CMakeFiles/atlarge_p2p.dir/flashcrowd.cpp.o.d"
+  "CMakeFiles/atlarge_p2p.dir/monitor.cpp.o"
+  "CMakeFiles/atlarge_p2p.dir/monitor.cpp.o.d"
+  "CMakeFiles/atlarge_p2p.dir/swarm.cpp.o"
+  "CMakeFiles/atlarge_p2p.dir/swarm.cpp.o.d"
+  "CMakeFiles/atlarge_p2p.dir/twofast.cpp.o"
+  "CMakeFiles/atlarge_p2p.dir/twofast.cpp.o.d"
+  "libatlarge_p2p.a"
+  "libatlarge_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlarge_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/policies.cpp" "src/sched/CMakeFiles/atlarge_sched.dir/policies.cpp.o" "gcc" "src/sched/CMakeFiles/atlarge_sched.dir/policies.cpp.o.d"
+  "/root/repo/src/sched/portfolio.cpp" "src/sched/CMakeFiles/atlarge_sched.dir/portfolio.cpp.o" "gcc" "src/sched/CMakeFiles/atlarge_sched.dir/portfolio.cpp.o.d"
+  "/root/repo/src/sched/simulator.cpp" "src/sched/CMakeFiles/atlarge_sched.dir/simulator.cpp.o" "gcc" "src/sched/CMakeFiles/atlarge_sched.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/atlarge_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/atlarge_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atlarge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/atlarge_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

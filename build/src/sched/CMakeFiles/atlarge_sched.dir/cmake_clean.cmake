@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlarge_sched.dir/policies.cpp.o"
+  "CMakeFiles/atlarge_sched.dir/policies.cpp.o.d"
+  "CMakeFiles/atlarge_sched.dir/portfolio.cpp.o"
+  "CMakeFiles/atlarge_sched.dir/portfolio.cpp.o.d"
+  "CMakeFiles/atlarge_sched.dir/simulator.cpp.o"
+  "CMakeFiles/atlarge_sched.dir/simulator.cpp.o.d"
+  "libatlarge_sched.a"
+  "libatlarge_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlarge_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

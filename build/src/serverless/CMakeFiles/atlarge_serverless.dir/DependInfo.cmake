@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serverless/platform.cpp" "src/serverless/CMakeFiles/atlarge_serverless.dir/platform.cpp.o" "gcc" "src/serverless/CMakeFiles/atlarge_serverless.dir/platform.cpp.o.d"
+  "/root/repo/src/serverless/workflow_engine.cpp" "src/serverless/CMakeFiles/atlarge_serverless.dir/workflow_engine.cpp.o" "gcc" "src/serverless/CMakeFiles/atlarge_serverless.dir/workflow_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/atlarge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/atlarge_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/atlarge_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

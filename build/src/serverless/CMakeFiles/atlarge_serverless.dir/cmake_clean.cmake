@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlarge_serverless.dir/platform.cpp.o"
+  "CMakeFiles/atlarge_serverless.dir/platform.cpp.o.d"
+  "CMakeFiles/atlarge_serverless.dir/workflow_engine.cpp.o"
+  "CMakeFiles/atlarge_serverless.dir/workflow_engine.cpp.o.d"
+  "libatlarge_serverless.a"
+  "libatlarge_serverless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlarge_serverless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libatlarge_serverless.a"
+)

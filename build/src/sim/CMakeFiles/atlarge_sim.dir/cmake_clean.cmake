@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlarge_sim.dir/resource.cpp.o"
+  "CMakeFiles/atlarge_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/atlarge_sim.dir/sampler.cpp.o"
+  "CMakeFiles/atlarge_sim.dir/sampler.cpp.o.d"
+  "CMakeFiles/atlarge_sim.dir/simulation.cpp.o"
+  "CMakeFiles/atlarge_sim.dir/simulation.cpp.o.d"
+  "libatlarge_sim.a"
+  "libatlarge_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlarge_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlarge_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/atlarge_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/atlarge_stats.dir/correlation.cpp.o"
+  "CMakeFiles/atlarge_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/atlarge_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/atlarge_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/atlarge_stats.dir/distributions.cpp.o"
+  "CMakeFiles/atlarge_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/atlarge_stats.dir/rng.cpp.o"
+  "CMakeFiles/atlarge_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/atlarge_stats.dir/violin.cpp.o"
+  "CMakeFiles/atlarge_stats.dir/violin.cpp.o.d"
+  "libatlarge_stats.a"
+  "libatlarge_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlarge_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlarge_trace.dir/archive.cpp.o"
+  "CMakeFiles/atlarge_trace.dir/archive.cpp.o.d"
+  "CMakeFiles/atlarge_trace.dir/record.cpp.o"
+  "CMakeFiles/atlarge_trace.dir/record.cpp.o.d"
+  "libatlarge_trace.a"
+  "libatlarge_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlarge_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/generators.cpp" "src/workflow/CMakeFiles/atlarge_workflow.dir/generators.cpp.o" "gcc" "src/workflow/CMakeFiles/atlarge_workflow.dir/generators.cpp.o.d"
+  "/root/repo/src/workflow/job.cpp" "src/workflow/CMakeFiles/atlarge_workflow.dir/job.cpp.o" "gcc" "src/workflow/CMakeFiles/atlarge_workflow.dir/job.cpp.o.d"
+  "/root/repo/src/workflow/vicissitude.cpp" "src/workflow/CMakeFiles/atlarge_workflow.dir/vicissitude.cpp.o" "gcc" "src/workflow/CMakeFiles/atlarge_workflow.dir/vicissitude.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/atlarge_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

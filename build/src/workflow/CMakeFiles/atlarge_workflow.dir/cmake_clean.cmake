@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlarge_workflow.dir/generators.cpp.o"
+  "CMakeFiles/atlarge_workflow.dir/generators.cpp.o.d"
+  "CMakeFiles/atlarge_workflow.dir/job.cpp.o"
+  "CMakeFiles/atlarge_workflow.dir/job.cpp.o.d"
+  "CMakeFiles/atlarge_workflow.dir/vicissitude.cpp.o"
+  "CMakeFiles/atlarge_workflow.dir/vicissitude.cpp.o.d"
+  "libatlarge_workflow.a"
+  "libatlarge_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlarge_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

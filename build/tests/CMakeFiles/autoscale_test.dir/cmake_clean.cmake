@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscale_test.dir/autoscale_test.cpp.o"
+  "CMakeFiles/autoscale_test.dir/autoscale_test.cpp.o.d"
+  "autoscale_test"
+  "autoscale_test.pdb"
+  "autoscale_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/design/CMakeFiles/atlarge_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/autoscale/CMakeFiles/atlarge_autoscale.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/atlarge_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/serverless/CMakeFiles/atlarge_serverless.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/atlarge_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmog/CMakeFiles/atlarge_mmog.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/atlarge_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/atlarge_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/atlarge_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/atlarge_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atlarge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/atlarge_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

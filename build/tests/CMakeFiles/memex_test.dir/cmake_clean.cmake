@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memex_test.dir/memex_test.cpp.o"
+  "CMakeFiles/memex_test.dir/memex_test.cpp.o.d"
+  "memex_test"
+  "memex_test.pdb"
+  "memex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

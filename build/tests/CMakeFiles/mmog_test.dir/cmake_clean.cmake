@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmog_test.dir/mmog_test.cpp.o"
+  "CMakeFiles/mmog_test.dir/mmog_test.cpp.o.d"
+  "mmog_test"
+  "mmog_test.pdb"
+  "mmog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vicissitude_test.dir/vicissitude_test.cpp.o"
+  "CMakeFiles/vicissitude_test.dir/vicissitude_test.cpp.o.d"
+  "vicissitude_test"
+  "vicissitude_test.pdb"
+  "vicissitude_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vicissitude_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
