@@ -1,17 +1,29 @@
 // Google-benchmark microbenchmarks of the substrate hot paths: the DES
-// kernel, the statistics routines, the cluster scheduler, and the elastic
-// simulator. These are throughput sanity checks (challenge C3's
-// "calibration" concern): the what-if simulations inside the portfolio
-// scheduler are only viable online if the kernel is fast.
+// kernel, the statistics routines, the cluster scheduler, the elastic
+// simulator, and the portfolio scheduler's what-if tick. These are
+// throughput sanity checks (challenge C3's "calibration" concern): the
+// what-if simulations inside the portfolio scheduler are only viable
+// online if the kernel is fast.
+//
+// Run with `--json[=path]` to additionally emit the results as JSON
+// (default path BENCH_kernel.json, next to the working directory); the
+// repo tracks that file so the kernel's perf trajectory is visible across
+// PRs. Regenerate with:
+//   ./build/bench/micro_kernels --json=BENCH_kernel.json
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "atlarge/autoscale/autoscalers.hpp"
 #include "atlarge/autoscale/elastic_sim.hpp"
 #include "atlarge/cluster/machine.hpp"
 #include "atlarge/sched/policies.hpp"
+#include "atlarge/sched/portfolio.hpp"
 #include "atlarge/sched/simulator.hpp"
 #include "atlarge/sim/simulation.hpp"
+#include "atlarge/sim/thread_pool.hpp"
 #include "atlarge/stats/descriptive.hpp"
 #include "atlarge/stats/rng.hpp"
 #include "atlarge/workflow/generators.hpp"
@@ -20,6 +32,10 @@ using namespace atlarge;
 
 namespace {
 
+// ------------------------------------------------------------ DES kernel --
+
+// The handle-free fast path: schedule-and-fire with the returned handles
+// discarded, the shape every substrate's inner loop has.
 void BM_SimulationScheduleRun(benchmark::State& state) {
   const auto events = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
@@ -35,6 +51,58 @@ void BM_SimulationScheduleRun(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_SimulationScheduleRun)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+// Schedule/cancel churn: half the events are cancelled before they fire,
+// exercising handle bookkeeping, tombstone reclamation, and slot reuse.
+void BM_SimulationCancelChurn(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation s;
+    std::size_t fired = 0;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(events);
+    for (std::size_t i = 0; i < events; ++i) {
+      handles.push_back(
+          s.schedule_at(static_cast<double>(i % 1'000), [&fired] { ++fired; }));
+    }
+    for (std::size_t i = 0; i < events; i += 2) handles[i].cancel();
+    s.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+}
+BENCHMARK(BM_SimulationCancelChurn)->Arg(10'000)->Arg(100'000);
+
+// Timer-wheel-style churn: a bounded population of events is repeatedly
+// cancelled and rescheduled (the P2P/MMOG keep-alive pattern), so the slot
+// pool recycles constantly while the heap stays small.
+void BM_SimulationRescheduleChurn(benchmark::State& state) {
+  const auto rounds = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kTimers = 256;
+  for (auto _ : state) {
+    sim::Simulation s;
+    std::size_t fired = 0;
+    std::vector<sim::EventHandle> timers(kTimers);
+    double now = 0.0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      const std::size_t t = r % kTimers;
+      timers[t].cancel();  // the keep-alive arrived; reset the timeout
+      timers[t] = s.schedule_at(now + 10.0, [&fired] { ++fired; });
+      if (t == kTimers - 1) {
+        now += 1.0;
+        s.run_until(now);  // pops tombstones whose deadline passed
+      }
+    }
+    s.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds) *
+                          state.iterations());
+}
+BENCHMARK(BM_SimulationRescheduleChurn)->Arg(100'000);
+
+// ------------------------------------------------------------ statistics --
 
 void BM_RngUniform(benchmark::State& state) {
   stats::Rng rng(1);
@@ -53,6 +121,8 @@ void BM_Summarize(benchmark::State& state) {
 }
 BENCHMARK(BM_Summarize)->Arg(1'000)->Arg(100'000);
 
+// ------------------------------------------------------------- scheduler --
+
 void BM_ClusterSchedule(benchmark::State& state) {
   workflow::WorkloadSpec spec;
   spec.cls = workflow::WorkloadClass::kScientific;
@@ -69,6 +139,76 @@ void BM_ClusterSchedule(benchmark::State& state) {
 }
 BENCHMARK(BM_ClusterSchedule)->Arg(50)->Arg(200);
 
+// ------------------------------------------------------------- portfolio --
+
+// A synthetic eligible-queue for one portfolio decision: `n` tasks over
+// n/8 jobs and 4 users, deterministic runtimes/widths.
+std::vector<sched::TaskRef> portfolio_queue(std::size_t n) {
+  std::vector<sched::TaskRef> queue;
+  queue.reserve(n);
+  stats::Rng rng(11);
+  for (std::size_t i = 0; i < n; ++i) {
+    sched::TaskRef ref;
+    ref.job_id = i / 8;
+    ref.task_id = static_cast<std::uint32_t>(i % 8);
+    ref.runtime = rng.uniform(5.0, 500.0);
+    ref.cores = static_cast<std::uint32_t>(1 + i % 4);
+    ref.user = "u" + std::to_string(i % 4);
+    queue.push_back(std::move(ref));
+  }
+  return queue;
+}
+
+// One full portfolio selection round (candidate what-if simulations plus
+// the reduction), with `threads` evaluation lanes and `range(0)` candidate
+// policies. Items/sec counts candidate simulations.
+void portfolio_tick_bench(benchmark::State& state, std::size_t threads) {
+  const auto candidates = static_cast<std::size_t>(state.range(0));
+  const auto env = cluster::make_homogeneous_cluster("c", 8, 8);
+  sched::PortfolioConfig config;
+  config.eval_threads = threads;
+  config.active_set = candidates;  // == policy count means "all"
+  config.min_queue_to_select = 1;
+  config.selection_interval = 1.0;
+  sched::PortfolioScheduler portfolio(sched::standard_policies(), env, config);
+  const auto queue = portfolio_queue(128);
+  sched::SchedState st;
+  double now = 0.0;
+  for (auto _ : state) {
+    st.now = now;
+    benchmark::DoNotOptimize(portfolio.tick(st, queue));
+    now += config.selection_interval + 1.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(candidates) *
+                          state.iterations());
+}
+
+void BM_PortfolioTickSerial(benchmark::State& state) {
+  portfolio_tick_bench(state, 1);
+}
+BENCHMARK(BM_PortfolioTickSerial)->Arg(2)->Arg(4)->Arg(7);
+
+void BM_PortfolioTickParallel(benchmark::State& state) {
+  portfolio_tick_bench(state, 4);
+}
+BENCHMARK(BM_PortfolioTickParallel)->Arg(2)->Arg(4)->Arg(7);
+
+// Raw pool dispatch overhead: how much a parallel_for costs per index when
+// the body is trivial (bounds the smallest snapshot worth parallelizing).
+void BM_ThreadPoolParallelFor(benchmark::State& state) {
+  sim::ThreadPool pool(4);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> out(n, 0.0);
+  for (auto _ : state) {
+    pool.parallel_for(n, [&](std::size_t i) { out[i] += 1.0; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(8)->Arg(64);
+
+// ------------------------------------------------------------- autoscale --
+
 void BM_ElasticRun(benchmark::State& state) {
   workflow::WorkloadSpec spec;
   spec.cls = workflow::WorkloadClass::kIndustrial;
@@ -84,4 +224,41 @@ BENCHMARK(BM_ElasticRun);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: translate `--json[=path]` into google-benchmark's JSON
+// output flags so CI and the repo's BENCH_kernel.json snapshot use one
+// stable spelling regardless of the benchmark library version in use.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  std::string json_path;
+  bool json = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(7);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  static std::string out_flag, format_flag;
+  if (json) {
+    out_flag = "--benchmark_out=" +
+               (json_path.empty() ? std::string("BENCH_kernel.json")
+                                  : json_path);
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -23,7 +23,8 @@
 
 #include "atlarge/cluster/machine.hpp"
 #include "atlarge/sched/policy.hpp"
-#include "atlarge/stats/rng.hpp"
+#include "atlarge/sim/thread_pool.hpp"
+#include "atlarge/workflow/job.hpp"
 
 namespace atlarge::sched {
 
@@ -43,11 +44,20 @@ struct PortfolioConfig {
   /// first.
   std::size_t min_queue_to_select = 4;
   /// Std-dev of multiplicative noise applied to utility estimates,
-  /// reproducing the hard-to-predict-performance regime of [120].
+  /// reproducing the hard-to-predict-performance regime of [120]. Noise is
+  /// drawn from a per-(candidate, round) RNG stream derived from `seed`, so
+  /// draws are independent of evaluation order and of which other
+  /// candidates are in the round.
   double utility_noise = 0.0;
   /// EWMA smoothing for per-policy utility history, in (0, 1].
   double ewma_alpha = 0.5;
   std::uint64_t seed = 7;
+  /// Threads used to run the candidate what-if simulations of one tick()
+  /// concurrently; 0 or 1 evaluates serially. Results are bitwise
+  /// identical to the serial order for any thread count: every candidate
+  /// gets a cloned policy, a private snapshot copy, and its own RNG
+  /// stream, and the selection reduction runs serially in candidate order.
+  std::size_t eval_threads = 1;
 };
 
 class PortfolioScheduler final : public Policy {
@@ -78,16 +88,23 @@ class PortfolioScheduler final : public Policy {
   /// Indices of policies to simulate this round (full set or active set).
   std::vector<std::size_t> candidate_set() const;
 
-  /// Mean bounded slowdown of the snapshot under policy `pi`.
-  double evaluate(std::size_t pi, const SchedState& state,
-                  const std::vector<TaskRef>& queue);
+  /// The eligible queue folded back into a bag-of-jobs what-if workload.
+  workflow::Workload build_snapshot(const std::vector<TaskRef>& queue) const;
+
+  /// Mean bounded slowdown of the snapshot under policy `pi`, with the
+  /// round's noise applied. Thread-safe for distinct `pi`: works on a
+  /// cloned policy, a private snapshot copy, and a per-(candidate, round)
+  /// RNG stream.
+  double evaluate(std::size_t pi, const workflow::Workload& snapshot,
+                  std::uint64_t round) const;
 
   std::vector<std::unique_ptr<Policy>> policies_;
   cluster::Environment env_;
   PortfolioConfig config_;
-  atlarge::stats::Rng rng_;
+  std::unique_ptr<sim::ThreadPool> pool_;  // lazily built when needed
 
   std::size_t current_ = 0;
+  std::uint64_t round_ = 0;  // selection rounds so far; salts noise streams
   double next_decision_ = 0.0;
   std::vector<double> ewma_;      // smoothed utility per policy (lower=better)
   std::vector<bool> evaluated_;   // ever scored?

@@ -1,0 +1,72 @@
+#pragma once
+// A small fixed-size worker pool for CPU-bound fan-out inside the
+// simulation ecosystem — most prominently the portfolio scheduler's
+// what-if evaluations, which are independent simulations on private
+// snapshots (paper Section 6.6: the portfolio is only usable online if
+// those simulations are fast).
+//
+// Design notes:
+//  * Deliberately minimal: a mutex-protected FIFO of std::function jobs
+//    and a condition variable. The jobs the ecosystem submits are whole
+//    nested simulations (milliseconds to seconds), so queue overhead is
+//    irrelevant and lock-free machinery would be unearned complexity.
+//  * parallel_for hands out indices through an atomic counter and the
+//    *calling* thread participates as a worker, so a pool of size N uses
+//    N threads total (N-1 workers + caller), and a pool of size 1 runs
+//    the loop inline with zero synchronization.
+//  * Determinism is the callers' contract, not the pool's: callers must
+//    write results into per-index slots and draw randomness from
+//    per-index streams, then reduce in index order after the join.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace atlarge::sim {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the calling thread is the Nth worker in
+  /// parallel_for). `threads` <= 1 means no workers: everything runs
+  /// inline on the caller.
+  explicit ThreadPool(std::size_t threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains nothing: joins workers after finishing jobs already dequeued;
+  /// queued-but-unstarted jobs are discarded.
+  ~ThreadPool();
+
+  /// Total parallelism of parallel_for (workers + calling thread).
+  std::size_t size() const noexcept { return workers_.size() + 1; }
+
+  /// Enqueues a job for a worker thread. With a pool of size 1 the job
+  /// runs inline immediately.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished.
+  void wait_idle();
+
+  /// Runs fn(i) for every i in [0, n), spread across the pool; the calling
+  /// thread participates. Blocks until all n invocations returned. fn must
+  /// be safe to invoke concurrently from distinct threads.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> jobs_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: "a job or stop arrived"
+  std::condition_variable idle_cv_;  // wait_idle: "everything finished"
+  std::size_t in_flight_ = 0;        // dequeued but not yet finished
+  bool stop_ = false;
+};
+
+}  // namespace atlarge::sim

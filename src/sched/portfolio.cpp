@@ -8,16 +8,32 @@
 #include <stdexcept>
 
 #include "atlarge/sched/simulator.hpp"
+#include "atlarge/stats/rng.hpp"
 
 namespace atlarge::sched {
+
+namespace {
+
+/// SplitMix64 finalizer; mixes a stream key into a seed so that the
+/// (seed, candidate, round) triple maps to an independent RNG stream.
+/// Keying streams by candidate *index* (not evaluation position) means
+/// adding or removing one candidate never perturbs another candidate's
+/// draw, and evaluation order — serial or parallel — is immaterial.
+std::uint64_t mix_stream(std::uint64_t seed, std::uint64_t key) noexcept {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (key + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 PortfolioScheduler::PortfolioScheduler(
     std::vector<std::unique_ptr<Policy>> policies, cluster::Environment env,
     PortfolioConfig config)
     : policies_(std::move(policies)),
       env_(std::move(env)),
-      config_(config),
-      rng_(config.seed) {
+      config_(config) {
   if (policies_.empty())
     throw std::invalid_argument("PortfolioScheduler: empty portfolio");
   ewma_.assign(policies_.size(), 0.0);
@@ -47,8 +63,8 @@ std::vector<std::size_t> PortfolioScheduler::candidate_set() const {
   return all;
 }
 
-double PortfolioScheduler::evaluate(std::size_t pi, const SchedState& state,
-                                    const std::vector<TaskRef>& queue) {
+workflow::Workload PortfolioScheduler::build_snapshot(
+    const std::vector<TaskRef>& queue) const {
   // Snapshot: the eligible tasks, grouped back into their jobs as
   // bags-of-tasks submitted at time zero. (The eligible frontier is what
   // an online portfolio can see; the remaining DAG structure is future
@@ -74,13 +90,20 @@ double PortfolioScheduler::evaluate(std::size_t pi, const SchedState& state,
     job.submit_time = 0.0;
     snapshot.jobs.push_back(std::move(job));
   }
+  return snapshot;
+}
+
+double PortfolioScheduler::evaluate(std::size_t pi,
+                                    const workflow::Workload& snapshot,
+                                    std::uint64_t round) const {
   auto probe = policies_[pi]->clone();
-  const SchedResult r = simulate(env_, snapshot, *probe);
+  const workflow::Workload local = snapshot;  // private copy per candidate
+  const SchedResult r = simulate(env_, local, *probe);
   double utility = r.mean_slowdown;
   if (config_.utility_noise > 0.0) {
-    utility *= std::max(0.0, 1.0 + rng_.normal(0.0, config_.utility_noise));
+    stats::Rng noise(mix_stream(mix_stream(config_.seed, pi), round));
+    utility *= std::max(0.0, 1.0 + noise.normal(0.0, config_.utility_noise));
   }
-  (void)state;
   return utility;
 }
 
@@ -97,10 +120,36 @@ double PortfolioScheduler::tick(const SchedState& state,
       std::find(candidates.begin(), candidates.end(), current_);
   if (incumbent != candidates.end())
     std::rotate(candidates.begin(), incumbent, incumbent + 1);
+
+  const workflow::Workload snapshot = build_snapshot(queue);
+  const std::uint64_t round = round_++;
+
+  // Phase 1 — measure: run every candidate's what-if simulation, each on a
+  // cloned policy, a private snapshot copy, and its own RNG stream.
+  // Utilities land in per-candidate slots, so thread scheduling cannot
+  // affect the result.
+  std::vector<double> utilities(candidates.size(), 0.0);
+  const auto eval_one = [&](std::size_t ci) {
+    utilities[ci] = evaluate(candidates[ci], snapshot, round);
+  };
+  const std::size_t threads =
+      std::min(std::max<std::size_t>(config_.eval_threads, 1),
+               candidates.size());
+  if (threads > 1) {
+    if (!pool_ || pool_->size() < threads)
+      pool_ = std::make_unique<sim::ThreadPool>(threads);
+    pool_->parallel_for(candidates.size(), eval_one);
+  } else {
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) eval_one(ci);
+  }
+
+  // Phase 2 — reduce, serially in candidate order: EWMA updates and argmin
+  // are order-sensitive, so this part is identical for any thread count.
   double best_utility = std::numeric_limits<double>::infinity();
   std::size_t best = current_;
-  for (std::size_t pi : candidates) {
-    const double utility = evaluate(pi, state, queue);
+  for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+    const std::size_t pi = candidates[ci];
+    const double utility = utilities[ci];
     if (!evaluated_[pi]) {
       ewma_[pi] = utility;
       evaluated_[pi] = true;

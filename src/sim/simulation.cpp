@@ -1,27 +1,124 @@
 #include "atlarge/sim/simulation.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <stdexcept>
 #include <utility>
 
 namespace atlarge::sim {
 
-bool EventHandle::pending() const noexcept { return alive_ && *alive_; }
+bool EventHandle::pending() const noexcept {
+  return sim_ != nullptr && sim_->slot_pending(slot_, generation_);
+}
 
 bool EventHandle::cancel() noexcept {
-  if (!pending()) return false;
-  *alive_ = false;
+  return sim_ != nullptr && sim_->cancel_slot(slot_, generation_);
+}
+
+bool Simulation::slot_pending(std::uint32_t slot,
+                              std::uint64_t generation) const noexcept {
+  return slot < slots_.size() && slots_[slot].generation == generation &&
+         slots_[slot].live;
+}
+
+bool Simulation::cancel_slot(std::uint32_t slot,
+                             std::uint64_t generation) noexcept {
+  if (!slot_pending(slot, generation)) return false;
+  EventSlot& s = slots_[slot];
+  s.live = false;
+  s.action = nullptr;  // drop captured state eagerly; the queue record stays
+                       // behind as a tombstone reclaimed on pop
+  --live_;
   return true;
 }
 
+std::uint32_t Simulation::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  if (slots_.size() >= (std::size_t{1} << kSlotBits))
+    throw std::length_error("Simulation: too many concurrent events");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulation::release_slot(std::uint32_t slot) noexcept {
+  EventSlot& s = slots_[slot];
+  s.action = nullptr;
+  s.live = false;
+  ++s.generation;  // invalidate every outstanding handle to this slot
+  free_slots_.push_back(slot);
+}
+
+Simulation::QueueRecord Simulation::pack(Time time,
+                                         std::uint64_t seq_slot) noexcept {
+  // Valid because time >= 0 (clamped in schedule_at): the IEEE-754 bit
+  // pattern of a non-negative double is monotone in its value.
+  return (static_cast<QueueRecord>(std::bit_cast<std::uint64_t>(time)) << 64) |
+         seq_slot;
+}
+
+Time Simulation::record_time(QueueRecord rec) noexcept {
+  return std::bit_cast<double>(static_cast<std::uint64_t>(rec >> 64));
+}
+
+void Simulation::heap_push(QueueRecord rec) {
+  heap_.push_back(rec);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (heap_[parent] <= rec) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = rec;
+}
+
+void Simulation::heap_pop_front() noexcept {
+  const std::size_t n = heap_.size() - 1;
+  const QueueRecord back = heap_[n];
+  heap_.pop_back();
+  if (n == 0) return;
+  // Bottom-up pop: sink the root hole to the bottom along min-children
+  // (one compare chain per level, no test against `back`), then float
+  // `back` up from there — it usually belongs near the bottom, so this
+  // does fewer compares than the classic top-down sift.
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + 4, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c)
+      if (heap_[c] < heap_[best]) best = c;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (heap_[parent] <= back) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = back;
+}
+
+void Simulation::reserve(std::size_t events) {
+  heap_.reserve(events);
+  slots_.reserve(events);
+  free_slots_.reserve(events);
+}
+
 EventHandle Simulation::schedule_at(Time at, Action action) {
-  Event ev;
-  ev.time = std::max(at, now_);
-  ev.seq = next_seq_++;
-  ev.action = std::move(action);
-  ev.alive = std::make_shared<bool>(true);
-  EventHandle handle(ev.alive);
-  queue_.push(std::move(ev));
-  return handle;
+  const std::uint32_t slot = acquire_slot();
+  EventSlot& s = slots_[slot];
+  s.action = std::move(action);
+  s.live = true;
+  ++live_;
+  heap_push(pack(std::max(at, now_), (next_seq_++ << kSlotBits) | slot));
+  return EventHandle(this, slot, s.generation);
 }
 
 EventHandle Simulation::schedule_after(Time delay, Action action) {
@@ -29,25 +126,46 @@ EventHandle Simulation::schedule_after(Time delay, Action action) {
 }
 
 bool Simulation::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (!*ev.alive) continue;  // cancelled
-    *ev.alive = false;         // fired; handles report !pending()
-    now_ = ev.time;
-    ev.action();
+  while (!heap_.empty()) {
+    const QueueRecord top = heap_.front();
+    heap_pop_front();
+    const std::uint32_t slot = record_slot(top);
+    if (!slots_[slot].live) {  // cancelled tombstone
+      release_slot(slot);
+      continue;
+    }
+    slots_[slot].live = false;  // fired; handles report !pending()
+    --live_;
+    now_ = record_time(top);
+    Action action = std::move(slots_[slot].action);
+    release_slot(slot);  // recycle before running: the action may
+                         // schedule new events into this very slot
+    action();
     return true;
   }
   return false;
 }
 
+void Simulation::purge_cancelled() noexcept {
+  while (!heap_.empty() && !slots_[record_slot(heap_.front())].live) {
+    release_slot(record_slot(heap_.front()));
+    heap_pop_front();
+  }
+}
+
 std::size_t Simulation::run_until(Time until) {
   stopped_ = false;
   std::size_t executed = 0;
-  while (!stopped_ && !queue_.empty() && queue_.top().time <= until) {
+  // Purge before peeking: a cancelled tombstone at the front may carry an
+  // earlier timestamp than the first live event, and peeking at it would
+  // let step() fire an event beyond `until`.
+  purge_cancelled();
+  while (!stopped_ && !heap_.empty() && record_time(heap_.front()) <= until) {
     if (step()) ++executed;
+    purge_cancelled();
   }
-  if (queue_.empty() || queue_.top().time > until) now_ = std::max(now_, until);
+  if (heap_.empty() || record_time(heap_.front()) > until)
+    now_ = std::max(now_, until);
   return executed;
 }
 
@@ -56,15 +174,6 @@ std::size_t Simulation::run() {
   std::size_t executed = 0;
   while (!stopped_ && step()) ++executed;
   return executed;
-}
-
-std::size_t Simulation::pending() const noexcept {
-  // The queue may hold cancelled tombstones; they are filtered on pop, and
-  // counting them here would over-report. Walk is avoided by tracking only
-  // an upper bound: tombstones are rare in practice (cancellation is the
-  // exception), so report queue size. Exact accounting is not needed by any
-  // client; tests treat this as an upper bound.
-  return queue_.size();
 }
 
 }  // namespace atlarge::sim

@@ -1,0 +1,98 @@
+#include "atlarge/sim/thread_pool.hpp"
+
+#include <atomic>
+
+namespace atlarge::sim {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads <= 1) return;
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    jobs_.clear();
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (stop_) return;
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+      ++in_flight_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0 && jobs_.empty()) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  if (workers_.empty()) {
+    job();  // size-1 pool: run inline, nothing to synchronize with
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return jobs_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t fanout = std::min(size(), n);
+  if (fanout <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::mutex m;
+    std::condition_variable done;
+    std::size_t remaining = 0;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->remaining = fanout;
+
+  // fn and n outlive the join below, so the body may capture them by
+  // reference; `shared` keeps the latch alive for stragglers.
+  auto body = [shared, &fn, n] {
+    for (std::size_t i = shared->next.fetch_add(1); i < n;
+         i = shared->next.fetch_add(1)) {
+      fn(i);
+    }
+    std::lock_guard<std::mutex> lock(shared->m);
+    if (--shared->remaining == 0) shared->done.notify_all();
+  };
+
+  for (std::size_t w = 1; w < fanout; ++w) submit(body);
+  body();  // the calling thread is the last lane
+
+  std::unique_lock<std::mutex> lock(shared->m);
+  shared->done.wait(lock, [&] { return shared->remaining == 0; });
+}
+
+}  // namespace atlarge::sim

@@ -155,6 +155,77 @@ TEST(Portfolio, SelectionIntervalBoundsSelections) {
   EXPECT_EQ(total, 1u);
 }
 
+TEST(Portfolio, SerialAndParallelRunsAreBitwiseIdentical) {
+  // Determinism is load-bearing (the paper's reproducibility stance): the
+  // parallel what-if evaluation must select exactly what the serial order
+  // selects, for any thread count. Noise is on so the per-candidate RNG
+  // streams are exercised too.
+  const auto env = cluster::make_homogeneous_cluster("c", 2, 4);
+  const auto wl = heavy_workload(11);
+  sched::PortfolioConfig base;
+  base.utility_noise = 0.5;
+  base.seed = 99;
+  base.eval_threads = 1;
+  auto p_serial = make_portfolio(env, base);
+  const auto r_serial = sched::simulate(env, wl, p_serial);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    sched::PortfolioConfig par = base;
+    par.eval_threads = threads;
+    auto p_par = make_portfolio(env, par);
+    const auto r_par = sched::simulate(env, wl, p_par);
+    EXPECT_EQ(p_serial.selections(), p_par.selections())
+        << "eval_threads=" << threads;
+    EXPECT_DOUBLE_EQ(r_serial.makespan, r_par.makespan);
+    EXPECT_DOUBLE_EQ(r_serial.mean_slowdown, r_par.mean_slowdown);
+    EXPECT_DOUBLE_EQ(r_serial.mean_wait, r_par.mean_wait);
+  }
+}
+
+namespace {
+
+std::vector<sched::TaskRef> synthetic_queue(std::size_t n) {
+  std::vector<sched::TaskRef> queue;
+  queue.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sched::TaskRef ref;
+    ref.job_id = i / 4;
+    ref.task_id = static_cast<std::uint32_t>(i % 4);
+    ref.runtime = static_cast<double>(1 + (i * 37) % 200);
+    ref.cores = static_cast<std::uint32_t>(1 + i % 3);
+    ref.user = "u" + std::to_string(i % 3);
+    queue.push_back(std::move(ref));
+  }
+  return queue;
+}
+
+}  // namespace
+
+TEST(Portfolio, ParallelTickPicksSamePolicyAsSerial) {
+  // One decision round, same inputs, 1/2/8 evaluation threads: identical
+  // winner and identical EWMA state (observable through a second round).
+  const auto env = cluster::make_homogeneous_cluster("c", 2, 4);
+  const auto queue = synthetic_queue(64);
+  std::string serial_pick;
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    sched::PortfolioConfig config;
+    config.eval_threads = threads;
+    config.utility_noise = 1.0;  // draws must not depend on thread count
+    config.min_queue_to_select = 1;
+    auto portfolio = make_portfolio(env, config);
+    sched::SchedState state;
+    state.now = 0.0;
+    portfolio.tick(state, queue);
+    if (threads == 1) {
+      serial_pick = portfolio.current_policy();
+    } else {
+      EXPECT_EQ(portfolio.current_policy(), serial_pick)
+          << "eval_threads=" << threads;
+    }
+  }
+  EXPECT_FALSE(serial_pick.empty());
+}
+
 // Portfolio usefulness property across environments (the Table 9 claim):
 // the portfolio lands within ~25% of the best single policy's mean
 // slowdown on every environment type (the paper's "useful" threshold;

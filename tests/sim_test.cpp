@@ -1,5 +1,6 @@
 // Tests for the discrete-event simulation kernel.
 
+#include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -159,6 +160,120 @@ TEST(Simulation, EventsScheduledDuringRunExecute) {
   });
   s.run();
   EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Simulation, PendingIsExactLiveCount) {
+  sim::Simulation s;
+  EXPECT_EQ(s.pending(), 0u);
+  auto h1 = s.schedule_at(1.0, [] {});
+  auto h2 = s.schedule_at(2.0, [] {});
+  auto h3 = s.schedule_at(3.0, [] {});
+  EXPECT_EQ(s.pending(), 3u);
+  EXPECT_TRUE(h2.cancel());
+  EXPECT_EQ(s.pending(), 2u);  // cancelled tombstones are not counted
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(s.pending(), 0u);
+  (void)h1;
+  (void)h3;
+}
+
+TEST(Simulation, RunUntilIgnoresCancelledFrontTombstone) {
+  // A cancelled event at the queue front must not let run_until execute a
+  // live event beyond the boundary.
+  sim::Simulation s;
+  int fired = 0;
+  auto early = s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(5.0, [&] { ++fired; });
+  EXPECT_TRUE(early.cancel());
+  EXPECT_EQ(s.run_until(3.0), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, CancelledHandleCannotResurrectReusedSlot) {
+  sim::Simulation s;
+  int first = 0;
+  int second = 0;
+  auto stale = s.schedule_at(1.0, [&] { ++first; });
+  EXPECT_TRUE(stale.cancel());
+  s.run();  // pops the tombstone and recycles its slot
+  auto fresh = s.schedule_at(2.0, [&] { ++second; });
+  EXPECT_FALSE(stale.pending());
+  EXPECT_FALSE(stale.cancel());  // must not kill the event reusing the slot
+  EXPECT_TRUE(fresh.pending());
+  s.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Simulation, FiredHandleCannotCancelReusedSlot) {
+  sim::Simulation s;
+  int second = 0;
+  auto stale = s.schedule_at(1.0, [] {});
+  s.run();  // fires; the slot returns to the pool
+  auto fresh = s.schedule_at(2.0, [&] { ++second; });
+  EXPECT_FALSE(stale.cancel());
+  EXPECT_TRUE(fresh.pending());
+  s.run();
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Simulation, SlotReusableWhileItsActionExecutes) {
+  // step() recycles the firing event's slot before invoking its action, so
+  // an event scheduled from inside the action may land in the same slot;
+  // the running event's handle must not observe or cancel it.
+  sim::Simulation s;
+  sim::EventHandle outer;
+  int inner_fired = 0;
+  outer = s.schedule_at(1.0, [&] {
+    auto inner = s.schedule_after(1.0, [&] { ++inner_fired; });
+    EXPECT_FALSE(outer.pending());
+    EXPECT_FALSE(outer.cancel());
+    EXPECT_TRUE(inner.pending());
+  });
+  s.run();
+  EXPECT_EQ(inner_fired, 1);
+}
+
+TEST(Simulation, CancellationStress) {
+  // Schedule/cancel interleaving at scale: every event must either fire or
+  // be cancelled exactly once, pending() must stay exact throughout, and
+  // recycled slots must never resurrect stale handles.
+  sim::Simulation s;
+  std::size_t fired = 0;
+  std::size_t cancelled = 0;
+  std::size_t scheduled = 0;
+  std::vector<sim::EventHandle> handles;
+  std::uint64_t lcg = 12345;
+  const auto next = [&lcg] {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lcg >> 33;
+  };
+  for (int round = 0; round < 50'000; ++round) {
+    const auto op = next() % 8;
+    if (op < 5 || handles.empty()) {
+      handles.push_back(s.schedule_after(
+          static_cast<double>(next() % 97), [&fired] { ++fired; }));
+      ++scheduled;
+    } else if (op < 7) {
+      if (handles[next() % handles.size()].cancel()) ++cancelled;
+    } else {
+      s.run_until(s.now() + static_cast<double>(next() % 13));
+    }
+    ASSERT_EQ(s.pending(), scheduled - fired - cancelled);
+  }
+  s.run();
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(fired + cancelled, scheduled);
+  for (auto& h : handles) {
+    EXPECT_FALSE(h.pending());
+    EXPECT_FALSE(h.cancel());  // late cancels never double-count
+  }
+  EXPECT_EQ(fired + cancelled, scheduled);
 }
 
 TEST(Simulation, ManyEventsDeterministicCount) {
