@@ -19,6 +19,7 @@
 #include "atlarge/autoscale/autoscalers.hpp"
 #include "atlarge/autoscale/elastic_sim.hpp"
 #include "atlarge/cluster/machine.hpp"
+#include "atlarge/obs/observability.hpp"
 #include "atlarge/sched/policies.hpp"
 #include "atlarge/sched/portfolio.hpp"
 #include "atlarge/sched/simulator.hpp"
@@ -51,6 +52,75 @@ void BM_SimulationScheduleRun(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_SimulationScheduleRun)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+// Same loop with the obs kernel observer attached but the tracer disabled
+// (metrics-only plane): the cost of the counter/gauge updates per event.
+void BM_SimulationScheduleRunObserved(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  obs::Observability plane(0);  // capacity 0: no tracing, metrics only
+  for (auto _ : state) {
+    sim::Simulation s;
+    s.set_observer(plane.kernel_observer());
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      s.schedule_at(static_cast<double>(i % 1'000), [&fired] { ++fired; });
+    }
+    s.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+}
+BENCHMARK(BM_SimulationScheduleRunObserved)->Arg(100'000);
+
+// Full plane: kernel observer plus an enabled tracer receiving one instant
+// per fired event — the worst-case per-event tracing cost (ring write).
+void BM_SimulationScheduleRunTraced(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  obs::Observability plane;
+  for (auto _ : state) {
+    sim::Simulation s;
+    s.set_observer(plane.kernel_observer());
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      s.schedule_at(static_cast<double>(i % 1'000), [&fired, &plane, &s] {
+        ++fired;
+        plane.tracer.instant("event", "bench", s.now());
+      });
+    }
+    s.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+}
+BENCHMARK(BM_SimulationScheduleRunTraced)->Arg(100'000);
+
+// Raw tracer call cost, enabled (ring write + clock read) vs disabled
+// (the null-sink fast path: a load and a branch).
+void BM_TracerInstantEnabled(benchmark::State& state) {
+  obs::Tracer tracer(1 << 16);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&tracer);  // keep enabled_ a real load
+    tracer.instant("tick", "bench", t);
+    t += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerInstantEnabled);
+
+void BM_TracerInstantDisabled(benchmark::State& state) {
+  obs::Tracer tracer;  // default-constructed: disabled
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&tracer);  // keep enabled_ a real load
+    tracer.instant("tick", "bench", t);
+    t += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerInstantDisabled);
 
 // Schedule/cancel churn: half the events are cancelled before they fire,
 // exercising handle bookkeeping, tombstone reclamation, and slot reuse.

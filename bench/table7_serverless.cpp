@@ -5,7 +5,9 @@
 //  ablation: pre-warmed pool size vs cold-start rate vs billed cost.
 
 #include <cstdio>
+#include <cstdlib>
 
+#include "atlarge/obs/observability.hpp"
 #include "atlarge/serverless/platform.hpp"
 #include "atlarge/serverless/workflow_engine.hpp"
 #include "bench_util.hpp"
@@ -100,12 +102,40 @@ void study_orchestration() {
               "per-step polling latency.\n");
 }
 
+/// Re-runs one representative FaaS experiment with the observability plane
+/// attached and exports the kernel + platform spans as a Chrome trace.
+void traced_run(const std::string& path) {
+  bench::header("Traced run (--trace " + path + ")");
+  const auto registry = serverless::uniform_registry(4, 0.2, 1.5);
+  stats::Rng rng(5);
+  const auto invocations =
+      serverless::bursty_invocations(4, 0.05, 20'000.0, 4'000.0, 15, rng);
+
+  obs::Observability plane;
+  serverless::PlatformConfig config;
+  config.keep_alive = 600.0;
+  config.obs = &plane;
+  const auto r = serverless::run_platform(registry, invocations, config);
+  std::printf("%zu invocations, %.1f%% cold\n", r.invocations.size(),
+              100.0 * r.cold_fraction);
+
+  if (!plane.tracer.write_chrome_json(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    std::exit(1);
+  }
+  bench::note("trace: " + std::to_string(plane.tracer.size()) +
+              " records -> " + path);
+  bench::note("metrics: " + plane.metrics.json());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::header("Table 7 / Section 6.4: serverless studies");
   study_economics();
   study_cold_starts();
   study_orchestration();
+  const std::string trace = bench::trace_flag(argc, argv);
+  if (!trace.empty()) traced_run(trace);
   return 0;
 }

@@ -6,10 +6,12 @@
 // active set fixes it, [120] noisy utilities cause mis-selection.
 
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <map>
 
 #include "atlarge/cluster/machine.hpp"
+#include "atlarge/obs/observability.hpp"
 #include "atlarge/sched/policies.hpp"
 #include "atlarge/sched/portfolio.hpp"
 #include "atlarge/sched/simulator.hpp"
@@ -138,11 +140,41 @@ void misselection() {
               "quality degrades (open problem in the paper).\n");
 }
 
+/// Re-runs one representative portfolio experiment with the observability
+/// plane attached and exports the kernel + scheduler + portfolio spans as
+/// a Chrome trace (load in Perfetto / about://tracing).
+void traced_run(const std::string& path) {
+  bench::header("Traced run (--trace " + path + ")");
+  const auto env = cluster::make_homogeneous_cluster("CL", 4, 8);
+  const auto wl = make_workload(workflow::WorkloadClass::kScientific, 42);
+
+  obs::Observability plane;
+  sched::PortfolioConfig config;
+  config.obs = &plane;
+  sched::PortfolioScheduler portfolio(sched::standard_policies(), env,
+                                      config);
+  sched::SimOptions options;
+  options.obs = &plane;
+  const auto r = sched::simulate(env, wl, portfolio, options);
+  std::printf("slowdown %.2f over %zu jobs\n", r.mean_slowdown,
+              r.jobs.size());
+
+  if (!plane.tracer.write_chrome_json(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    std::exit(1);
+  }
+  bench::note("trace: " + std::to_string(plane.tracer.size()) +
+              " records -> " + path);
+  bench::note("metrics: " + plane.metrics.json());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   table9();
   online_cost_arc();
   misselection();
+  const std::string trace = bench::trace_flag(argc, argv);
+  if (!trace.empty()) traced_run(trace);
   return 0;
 }

@@ -7,6 +7,7 @@
 // Modules (each usable independently):
 //   atlarge::stats      - statistics, distributions, reproducible RNG
 //   atlarge::sim        - discrete-event simulation kernel
+//   atlarge::obs        - metrics registry, span tracer, kernel observer
 //   atlarge::trace      - trace tables and FAIR archive catalogs
 //   atlarge::workflow   - jobs, DAGs, workload generators
 //   atlarge::cluster    - datacenter model, cost models, Figure 9 ref. arch.
@@ -41,6 +42,10 @@
 #include "atlarge/mmog/interest.hpp"
 #include "atlarge/mmog/provisioning.hpp"
 #include "atlarge/mmog/workload.hpp"
+#include "atlarge/obs/json.hpp"
+#include "atlarge/obs/metrics.hpp"
+#include "atlarge/obs/observability.hpp"
+#include "atlarge/obs/trace.hpp"
 #include "atlarge/p2p/ecosystem.hpp"
 #include "atlarge/p2p/flashcrowd.hpp"
 #include "atlarge/p2p/monitor.hpp"

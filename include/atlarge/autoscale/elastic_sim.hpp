@@ -17,6 +17,10 @@
 #include "atlarge/sched/simulator.hpp"
 #include "atlarge/workflow/job.hpp"
 
+namespace atlarge::obs {
+class Observability;
+}
+
 namespace atlarge::autoscale {
 
 struct ElasticConfig {
@@ -28,6 +32,11 @@ struct ElasticConfig {
   /// Deadline SLA: a job's deadline is submit + sla_factor*critical_path;
   /// <= 0 disables deadline accounting.
   double sla_factor = 4.0;
+  /// Optional instrumentation plane (not owned, may be null): attaches the
+  /// kernel observer, wraps the run in an "autoscale.run" span with one
+  /// "autoscale.tick" span per decision, and records tick/machine-churn
+  /// counters plus supply/demand core gauges.
+  obs::Observability* obs = nullptr;
 };
 
 struct ElasticResult {

@@ -2,14 +2,16 @@
 // Granula-style fine-grained performance breakdown (paper [100]): a
 // benchmark should expose not just end-to-end runtime but *where the time
 // goes*. For modeled platforms the breakdown comes from the cost model;
-// for the native implementations in this library it is measured with
-// wall-clock timers around each phase.
+// for the native implementations in this library it is measured by
+// emitting obs tracer spans around each phase and folding the span
+// wall-times back into per-phase totals (breakdown_from_trace).
 
 #include <string>
 #include <vector>
 
 #include "atlarge/graph/algorithms.hpp"
 #include "atlarge/graph/pad.hpp"
+#include "atlarge/obs/trace.hpp"
 
 namespace atlarge::graph {
 
@@ -33,9 +35,16 @@ Breakdown modeled_breakdown(const PlatformModel& platform, Algorithm algo,
                             std::uint64_t edges);
 
 /// Measured breakdown of a native in-process run: graph-load (CSR build
-/// from an edge list) vs compute, using wall-clock timers.
+/// from an edge list) vs compute. Implemented as obs tracer spans around
+/// each phase, folded into a Breakdown via breakdown_from_trace.
 Breakdown measured_breakdown(VertexId n,
                              std::vector<std::pair<VertexId, VertexId>> edges,
                              Algorithm algo);
+
+/// Folds the begin/end span pairs recorded in `tracer` into a Breakdown:
+/// one phase per distinct span name (first-seen order), seconds = summed
+/// wall-clock span durations. Instants are ignored; an unmatched begin or
+/// end (e.g. after a ring wrap) contributes nothing.
+Breakdown breakdown_from_trace(const obs::Tracer& tracer, std::string label);
 
 }  // namespace atlarge::graph

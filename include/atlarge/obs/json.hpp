@@ -1,0 +1,158 @@
+#pragma once
+// Minimal JSON writer shared by every emitter in the ecosystem: the
+// Chrome trace-event exporter, the metrics-registry snapshot, and the
+// bench harnesses. One implementation so string escaping and non-finite
+// handling cannot diverge between emitters: strings are escaped per RFC
+// 8259, and NaN/inf (which JSON cannot represent) are emitted as null.
+//
+// The writer is append-only with automatic comma management:
+//
+//   JsonWriter w;
+//   w.begin_object().key("name").value("run").key("t").value(1.5);
+//   w.key("tags").begin_array().value("a").value("b").end_array();
+//   w.end_object();
+//   w.str();  // {"name":"run","t":1.5,"tags":["a","b"]}
+//
+// Callers are responsible for well-formedness (matched begin/end, keys
+// only inside objects); the writer does not validate.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atlarge::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    prefix();
+    out_ += '{';
+    first_.push_back(true);
+    return *this;
+  }
+
+  JsonWriter& end_object() {
+    first_.pop_back();
+    out_ += '}';
+    return *this;
+  }
+
+  JsonWriter& begin_array() {
+    prefix();
+    out_ += '[';
+    first_.push_back(true);
+    return *this;
+  }
+
+  JsonWriter& end_array() {
+    first_.pop_back();
+    out_ += ']';
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    prefix();
+    quote(k);
+    out_ += ':';
+    after_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view s) {
+    prefix();
+    quote(s);
+    return *this;
+  }
+
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+
+  /// Non-finite doubles become null: JSON has no NaN/inf literal, and
+  /// emitting one silently produces output `python -m json.tool` rejects.
+  JsonWriter& value(double v) {
+    prefix();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    out_ += buf;
+    return *this;
+  }
+
+  JsonWriter& value(std::uint64_t v) {
+    prefix();
+    out_ += std::to_string(v);
+    return *this;
+  }
+
+  JsonWriter& value(std::int64_t v) {
+    prefix();
+    out_ += std::to_string(v);
+    return *this;
+  }
+
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+  JsonWriter& value(bool v) {
+    prefix();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  JsonWriter& null() {
+    prefix();
+    out_ += "null";
+    return *this;
+  }
+
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  /// Emits the separating comma before a value/key unless it is the first
+  /// element of its container or the value completing a key.
+  void prefix() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) out_ += ',';
+      first_.back() = false;
+    }
+  }
+
+  void quote(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\b': out_ += "\\b"; break;
+        case '\f': out_ += "\\f"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> first_;
+  bool after_key_ = false;
+};
+
+}  // namespace atlarge::obs

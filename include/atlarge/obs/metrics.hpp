@@ -1,0 +1,117 @@
+#pragma once
+// Metrics registry: named counters, gauges, and log-bucketed histograms
+// with O(1) hot-path updates.
+//
+// The intended usage pattern is registration-then-update: a component
+// looks its instruments up by name once (O(log n), allocates), keeps the
+// returned references, and updates through them on the hot path (a single
+// add/store, no lookup, no allocation). References stay valid for the
+// Registry's lifetime — instruments live in node-based maps and are never
+// removed.
+//
+// Snapshots serialize to JSON (for programmatic consumers and the bench
+// harnesses) and to Prometheus text exposition format (dots in metric
+// names become underscores; histograms emit cumulative `le` buckets).
+//
+// Instruments are NOT thread-safe: update them from one thread at a time
+// (in this codebase, from simulation event handlers, which are serial by
+// construction — the parallel portfolio evaluation deliberately does not
+// touch the registry from worker threads).
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace atlarge::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value (queue depth, supply cores, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-bucketed histogram: power-of-two buckets spanning ~1e-6 to ~2^43,
+/// so one increment per observation regardless of value range. Quantiles
+/// are bucket-resolution estimates (within a factor of 2), which is the
+/// right fidelity for "where did the latency mass go" questions; exact
+/// quantiles belong to the stats module's offline paths.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  static constexpr int kMinExp = -20;  // bucket 0 holds values <= 2^-20
+
+  void observe(double v) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Upper-bound estimate of the q-quantile (q in [0,1]), clamped to the
+  /// observed max. Returns 0 when empty.
+  double quantile(double q) const noexcept;
+
+  const std::array<std::uint64_t, kBuckets>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  /// Inclusive upper bound of bucket `i`; +inf for the last bucket.
+  static double bucket_upper_bound(int i) noexcept;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named instrument registry; one per run/plane.
+class Registry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  const std::map<std::string, Counter>& counters() const noexcept {
+    return counters_;
+  }
+  const std::map<std::string, Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram>& histograms() const noexcept {
+    return histograms_;
+  }
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+  /// max,mean,p50,p95,p99}}}
+  std::string json() const;
+
+  /// Prometheus text exposition format ('.' in names mapped to '_').
+  std::string prometheus() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace atlarge::obs

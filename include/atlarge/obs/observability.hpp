@@ -1,0 +1,98 @@
+#pragma once
+// One instrumentation plane shared across every layer of a run.
+//
+// The MELODIC-style argument (and the Massivizing Computer Systems
+// "understanding before designing" prerequisite): a multi-layer system
+// needs ONE instrumentation plane, not per-layer ad-hoc timers. An
+// Observability object bundles a metrics Registry and a span Tracer, plus
+// the KernelObserver that bridges the DES kernel's Observer hook onto
+// both. Domain simulators accept an optional `obs::Observability*` in
+// their config/options structs; when set they attach the kernel observer
+// to their internal Simulation and emit their own domain-level spans and
+// metrics into the same plane, so an exported trace shows kernel and
+// domain activity on one timeline.
+//
+// A plane is single-run / single-threaded: share one plane across
+// sequential runs (metrics accumulate; spans append), but never across
+// concurrently running simulations.
+
+#include <cstddef>
+
+#include "atlarge/obs/metrics.hpp"
+#include "atlarge/obs/trace.hpp"
+#include "atlarge/sim/simulation.hpp"
+
+namespace atlarge::obs {
+
+/// Standard kernel instrumentation: event-transition counters
+/// (sim.events_scheduled / sim.events_fired / sim.events_cancelled), a
+/// queue-depth gauge (sim.queue_depth), a per-run executed-events
+/// histogram (sim.run_events), and a "sim.run" span per run()/run_until().
+class KernelObserver final : public sim::Observer {
+ public:
+  KernelObserver(Registry& metrics, Tracer& tracer)
+      : tracer_(&tracer),
+        scheduled_(&metrics.counter("sim.events_scheduled")),
+        fired_(&metrics.counter("sim.events_fired")),
+        cancelled_(&metrics.counter("sim.events_cancelled")),
+        queue_depth_(&metrics.gauge("sim.queue_depth")),
+        run_events_(&metrics.histogram("sim.run_events")) {}
+
+  void on_schedule(sim::Time at, std::size_t pending) override {
+    (void)at;
+    scheduled_->add(1);
+    queue_depth_->set(static_cast<double>(pending));
+  }
+
+  void on_fire(sim::Time now, std::size_t pending) override {
+    (void)now;
+    fired_->add(1);
+    queue_depth_->set(static_cast<double>(pending));
+  }
+
+  void on_cancel(sim::Time now, std::size_t pending) override {
+    (void)now;
+    cancelled_->add(1);
+    queue_depth_->set(static_cast<double>(pending));
+  }
+
+  void on_run_begin(sim::Time now) override {
+    tracer_->begin("sim.run", "kernel", now);
+  }
+
+  void on_run_end(sim::Time now, std::size_t executed) override {
+    run_events_->observe(static_cast<double>(executed));
+    tracer_->end("sim.run", "kernel", now);
+  }
+
+ private:
+  Tracer* tracer_;
+  Counter* scheduled_;
+  Counter* fired_;
+  Counter* cancelled_;
+  Gauge* queue_depth_;
+  Histogram* run_events_;
+};
+
+class Observability {
+ public:
+  /// `trace_capacity` sizes the tracer ring; 0 keeps the tracer disabled
+  /// (metrics-only plane — the kernel observer then costs counter bumps
+  /// but records no spans).
+  explicit Observability(std::size_t trace_capacity = 1 << 16)
+      : tracer(trace_capacity), kernel_(metrics, tracer) {}
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  Registry metrics;
+  Tracer tracer;
+
+  /// The observer to pass to sim::Simulation::set_observer.
+  sim::Observer* kernel_observer() noexcept { return &kernel_; }
+
+ private:
+  KernelObserver kernel_;
+};
+
+}  // namespace atlarge::obs

@@ -17,6 +17,10 @@
 
 #include "atlarge/stats/rng.hpp"
 
+namespace atlarge::obs {
+class Observability;
+}
+
 namespace atlarge::p2p {
 
 struct SwarmConfig {
@@ -30,6 +34,11 @@ struct SwarmConfig {
   int initial_seeds = 1;
   double epoch = 10.0;               // fluid integration step, s
   std::uint64_t seed = 1;
+  /// Optional instrumentation plane (not owned, may be null): wraps the
+  /// run in a "p2p.swarm" span, tracks seed/leecher census gauges, counts
+  /// finished/aborted peers, and records a download-time histogram. (The
+  /// fluid model is not a DES, so no kernel observer is attached.)
+  obs::Observability* obs = nullptr;
 };
 
 /// Per-peer ground truth.

@@ -26,6 +26,10 @@
 #include "atlarge/sim/thread_pool.hpp"
 #include "atlarge/workflow/job.hpp"
 
+namespace atlarge::obs {
+class Observability;
+}
+
 namespace atlarge::sched {
 
 struct PortfolioConfig {
@@ -58,6 +62,12 @@ struct PortfolioConfig {
   /// gets a cloned policy, a private snapshot copy, and its own RNG
   /// stream, and the selection reduction runs serially in candidate order.
   std::size_t eval_threads = 1;
+  /// Optional instrumentation plane (not owned, may be null): emits a
+  /// "portfolio.select" span per selection round plus round/what-if
+  /// counters and a best-utility histogram. Only touched from the serial
+  /// sections of tick(), never from evaluation worker threads, and not
+  /// inherited by clone() (a clone may be simulated on another thread).
+  obs::Observability* obs = nullptr;
 };
 
 class PortfolioScheduler final : public Policy {

@@ -29,6 +29,10 @@
 #include "atlarge/sched/policy.hpp"
 #include "atlarge/workflow/job.hpp"
 
+namespace atlarge::obs {
+class Observability;
+}
+
 namespace atlarge::sched {
 
 struct JobStats {
@@ -66,6 +70,11 @@ struct SimOptions {
   /// Hard stop; jobs not finished by then are excluded from job stats but
   /// counted in utilization.
   double time_limit = std::numeric_limits<double>::infinity();
+  /// Optional instrumentation plane (not owned, may be null): attaches
+  /// the kernel observer to the internal Simulation and emits
+  /// scheduler-level spans ("sched.simulate", per-pass "sched.pass") and
+  /// metrics (sched.passes, sched.tasks_placed, sched.eligible_queue).
+  obs::Observability* obs = nullptr;
 };
 
 /// Runs `workload` on `env` under `policy`. Deterministic for fixed inputs.

@@ -16,6 +16,10 @@
 
 #include "atlarge/stats/rng.hpp"
 
+namespace atlarge::obs {
+class Observability;
+}
+
 namespace atlarge::serverless {
 
 struct FunctionSpec {
@@ -30,6 +34,11 @@ struct PlatformConfig {
   std::uint32_t max_instances = 1'000;  // platform-wide concurrency cap
   /// Pre-warmed instances per function at t=0 (0 = pure scale-from-zero).
   std::uint32_t prewarmed = 0;
+  /// Optional instrumentation plane (not owned, may be null): attaches
+  /// the kernel observer, wraps the run in a "faas.run" span, marks cold
+  /// starts and queueing as instants, and records invocation counters,
+  /// a live-instances gauge, and a latency histogram.
+  obs::Observability* obs = nullptr;
 };
 
 /// One invocation request.

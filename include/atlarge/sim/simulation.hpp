@@ -26,6 +26,43 @@ using Time = double;
 
 class Simulation;
 
+/// Optional kernel instrumentation hook. A Simulation with no observer
+/// attached pays one pointer test per schedule/fire/cancel (the null-sink
+/// fast path); with an observer attached, the kernel reports every event
+/// transition plus run boundaries. Hooks receive the live-event count
+/// *after* the transition, so an observer's scheduled/fired/cancelled
+/// counters always satisfy pending() == scheduled - fired - cancelled.
+/// The obs module provides the standard implementation
+/// (atlarge::obs::KernelObserver) that feeds a metrics registry and a
+/// span tracer; custom observers can subclass directly.
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  /// An event was scheduled at absolute simulated time `at`.
+  virtual void on_schedule(Time at, std::size_t pending) {
+    (void)at;
+    (void)pending;
+  }
+  /// An event is about to execute at simulated time `now`.
+  virtual void on_fire(Time now, std::size_t pending) {
+    (void)now;
+    (void)pending;
+  }
+  /// A pending event was cancelled.
+  virtual void on_cancel(Time now, std::size_t pending) {
+    (void)now;
+    (void)pending;
+  }
+  /// run()/run_until() entered (not emitted for bare step() calls).
+  virtual void on_run_begin(Time now) { (void)now; }
+  /// run()/run_until() returned after executing `executed` events.
+  virtual void on_run_end(Time now, std::size_t executed) {
+    (void)now;
+    (void)executed;
+  }
+};
+
 /// Handle to a scheduled event; allows cancellation. Default-constructed
 /// handles are inert. A handle is a {slot index, generation} pair into its
 /// Simulation's event pool and must not outlive the Simulation it came from.
@@ -92,6 +129,11 @@ class Simulation {
   /// Requests that run()/run_until() return after the current event.
   void stop() noexcept { stopped_ = true; }
 
+  /// Attaches (or, with nullptr, detaches) an instrumentation observer.
+  /// Not owned; must outlive the Simulation or be detached first.
+  void set_observer(Observer* observer) noexcept { observer_ = observer; }
+  Observer* observer() const noexcept { return observer_; }
+
  private:
   friend class EventHandle;
 
@@ -143,6 +185,7 @@ class Simulation {
   std::size_t live_ = 0;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  Observer* observer_ = nullptr;
   bool stopped_ = false;
 };
 

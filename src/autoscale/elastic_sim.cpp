@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "atlarge/obs/observability.hpp"
 #include "atlarge/sim/simulation.hpp"
 #include "atlarge/stats/descriptive.hpp"
 
@@ -40,7 +41,14 @@ class ElasticEngine {
  public:
   ElasticEngine(const workflow::Workload& workload, Autoscaler& autoscaler,
                 const ElasticConfig& config)
-      : autoscaler_(autoscaler), config_(config) {
+      : autoscaler_(autoscaler), config_(config), obs_(config.obs) {
+    if (obs_ != nullptr) {
+      ticks_ = &obs_->metrics.counter("autoscale.ticks");
+      added_ = &obs_->metrics.counter("autoscale.machines_added");
+      removed_ = &obs_->metrics.counter("autoscale.machines_removed");
+      supply_gauge_ = &obs_->metrics.gauge("autoscale.supply_cores");
+      demand_gauge_ = &obs_->metrics.gauge("autoscale.demand_cores");
+    }
     jobs_.reserve(workload.jobs.size());
     for (const auto& job : workload.jobs) {
       for (const auto& t : job.tasks) {
@@ -60,12 +68,18 @@ class ElasticEngine {
   }
 
   ElasticResult run() {
+    if (obs_ != nullptr) {
+      sim_.set_observer(obs_->kernel_observer());
+      obs_->tracer.begin("autoscale.run", "autoscale", sim_.now());
+    }
     for (std::uint32_t i = 0; i < config_.min_machines; ++i) add_machine();
     for (std::size_t ji = 0; ji < jobs_.size(); ++ji)
       sim_.schedule_at(jobs_[ji].job->submit_time, [this, ji] { arrive(ji); });
     sim_.schedule_at(0.0, [this] { tick(); });
     sim_.run();
     finalize();
+    if (obs_ != nullptr)
+      obs_->tracer.end("autoscale.run", "autoscale", sim_.now());
     return std::move(result_);
   }
 
@@ -78,6 +92,7 @@ class ElasticEngine {
   }
 
   void add_machine() {
+    if (added_ != nullptr) added_->add(1);
     // Reuse a dead slot if any, else grow.
     for (auto& m : machines_) {
       if (!m.alive) {
@@ -95,6 +110,7 @@ class ElasticEngine {
     auto& m = machines_[mi];
     m.alive = false;
     result_.rentals.push_back(sim_.now() - m.rental_start);
+    if (removed_ != nullptr) removed_->add(1);
   }
 
   double demand_cores() const {
@@ -136,6 +152,10 @@ class ElasticEngine {
   }
 
   void tick() {
+    if (obs_ != nullptr) {
+      ticks_->add(1);
+      obs_->tracer.begin("autoscale.tick", "autoscale", sim_.now());
+    }
     const double demand = demand_cores();
     Observation obs;
     obs.now = sim_.now();
@@ -175,9 +195,14 @@ class ElasticEngine {
       drain_quota_ = to_remove;
     }
 
-    result_.series.push_back(SupplyDemandPoint{
-        sim_.now(), demand,
-        static_cast<double>(alive_machines()) * config_.cores_per_machine});
+    const double supply =
+        static_cast<double>(alive_machines()) * config_.cores_per_machine;
+    result_.series.push_back(SupplyDemandPoint{sim_.now(), demand, supply});
+    if (obs_ != nullptr) {
+      supply_gauge_->set(supply);
+      demand_gauge_->set(demand);
+      obs_->tracer.end("autoscale.tick", "autoscale", sim_.now());
+    }
 
     if (completed_jobs_ < jobs_.size()) {
       sim_.schedule_after(config_.interval, [this] { tick(); });
@@ -316,6 +341,15 @@ class ElasticEngine {
   std::uint32_t drain_quota_ = 0;
   std::size_t completed_jobs_ = 0;
   ElasticResult result_;
+
+  // Instrumentation plane; metric handles are resolved once in the ctor so
+  // the hot path never does a name lookup.
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* ticks_ = nullptr;
+  obs::Counter* added_ = nullptr;
+  obs::Counter* removed_ = nullptr;
+  obs::Gauge* supply_gauge_ = nullptr;
+  obs::Gauge* demand_gauge_ = nullptr;
 };
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "atlarge/graph/granula.hpp"
 
-#include <chrono>
+#include <cstring>
+#include <utility>
 
 namespace atlarge::graph {
 
@@ -42,21 +43,57 @@ Breakdown modeled_breakdown(const PlatformModel& platform, Algorithm algo,
 Breakdown measured_breakdown(VertexId n,
                              std::vector<std::pair<VertexId, VertexId>> edges,
                              Algorithm algo) {
-  using Clock = std::chrono::steady_clock;
-  Breakdown b;
-  b.label = "native/" + to_string(algo);
+  // Phase timing is expressed as tracer spans, then folded back into the
+  // Breakdown — the same span stream a caller-supplied tracer would see.
+  obs::Tracer tracer(8);
 
-  const auto t0 = Clock::now();
+  tracer.begin("load", "graph");
   const Graph g = Graph::from_edges(n, std::move(edges));
-  const auto t1 = Clock::now();
-  (void)run_algorithm(g, algo);
-  const auto t2 = Clock::now();
+  tracer.end("load", "graph");
 
-  const auto seconds = [](auto a, auto z) {
-    return std::chrono::duration<double>(z - a).count();
-  };
-  b.phases.push_back(Phase{"load", seconds(t0, t1)});
-  b.phases.push_back(Phase{"compute", seconds(t1, t2)});
+  tracer.begin("compute", "graph");
+  (void)run_algorithm(g, algo);
+  tracer.end("compute", "graph");
+
+  return breakdown_from_trace(tracer, "native/" + to_string(algo));
+}
+
+Breakdown breakdown_from_trace(const obs::Tracer& tracer, std::string label) {
+  Breakdown b;
+  b.label = std::move(label);
+  // Match each end to the innermost open begin of the same name. Names are
+  // compared by content (distinct literals with equal text are one phase).
+  std::vector<std::pair<const char*, double>> open;  // (name, begin wall_us)
+  for (const obs::TraceRecord& rec : tracer.records()) {
+    switch (rec.kind) {
+      case obs::SpanKind::kBegin:
+        open.emplace_back(rec.name, rec.wall_us);
+        break;
+      case obs::SpanKind::kEnd: {
+        for (std::size_t i = open.size(); i-- > 0;) {
+          if (std::strcmp(open[i].first, rec.name) != 0) continue;
+          const double seconds = (rec.wall_us - open[i].second) * 1e-6;
+          open.erase(open.begin() + static_cast<std::ptrdiff_t>(i));
+          Phase* phase = nullptr;
+          for (auto& p : b.phases) {
+            if (p.name == rec.name) {
+              phase = &p;
+              break;
+            }
+          }
+          if (phase == nullptr) {
+            b.phases.push_back(Phase{rec.name, 0.0});
+            phase = &b.phases.back();
+          }
+          phase->seconds += seconds;
+          break;
+        }
+        break;
+      }
+      case obs::SpanKind::kInstant:
+        break;
+    }
+  }
   return b;
 }
 

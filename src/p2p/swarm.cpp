@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "atlarge/obs/observability.hpp"
 #include "atlarge/stats/descriptive.hpp"
 
 namespace atlarge::p2p {
@@ -32,7 +33,25 @@ SwarmResult simulate_swarm(const SwarmConfig& config,
   stats::Rng rng(config.seed);
   std::size_t next_arrival = 0;
 
+  // Instrumentation plane; handles resolved once, outside the epoch loop.
+  obs::Observability* const plane = config.obs;
+  obs::Counter* finished_ctr = nullptr;
+  obs::Counter* aborted_ctr = nullptr;
+  obs::Gauge* seeds_gauge = nullptr;
+  obs::Gauge* leechers_gauge = nullptr;
+  obs::Histogram* dl_hist = nullptr;
+  double last_now = 0.0;
+  if (plane != nullptr) {
+    finished_ctr = &plane->metrics.counter("p2p.finished");
+    aborted_ctr = &plane->metrics.counter("p2p.aborted");
+    seeds_gauge = &plane->metrics.gauge("p2p.seeds");
+    leechers_gauge = &plane->metrics.gauge("p2p.leechers");
+    dl_hist = &plane->metrics.histogram("p2p.download_time");
+    plane->tracer.begin("p2p.swarm", "p2p", 0.0);
+  }
+
   for (double now = 0.0; now < horizon; now += config.epoch) {
+    last_now = now;
     // Admit arrivals.
     while (next_arrival < arrivals.size() && arrivals[next_arrival] <= now)
       ++next_arrival;
@@ -79,6 +98,10 @@ SwarmResult simulate_swarm(const SwarmConfig& config,
 
     result.series.push_back(
         SwarmSample{now, seeds, leechers, per_leecher_mbps});
+    if (plane != nullptr) {
+      seeds_gauge->set(static_cast<double>(seeds));
+      leechers_gauge->set(static_cast<double>(leechers));
+    }
 
     // Integrate one epoch.
     for (std::size_t i = 0; i < next_arrival; ++i) {
@@ -92,6 +115,7 @@ SwarmResult simulate_swarm(const SwarmConfig& config,
             ps.phase = PeerPhase::kGone;
             out.departure = now;
             ++result.aborted;
+            if (aborted_ctr != nullptr) aborted_ctr->add(1);
             break;
           }
           ps.downloaded_mb +=
@@ -103,6 +127,10 @@ SwarmResult simulate_swarm(const SwarmConfig& config,
             ps.seed_until =
                 out.completion + rng.exponential(1.0 / config.seed_time_mean);
             ++result.finished;
+            if (plane != nullptr) {
+              finished_ctr->add(1);
+              dl_hist->observe(out.download_time());
+            }
           }
           break;
         }
@@ -133,6 +161,8 @@ SwarmResult simulate_swarm(const SwarmConfig& config,
   }
   result.mean_download_time = stats::mean(times);
   result.median_download_time = stats::quantile(times, 0.5);
+  if (plane != nullptr)
+    plane->tracer.end("p2p.swarm", "p2p", last_now + config.epoch);
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "atlarge/obs/observability.hpp"
 #include "atlarge/sched/simulator.hpp"
 #include "atlarge/stats/rng.hpp"
 
@@ -113,6 +114,9 @@ double PortfolioScheduler::tick(const SchedState& state,
       state.now < next_decision_)
     return 0.0;
 
+  if (config_.obs != nullptr)
+    config_.obs->tracer.begin("portfolio.select", "sched", state.now);
+
   // Evaluate the incumbent first so that ties keep the current policy
   // (switching on a tie is pure churn).
   auto candidates = candidate_set();
@@ -165,6 +169,14 @@ double PortfolioScheduler::tick(const SchedState& state,
   current_ = best;
   ++selections_[policies_[current_]->name()];
 
+  if (config_.obs != nullptr) {
+    auto& m = config_.obs->metrics;
+    m.counter("portfolio.rounds").add(1);
+    m.counter("portfolio.what_if_sims").add(candidates.size());
+    m.histogram("portfolio.best_utility").observe(best_utility);
+    config_.obs->tracer.end("portfolio.select", "sched", state.now);
+  }
+
   const double overhead =
       config_.cost_per_task_policy *
       static_cast<double>(candidates.size()) *
@@ -182,8 +194,13 @@ std::unique_ptr<Policy> PortfolioScheduler::clone() const {
   std::vector<std::unique_ptr<Policy>> copies;
   copies.reserve(policies_.size());
   for (const auto& p : policies_) copies.push_back(p->clone());
+  // Clones never inherit the instrumentation plane: a cloned portfolio may
+  // run inside another scheduler's parallel what-if evaluation, and the
+  // plane is not thread-safe.
+  PortfolioConfig config = config_;
+  config.obs = nullptr;
   return std::make_unique<PortfolioScheduler>(std::move(copies), env_,
-                                              config_);
+                                              config);
 }
 
 }  // namespace atlarge::sched

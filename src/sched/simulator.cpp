@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "atlarge/obs/observability.hpp"
 #include "atlarge/sim/simulation.hpp"
 #include "atlarge/stats/descriptive.hpp"
 
@@ -50,7 +51,14 @@ class Engine {
  public:
   Engine(const cluster::Environment& env, const workflow::Workload& workload,
          Policy& policy, const SimOptions& options)
-      : env_(env), policy_(policy), options_(options) {
+      : env_(env), policy_(policy), options_(options), obs_(options.obs) {
+    if (obs_ != nullptr) {
+      sim_.set_observer(obs_->kernel_observer());
+      passes_ = &obs_->metrics.counter("sched.passes");
+      placed_ = &obs_->metrics.counter("sched.tasks_placed");
+      queue_depth_ = &obs_->metrics.gauge("sched.eligible_queue");
+      wait_hist_ = &obs_->metrics.histogram("sched.task_wait");
+    }
     const auto machines = env.all_machines();
     if (machines.empty())
       throw std::invalid_argument("simulate: environment has no machines");
@@ -81,12 +89,16 @@ class Engine {
   }
 
   SchedResult run() {
+    if (obs_ != nullptr)
+      obs_->tracer.begin("sched.simulate", "sched", sim_.now());
     for (std::size_t ji = 0; ji < jobs_.size(); ++ji) {
       sim_.schedule_at(jobs_[ji].job->submit_time,
                        [this, ji] { arrive(ji); });
     }
     sim_.run_until(options_.time_limit);
     finalize();
+    if (obs_ != nullptr)
+      obs_->tracer.end("sched.simulate", "sched", sim_.now());
     return std::move(result_);
   }
 
@@ -195,6 +207,11 @@ class Engine {
       return;
     }
 
+    if (obs_ != nullptr) {
+      passes_->add(1);
+      queue_depth_->set(static_cast<double>(eligible_.size()));
+      obs_->tracer.begin("sched.pass", "sched", sim_.now());
+    }
     std::vector<TaskRef> queue;
     queue.reserve(eligible_.size());
     for (const auto& [ji, ti] : eligible_) queue.push_back(make_ref(ji, ti));
@@ -205,6 +222,7 @@ class Engine {
       blocked_until_ = sim_.now() + overhead;
       result_.decision_overhead += overhead;
       sim_.schedule_at(blocked_until_, [this] { request_pass(); });
+      if (obs_ != nullptr) obs_->tracer.end("sched.pass", "sched", sim_.now());
       return;
     }
 
@@ -227,6 +245,10 @@ class Engine {
       if (constrain && sim_.now() + elapsed > shadow) continue;
       place(ref, mi, elapsed);
     }
+    if (obs_ != nullptr) {
+      queue_depth_->set(static_cast<double>(eligible_.size()));
+      obs_->tracer.end("sched.pass", "sched", sim_.now());
+    }
   }
 
   void place(const TaskRef& ref, std::size_t mi, double elapsed) {
@@ -245,6 +267,10 @@ class Engine {
     js.tasks[ti].status = TaskStatus::kRunning;
     if (js.start < 0.0) js.start = sim_.now();
 
+    if (obs_ != nullptr) {
+      placed_->add(1);
+      wait_hist_->observe(sim_.now() - js.tasks[ti].eligible_time);
+    }
     machines_[mi].free -= ref.cores;
     observe_busy();
     running_.push_back(
@@ -345,6 +371,11 @@ class Engine {
   const cluster::Environment& env_;
   Policy& policy_;
   SimOptions options_;
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* passes_ = nullptr;
+  obs::Counter* placed_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Histogram* wait_hist_ = nullptr;
 
   sim::Simulation sim_;
   std::vector<MachineState> machines_;

@@ -4,6 +4,7 @@
 #include <deque>
 #include <stdexcept>
 
+#include "atlarge/obs/observability.hpp"
 #include "atlarge/sim/simulation.hpp"
 #include "atlarge/stats/descriptive.hpp"
 
@@ -23,14 +24,28 @@ class FaasEngine {
   FaasEngine(const std::vector<FunctionSpec>& registry,
              const std::vector<Invocation>& invocations,
              const PlatformConfig& config)
-      : registry_(registry), invocations_(invocations), config_(config) {
+      : registry_(registry),
+        invocations_(invocations),
+        config_(config),
+        obs_(config.obs) {
     for (const auto& inv : invocations_) {
       if (inv.function >= registry_.size())
         throw std::invalid_argument("run_platform: unknown function index");
     }
+    if (obs_ != nullptr) {
+      started_ = &obs_->metrics.counter("faas.invocations");
+      cold_starts_ = &obs_->metrics.counter("faas.cold_starts");
+      queued_ = &obs_->metrics.counter("faas.queued");
+      live_gauge_ = &obs_->metrics.gauge("faas.live_instances");
+      latency_hist_ = &obs_->metrics.histogram("faas.latency");
+    }
   }
 
   PlatformResult run() {
+    if (obs_ != nullptr) {
+      sim_.set_observer(obs_->kernel_observer());
+      obs_->tracer.begin("faas.run", "serverless", sim_.now());
+    }
     // Pre-warm pools.
     for (std::size_t f = 0; f < registry_.size(); ++f) {
       for (std::uint32_t i = 0; i < config_.prewarmed; ++i) {
@@ -42,6 +57,8 @@ class FaasEngine {
       sim_.schedule_at(inv.arrival, [this, &inv] { dispatch(inv); });
     sim_.run();
     finalize();
+    if (obs_ != nullptr)
+      obs_->tracer.end("faas.run", "serverless", sim_.now());
     return std::move(result_);
   }
 
@@ -63,6 +80,8 @@ class FaasEngine {
     instances_.push_back(std::move(inst));
     ++live_count_;
     result_.peak_instances = std::max(result_.peak_instances, live_count_);
+    if (obs_ != nullptr)
+      live_gauge_->set(static_cast<double>(live_count_));
     const std::size_t idx = instances_.size() - 1;
     if (!busy) arm_expiry(idx);
     return idx;
@@ -74,6 +93,8 @@ class FaasEngine {
     inst.alive = false;
     inst.expiry.cancel();
     --live_count_;
+    if (obs_ != nullptr)
+      live_gauge_->set(static_cast<double>(live_count_));
     if (!inst.busy)
       result_.billed_instance_seconds += sim_.now() - inst.idle_since;
   }
@@ -97,6 +118,10 @@ class FaasEngine {
       start_execution(inv, idx, /*cold=*/true);
       return;
     }
+    if (obs_ != nullptr) {
+      queued_->add(1);
+      obs_->tracer.instant("faas.queue", "serverless", sim_.now());
+    }
     pending_.push_back(inv);
   }
 
@@ -117,6 +142,14 @@ class FaasEngine {
     stats.start = start;
     stats.finish = finish;
     stats.cold = cold;
+    if (obs_ != nullptr) {
+      started_->add(1);
+      latency_hist_->observe(stats.latency());
+      if (cold) {
+        cold_starts_->add(1);
+        obs_->tracer.instant("faas.cold_start", "serverless", sim_.now());
+      }
+    }
     result_.invocations.push_back(stats);
     const double busy = finish - sim_.now();
     result_.busy_instance_seconds += spec.exec_time;
@@ -187,6 +220,15 @@ class FaasEngine {
   std::deque<Invocation> pending_;
   std::uint32_t live_count_ = 0;
   PlatformResult result_;
+
+  // Instrumentation plane; metric handles are resolved once in the ctor so
+  // the hot path never does a name lookup.
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* started_ = nullptr;
+  obs::Counter* cold_starts_ = nullptr;
+  obs::Counter* queued_ = nullptr;
+  obs::Gauge* live_gauge_ = nullptr;
+  obs::Histogram* latency_hist_ = nullptr;
 };
 
 }  // namespace

@@ -29,6 +29,7 @@ bool Simulation::cancel_slot(std::uint32_t slot,
   s.action = nullptr;  // drop captured state eagerly; the queue record stays
                        // behind as a tombstone reclaimed on pop
   --live_;
+  if (observer_ != nullptr) observer_->on_cancel(now_, live_);
   return true;
 }
 
@@ -117,7 +118,9 @@ EventHandle Simulation::schedule_at(Time at, Action action) {
   s.action = std::move(action);
   s.live = true;
   ++live_;
-  heap_push(pack(std::max(at, now_), (next_seq_++ << kSlotBits) | slot));
+  const Time when = std::max(at, now_);
+  heap_push(pack(when, (next_seq_++ << kSlotBits) | slot));
+  if (observer_ != nullptr) observer_->on_schedule(when, live_);
   return EventHandle(this, slot, s.generation);
 }
 
@@ -137,6 +140,7 @@ bool Simulation::step() {
     slots_[slot].live = false;  // fired; handles report !pending()
     --live_;
     now_ = record_time(top);
+    if (observer_ != nullptr) observer_->on_fire(now_, live_);
     Action action = std::move(slots_[slot].action);
     release_slot(slot);  // recycle before running: the action may
                          // schedule new events into this very slot
@@ -156,6 +160,7 @@ void Simulation::purge_cancelled() noexcept {
 std::size_t Simulation::run_until(Time until) {
   stopped_ = false;
   std::size_t executed = 0;
+  if (observer_ != nullptr) observer_->on_run_begin(now_);
   // Purge before peeking: a cancelled tombstone at the front may carry an
   // earlier timestamp than the first live event, and peeking at it would
   // let step() fire an event beyond `until`.
@@ -166,13 +171,16 @@ std::size_t Simulation::run_until(Time until) {
   }
   if (heap_.empty() || record_time(heap_.front()) > until)
     now_ = std::max(now_, until);
+  if (observer_ != nullptr) observer_->on_run_end(now_, executed);
   return executed;
 }
 
 std::size_t Simulation::run() {
   stopped_ = false;
   std::size_t executed = 0;
+  if (observer_ != nullptr) observer_->on_run_begin(now_);
   while (!stopped_ && step()) ++executed;
+  if (observer_ != nullptr) observer_->on_run_end(now_, executed);
   return executed;
 }
 

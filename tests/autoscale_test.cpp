@@ -1,9 +1,12 @@
 // Tests for autoscalers, the elastic simulator, elasticity metrics, and
 // the ranking/grading methods (paper Section 6.7).
 
+#include <string_view>
+
 #include <gtest/gtest.h>
 
 #include "atlarge/autoscale/autoscalers.hpp"
+#include "atlarge/obs/observability.hpp"
 #include "atlarge/autoscale/elastic_sim.hpp"
 #include "atlarge/autoscale/metrics.hpp"
 #include "atlarge/autoscale/ranking.hpp"
@@ -363,3 +366,36 @@ TEST_P(ZooCompletes, WorkloadFinishesWithSaneMetrics) {
 
 INSTANTIATE_TEST_SUITE_P(AllAutoscalers, ZooCompletes,
                          ::testing::Range<std::size_t>(0, 7));
+
+TEST(Observability, ElasticRunEmitsAutoscaleTelemetry) {
+  atlarge::obs::Observability plane;
+  const auto wl = workflow_workload(9, 10);
+  as::ReactAutoscaler react;
+  as::ElasticConfig config;
+  config.obs = &plane;
+  const auto result = as::run_elastic(wl, react, config);
+
+  const auto& counters = plane.metrics.counters();
+  EXPECT_EQ(counters.at("autoscale.ticks").value(), result.series.size());
+  EXPECT_GE(counters.at("autoscale.machines_added").value(),
+            counters.at("autoscale.machines_removed").value());
+  // The last census gauges mirror the final supply/demand sample.
+  EXPECT_DOUBLE_EQ(plane.metrics.gauges().at("autoscale.supply_cores").value(),
+                   result.series.back().supply);
+
+  bool saw_run = false;
+  std::size_t ticks = 0;
+  for (const auto& rec : plane.tracer.records()) {
+    if (std::string_view(rec.name) == "autoscale.run") saw_run = true;
+    if (std::string_view(rec.name) == "autoscale.tick" &&
+        rec.kind == atlarge::obs::SpanKind::kBegin)
+      ++ticks;
+  }
+  EXPECT_TRUE(saw_run);
+  EXPECT_EQ(ticks, result.series.size());
+
+  // Observation must not perturb the simulation.
+  as::ReactAutoscaler bare_react;
+  const auto bare = as::run_elastic(wl, bare_react, {});
+  EXPECT_DOUBLE_EQ(bare.makespan, result.makespan);
+}

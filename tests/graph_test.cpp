@@ -361,3 +361,23 @@ INSTANTIATE_TEST_SUITE_P(
     AllAlgorithms, WorkGrowsWithSize,
     ::testing::ValuesIn(graph::all_algorithms()),
     [](const auto& info) { return graph::to_string(info.param); });
+
+TEST(Granula, BreakdownFromTraceAggregatesSpansByName) {
+  atlarge::obs::Tracer tracer(16);
+  tracer.begin("load", "graph");
+  tracer.end("load", "graph");
+  tracer.begin("compute", "graph");
+  tracer.instant("mark", "graph");  // instants contribute nothing
+  tracer.end("compute", "graph");
+  tracer.begin("compute", "graph");  // second occurrence accumulates
+  tracer.end("compute", "graph");
+
+  const auto b = graph::breakdown_from_trace(tracer, "test");
+  EXPECT_EQ(b.label, "test");
+  ASSERT_EQ(b.phases.size(), 2u);  // first-seen order, instants ignored
+  EXPECT_EQ(b.phases[0].name, "load");
+  EXPECT_EQ(b.phases[1].name, "compute");
+  EXPECT_GE(b.phases[0].seconds, 0.0);
+  EXPECT_GE(b.phases[1].seconds, 0.0);
+  EXPECT_NEAR(b.share("load") + b.share("compute"), 1.0, 1e-9);
+}

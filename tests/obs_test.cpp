@@ -1,0 +1,390 @@
+// Tests for the atlarge::obs instrumentation plane: the shared JSON
+// writer, the metrics registry, the ring-buffer tracer with its Chrome
+// exporter, and the kernel observer's counter/pending invariants.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "atlarge/obs/json.hpp"
+#include "atlarge/obs/metrics.hpp"
+#include "atlarge/obs/observability.hpp"
+#include "atlarge/obs/trace.hpp"
+#include "atlarge/sim/simulation.hpp"
+
+namespace {
+
+using namespace atlarge;
+
+// ------------------------------------------------------------ JsonWriter --
+
+TEST(JsonWriter, NestedStructureAndCommas) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("name").value("run");
+  w.key("t").value(1.5);
+  w.key("tags").begin_array().value("a").value("b").end_array();
+  w.key("nested").begin_object().key("n").value(3).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"run","t":1.5,"tags":["a","b"],"nested":{"n":3}})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  obs::JsonWriter w;
+  w.value(std::string_view("a\"b\\c\nd\te\x01"));
+  EXPECT_EQ(w.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  obs::JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.value(2.0);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null,null,2]");
+}
+
+TEST(JsonWriter, IntegerAndBoolValues) {
+  obs::JsonWriter w;
+  w.begin_array();
+  w.value(std::uint64_t{18446744073709551615ULL});
+  w.value(std::int64_t{-7});
+  w.value(true);
+  w.null();
+  w.end_array();
+  EXPECT_EQ(w.str(), "[18446744073709551615,-7,true,null]");
+}
+
+// --------------------------------------------------------------- metrics --
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  obs::Registry reg;
+  auto& c = reg.counter("x.count");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name returns the same instrument.
+  EXPECT_EQ(&reg.counter("x.count"), &c);
+
+  auto& g = reg.gauge("x.depth");
+  g.set(3.5);
+  g.set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(Metrics, ReferencesStayValidAcrossRegistrations) {
+  obs::Registry reg;
+  auto& first = reg.counter("a");
+  // Register enough instruments to force internal growth if storage were
+  // contiguous; node-based maps must keep `first` valid.
+  for (int i = 0; i < 100; ++i)
+    reg.counter("filler." + std::to_string(i)).add(1);
+  first.add(1);
+  EXPECT_EQ(reg.counter("a").value(), 1u);
+}
+
+TEST(Metrics, HistogramMoments) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  h.observe(1.0);
+  h.observe(2.0);
+  h.observe(4.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 7.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_NEAR(h.mean(), 7.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, HistogramQuantileIsBucketUpperBoundEstimate) {
+  obs::Histogram h;
+  for (int i = 0; i < 99; ++i) h.observe(1.0);
+  h.observe(1000.0);
+  // p50 lands in the bucket containing 1.0; the estimate is that bucket's
+  // upper bound (within a factor of 2 of the true value), clamped to max.
+  EXPECT_LE(h.quantile(0.5), 2.0);
+  EXPECT_GE(h.quantile(0.5), 0.5);
+  // p100 is clamped to the observed max, never the bucket bound above it.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+}
+
+TEST(Metrics, HistogramExtremeValuesLandInEdgeBuckets) {
+  obs::Histogram h;
+  h.observe(0.0);     // below the smallest bound -> bucket 0
+  h.observe(1e-30);   // far below 2^-20 -> bucket 0
+  h.observe(1e300);   // far above the top bound -> last bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.buckets().front(), 2u);
+  EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(Metrics, JsonSnapshotShape) {
+  obs::Registry reg;
+  reg.counter("runs").add(2);
+  reg.gauge("depth").set(1.5);
+  reg.histogram("lat").observe(0.25);
+  const std::string json = reg.json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"runs\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusExposition) {
+  obs::Registry reg;
+  reg.counter("sim.events_fired").add(3);
+  reg.gauge("sim.queue_depth").set(2.0);
+  auto& h = reg.histogram("sched.task_wait");
+  h.observe(0.5);
+  h.observe(100.0);
+  const std::string prom = reg.prometheus();
+  // Dots become underscores; TYPE lines present; cumulative buckets end
+  // with +Inf == count.
+  EXPECT_NE(prom.find("# TYPE sim_events_fired counter"), std::string::npos);
+  EXPECT_NE(prom.find("sim_events_fired 3"), std::string::npos);
+  EXPECT_NE(prom.find("sim_queue_depth 2"), std::string::npos);
+  EXPECT_NE(prom.find("sched_task_wait_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("sched_task_wait_count 2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- tracer --
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  obs::Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.begin("a", "c");
+  t.instant("b", "c");
+  t.end("a", "c");
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Tracer, RecordsSpansAndInstantsInOrder) {
+  obs::Tracer t(16);
+  t.begin("outer", "k", 1.0);
+  t.instant("mark", "k", 2.0);
+  t.end("outer", "k", 3.0);
+  const auto recs = t.records();
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].kind, obs::SpanKind::kBegin);
+  EXPECT_STREQ(recs[0].name, "outer");
+  EXPECT_DOUBLE_EQ(recs[0].sim_time, 1.0);
+  EXPECT_EQ(recs[1].kind, obs::SpanKind::kInstant);
+  EXPECT_EQ(recs[2].kind, obs::SpanKind::kEnd);
+  // Wall clock is monotone over the stream.
+  EXPECT_LE(recs[0].wall_us, recs[1].wall_us);
+  EXPECT_LE(recs[1].wall_us, recs[2].wall_us);
+}
+
+TEST(Tracer, RingWrapDropsOldestAndCounts) {
+  obs::Tracer t(4);
+  for (int i = 0; i < 10; ++i)
+    t.instant("i", "c", static_cast<double>(i));
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+  EXPECT_EQ(t.size(), 4u);
+  const auto recs = t.records();
+  ASSERT_EQ(recs.size(), 4u);
+  // The survivors are the most recent four, oldest first.
+  EXPECT_DOUBLE_EQ(recs.front().sim_time, 6.0);
+  EXPECT_DOUBLE_EQ(recs.back().sim_time, 9.0);
+}
+
+TEST(Tracer, ScopedSpanEmitsBeginEnd) {
+  obs::Tracer t(8);
+  {
+    obs::ScopedSpan span(t, "phase", "test", 5.0);
+    span.set_end_sim_time(9.0);
+  }
+  const auto recs = t.records();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].kind, obs::SpanKind::kBegin);
+  EXPECT_DOUBLE_EQ(recs[0].sim_time, 5.0);
+  EXPECT_EQ(recs[1].kind, obs::SpanKind::kEnd);
+  EXPECT_DOUBLE_EQ(recs[1].sim_time, 9.0);
+}
+
+// Counts occurrences of a substring.
+std::size_t count_of(const std::string& s, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = s.find(needle); pos != std::string::npos;
+       pos = s.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+TEST(Tracer, ChromeJsonHasBalancedSpans) {
+  obs::Tracer t(32);
+  t.begin("a", "c", 0.0);
+  t.begin("b", "c", 1.0);
+  t.instant("i", "c", 1.5);
+  t.end("b", "c", 2.0);
+  t.end("a", "c", 3.0);
+  const std::string json = t.chrome_json();
+  EXPECT_EQ(count_of(json, "\"ph\":\"B\""), 2u);
+  EXPECT_EQ(count_of(json, "\"ph\":\"E\""), 2u);
+  EXPECT_EQ(count_of(json, "\"ph\":\"i\""), 1u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"t_sim\""), std::string::npos);
+}
+
+TEST(Tracer, ChromeJsonRebalancesAroundRingWrap) {
+  // Capacity 4 with 3 nested spans: the open "a"/"b" B records are
+  // overwritten, leaving orphaned E records at the front of the ring. The
+  // exporter must skip those and still emit balanced output.
+  obs::Tracer t(4);
+  t.begin("a", "c", 0.0);
+  t.begin("b", "c", 1.0);
+  t.begin("d", "c", 2.0);
+  t.end("d", "c", 3.0);
+  t.end("b", "c", 4.0);
+  t.end("a", "c", 5.0);
+  EXPECT_GT(t.dropped(), 0u);
+  const std::string json = t.chrome_json();
+  EXPECT_EQ(count_of(json, "\"ph\":\"B\""), count_of(json, "\"ph\":\"E\""));
+}
+
+TEST(Tracer, ChromeJsonClosesDanglingSpans) {
+  obs::Tracer t(8);
+  t.begin("open", "c", 0.0);
+  t.instant("i", "c", 1.0);
+  // No end record: the exporter closes the span at the last timestamp.
+  const std::string json = t.chrome_json();
+  EXPECT_EQ(count_of(json, "\"ph\":\"B\""), 1u);
+  EXPECT_EQ(count_of(json, "\"ph\":\"E\""), 1u);
+}
+
+TEST(Tracer, EnableResetsState) {
+  obs::Tracer t(2);
+  t.instant("x", "c");
+  t.instant("x", "c");
+  t.instant("x", "c");
+  EXPECT_EQ(t.dropped(), 1u);
+  t.enable(4);
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+// ------------------------------------------------------- kernel observer --
+
+TEST(KernelObserver, CountersMatchPendingAcrossTransitions) {
+  obs::Observability plane;
+  sim::Simulation s;
+  s.set_observer(plane.kernel_observer());
+
+  auto check = [&] {
+    const auto& m = plane.metrics;
+    const std::uint64_t scheduled =
+        plane.metrics.counters().at("sim.events_scheduled").value();
+    const std::uint64_t fired =
+        plane.metrics.counters().at("sim.events_fired").value();
+    const std::uint64_t cancelled =
+        plane.metrics.counters().at("sim.events_cancelled").value();
+    EXPECT_EQ(s.pending(), scheduled - fired - cancelled);
+    EXPECT_DOUBLE_EQ(m.gauges().at("sim.queue_depth").value(),
+                     static_cast<double>(s.pending()));
+  };
+
+  std::size_t fired_count = 0;
+  std::vector<sim::EventHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(s.schedule_at(static_cast<double>(i),
+                                    [&fired_count] { ++fired_count; }));
+    check();
+  }
+  // Cancel a few (including the earliest: the tombstone-at-front path).
+  EXPECT_TRUE(handles[0].cancel());
+  check();
+  EXPECT_TRUE(handles[5].cancel());
+  check();
+  EXPECT_FALSE(handles[5].cancel());  // double-cancel must not recount
+  check();
+
+  const std::size_t executed = s.run_until(4.5);
+  check();
+  // Single run so far: the histogram's sum is exactly `executed`.
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(executed),
+      plane.metrics.histograms().at("sim.run_events").sum());
+  s.run();
+  check();
+  EXPECT_EQ(fired_count, 8u);
+  EXPECT_EQ(plane.metrics.counters().at("sim.events_fired").value(), 8u);
+  EXPECT_EQ(plane.metrics.counters().at("sim.events_cancelled").value(), 2u);
+}
+
+TEST(KernelObserver, HandleGenerationRecyclingKeepsCountsExact) {
+  obs::Observability plane;
+  sim::Simulation s;
+  s.set_observer(plane.kernel_observer());
+
+  // Schedule, cancel, and reschedule into the recycled slot; then try a
+  // stale cancel through the old handle. The stale cancel must be a no-op
+  // for both pending() and the cancelled counter.
+  auto h1 = s.schedule_at(1.0, [] {});
+  EXPECT_TRUE(h1.cancel());
+  auto h2 = s.schedule_at(2.0, [] {});  // likely reuses h1's slot
+  EXPECT_FALSE(h1.cancel());            // stale generation
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_EQ(plane.metrics.counters().at("sim.events_cancelled").value(), 1u);
+  s.run();
+  EXPECT_EQ(plane.metrics.counters().at("sim.events_fired").value(), 1u);
+  EXPECT_EQ(s.pending(), 0u);
+  (void)h2;
+}
+
+TEST(KernelObserver, RunSpanAndRunEventsHistogram) {
+  obs::Observability plane;
+  sim::Simulation s;
+  s.set_observer(plane.kernel_observer());
+  for (int i = 0; i < 5; ++i) s.schedule_at(static_cast<double>(i), [] {});
+  s.run();
+
+  const auto& h = plane.metrics.histograms().at("sim.run_events");
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0);
+
+  const auto recs = plane.tracer.records();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].kind, obs::SpanKind::kBegin);
+  EXPECT_STREQ(recs[0].name, "sim.run");
+  EXPECT_EQ(recs[1].kind, obs::SpanKind::kEnd);
+  EXPECT_DOUBLE_EQ(recs[1].sim_time, 4.0);  // time of the last event
+}
+
+TEST(KernelObserver, MetricsOnlyPlaneRecordsNoSpans) {
+  obs::Observability plane(0);  // tracer disabled
+  sim::Simulation s;
+  s.set_observer(plane.kernel_observer());
+  s.schedule_at(1.0, [] {});
+  s.run();
+  EXPECT_EQ(plane.tracer.recorded(), 0u);
+  EXPECT_EQ(plane.metrics.counters().at("sim.events_fired").value(), 1u);
+}
+
+TEST(KernelObserver, ScheduleInThePastClampsObservedTime) {
+  // schedule_at with a past deadline clamps to now; the observer must see
+  // the clamped time, keeping trace timestamps monotone with the kernel.
+  obs::Observability plane;
+  sim::Simulation s;
+  s.set_observer(plane.kernel_observer());
+  s.schedule_at(5.0, [&s] {
+    s.schedule_at(1.0, [] {});  // in the past: fires at now (5.0)
+  });
+  s.run();
+  EXPECT_EQ(plane.metrics.counters().at("sim.events_fired").value(), 2u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+}  // namespace

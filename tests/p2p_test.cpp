@@ -1,8 +1,11 @@
 // Tests for the P2P swarm/ecosystem simulators, monitors, flashcrowd
 // detection, and 2fast (paper Section 6.1).
 
+#include <string_view>
+
 #include <gtest/gtest.h>
 
+#include "atlarge/obs/observability.hpp"
 #include "atlarge/p2p/ecosystem.hpp"
 #include "atlarge/p2p/flashcrowd.hpp"
 #include "atlarge/p2p/monitor.hpp"
@@ -326,4 +329,32 @@ TEST(Monitor, SamplesCarryTruth) {
     EXPECT_GE(s.observed_peers, 0.0);
     EXPECT_GE(s.true_peers, 0.0);
   }
+}
+
+TEST(Observability, SwarmEmitsCensusAndDownloadTelemetry) {
+  atlarge::obs::Observability plane;
+  auto config = small_swarm();
+  config.abort_rate = 1e-4;
+  config.obs = &plane;
+  Rng rng(17);
+  const auto arrivals = p2p::poisson_arrivals(0.05, 2'000.0, rng);
+  const auto result = p2p::simulate_swarm(config, arrivals, 50'000.0);
+
+  const auto& counters = plane.metrics.counters();
+  EXPECT_EQ(counters.at("p2p.finished").value(), result.finished);
+  EXPECT_EQ(counters.at("p2p.aborted").value(), result.aborted);
+  EXPECT_EQ(plane.metrics.histograms().at("p2p.download_time").count(),
+            result.finished);
+
+  bool saw_swarm = false;
+  for (const auto& rec : plane.tracer.records())
+    if (std::string_view(rec.name) == "p2p.swarm") saw_swarm = true;
+  EXPECT_TRUE(saw_swarm);
+
+  // Observation must not perturb the simulation.
+  auto bare = config;
+  bare.obs = nullptr;
+  const auto unobserved = p2p::simulate_swarm(bare, arrivals, 50'000.0);
+  EXPECT_EQ(unobserved.finished, result.finished);
+  EXPECT_DOUBLE_EQ(unobserved.mean_download_time, result.mean_download_time);
 }

@@ -1,8 +1,11 @@
 // Tests for the FaaS platform and the serverless workflow engine
 // (paper Section 6.4).
 
+#include <string_view>
+
 #include <gtest/gtest.h>
 
+#include "atlarge/obs/observability.hpp"
 #include "atlarge/serverless/platform.hpp"
 #include "atlarge/serverless/workflow_engine.hpp"
 
@@ -260,4 +263,42 @@ TEST(WorkflowEngine, ColdFractionAggregates) {
   const auto result = sl::run_workflows(registry, jobs, {}, {});
   EXPECT_GT(result.cold_fraction, 0.0);
   EXPECT_LE(result.cold_fraction, 1.0);
+}
+
+TEST(Observability, PlatformEmitsFaasTelemetry) {
+  atlarge::obs::Observability plane;
+  const auto registry = two_functions();
+  std::vector<sl::Invocation> invocations = {
+      {0, 0.0}, {0, 0.1}, {1, 0.2}, {0, 100.0}};
+  sl::PlatformConfig config;
+  config.keep_alive = 30.0;
+  config.obs = &plane;
+  const auto result = sl::run_platform(registry, invocations, config);
+
+  std::size_t cold = 0;
+  for (const auto& s : result.invocations)
+    if (s.cold) ++cold;
+  const auto& counters = plane.metrics.counters();
+  EXPECT_EQ(counters.at("faas.invocations").value(),
+            result.invocations.size());
+  EXPECT_EQ(counters.at("faas.cold_starts").value(), cold);
+  EXPECT_EQ(plane.metrics.histograms().at("faas.latency").count(),
+            result.invocations.size());
+
+  bool saw_kernel = false;
+  bool saw_faas_run = false;
+  for (const auto& rec : plane.tracer.records()) {
+    if (std::string_view(rec.category) == "kernel") saw_kernel = true;
+    if (std::string_view(rec.name) == "faas.run") saw_faas_run = true;
+  }
+  EXPECT_TRUE(saw_kernel);
+  EXPECT_TRUE(saw_faas_run);
+
+  // Observation must not perturb the simulation.
+  sl::PlatformConfig bare = config;
+  bare.obs = nullptr;
+  const auto unobserved = sl::run_platform(registry, invocations, bare);
+  EXPECT_DOUBLE_EQ(unobserved.p99_latency, result.p99_latency);
+  EXPECT_DOUBLE_EQ(unobserved.billed_instance_seconds,
+                   result.billed_instance_seconds);
 }
