@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "bench_json_main.hpp"
+
 #include "atlarge/autoscale/autoscalers.hpp"
 #include "atlarge/autoscale/elastic_sim.hpp"
 #include "atlarge/cluster/machine.hpp"
@@ -294,41 +296,4 @@ BENCHMARK(BM_ElasticRun);
 
 }  // namespace
 
-// Custom main: translate `--json[=path]` into google-benchmark's JSON
-// output flags so CI and the repo's BENCH_kernel.json snapshot use one
-// stable spelling regardless of the benchmark library version in use.
-int main(int argc, char** argv) {
-  std::vector<char*> args;
-  args.reserve(static_cast<std::size_t>(argc) + 2);
-  std::string json_path;
-  bool json = false;
-  for (int i = 0; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json") {
-      json = true;
-      continue;
-    }
-    if (arg.rfind("--json=", 0) == 0) {
-      json = true;
-      json_path = arg.substr(7);
-      continue;
-    }
-    args.push_back(argv[i]);
-  }
-  static std::string out_flag, format_flag;
-  if (json) {
-    out_flag = "--benchmark_out=" +
-               (json_path.empty() ? std::string("BENCH_kernel.json")
-                                  : json_path);
-    format_flag = "--benchmark_out_format=json";
-    args.push_back(out_flag.data());
-    args.push_back(format_flag.data());
-  }
-  int filtered_argc = static_cast<int>(args.size());
-  benchmark::Initialize(&filtered_argc, args.data());
-  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
-    return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}
+ATLARGE_BENCH_JSON_MAIN("BENCH_kernel.json")

@@ -18,6 +18,8 @@
 //   atlarge::serverless - FaaS platform + workflow engine (Table 7)
 //   atlarge::graph      - Graphalytics algorithms + PAD law (Table 8)
 //   atlarge::design     - the design framework itself (Figs. 1-3, 5-8)
+//   atlarge::exp        - design-space campaign engine (specs, memoized
+//                         parallel trials, checkpoint/resume, aggregation)
 
 #include "atlarge/autoscale/autoscaler.hpp"
 #include "atlarge/autoscale/autoscalers.hpp"
@@ -34,6 +36,13 @@
 #include "atlarge/design/exploration.hpp"
 #include "atlarge/design/memex.hpp"
 #include "atlarge/design/review.hpp"
+#include "atlarge/exp/adapter.hpp"
+#include "atlarge/exp/adapters.hpp"
+#include "atlarge/exp/aggregate.hpp"
+#include "atlarge/exp/campaign.hpp"
+#include "atlarge/exp/engine.hpp"
+#include "atlarge/exp/runner.hpp"
+#include "atlarge/exp/store.hpp"
 #include "atlarge/graph/algorithms.hpp"
 #include "atlarge/graph/granula.hpp"
 #include "atlarge/graph/graph.hpp"

@@ -16,8 +16,16 @@
 // All processes share one local-search engine (random restarts +
 // first-improvement hill climbing) so differences in outcome are due to
 // the process, not the optimizer.
+//
+// The engine searches a `Landscape` — per-dimension option counts plus an
+// arbitrary quality function — so the same processes run both over the
+// synthetic NK `DesignProblem`s of the paper's Figures 6-7 and over real
+// simulator objectives (the atlarge::exp campaign engine binds a
+// Landscape to a domain SimulatorAdapter). The DesignProblem overloads
+// below are thin wrappers over the Landscape engine.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -26,13 +34,34 @@
 namespace atlarge::design {
 
 struct ExplorationConfig {
-  std::size_t evaluation_budget = 5'000;  // quality() calls allowed
-  std::size_t restart_period = 200;       // evals per restart
+  /// Default evaluation budget. 5'000 evaluations covers ~50% of the
+  /// 12-dimension binary spaces of Figure 6 after restart overlap, which
+  /// is the regime where the paper's process differences are visible:
+  /// enough budget that free exploration sometimes succeeds, little
+  /// enough that fixing What/How measurably helps. Campaigns over real
+  /// simulators (where one evaluation is a whole simulation) should set
+  /// an explicit, much smaller budget.
+  static constexpr std::size_t kDefaultEvaluationBudget = 5'000;
+
+  std::size_t evaluation_budget = kDefaultEvaluationBudget;
+  std::size_t restart_period = 200;  // evals per restart
   std::uint64_t seed = 1;
   /// Co-evolving only: evolve the problem after this many evaluations
   /// without improvement, and carry over the incumbent design.
   std::size_t stall_limit = 600;
   double evolve_churn = 0.4;
+};
+
+/// An exploration domain decoupled from DesignProblem: option counts per
+/// dimension, a quality function to maximize, and a satisficing
+/// threshold. The default threshold (2.0) is unreachable for the usual
+/// [0, 1] quality scale, so exploration runs to budget exhaustion — the
+/// right behaviour for campaign objectives with no natural "good enough"
+/// level.
+struct Landscape {
+  std::vector<std::uint32_t> options;
+  double satisficing_threshold = 2.0;
+  std::function<double(const DesignPoint&)> quality;
 };
 
 /// One solved (or failed) attempt in the trace — the dots and X-boxes of
@@ -47,6 +76,10 @@ struct ExplorationTrace {
   std::string process;
   std::vector<Attempt> attempts;      // improvements over time
   double best_quality = 0.0;
+  /// The design point achieving best_quality — maintained incrementally,
+  /// so callers get the incumbent without re-scanning `attempts` and
+  /// re-evaluating. Empty only when nothing was evaluated.
+  DesignPoint best_point;
   std::size_t evaluations_used = 0;
   std::size_t satisficing_designs = 0;  // distinct satisficing finds
   std::size_t failures = 0;             // restarts that never satisficed
@@ -55,6 +88,11 @@ struct ExplorationTrace {
   std::size_t first_satisficing_at = 0;
   bool success() const noexcept { return satisficing_designs > 0; }
 };
+
+/// Free exploration over an arbitrary landscape (the generic engine; the
+/// DesignProblem overloads below route through it).
+ExplorationTrace explore_free(const Landscape& space,
+                              const ExplorationConfig& config);
 
 /// Free exploration over the full space.
 ExplorationTrace explore_free(const DesignProblem& problem,

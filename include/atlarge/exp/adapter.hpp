@@ -1,0 +1,74 @@
+#pragma once
+// Simulator adapters: the seam between the declarative campaign engine
+// and the domain simulators (paper Section 6's experiment domains).
+//
+// An adapter publishes a *discrete design space* — named parameters, each
+// with a fixed list of candidate values — and knows how to run one trial:
+// given resolved parameter values, a seed, and a workload scale, it
+// configures and runs its domain simulator and returns a flat metric
+// vector plus one designated objective (lower is better, matching the
+// "cost" orientation of every domain objective we expose: slowdown,
+// latency, download time).
+//
+// Contract for run():
+//  * deterministic — a pure function of (values, seed, scale);
+//  * thread-safe — trials are fanned out over a sim::ThreadPool, so run()
+//    must not touch shared mutable state (construct simulators, policies,
+//    and RNGs per call; pass no obs plane into the domain simulator);
+//  * metric names and order must not depend on the values, so rows of one
+//    campaign are column-compatible.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace atlarge::exp {
+
+/// One discrete campaign parameter. `values` are the candidate settings;
+/// when `labels` is non-empty (same size as `values`) the parameter is
+/// categorical and values are indices rendered through their label (e.g.
+/// autoscaler names, workload classes).
+struct ParamSpec {
+  std::string name;
+  std::vector<double> values;
+  std::vector<std::string> labels;
+
+  bool categorical() const noexcept { return !labels.empty(); }
+  /// Human/spec-facing rendering of option `i`.
+  std::string option_label(std::size_t i) const;
+};
+
+/// Outcome of one simulator trial. `metrics` keeps insertion order (the
+/// adapter's declared order), including the objective metric itself.
+struct TrialResult {
+  double objective = 0.0;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+class SimulatorAdapter {
+ public:
+  virtual ~SimulatorAdapter() = default;
+
+  /// Stable domain identifier used in specs and memo keys.
+  virtual std::string domain() const = 0;
+  /// Name of the metric minimized by exploration and ranking.
+  virtual std::string objective() const = 0;
+  /// The full design space this adapter exposes. Deterministic.
+  virtual std::vector<ParamSpec> params() const = 0;
+  /// Runs one trial; see the thread-safety/determinism contract above.
+  /// `values[i]` corresponds to params()[i]; `scale` in (0, 1] shrinks
+  /// the workload proportionally (floored so trials stay meaningful).
+  virtual TrialResult run(const std::vector<double>& values,
+                          std::uint64_t seed, double scale) const = 0;
+};
+
+/// Registered adapter domains, in presentation order.
+std::vector<std::string> adapter_domains();
+
+/// Constructs the adapter for `domain`; throws std::invalid_argument for
+/// unknown domains (message lists the known ones).
+std::unique_ptr<SimulatorAdapter> make_adapter(const std::string& domain);
+
+}  // namespace atlarge::exp

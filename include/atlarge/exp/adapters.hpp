@@ -1,0 +1,33 @@
+#pragma once
+// The built-in domain adapters: portfolio scheduling (Section 6.6),
+// serverless/FaaS (Section 6.4), autoscaling (Section 6.7), and P2P
+// swarms (Section 6.1). Each binds a small, opinionated design space over
+// its domain simulator's config knobs — the axes the paper's own tables
+// sweep — and a deterministic seed-derived workload.
+//
+// All four are stateless beyond their construction-time parameter tables,
+// so one instance can serve every worker thread of a campaign.
+
+#include "atlarge/exp/adapter.hpp"
+
+namespace atlarge::exp {
+
+/// Domain "portfolio": PortfolioScheduler knobs (selection interval,
+/// active-set size, per-task simulation cost) x workload class, run
+/// through sched::simulate. Objective: mean bounded slowdown.
+std::unique_ptr<SimulatorAdapter> make_portfolio_adapter();
+
+/// Domain "serverless": FaaS platform keep-alive / pre-warm / concurrency
+/// cap against a bursty invocation stream. Objective: p95 latency.
+std::unique_ptr<SimulatorAdapter> make_serverless_adapter();
+
+/// Domain "autoscale": autoscaler policy x machine shape x provisioning
+/// delay x decision interval on an industrial workflow load. Objective:
+/// mean slowdown.
+std::unique_ptr<SimulatorAdapter> make_autoscale_adapter();
+
+/// Domain "p2p": swarm seeding/capacity knobs under a flashcrowd.
+/// Objective: median download time.
+std::unique_ptr<SimulatorAdapter> make_p2p_adapter();
+
+}  // namespace atlarge::exp

@@ -1,0 +1,81 @@
+#pragma once
+// Campaign aggregation: collapse trial records into ranked
+// configurations, per-dimension marginals, and bootstrap confidence
+// intervals.
+//
+// Every output here is deterministic in (spec, records): grouping follows
+// the campaign's enumeration order, ties in the ranking break on the
+// design point itself, and the bootstrap RNG for each point is seeded
+// from the campaign seed and the point's content hash — never from
+// execution order or thread count. aggregate_json() is therefore
+// byte-identical across 1..N runner threads and across fresh vs memoized
+// invocations, which is the property the campaign acceptance tests pin.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "atlarge/exp/campaign.hpp"
+#include "atlarge/exp/store.hpp"
+#include "atlarge/stats/bootstrap.hpp"
+
+namespace atlarge::exp {
+
+/// One design point with its repeats collapsed.
+struct PointAggregate {
+  design::DesignPoint point;
+  std::vector<double> values;        // adapter parameter values
+  std::vector<std::string> labels;   // spec-facing option labels
+  std::size_t repeats = 0;           // records aggregated
+  double mean_objective = 0.0;
+  /// Percentile-bootstrap 95% CI of the mean objective over repeats;
+  /// degenerate (lo == point == hi) when repeats < 2.
+  stats::Interval objective_ci;
+  /// Mean of every adapter metric over repeats, adapter order.
+  std::vector<std::pair<std::string, double>> mean_metrics;
+};
+
+/// Mean objective restricted to points choosing `option` on `dim` — the
+/// campaign's per-dimension effect estimate.
+struct MarginalCell {
+  std::string dim;
+  std::string option;
+  double mean_objective = 0.0;
+  std::size_t trials = 0;
+};
+
+struct CampaignAggregate {
+  std::string campaign;
+  std::string domain;
+  std::string objective;  // metric name being minimized
+  std::string mode;
+  std::size_t points = 0;  // distinct design points aggregated
+  std::size_t trials = 0;  // records behind them
+  bool complete = true;    // false when any task was skipped (resume due)
+  /// Bound-space dimension names, adapter parameter order (the labels in
+  /// each PointAggregate align with these).
+  std::vector<std::string> param_names;
+  /// All points, best (lowest mean objective) first.
+  std::vector<PointAggregate> ranked;
+  std::vector<MarginalCell> marginals;
+};
+
+/// Aggregates aligned (tasks, records) as produced by TrialRunner::run.
+/// Tasks with nullopt records mark the aggregate incomplete and are
+/// excluded; duplicate keys collapse to one record.
+CampaignAggregate aggregate_campaign(
+    const CampaignSpec& spec, const SimulatorAdapter& adapter,
+    const BoundSpace& space, const std::vector<TrialTask>& tasks,
+    const std::vector<std::optional<TrialRecord>>& records);
+
+/// Canonical JSON rendering (single object, deterministic member order).
+std::string aggregate_json(const CampaignAggregate& aggregate);
+
+/// Aligned text table of the top `top_k` configurations plus marginals,
+/// for terminal output and EXPERIMENTS.md.
+std::string aggregate_table(const CampaignAggregate& aggregate,
+                            std::size_t top_k);
+
+}  // namespace atlarge::exp

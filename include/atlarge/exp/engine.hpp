@@ -1,0 +1,44 @@
+#pragma once
+// The campaign engine's one-call front door: enumerate (or adaptively
+// search) a campaign's trials, run them through the memoizing TrialRunner,
+// and aggregate the results. atlarge_campaign, the tests, and the
+// campaign benchmarks all drive this entry point.
+
+#include <optional>
+#include <vector>
+
+#include "atlarge/design/exploration.hpp"
+#include "atlarge/exp/adapter.hpp"
+#include "atlarge/exp/aggregate.hpp"
+#include "atlarge/exp/campaign.hpp"
+#include "atlarge/exp/runner.hpp"
+#include "atlarge/exp/store.hpp"
+
+namespace atlarge::exp {
+
+struct CampaignOutcome {
+  /// Every trial the campaign scheduled, enumeration order. For explore
+  /// mode this is the adaptive evaluation sequence (revisited points
+  /// reappear; the store deduplicates the work).
+  std::vector<TrialTask> tasks;
+  /// Aligned with tasks; nullopt only for trials skipped by the
+  /// max_executed cap.
+  std::vector<std::optional<TrialRecord>> records;
+  RunnerStats stats;
+  CampaignAggregate aggregate;
+  /// Explore mode only: the design::explore_free trace over the bound
+  /// space (best_point indexes the bound space's options).
+  design::ExplorationTrace trace;
+  /// False when the max_executed cap interrupted the campaign; re-running
+  /// with the same store resumes where it stopped.
+  bool complete = true;
+};
+
+/// Runs the campaign against `adapter`, memoizing through `store`.
+/// `config.scale` is overridden by the spec's scale; `config.threads`
+/// falls back to the spec's threads when 0.
+CampaignOutcome run_campaign(const CampaignSpec& spec,
+                             const SimulatorAdapter& adapter,
+                             ResultStore& store, RunnerConfig config);
+
+}  // namespace atlarge::exp

@@ -10,17 +10,15 @@ namespace {
 /// change and how many options each exposes.
 struct Domain {
   std::vector<std::size_t> free_dims;
-  std::vector<std::uint32_t> allowed;  // per dimension, <= problem options
+  std::vector<std::uint32_t> allowed;  // per dimension, <= space options
   DesignPoint base;                    // values for pinned dimensions
 
-  DesignPoint random_point(const DesignProblem& problem,
-                           stats::Rng& rng) const {
+  DesignPoint random_point(stats::Rng& rng) const {
     DesignPoint point = base;
     for (std::size_t d : free_dims) {
       point[d] = static_cast<std::uint32_t>(
           rng.uniform_int(0, static_cast<std::int64_t>(allowed[d]) - 1));
     }
-    (void)problem;
     return point;
   }
 
@@ -43,22 +41,34 @@ struct Domain {
   }
 };
 
-Domain full_domain(const DesignProblem& problem) {
+Domain full_domain(const std::vector<std::uint32_t>& options) {
   Domain domain;
-  domain.base.assign(problem.dimensions(), 0);
-  domain.allowed.resize(problem.dimensions());
-  for (std::size_t d = 0; d < problem.dimensions(); ++d) {
+  domain.base.assign(options.size(), 0);
+  domain.allowed = options;
+  for (std::size_t d = 0; d < options.size(); ++d)
     domain.free_dims.push_back(d);
-    domain.allowed[d] = problem.options(d);
-  }
   return domain;
+}
+
+Landscape problem_landscape(const DesignProblem& problem) {
+  Landscape space;
+  space.options.resize(problem.dimensions());
+  for (std::size_t d = 0; d < problem.dimensions(); ++d)
+    space.options[d] = problem.options(d);
+  space.satisficing_threshold = problem.satisficing_threshold();
+  space.quality = [&problem](const DesignPoint& p) {
+    return problem.quality(p);
+  };
+  return space;
 }
 
 /// Restart hill climbing within the domain. Shared by all processes so
 /// outcome differences are attributable to the process alone.
-ExplorationTrace run_search(const DesignProblem& problem,
-                            const Domain& domain, std::string process,
+ExplorationTrace run_search(const Landscape& space, const Domain& domain,
+                            std::string process,
                             const ExplorationConfig& config) {
+  if (!space.quality)
+    throw std::invalid_argument("exploration: Landscape::quality unset");
   ExplorationTrace trace;
   trace.process = std::move(process);
   stats::Rng rng(config.seed);
@@ -68,27 +78,32 @@ ExplorationTrace run_search(const DesignProblem& problem,
   bool restart_satisficed = false;
   std::size_t evals_since_restart = 0;
 
+  const auto satisfices = [&](double q) {
+    return q >= space.satisficing_threshold;
+  };
+
   const auto evaluate = [&](const DesignPoint& p) {
     ++trace.evaluations_used;
     ++evals_since_restart;
-    return problem.quality(p);
+    return space.quality(p);
   };
 
   const auto restart = [&] {
     if (trace.evaluations_used > 0 && !restart_satisficed) ++trace.failures;
-    current = domain.random_point(problem, rng);
+    current = domain.random_point(rng);
     current_q = evaluate(current);
     restart_satisficed = false;
     evals_since_restart = 1;
   };
 
   const auto record_if_best = [&] {
-    if (current_q > trace.best_quality) {
+    if (trace.best_point.empty() || current_q > trace.best_quality) {
       trace.best_quality = current_q;
+      trace.best_point = current;
       trace.attempts.push_back(Attempt{trace.evaluations_used, current_q,
-                                       problem.satisfices(current)});
+                                       satisfices(current_q)});
     }
-    if (problem.satisfices(current) && !restart_satisficed) {
+    if (satisfices(current_q) && !restart_satisficed) {
       restart_satisficed = true;
       ++trace.satisficing_designs;
       if (trace.first_satisficing_at == 0)
@@ -119,9 +134,15 @@ ExplorationTrace run_search(const DesignProblem& problem,
 
 }  // namespace
 
+ExplorationTrace explore_free(const Landscape& space,
+                              const ExplorationConfig& config) {
+  return run_search(space, full_domain(space.options), "free", config);
+}
+
 ExplorationTrace explore_free(const DesignProblem& problem,
                               const ExplorationConfig& config) {
-  return run_search(problem, full_domain(problem), "free", config);
+  const Landscape space = problem_landscape(problem);
+  return run_search(space, full_domain(space.options), "free", config);
 }
 
 ExplorationTrace explore_fix_what(const DesignProblem& problem,
@@ -130,7 +151,8 @@ ExplorationTrace explore_fix_what(const DesignProblem& problem,
                                   const ExplorationConfig& config) {
   if (fixed_dims.size() != fixed_values.size())
     throw std::invalid_argument("explore_fix_what: dims/values mismatch");
-  Domain domain = full_domain(problem);
+  const Landscape space = problem_landscape(problem);
+  Domain domain = full_domain(space.options);
   for (std::size_t i = 0; i < fixed_dims.size(); ++i) {
     const std::size_t d = fixed_dims[i];
     if (d >= problem.dimensions())
@@ -140,7 +162,7 @@ ExplorationTrace explore_fix_what(const DesignProblem& problem,
                                        domain.free_dims.end(), d),
                            domain.free_dims.end());
   }
-  return run_search(problem, domain, "fix-the-what", config);
+  return run_search(space, domain, "fix-the-what", config);
 }
 
 ExplorationTrace explore_fix_how(const DesignProblem& problem,
@@ -149,13 +171,14 @@ ExplorationTrace explore_fix_how(const DesignProblem& problem,
                                  const ExplorationConfig& config) {
   if (allowed_options.size() != problem.dimensions())
     throw std::invalid_argument("explore_fix_how: arity mismatch");
-  Domain domain = full_domain(problem);
+  const Landscape space = problem_landscape(problem);
+  Domain domain = full_domain(space.options);
   for (std::size_t d = 0; d < allowed_options.size(); ++d) {
     if (allowed_options[d] == 0 || allowed_options[d] > problem.options(d))
       throw std::invalid_argument("explore_fix_how: bad allowed count");
     domain.allowed[d] = allowed_options[d];
   }
-  return run_search(problem, domain, "fix-the-how", config);
+  return run_search(space, domain, "fix-the-how", config);
 }
 
 ExplorationTrace explore_co_evolving(DesignProblem problem,
@@ -163,9 +186,15 @@ ExplorationTrace explore_co_evolving(DesignProblem problem,
   ExplorationTrace trace;
   trace.process = "co-evolving";
   stats::Rng rng(config.seed);
-  Domain domain = full_domain(problem);
+  Domain domain;
+  {
+    std::vector<std::uint32_t> options(problem.dimensions());
+    for (std::size_t d = 0; d < problem.dimensions(); ++d)
+      options[d] = problem.options(d);
+    domain = full_domain(options);
+  }
 
-  DesignPoint current = domain.random_point(problem, rng);
+  DesignPoint current = domain.random_point(rng);
   double current_q = problem.quality(current);
   ++trace.evaluations_used;
   double best_q = current_q;
@@ -175,8 +204,9 @@ ExplorationTrace explore_co_evolving(DesignProblem problem,
   std::uint64_t evolve_seed = config.seed ^ 0xc0ffee;
 
   const auto note = [&] {
-    if (current_q > trace.best_quality) {
+    if (trace.best_point.empty() || current_q > trace.best_quality) {
       trace.best_quality = current_q;
+      trace.best_point = current;
       trace.attempts.push_back(Attempt{trace.evaluations_used, current_q,
                                        problem.satisfices(current)});
     }
@@ -205,7 +235,7 @@ ExplorationTrace explore_co_evolving(DesignProblem problem,
     }
     if (evals_since_restart >= config.restart_period) {
       if (!epoch_satisficed) ++trace.failures;
-      current = domain.random_point(problem, rng);
+      current = domain.random_point(rng);
       current_q = problem.quality(current);
       ++trace.evaluations_used;
       evals_since_restart = 1;

@@ -1,0 +1,283 @@
+#include "atlarge/exp/adapters.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "atlarge/autoscale/autoscalers.hpp"
+#include "atlarge/autoscale/elastic_sim.hpp"
+#include "atlarge/cluster/machine.hpp"
+#include "atlarge/p2p/swarm.hpp"
+#include "atlarge/sched/policies.hpp"
+#include "atlarge/sched/portfolio.hpp"
+#include "atlarge/sched/simulator.hpp"
+#include "atlarge/serverless/platform.hpp"
+#include "atlarge/stats/rng.hpp"
+#include "atlarge/workflow/generators.hpp"
+
+namespace atlarge::exp {
+namespace {
+
+/// scale * nominal, floored so a heavily scaled-down smoke campaign still
+/// simulates something.
+std::size_t scaled(std::size_t nominal, double scale, std::size_t floor_at) {
+  const auto v = static_cast<std::size_t>(
+      std::llround(static_cast<double>(nominal) * scale));
+  return std::max(v, floor_at);
+}
+
+// ------------------------------------------------------------- portfolio --
+
+class PortfolioAdapter final : public SimulatorAdapter {
+ public:
+  std::string domain() const override { return "portfolio"; }
+  std::string objective() const override { return "mean_slowdown"; }
+
+  std::vector<ParamSpec> params() const override {
+    return {
+        {"selection_interval", {250.0, 500.0, 1000.0}, {}},
+        {"active_set", {0.0, 2.0, 4.0}, {}},  // 0 = simulate all policies
+        {"cost_per_task_policy", {0.0, 1e-4, 1e-3}, {}},
+        {"workload", {0.0, 1.0, 2.0}, {"Syn", "Sci", "BD"}},
+    };
+  }
+
+  TrialResult run(const std::vector<double>& v, std::uint64_t seed,
+                  double scale) const override {
+    static const workflow::WorkloadClass kClasses[] = {
+        workflow::WorkloadClass::kSynthetic,
+        workflow::WorkloadClass::kScientific,
+        workflow::WorkloadClass::kBigData,
+    };
+    workflow::WorkloadSpec wspec;
+    wspec.cls = kClasses[static_cast<std::size_t>(v[3])];
+    wspec.jobs = scaled(48, scale, 8);
+    wspec.horizon = 4'000.0 * scale + 500.0;
+    wspec.seed = seed;
+    const auto workload = workflow::generate(wspec);
+    const auto env = cluster::make_homogeneous_cluster("campaign", 16, 8);
+
+    sched::PortfolioConfig config;
+    config.selection_interval = v[0];
+    config.active_set = static_cast<std::size_t>(v[1]);
+    config.cost_per_task_policy = v[2];
+    config.seed = seed ^ 0x90f0110ULL;
+    config.eval_threads = 1;  // trial-level parallelism only
+    sched::PortfolioScheduler portfolio(sched::standard_policies(), env,
+                                        config);
+    const auto result = sched::simulate(env, workload, portfolio);
+
+    TrialResult out;
+    out.objective = result.mean_slowdown;
+    out.metrics = {
+        {"mean_slowdown", result.mean_slowdown},
+        {"median_slowdown", result.median_slowdown},
+        {"p95_slowdown", result.p95_slowdown},
+        {"mean_wait", result.mean_wait},
+        {"makespan", result.makespan},
+        {"utilization", result.utilization},
+        {"decision_overhead", result.decision_overhead},
+        {"tasks_completed", static_cast<double>(result.tasks_completed)},
+    };
+    return out;
+  }
+};
+
+// ------------------------------------------------------------ serverless --
+
+class ServerlessAdapter final : public SimulatorAdapter {
+ public:
+  std::string domain() const override { return "serverless"; }
+  std::string objective() const override { return "p95_latency"; }
+
+  std::vector<ParamSpec> params() const override {
+    return {
+        {"keep_alive", {0.0, 60.0, 300.0, 600.0}, {}},
+        {"prewarmed", {0.0, 2.0, 8.0}, {}},
+        {"max_instances", {32.0, 128.0, 512.0}, {}},
+    };
+  }
+
+  TrialResult run(const std::vector<double>& v, std::uint64_t seed,
+                  double scale) const override {
+    const std::vector<serverless::FunctionSpec> registry = {
+        {"api", 0.08, 0.9, 128.0},
+        {"etl", 0.5, 1.8, 512.0},
+        {"ml", 1.2, 2.5, 1024.0},
+    };
+    stats::Rng rng(seed);
+    const double horizon = std::max(120.0, 1'500.0 * scale);
+    const auto invocations = serverless::bursty_invocations(
+        registry.size(), 1.5, horizon, 180.0, scaled(48, scale, 6), rng);
+
+    serverless::PlatformConfig config;
+    config.keep_alive = v[0];
+    config.prewarmed = static_cast<std::uint32_t>(v[1]);
+    config.max_instances = static_cast<std::uint32_t>(v[2]);
+    const auto result = serverless::run_platform(registry, invocations,
+                                                 config);
+
+    TrialResult out;
+    out.objective = result.p95_latency;
+    out.metrics = {
+        {"p50_latency", result.p50_latency},
+        {"p95_latency", result.p95_latency},
+        {"p99_latency", result.p99_latency},
+        {"cold_fraction", result.cold_fraction},
+        {"billed_instance_seconds", result.billed_instance_seconds},
+        {"busy_instance_seconds", result.busy_instance_seconds},
+        {"peak_instances", static_cast<double>(result.peak_instances)},
+        {"invocations", static_cast<double>(result.invocations.size())},
+    };
+    return out;
+  }
+};
+
+// ------------------------------------------------------------- autoscale --
+
+class AutoscaleAdapter final : public SimulatorAdapter {
+ public:
+  AutoscaleAdapter() {
+    for (const auto& scaler : autoscale::standard_autoscalers())
+      names_.push_back(scaler->name());
+  }
+
+  std::string domain() const override { return "autoscale"; }
+  std::string objective() const override { return "mean_slowdown"; }
+
+  std::vector<ParamSpec> params() const override {
+    ParamSpec autoscaler{"autoscaler", {}, names_};
+    for (std::size_t i = 0; i < names_.size(); ++i)
+      autoscaler.values.push_back(static_cast<double>(i));
+    return {
+        std::move(autoscaler),
+        {"cores_per_machine", {2.0, 4.0, 8.0}, {}},
+        {"provisioning_delay", {30.0, 60.0, 120.0}, {}},
+        {"interval", {30.0, 60.0}, {}},
+    };
+  }
+
+  TrialResult run(const std::vector<double>& v, std::uint64_t seed,
+                  double scale) const override {
+    workflow::WorkloadSpec wspec;
+    wspec.cls = workflow::WorkloadClass::kIndustrial;
+    wspec.jobs = scaled(28, scale, 6);
+    wspec.horizon = 6'000.0 * scale + 600.0;
+    wspec.seed = seed;
+    const auto workload = workflow::generate(wspec);
+
+    auto zoo = autoscale::standard_autoscalers();
+    const auto idx = static_cast<std::size_t>(v[0]);
+    if (idx >= zoo.size())
+      throw std::invalid_argument("autoscale adapter: bad autoscaler index");
+
+    autoscale::ElasticConfig config;
+    config.cores_per_machine = static_cast<std::uint32_t>(v[1]);
+    config.max_machines = 48;
+    config.provisioning_delay = v[2];
+    config.interval = v[3];
+    const auto result = autoscale::run_elastic(workload, *zoo[idx], config);
+
+    double rented_seconds = 0.0;
+    for (const double r : result.rentals) rented_seconds += r;
+
+    TrialResult out;
+    out.objective = result.mean_slowdown;
+    out.metrics = {
+        {"mean_slowdown", result.mean_slowdown},
+        {"median_slowdown", result.median_slowdown},
+        {"mean_response", result.mean_response},
+        {"makespan", result.makespan},
+        {"deadline_violation_rate", result.deadline_violation_rate()},
+        {"norm_accuracy_over", result.metrics.norm_accuracy_over},
+        {"norm_accuracy_under", result.metrics.norm_accuracy_under},
+        {"machine_seconds", rented_seconds},
+    };
+    return out;
+  }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+// ------------------------------------------------------------------- p2p --
+
+class P2pAdapter final : public SimulatorAdapter {
+ public:
+  std::string domain() const override { return "p2p"; }
+  std::string objective() const override { return "median_download_time"; }
+
+  std::vector<ParamSpec> params() const override {
+    return {
+        {"peer_upload_mbps", {0.5, 1.0, 2.0}, {}},
+        {"seed_upload_mbps", {4.0, 8.0, 16.0}, {}},
+        {"initial_seeds", {1.0, 4.0}, {}},
+        {"seed_time_mean", {600.0, 1800.0}, {}},
+    };
+  }
+
+  TrialResult run(const std::vector<double>& v, std::uint64_t seed,
+                  double scale) const override {
+    p2p::SwarmConfig config;
+    config.content_mb = std::max(50.0, 350.0 * scale);
+    config.peer_upload_mbps = v[0];
+    config.seed_upload_mbps = v[1];
+    config.initial_seeds = static_cast<int>(v[2]);
+    config.seed_time_mean = v[3];
+    config.seed = seed;
+
+    const double horizon = std::max(2'000.0, 20'000.0 * scale);
+    stats::Rng rng(seed ^ 0xa11afeedULL);
+    const auto arrivals = p2p::flashcrowd_arrivals(
+        0.02, horizon * 0.5, scaled(120, scale, 16), horizon * 0.1, 10.0,
+        rng);
+    const auto result = p2p::simulate_swarm(config, arrivals, horizon);
+
+    TrialResult out;
+    out.objective = result.median_download_time;
+    out.metrics = {
+        {"median_download_time", result.median_download_time},
+        {"mean_download_time", result.mean_download_time},
+        {"finished", static_cast<double>(result.finished)},
+        {"aborted", static_cast<double>(result.aborted)},
+        {"peak_swarm_size", static_cast<double>(result.peak_swarm_size)},
+        {"peers", static_cast<double>(result.peers.size())},
+    };
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SimulatorAdapter> make_portfolio_adapter() {
+  return std::make_unique<PortfolioAdapter>();
+}
+std::unique_ptr<SimulatorAdapter> make_serverless_adapter() {
+  return std::make_unique<ServerlessAdapter>();
+}
+std::unique_ptr<SimulatorAdapter> make_autoscale_adapter() {
+  return std::make_unique<AutoscaleAdapter>();
+}
+std::unique_ptr<SimulatorAdapter> make_p2p_adapter() {
+  return std::make_unique<P2pAdapter>();
+}
+
+std::vector<std::string> adapter_domains() {
+  return {"portfolio", "serverless", "autoscale", "p2p"};
+}
+
+std::unique_ptr<SimulatorAdapter> make_adapter(const std::string& domain) {
+  if (domain == "portfolio") return make_portfolio_adapter();
+  if (domain == "serverless") return make_serverless_adapter();
+  if (domain == "autoscale") return make_autoscale_adapter();
+  if (domain == "p2p") return make_p2p_adapter();
+  std::string known;
+  for (const auto& d : adapter_domains()) {
+    if (!known.empty()) known += ", ";
+    known += d;
+  }
+  throw std::invalid_argument("unknown campaign domain '" + domain +
+                              "' (known: " + known + ")");
+}
+
+}  // namespace atlarge::exp

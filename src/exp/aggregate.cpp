@@ -1,0 +1,246 @@
+#include "atlarge/exp/aggregate.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <span>
+#include <sstream>
+
+#include "atlarge/obs/json.hpp"
+
+namespace atlarge::exp {
+namespace {
+
+/// Deterministic per-point RNG stream for the bootstrap: campaign seed
+/// mixed with the point's label signature, never with execution order.
+stats::Rng point_rng(const CampaignSpec& spec,
+                     const std::vector<std::string>& labels) {
+  std::string signature = "pt";
+  for (const auto& label : labels) {
+    signature += '|';
+    signature += label;
+  }
+  return stats::Rng(spec.seed ^ fnv1a64(signature));
+}
+
+std::string format_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+CampaignAggregate aggregate_campaign(
+    const CampaignSpec& spec, const SimulatorAdapter& adapter,
+    const BoundSpace& space, const std::vector<TrialTask>& tasks,
+    const std::vector<std::optional<TrialRecord>>& records) {
+  CampaignAggregate aggregate;
+  aggregate.campaign = spec.name;
+  aggregate.domain = adapter.domain();
+  aggregate.objective = adapter.objective();
+  aggregate.mode = to_string(spec.mode);
+  for (const auto& dim : space.dims()) aggregate.param_names.push_back(dim.name);
+
+  struct Group {
+    design::DesignPoint point;
+    std::vector<double> objectives;  // one per unique record
+    std::vector<const TrialRecord*> unique_records;
+    std::set<std::string> keys;
+  };
+  std::map<design::DesignPoint, std::size_t> index;  // point -> group slot
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < tasks.size() && i < records.size(); ++i) {
+    if (!records[i].has_value()) {
+      aggregate.complete = false;
+      continue;
+    }
+    const TrialTask& task = tasks[i];
+    const auto [it, inserted] = index.emplace(task.point, groups.size());
+    if (inserted) {
+      groups.push_back(Group{});
+      groups.back().point = task.point;
+    }
+    Group& group = groups[it->second];
+    const TrialRecord& record = *records[i];
+    if (!group.keys.insert(record.key).second) continue;  // revisited point
+    group.objectives.push_back(record.objective);
+    group.unique_records.push_back(&*records[i]);
+  }
+
+  aggregate.points = groups.size();
+  for (const Group& group : groups) aggregate.trials += group.objectives.size();
+
+  aggregate.ranked.reserve(groups.size());
+  for (const Group& group : groups) {
+    PointAggregate point;
+    point.point = group.point;
+    point.values = space.values(group.point);
+    point.labels = space.labels(group.point);
+    point.repeats = group.objectives.size();
+
+    double sum = 0.0;
+    for (const double o : group.objectives) sum += o;
+    point.mean_objective =
+        group.objectives.empty()
+            ? 0.0
+            : sum / static_cast<double>(group.objectives.size());
+    if (group.objectives.size() >= 2) {
+      stats::Rng rng = point_rng(spec, point.labels);
+      point.objective_ci = stats::bootstrap_mean_ci(
+          std::span<const double>(group.objectives), rng);
+    } else {
+      point.objective_ci = {point.mean_objective, point.mean_objective,
+                            point.mean_objective};
+    }
+
+    // Metric means, in the adapter's declared (first record's) order.
+    if (!group.unique_records.empty()) {
+      const auto& first = group.unique_records.front()->metrics;
+      point.mean_metrics.reserve(first.size());
+      for (std::size_t m = 0; m < first.size(); ++m) {
+        double metric_sum = 0.0;
+        std::size_t n = 0;
+        for (const TrialRecord* record : group.unique_records) {
+          if (m < record->metrics.size()) {
+            metric_sum += record->metrics[m].second;
+            ++n;
+          }
+        }
+        point.mean_metrics.emplace_back(
+            first[m].first, n == 0 ? 0.0 : metric_sum / static_cast<double>(n));
+      }
+    }
+    aggregate.ranked.push_back(std::move(point));
+  }
+
+  std::stable_sort(aggregate.ranked.begin(), aggregate.ranked.end(),
+                   [](const PointAggregate& a, const PointAggregate& b) {
+                     if (a.mean_objective != b.mean_objective)
+                       return a.mean_objective < b.mean_objective;
+                     return a.point < b.point;  // total, content-based order
+                   });
+
+  // Per-dimension marginals: mean objective over every trial choosing a
+  // given option, weighted by repeats.
+  const auto& dims = space.dims();
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    const ParamSpec& param = space.params()[dims[d].param_index];
+    for (std::size_t o = 0; o < dims[d].option_indices.size(); ++o) {
+      MarginalCell cell;
+      cell.dim = dims[d].name;
+      cell.option = param.option_label(dims[d].option_indices[o]);
+      double sum = 0.0;
+      for (const Group& group : groups) {
+        if (group.point[d] != o) continue;
+        for (const double obj : group.objectives) sum += obj;
+        cell.trials += group.objectives.size();
+      }
+      cell.mean_objective =
+          cell.trials == 0 ? 0.0 : sum / static_cast<double>(cell.trials);
+      aggregate.marginals.push_back(std::move(cell));
+    }
+  }
+  return aggregate;
+}
+
+std::string aggregate_json(const CampaignAggregate& aggregate) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("campaign").value(aggregate.campaign);
+  w.key("domain").value(aggregate.domain);
+  w.key("objective").value(aggregate.objective);
+  w.key("mode").value(aggregate.mode);
+  w.key("complete").value(aggregate.complete);
+  w.key("points").value(static_cast<std::uint64_t>(aggregate.points));
+  w.key("trials").value(static_cast<std::uint64_t>(aggregate.trials));
+  w.key("ranked").begin_array();
+  for (std::size_t r = 0; r < aggregate.ranked.size(); ++r) {
+    const PointAggregate& point = aggregate.ranked[r];
+    w.begin_object();
+    w.key("rank").value(static_cast<std::uint64_t>(r + 1));
+    w.key("params").begin_object();
+    for (std::size_t p = 0; p < point.labels.size(); ++p) {
+      std::string key;
+      if (p < aggregate.param_names.size()) {
+        key = aggregate.param_names[p];
+      } else {
+        key = "p";
+        key += std::to_string(p);
+      }
+      w.key(key);
+      w.value(point.labels[p]);
+    }
+    w.end_object();
+    w.key("repeats").value(static_cast<std::uint64_t>(point.repeats));
+    w.key("mean_objective").value(point.mean_objective);
+    w.key("ci_lo").value(point.objective_ci.lo);
+    w.key("ci_hi").value(point.objective_ci.hi);
+    w.key("metrics").begin_object();
+    for (const auto& [name, value] : point.mean_metrics)
+      w.key(name).value(value);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("marginals").begin_array();
+  for (const MarginalCell& cell : aggregate.marginals) {
+    w.begin_object();
+    w.key("dim").value(cell.dim);
+    w.key("option").value(cell.option);
+    w.key("mean_objective").value(cell.mean_objective);
+    w.key("trials").value(static_cast<std::uint64_t>(cell.trials));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string aggregate_table(const CampaignAggregate& aggregate,
+                            std::size_t top_k) {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%-4s  %-12s  %-24s  %s\n", "rank",
+                aggregate.objective.substr(0, 12).c_str(), "ci95",
+                "configuration");
+  out << line;
+  const std::size_t shown = std::min(top_k, aggregate.ranked.size());
+  for (std::size_t r = 0; r < shown; ++r) {
+    const PointAggregate& point = aggregate.ranked[r];
+    std::string config;
+    for (std::size_t p = 0; p < point.labels.size(); ++p) {
+      if (!config.empty()) config += " ";
+      if (p < aggregate.param_names.size())
+        config += aggregate.param_names[p] + "=";
+      config += point.labels[p];
+    }
+    std::string ci = "[";
+    ci += format_number(point.objective_ci.lo);
+    ci += ", ";
+    ci += format_number(point.objective_ci.hi);
+    ci += "]";
+    std::snprintf(line, sizeof(line), "%-4zu  %-12s  %-24s  %s\n", r + 1,
+                  format_number(point.mean_objective).c_str(), ci.c_str(),
+                  config.c_str());
+    out << line;
+  }
+  out << "marginals (mean " << aggregate.objective << " per option):\n";
+  std::string current_dim;
+  for (const MarginalCell& cell : aggregate.marginals) {
+    if (cell.trials == 0) continue;  // option never visited (incomplete
+                                     // campaign or random/explore mode)
+    if (cell.dim != current_dim) {
+      if (!current_dim.empty()) out << "\n";
+      out << "  " << cell.dim << ":";
+      current_dim = cell.dim;
+    }
+    out << "  " << cell.option << "=" << format_number(cell.mean_objective);
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace atlarge::exp

@@ -1,0 +1,76 @@
+#include "atlarge/exp/engine.hpp"
+
+#include <algorithm>
+
+namespace atlarge::exp {
+namespace {
+
+/// Thrown out of the explore-mode quality callback when the max_executed
+/// cap interrupts the campaign mid-search.
+struct CampaignInterrupted {};
+
+}  // namespace
+
+CampaignOutcome run_campaign(const CampaignSpec& spec,
+                             const SimulatorAdapter& adapter,
+                             ResultStore& store, RunnerConfig config) {
+  config.scale = spec.scale;
+  if (config.threads == 0) config.threads = spec.threads;
+  const BoundSpace space(adapter, spec);
+  TrialRunner runner(adapter, store, config);
+
+  CampaignOutcome outcome;
+  if (spec.mode != CampaignMode::kExplore) {
+    outcome.tasks = enumerate_trials(spec, space);
+    outcome.records = runner.run(outcome.tasks);
+  } else {
+    // Budgeted adaptive search: design::explore_free walks the bound
+    // space; each point evaluation runs `repeats` (memoized) trials and
+    // maximizes a monotone transform of the mean objective. All domain
+    // objectives are nonnegative costs, so 1/(1+mean) maps "minimize
+    // objective" onto the explorer's "maximize quality in (0, 1]".
+    design::Landscape landscape;
+    landscape.options = space.option_counts();
+    landscape.quality = [&](const design::DesignPoint& point) -> double {
+      std::vector<TrialTask> batch;
+      batch.reserve(spec.repeats);
+      for (std::uint32_t r = 0; r < spec.repeats; ++r)
+        batch.push_back(make_trial(spec, space, point, r,
+                                   outcome.tasks.size() + batch.size()));
+      auto records = runner.run(batch);
+      double sum = 0.0;
+      for (const auto& record : records) {
+        if (!record.has_value()) throw CampaignInterrupted{};
+        sum += record->objective;
+      }
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        outcome.tasks.push_back(std::move(batch[i]));
+        outcome.records.push_back(std::move(records[i]));
+      }
+      const double mean = sum / static_cast<double>(spec.repeats);
+      return 1.0 / (1.0 + std::max(0.0, mean));
+    };
+    design::ExplorationConfig explore;
+    explore.evaluation_budget = spec.trials;
+    explore.seed = spec.seed;
+    // Restart a few times even under small budgets (the library default
+    // of 200 evals/restart assumes cheap NK evaluations).
+    explore.restart_period =
+        std::max<std::size_t>(4, (spec.trials + 3) / 4);
+    try {
+      outcome.trace = design::explore_free(landscape, explore);
+    } catch (const CampaignInterrupted&) {
+      outcome.complete = false;
+    }
+  }
+
+  outcome.stats = runner.stats();
+  for (const auto& record : outcome.records)
+    if (!record.has_value()) outcome.complete = false;
+  outcome.aggregate =
+      aggregate_campaign(spec, adapter, space, outcome.tasks, outcome.records);
+  outcome.aggregate.complete = outcome.complete;
+  return outcome;
+}
+
+}  // namespace atlarge::exp

@@ -1,0 +1,317 @@
+#include "atlarge/exp/store.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "atlarge/obs/json.hpp"
+
+namespace atlarge::exp {
+namespace {
+
+// ------------------------------------------------------- mini JSON reader --
+// Just enough of RFC 8259 to read back the lines this store writes (and
+// reject anything mangled by a crash): objects, arrays, strings with the
+// escapes JsonWriter emits, numbers, true/false/null. No allocation
+// games — store lines are short.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // keeps order
+
+  const JsonValue* find(const char* key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();  // no trailing garbage
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r' ||
+            text_[pos_] == '\n'))
+      ++pos_;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return string(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return literal("null");
+      default: return number(out);
+    }
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      JsonValue member;
+      if (!value(member)) return false;
+      out.object.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') { ++pos_; continue; }
+      if (text_[pos_] == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      JsonValue element;
+      if (!value(element)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') { ++pos_; continue; }
+      if (text_[pos_] == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // Store lines only escape control characters; anything else in
+          // this range is decoded as a raw byte.
+          out += static_cast<char>(code & 0xff);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated — the truncated-tail case
+  }
+
+  bool number(JsonValue& out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(start, &end);
+    if (end == start || errno == ERANGE) return false;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = v;
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parse_trial_line(const std::string& line, TrialRecord& out) {
+  JsonValue root;
+  if (!JsonReader(line).parse(root)) return false;
+  if (root.kind != JsonValue::Kind::kObject) return false;
+  const JsonValue* key = root.find("key");
+  const JsonValue* objective = root.find("objective");
+  const JsonValue* metrics = root.find("metrics");
+  if (!key || key->kind != JsonValue::Kind::kString || key->string.empty())
+    return false;
+  if (!objective || objective->kind != JsonValue::Kind::kNumber) return false;
+  if (!metrics || metrics->kind != JsonValue::Kind::kObject) return false;
+  out.key = key->string;
+  out.objective = objective->number;
+  out.metrics.clear();
+  out.metrics.reserve(metrics->object.size());
+  for (const auto& [name, v] : metrics->object) {
+    if (v.kind != JsonValue::Kind::kNumber) return false;
+    out.metrics.emplace_back(name, v.number);
+  }
+  return true;
+}
+
+ResultStore::ResultStore(const std::string& path) : path_(path) {
+  if (path_.empty())
+    throw std::runtime_error("ResultStore: empty path (use the default "
+                             "constructor for a memory-only store)");
+  open_and_replay();
+}
+
+ResultStore::~ResultStore() {
+  if (file_) std::fclose(file_);
+}
+
+void ResultStore::open_and_replay() {
+  std::vector<std::string> valid_lines;
+  bool needs_repair = false;
+  if (std::FILE* in = std::fopen(path_.c_str(), "rb")) {
+    std::string content;
+    char buf[1 << 14];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0)
+      content.append(buf, n);
+    const bool read_error = std::ferror(in) != 0;
+    std::fclose(in);
+    if (read_error)
+      throw std::runtime_error("ResultStore: cannot read '" + path_ + "'");
+
+    std::size_t start = 0;
+    while (start < content.size()) {
+      std::size_t end = content.find('\n', start);
+      const bool had_newline = end != std::string::npos;
+      if (!had_newline) end = content.size();
+      const std::string line = content.substr(start, end - start);
+      start = end + (had_newline ? 1 : 0);
+      if (line.empty()) continue;
+      TrialRecord record;
+      if (parse_trial_line(line, record)) {
+        if (records_.emplace(record.key, std::move(record)).second)
+          valid_lines.push_back(line);
+        else
+          needs_repair = true;  // duplicate key: keep first, drop the rest
+        ++recovered_;
+      } else {
+        // Crash-truncated or corrupt line: drop it and repair the file so
+        // resumed appends produce well-formed JSONL.
+        ++discarded_;
+        needs_repair = true;
+      }
+    }
+  }
+  if (needs_repair) {
+    const std::string tmp = path_ + ".repair";
+    std::FILE* out = std::fopen(tmp.c_str(), "wb");
+    if (!out)
+      throw std::runtime_error("ResultStore: cannot repair '" + path_ + "'");
+    for (const std::string& line : valid_lines) {
+      std::fwrite(line.data(), 1, line.size(), out);
+      std::fputc('\n', out);
+    }
+    const bool ok = std::fflush(out) == 0 && std::ferror(out) == 0;
+    std::fclose(out);
+    if (!ok || std::rename(tmp.c_str(), path_.c_str()) != 0)
+      throw std::runtime_error("ResultStore: cannot repair '" + path_ + "'");
+  }
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (!file_)
+    throw std::runtime_error("ResultStore: cannot append to '" + path_ + "'");
+}
+
+const TrialRecord* ResultStore::lookup(const std::string& key) const {
+  const auto it = records_.find(key);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::string ResultStore::render_line(const TrialRecord& record,
+                                     const TrialRowContext& context) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("key").value(record.key);
+  w.key("domain").value(context.domain);
+  w.key("repeat").value(static_cast<std::uint64_t>(context.repeat));
+  w.key("seed").value(static_cast<std::uint64_t>(context.seed));
+  w.key("params").begin_object();
+  for (const auto& [name, label] : context.params) w.key(name).value(label);
+  w.end_object();
+  w.key("objective").value(record.objective);
+  w.key("metrics").begin_object();
+  for (const auto& [name, value] : record.metrics) w.key(name).value(value);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+void ResultStore::append(const TrialRecord& record,
+                         const TrialRowContext& context) {
+  if (record.key.empty())
+    throw std::invalid_argument("ResultStore::append: empty key");
+  if (!records_.emplace(record.key, record).second) return;  // idempotent
+  if (!file_) return;
+  const std::string line = render_line(record, context);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  // One flush per trial: a killed campaign loses at most the in-flight
+  // line, which open_and_replay() repairs away on resume.
+  std::fflush(file_);
+}
+
+}  // namespace atlarge::exp

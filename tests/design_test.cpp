@@ -187,6 +187,51 @@ TEST(Exploration, DeterministicForSeed) {
   EXPECT_DOUBLE_EQ(a.best_quality, b.best_quality);
   EXPECT_EQ(a.evaluations_used, b.evaluations_used);
   EXPECT_EQ(a.satisficing_designs, b.satisficing_designs);
+  EXPECT_EQ(a.best_point, b.best_point);
+}
+
+TEST(Exploration, BestPointAchievesBestQuality) {
+  // The trace exposes the incumbent design directly: re-evaluating it
+  // must reproduce best_quality exactly, with no attempts re-scan.
+  const auto problem = rugged_problem();
+  for (const auto& trace :
+       {design::explore_free(problem, {}),
+        design::explore_co_evolving(problem, {})}) {
+    ASSERT_EQ(trace.best_point.size(), problem.dimensions());
+    if (trace.process != "co-evolving") {  // co-evolving evolves the problem
+      EXPECT_DOUBLE_EQ(problem.quality(trace.best_point),
+                       trace.best_quality);
+    }
+    for (std::size_t d = 0; d < trace.best_point.size(); ++d)
+      EXPECT_LT(trace.best_point[d], problem.options(d));
+  }
+}
+
+TEST(Exploration, DefaultBudgetIsDocumentedConstant) {
+  const design::ExplorationConfig config;
+  EXPECT_EQ(config.evaluation_budget,
+            design::ExplorationConfig::kDefaultEvaluationBudget);
+  EXPECT_EQ(design::ExplorationConfig::kDefaultEvaluationBudget, 5'000u);
+}
+
+TEST(Exploration, LandscapeEngineSearchesArbitraryQuality) {
+  // The generic engine (what the exp campaign binds simulators to):
+  // a 3x3 landscape whose quality peaks at (2, 2).
+  design::Landscape space;
+  space.options = {3, 3};
+  space.quality = [](const design::DesignPoint& p) {
+    return static_cast<double>(p[0] + p[1]) / 4.0;
+  };
+  design::ExplorationConfig config;
+  config.evaluation_budget = 200;
+  config.restart_period = 20;
+  const auto trace = design::explore_free(space, config);
+  EXPECT_DOUBLE_EQ(trace.best_quality, 1.0);
+  EXPECT_EQ(trace.best_point, (design::DesignPoint{2, 2}));
+  // Default satisficing threshold (2.0) is unreachable on [0, 1]:
+  // exploration runs to budget exhaustion and reports no success.
+  EXPECT_FALSE(trace.success());
+  EXPECT_LE(trace.evaluations_used, config.evaluation_budget + 1);
 }
 
 // -------------------------------------------------------------------- BDC --

@@ -1,0 +1,693 @@
+// Tests for atlarge::exp — the campaign engine. The load-bearing
+// properties pinned here, in rough dependency order: spec parsing,
+// space binding, deterministic trial enumeration and memo keys, the
+// crash-safe JSONL store, the memoizing parallel runner (serial ==
+// parallel, byte for byte), aggregation math, checkpoint/resume, and the
+// four domain adapters' determinism contract.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "atlarge/exp/adapters.hpp"
+#include "atlarge/exp/engine.hpp"
+#include "atlarge/obs/observability.hpp"
+
+namespace {
+
+using namespace atlarge;
+
+// A cheap, exactly-predictable adapter: objective is a linear function of
+// the parameter values, so aggregation math can be hand-checked and a
+// "simulation" costs nanoseconds.
+class LinearAdapter final : public exp::SimulatorAdapter {
+ public:
+  std::string domain() const override { return "linear"; }
+  std::string objective() const override { return "cost"; }
+
+  std::vector<exp::ParamSpec> params() const override {
+    return {
+        {"a", {1.0, 2.0, 3.0}, {}},
+        {"b", {10.0, 20.0}, {}},
+        {"mode", {0.0, 1.0}, {"off", "on"}},
+    };
+  }
+
+  exp::TrialResult run(const std::vector<double>& v, std::uint64_t seed,
+                       double scale) const override {
+    (void)seed;
+    exp::TrialResult r;
+    r.objective = v[0] + 0.1 * v[1] + 5.0 * v[2];
+    r.metrics = {{"cost", r.objective}, {"scale_seen", scale}};
+    return r;
+  }
+};
+
+std::string temp_path(const std::string& leaf) {
+  return testing::TempDir() + "exp_test_" + leaf;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+exp::CampaignSpec linear_spec() {
+  exp::CampaignSpec spec;
+  spec.name = "linear";
+  spec.domain = "linear";
+  spec.mode = exp::CampaignMode::kGrid;
+  spec.repeats = 2;
+  spec.seed = 7;
+  return spec;
+}
+
+// ------------------------------------------------------------ spec parse --
+
+TEST(CampaignSpec, ParsesFullSpec) {
+  const auto spec = exp::parse_campaign_spec(
+      "# comment\n"
+      "campaign my-sweep\n"
+      "domain serverless\n"
+      "mode random   # trailing comment\n"
+      "repeats 3\n"
+      "seed 42\n"
+      "scale 0.5\n"
+      "trials 16\n"
+      "threads 4\n"
+      "top 7\n"
+      "dim keep_alive 0 300\n"
+      "dim prewarmed 2\n");
+  EXPECT_EQ(spec.name, "my-sweep");
+  EXPECT_EQ(spec.domain, "serverless");
+  EXPECT_EQ(spec.mode, exp::CampaignMode::kRandom);
+  EXPECT_EQ(spec.repeats, 3u);
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_DOUBLE_EQ(spec.scale, 0.5);
+  EXPECT_EQ(spec.trials, 16u);
+  EXPECT_EQ(spec.threads, 4u);
+  EXPECT_EQ(spec.top_k, 7u);
+  ASSERT_EQ(spec.dims.size(), 2u);
+  EXPECT_EQ(spec.dims.at("keep_alive"),
+            (std::vector<std::string>{"0", "300"}));
+  EXPECT_EQ(spec.dims.at("prewarmed"), (std::vector<std::string>{"2"}));
+}
+
+TEST(CampaignSpec, DefaultsNameAndMode) {
+  const auto spec = exp::parse_campaign_spec("domain p2p\n");
+  EXPECT_EQ(spec.name, "p2p-campaign");
+  EXPECT_EQ(spec.mode, exp::CampaignMode::kGrid);
+  EXPECT_EQ(spec.repeats, 1u);
+}
+
+TEST(CampaignSpec, ErrorsCarryLineNumbers) {
+  try {
+    exp::parse_campaign_spec("domain p2p\nmode sideways\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(exp::parse_campaign_spec("mode grid\n"),
+               std::invalid_argument);  // missing domain
+  EXPECT_THROW(exp::parse_campaign_spec("domain p2p\nwibble 3\n"),
+               std::invalid_argument);  // unknown keyword
+}
+
+// ----------------------------------------------------------- bound space --
+
+TEST(BoundSpace, BindsAllParamsInAdapterOrder) {
+  LinearAdapter adapter;
+  auto spec = linear_spec();
+  // Spec lists dims out of adapter order; binding must follow the adapter.
+  spec.dims = {{"mode", {"on"}}, {"a", {"3", "1"}}};
+  const exp::BoundSpace space(adapter, spec);
+  ASSERT_EQ(space.dimensions(), 3u);
+  EXPECT_EQ(space.dims()[0].name, "a");
+  EXPECT_EQ(space.dims()[1].name, "b");  // unrestricted: full options
+  EXPECT_EQ(space.dims()[2].name, "mode");
+  EXPECT_EQ(space.dims()[0].option_indices,
+            (std::vector<std::uint32_t>{2, 0}));  // spec token order kept
+  EXPECT_EQ(space.dims()[1].option_indices,
+            (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(space.grid_size(), 2u * 2u * 1u);
+
+  const auto values = space.values({1, 0, 0});
+  EXPECT_DOUBLE_EQ(values[0], 1.0);   // bound option 1 of dim a == value 1
+  EXPECT_DOUBLE_EQ(values[1], 10.0);
+  EXPECT_DOUBLE_EQ(values[2], 1.0);   // "on"
+  const auto labels = space.labels({1, 0, 0});
+  EXPECT_EQ(labels[2], "on");
+}
+
+TEST(BoundSpace, RejectsUnknownDimsAndTokens) {
+  LinearAdapter adapter;
+  auto spec = linear_spec();
+  spec.dims = {{"nope", {"1"}}};
+  EXPECT_THROW(exp::BoundSpace(adapter, spec), std::invalid_argument);
+  spec.dims = {{"a", {"7"}}};
+  try {
+    exp::BoundSpace space(adapter, spec);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The message lists the valid options for the dimension.
+    EXPECT_NE(std::string(e.what()).find("a"), std::string::npos);
+  }
+  spec.dims = {{"mode", {"sideways"}}};
+  EXPECT_THROW(exp::BoundSpace(adapter, spec), std::invalid_argument);
+}
+
+TEST(BoundSpace, GridEnumerationLastDimensionFastest) {
+  LinearAdapter adapter;
+  auto spec = linear_spec();
+  spec.repeats = 1;
+  const exp::BoundSpace space(adapter, spec);  // 3 x 2 x 2 = 12 points
+  EXPECT_EQ(space.grid_size(), 12u);
+  EXPECT_EQ(space.grid_point(0), (design::DesignPoint{0, 0, 0}));
+  EXPECT_EQ(space.grid_point(1), (design::DesignPoint{0, 0, 1}));
+  EXPECT_EQ(space.grid_point(2), (design::DesignPoint{0, 1, 0}));
+  EXPECT_EQ(space.grid_point(11), (design::DesignPoint{2, 1, 1}));
+}
+
+TEST(BoundSpace, EnumerationPutsRepeatsInnermost) {
+  LinearAdapter adapter;
+  auto spec = linear_spec();
+  spec.repeats = 2;
+  const exp::BoundSpace space(adapter, spec);
+  const auto tasks = exp::enumerate_trials(spec, space);
+  ASSERT_EQ(tasks.size(), 24u);
+  EXPECT_EQ(tasks[0].point, tasks[1].point);
+  EXPECT_EQ(tasks[0].repeat, 0u);
+  EXPECT_EQ(tasks[1].repeat, 1u);
+  EXPECT_NE(tasks[1].point, tasks[2].point);
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    EXPECT_EQ(tasks[i].index, i);
+}
+
+// -------------------------------------------------------------- memo key --
+
+TEST(MemoKey, StableAcrossNameModeAndThreads) {
+  LinearAdapter adapter;
+  auto spec = linear_spec();
+  const exp::BoundSpace space(adapter, spec);
+  const auto base = exp::make_trial(spec, space, {1, 1, 0}, 1, 0);
+
+  auto renamed = spec;
+  renamed.name = "rebranded";
+  renamed.mode = exp::CampaignMode::kRandom;
+  renamed.threads = 8;
+  renamed.top_k = 1;
+  const auto same = exp::make_trial(renamed, space, {1, 1, 0}, 1, 5);
+  EXPECT_EQ(base.key, same.key);
+  EXPECT_EQ(base.seed, same.seed);
+}
+
+TEST(MemoKey, SensitiveToContent) {
+  LinearAdapter adapter;
+  auto spec = linear_spec();
+  const exp::BoundSpace space(adapter, spec);
+  const auto base = exp::make_trial(spec, space, {1, 1, 0}, 0, 0);
+  EXPECT_NE(exp::make_trial(spec, space, {1, 1, 1}, 0, 0).key, base.key);
+  EXPECT_NE(exp::make_trial(spec, space, {1, 1, 0}, 1, 0).key, base.key);
+  auto reseeded = spec;
+  reseeded.seed = 8;
+  EXPECT_NE(exp::make_trial(reseeded, space, {1, 1, 0}, 0, 0).key, base.key);
+  auto rescaled = spec;
+  rescaled.scale = 0.5;
+  EXPECT_NE(exp::make_trial(rescaled, space, {1, 1, 0}, 0, 0).key, base.key);
+}
+
+TEST(MemoKey, KeyIsSixteenLowercaseHexChars) {
+  LinearAdapter adapter;
+  const auto spec = linear_spec();
+  const exp::BoundSpace space(adapter, spec);
+  const auto task = exp::make_trial(spec, space, {0, 0, 0}, 0, 0);
+  ASSERT_EQ(task.key.size(), 16u);
+  for (const char c : task.key)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+}
+
+// ----------------------------------------------------------------- store --
+
+TEST(ResultStore, MemoryOnlyLookupAndIdempotentAppend) {
+  exp::ResultStore store;
+  EXPECT_EQ(store.lookup("aaaa"), nullptr);
+  exp::TrialRecord record;
+  record.key = "aaaa";
+  record.objective = 1.5;
+  record.metrics = {{"m", 2.0}};
+  store.append(record, {});
+  record.objective = 99.0;  // second append with same key must not win
+  store.append(record, {});
+  ASSERT_NE(store.lookup("aaaa"), nullptr);
+  EXPECT_DOUBLE_EQ(store.lookup("aaaa")->objective, 1.5);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+// %.12g round-trip, the runner's canonicalization: a value that survived
+// it once is a fixed point of JSON rendering.
+double canonical(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", v);
+  return std::strtod(buffer, nullptr);
+}
+
+TEST(ResultStore, JsonlRoundTripIsBitwiseForCanonicalValues) {
+  const auto path = temp_path("roundtrip.jsonl");
+  std::remove(path.c_str());
+  exp::TrialRecord record;
+  record.key = "0123456789abcdef";
+  record.objective = canonical(1.0 / 3.0);
+  record.metrics = {{"pi_ish", canonical(3.14159265358979)},
+                    {"tiny", canonical(1e-300)},
+                    {"neg", canonical(-42.5)}};
+  {
+    exp::ResultStore store(path);
+    exp::TrialRowContext ctx;
+    ctx.domain = "linear";
+    ctx.repeat = 1;
+    ctx.seed = 99;
+    ctx.params = {{"a", "1"}, {"mode", "on"}};
+    store.append(record, ctx);
+  }
+  exp::ResultStore reopened(path);
+  EXPECT_EQ(reopened.recovered(), 1u);
+  EXPECT_EQ(reopened.discarded_lines(), 0u);
+  const auto* back = reopened.lookup(record.key);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->objective, record.objective);  // bitwise
+  ASSERT_EQ(back->metrics.size(), record.metrics.size());
+  for (std::size_t i = 0; i < record.metrics.size(); ++i) {
+    EXPECT_EQ(back->metrics[i].first, record.metrics[i].first);
+    EXPECT_EQ(back->metrics[i].second, record.metrics[i].second);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResultStore, RepairsTruncatedTail) {
+  const auto path = temp_path("repair.jsonl");
+  std::remove(path.c_str());
+  {
+    exp::ResultStore store(path);
+    for (int i = 0; i < 3; ++i) {
+      exp::TrialRecord record;
+      record.key = "key_" + std::to_string(i);
+      record.objective = i;
+      record.metrics = {{"m", static_cast<double>(i)}};
+      store.append(record, {});
+    }
+  }
+  // Simulate a crash mid-append: chop the tail and add garbage.
+  auto content = slurp(path);
+  content.resize(content.size() - 10);
+  content += "\n{\"not\":\"a trial";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+  exp::ResultStore repaired(path);
+  EXPECT_EQ(repaired.recovered(), 2u);
+  EXPECT_GE(repaired.discarded_lines(), 1u);
+  EXPECT_NE(repaired.lookup("key_0"), nullptr);
+  EXPECT_NE(repaired.lookup("key_1"), nullptr);
+  EXPECT_EQ(repaired.lookup("key_2"), nullptr);
+  // The file itself was rewritten: every remaining line parses.
+  std::ifstream in(path);
+  std::string line;
+  std::size_t valid = 0;
+  while (std::getline(in, line)) {
+    exp::TrialRecord record;
+    EXPECT_TRUE(exp::parse_trial_line(line, record)) << line;
+    ++valid;
+  }
+  EXPECT_EQ(valid, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultStore, ParseLineRejectsMalformedInput) {
+  exp::TrialRecord record;
+  EXPECT_FALSE(exp::parse_trial_line("", record));
+  EXPECT_FALSE(exp::parse_trial_line("not json", record));
+  EXPECT_FALSE(exp::parse_trial_line("{\"key\":\"k\"}", record));  // no obj
+  EXPECT_FALSE(exp::parse_trial_line(
+      "{\"key\":\"k\",\"objective\":1,\"metrics\":{\"m\":1}} trailing",
+      record));
+  EXPECT_FALSE(exp::parse_trial_line(
+      "{\"key\":1,\"objective\":1,\"metrics\":{}}", record));  // key type
+  EXPECT_TRUE(exp::parse_trial_line(
+      "{\"key\":\"k\",\"objective\":1.5,\"metrics\":{\"m\":2}}", record));
+  EXPECT_EQ(record.key, "k");
+  EXPECT_DOUBLE_EQ(record.objective, 1.5);
+  ASSERT_EQ(record.metrics.size(), 1u);
+  EXPECT_DOUBLE_EQ(record.metrics[0].second, 2.0);
+}
+
+// ---------------------------------------------------------------- runner --
+
+TEST(TrialRunner, SerialAndParallelProduceIdenticalAggregates) {
+  LinearAdapter adapter;
+  auto spec = linear_spec();
+  spec.repeats = 2;
+  std::string reference;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    exp::ResultStore store;
+    exp::RunnerConfig config;
+    config.threads = threads;
+    const auto outcome = exp::run_campaign(spec, adapter, store, config);
+    EXPECT_TRUE(outcome.complete);
+    const auto json = exp::aggregate_json(outcome.aggregate);
+    if (reference.empty())
+      reference = json;
+    else
+      EXPECT_EQ(json, reference) << "threads=" << threads;
+  }
+}
+
+TEST(TrialRunner, SecondRunIsFullyMemoized) {
+  LinearAdapter adapter;
+  const auto spec = linear_spec();
+  exp::ResultStore store;
+  obs::Observability plane;
+  exp::RunnerConfig config;
+  config.obs = &plane;
+  const auto first = exp::run_campaign(spec, adapter, store, config);
+  EXPECT_EQ(first.stats.executed, first.tasks.size());
+  const auto second = exp::run_campaign(spec, adapter, store, config);
+  EXPECT_EQ(second.stats.executed, 0u);
+  EXPECT_EQ(second.stats.memoized, second.tasks.size());
+  // The obs counters tell the same story (this is what CI asserts on).
+  EXPECT_EQ(plane.metrics.counters().at("exp.trials_executed").value(),
+            first.tasks.size());
+  EXPECT_EQ(plane.metrics.counters().at("exp.trials_memoized").value(),
+            second.tasks.size());
+  EXPECT_EQ(exp::aggregate_json(first.aggregate),
+            exp::aggregate_json(second.aggregate));
+}
+
+TEST(TrialRunner, CapInterruptsAndResumeCompletes) {
+  LinearAdapter adapter;
+  auto spec = linear_spec();
+  spec.repeats = 2;  // 12 points x 2 = 24 trials
+  // Uninterrupted reference run.
+  exp::ResultStore full_store;
+  const auto reference =
+      exp::run_campaign(spec, adapter, full_store, {});
+  ASSERT_TRUE(reference.complete);
+
+  exp::ResultStore store;
+  exp::RunnerConfig capped;
+  capped.max_executed = 5;
+  const auto interrupted = exp::run_campaign(spec, adapter, store, capped);
+  EXPECT_FALSE(interrupted.complete);
+  EXPECT_FALSE(interrupted.aggregate.complete);
+  EXPECT_EQ(interrupted.stats.executed, 5u);
+  EXPECT_EQ(interrupted.stats.skipped, 24u - 5u);
+
+  const auto resumed = exp::run_campaign(spec, adapter, store, {});
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.stats.memoized, 5u);
+  EXPECT_EQ(resumed.stats.executed, 24u - 5u);
+  EXPECT_EQ(exp::aggregate_json(resumed.aggregate),
+            exp::aggregate_json(reference.aggregate));
+}
+
+TEST(TrialRunner, DuplicateKeysExecuteOnce) {
+  LinearAdapter adapter;
+  auto spec = linear_spec();
+  spec.repeats = 1;
+  const exp::BoundSpace space(adapter, spec);
+  std::vector<exp::TrialTask> tasks;
+  tasks.push_back(exp::make_trial(spec, space, {0, 0, 0}, 0, 0));
+  tasks.push_back(exp::make_trial(spec, space, {0, 0, 0}, 0, 1));
+  exp::ResultStore store;
+  exp::TrialRunner runner(adapter, store, {});
+  const auto records = runner.run(tasks);
+  ASSERT_EQ(records.size(), 2u);
+  ASSERT_TRUE(records[0].has_value());
+  ASSERT_TRUE(records[1].has_value());
+  EXPECT_EQ(records[0]->key, records[1]->key);
+  EXPECT_EQ(runner.stats().executed, 1u);
+  EXPECT_EQ(runner.stats().memoized, 1u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+// ----------------------------------------------------------- aggregation --
+
+TEST(Aggregate, MeansAndMarginalsMatchHandComputation) {
+  LinearAdapter adapter;
+  auto spec = linear_spec();
+  spec.repeats = 1;
+  spec.dims = {{"a", {"1", "3"}}, {"b", {"10"}}, {"mode", {"off", "on"}}};
+  exp::ResultStore store;
+  const auto outcome = exp::run_campaign(spec, adapter, store, {});
+  const auto& agg = outcome.aggregate;
+  // Objectives: a + 0.1*b + 5*mode over a in {1,3}, b = 10, mode in {0,1}:
+  //   (1,10,off)=2, (1,10,on)=7, (3,10,off)=4, (3,10,on)=9.
+  ASSERT_EQ(agg.points, 4u);
+  ASSERT_EQ(agg.trials, 4u);
+  EXPECT_TRUE(agg.complete);
+  ASSERT_EQ(agg.ranked.size(), 4u);
+  EXPECT_DOUBLE_EQ(agg.ranked[0].mean_objective, 2.0);  // best first
+  EXPECT_DOUBLE_EQ(agg.ranked[1].mean_objective, 4.0);
+  EXPECT_DOUBLE_EQ(agg.ranked[2].mean_objective, 7.0);
+  EXPECT_DOUBLE_EQ(agg.ranked[3].mean_objective, 9.0);
+  EXPECT_EQ(agg.ranked[0].labels[2], "off");
+  ASSERT_EQ(agg.param_names,
+            (std::vector<std::string>{"a", "b", "mode"}));
+
+  // Marginals: a=1 -> mean(2,7)=4.5; a=3 -> mean(4,9)=6.5;
+  //            mode=off -> mean(2,4)=3; mode=on -> mean(7,9)=8.
+  double a1 = 0, a3 = 0, off = 0, on = 0;
+  for (const auto& cell : agg.marginals) {
+    if (cell.dim == "a" && cell.option == "1") a1 = cell.mean_objective;
+    if (cell.dim == "a" && cell.option == "3") a3 = cell.mean_objective;
+    if (cell.dim == "mode" && cell.option == "off")
+      off = cell.mean_objective;
+    if (cell.dim == "mode" && cell.option == "on") on = cell.mean_objective;
+    // b is pinned to one option, so its single cell covers all 4 trials.
+    EXPECT_EQ(cell.trials, cell.dim == "b" ? 4u : 2u);
+  }
+  EXPECT_DOUBLE_EQ(a1, 4.5);
+  EXPECT_DOUBLE_EQ(a3, 6.5);
+  EXPECT_DOUBLE_EQ(off, 3.0);
+  EXPECT_DOUBLE_EQ(on, 8.0);
+}
+
+TEST(Aggregate, RepeatsCollapseWithBootstrapInterval) {
+  // An adapter whose objective depends on the repeat-salted seed, so
+  // repeats spread and the CI is non-degenerate.
+  class NoisyAdapter final : public exp::SimulatorAdapter {
+   public:
+    std::string domain() const override { return "noisy"; }
+    std::string objective() const override { return "cost"; }
+    std::vector<exp::ParamSpec> params() const override {
+      return {{"x", {1.0, 2.0}, {}}};
+    }
+    exp::TrialResult run(const std::vector<double>& v, std::uint64_t seed,
+                         double) const override {
+      exp::TrialResult r;
+      r.objective = v[0] + static_cast<double>(seed % 11) / 10.0;
+      r.metrics = {{"cost", r.objective}};
+      return r;
+    }
+  };
+  NoisyAdapter adapter;
+  exp::CampaignSpec spec;
+  spec.name = "noisy";
+  spec.domain = "noisy";
+  spec.repeats = 8;
+  exp::ResultStore store;
+  const auto outcome = exp::run_campaign(spec, adapter, store, {});
+  ASSERT_EQ(outcome.aggregate.points, 2u);
+  ASSERT_EQ(outcome.aggregate.trials, 16u);
+  for (const auto& point : outcome.aggregate.ranked) {
+    EXPECT_EQ(point.repeats, 8u);
+    EXPECT_LE(point.objective_ci.lo, point.mean_objective);
+    EXPECT_GE(point.objective_ci.hi, point.mean_objective);
+  }
+}
+
+// ----------------------------------------------------------- explore mode --
+
+TEST(ExploreMode, DeterministicBudgetedAndFindsGridOptimum) {
+  LinearAdapter adapter;
+  auto spec = linear_spec();
+  spec.mode = exp::CampaignMode::kExplore;
+  spec.trials = 30;  // point-evaluation budget over a 12-point space
+  spec.repeats = 1;
+  exp::ResultStore store_a;
+  const auto a = exp::run_campaign(spec, adapter, store_a, {});
+  EXPECT_TRUE(a.complete);
+  EXPECT_LE(a.stats.executed, 30u);
+  EXPECT_FALSE(a.trace.best_point.empty());
+  // Enough budget over a 12-point space to find the global optimum
+  // (a=1, b=10, mode=off -> objective 2).
+  ASSERT_FALSE(a.aggregate.ranked.empty());
+  EXPECT_DOUBLE_EQ(a.aggregate.ranked[0].mean_objective, 2.0);
+  EXPECT_DOUBLE_EQ(a.trace.best_quality, 1.0 / (1.0 + 2.0));
+
+  exp::ResultStore store_b;
+  exp::RunnerConfig parallel;
+  parallel.threads = 4;
+  const auto b = exp::run_campaign(spec, adapter, store_b, parallel);
+  EXPECT_EQ(exp::aggregate_json(a.aggregate),
+            exp::aggregate_json(b.aggregate));
+}
+
+TEST(ExploreMode, EnumerateTrialsRefusesExplore) {
+  LinearAdapter adapter;
+  auto spec = linear_spec();
+  spec.mode = exp::CampaignMode::kExplore;
+  const exp::BoundSpace space(adapter, spec);
+  EXPECT_THROW(exp::enumerate_trials(spec, space), std::logic_error);
+}
+
+// -------------------------------------------------------- domain adapters --
+
+TEST(Adapters, AllDomainsRunDeterministicTrials) {
+  for (const auto& domain : exp::adapter_domains()) {
+    SCOPED_TRACE(domain);
+    const auto adapter = exp::make_adapter(domain);
+    EXPECT_EQ(adapter->domain(), domain);
+    const auto params = adapter->params();
+    ASSERT_GE(params.size(), 3u) << "campaign space too small";
+    std::vector<double> lo, hi;
+    for (const auto& param : params) {
+      ASSERT_FALSE(param.values.empty());
+      if (param.categorical()) {
+        ASSERT_EQ(param.labels.size(), param.values.size());
+      }
+      lo.push_back(param.values.front());
+      hi.push_back(param.values.back());
+    }
+    const auto once = adapter->run(lo, 77, 0.05);
+    const auto again = adapter->run(lo, 77, 0.05);
+    EXPECT_EQ(once.objective, again.objective);
+    ASSERT_EQ(once.metrics.size(), again.metrics.size());
+    for (std::size_t i = 0; i < once.metrics.size(); ++i)
+      EXPECT_EQ(once.metrics[i].second, again.metrics[i].second);
+    EXPECT_TRUE(std::isfinite(once.objective));
+    // Metric names/order must not depend on the values (column contract).
+    const auto other = adapter->run(hi, 78, 0.05);
+    ASSERT_EQ(other.metrics.size(), once.metrics.size());
+    for (std::size_t i = 0; i < once.metrics.size(); ++i)
+      EXPECT_EQ(other.metrics[i].first, once.metrics[i].first);
+    // The declared objective appears among the metrics.
+    bool found = false;
+    for (const auto& [name, value] : once.metrics)
+      if (name == adapter->objective()) {
+        found = true;
+        EXPECT_EQ(value, once.objective);
+      }
+    EXPECT_TRUE(found) << adapter->objective();
+  }
+  EXPECT_THROW(exp::make_adapter("fpga"), std::invalid_argument);
+}
+
+// ------------------------------------------------- end-to-end determinism --
+
+TEST(CampaignEndToEnd, TwoDomainsByteIdenticalStoresAcrossThreads) {
+  // The acceptance property: a campaign over >= 2 real domains yields
+  // byte-identical JSONL stores and aggregates at 1 and 8 threads.
+  const char* kSpecs[] = {
+      "campaign sv\ndomain serverless\nmode grid\nrepeats 2\nseed 5\n"
+      "scale 0.05\ndim keep_alive 0 300\ndim prewarmed 0 2\n"
+      "dim max_instances 32\n",
+      "campaign pp\ndomain p2p\nmode random\ntrials 4\nrepeats 2\n"
+      "seed 3\nscale 0.02\ndim initial_seeds 1 4\n",
+  };
+  for (const char* text : kSpecs) {
+    const auto spec = exp::parse_campaign_spec(text);
+    SCOPED_TRACE(spec.domain);
+    const auto adapter = exp::make_adapter(spec.domain);
+    std::string store_bytes, aggregate_bytes;
+    for (const std::size_t threads : {1u, 8u}) {
+      const auto path = temp_path(spec.name + "_t" +
+                                  std::to_string(threads) + ".jsonl");
+      std::remove(path.c_str());
+      exp::ResultStore store(path);
+      exp::RunnerConfig config;
+      config.threads = threads;
+      const auto outcome = exp::run_campaign(spec, *adapter, store, config);
+      EXPECT_TRUE(outcome.complete);
+      const auto bytes = slurp(path);
+      const auto json = exp::aggregate_json(outcome.aggregate);
+      if (store_bytes.empty()) {
+        store_bytes = bytes;
+        aggregate_bytes = json;
+      } else {
+        EXPECT_EQ(bytes, store_bytes) << "threads=" << threads;
+        EXPECT_EQ(json, aggregate_bytes) << "threads=" << threads;
+      }
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST(CampaignEndToEnd, ResumeAfterTruncationMatchesUninterrupted) {
+  const auto spec = exp::parse_campaign_spec(
+      "campaign rz\ndomain serverless\nmode grid\nrepeats 2\nseed 5\n"
+      "scale 0.05\ndim keep_alive 0 300\ndim prewarmed 0 2\n"
+      "dim max_instances 32\n");
+  const auto adapter = exp::make_adapter(spec.domain);
+
+  exp::ResultStore reference_store;
+  const auto reference =
+      exp::run_campaign(spec, *adapter, reference_store, {});
+
+  const auto path = temp_path("resume.jsonl");
+  std::remove(path.c_str());
+  {
+    exp::ResultStore store(path);
+    exp::RunnerConfig capped;
+    capped.max_executed = 3;
+    const auto first = exp::run_campaign(spec, *adapter, store, capped);
+    EXPECT_FALSE(first.complete);
+  }
+  // Crash simulation: truncate mid-line.
+  auto content = slurp(path);
+  ASSERT_GT(content.size(), 25u);
+  content.resize(content.size() - 25);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+  exp::ResultStore store(path);
+  EXPECT_EQ(store.recovered() + 1, 3u);  // one record lost to the crash
+  EXPECT_GE(store.discarded_lines(), 1u);
+  const auto resumed = exp::run_campaign(spec, *adapter, store, {});
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.stats.memoized, 2u);
+  EXPECT_EQ(exp::aggregate_json(resumed.aggregate),
+            exp::aggregate_json(reference.aggregate));
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- rendering --
+
+TEST(Rendering, AggregateJsonAndTableCarryParamNames)
+{
+  LinearAdapter adapter;
+  auto spec = linear_spec();
+  spec.repeats = 1;
+  exp::ResultStore store;
+  const auto outcome = exp::run_campaign(spec, adapter, store, {});
+  const auto json = exp::aggregate_json(outcome.aggregate);
+  EXPECT_NE(json.find("\"mode\":\"grid\""), std::string::npos);
+  EXPECT_NE(json.find("\"a\":"), std::string::npos);
+  EXPECT_NE(json.find("\"marginals\""), std::string::npos);
+  const auto table = exp::aggregate_table(outcome.aggregate, 3);
+  EXPECT_NE(table.find("rank"), std::string::npos);
+  EXPECT_NE(table.find("mode=off"), std::string::npos);
+  EXPECT_NE(table.find("marginals"), std::string::npos);
+}
+
+}  // namespace
