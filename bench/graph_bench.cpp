@@ -1,0 +1,281 @@
+// Graphalytics kernel benchmarks: serial vs parallel timings for every
+// kernel on three dataset families (social = preferential attachment,
+// random = Erdos-Renyi, grid = 2D lattice), plus "legacy" baselines that
+// reproduce the pre-CSR-rewrite implementations (per-call vector<vector>
+// undirected adjacency, unordered_map label voting, binary-search triangle
+// counting, comparison-sort CSR build) so the speedup of the rewrite is
+// measurable inside one JSON snapshot.
+//
+//   graph_bench --json[=path]   # emit google-benchmark JSON (BENCH_graph.json)
+//   graph_bench --tiny          # shrink datasets for CI smoke runs
+//
+// Benchmark arguments: {dataset, threads} where dataset is
+// 0=social, 1=random, 2=grid.
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "atlarge/graph/algorithms.hpp"
+#include "atlarge/graph/graph.hpp"
+#include "atlarge/stats/rng.hpp"
+#include "bench_json_main.hpp"
+
+using namespace atlarge;
+
+namespace {
+
+bool g_tiny = false;
+
+const graph::Graph& dataset(int idx) {
+  // Built lazily so --tiny (parsed in main, after static registration)
+  // takes effect. Sizes in full mode match the table8 social dataset.
+  static const graph::Graph social = [] {
+    stats::Rng rng(3);
+    return graph::preferential_attachment(g_tiny ? 500 : 20'000,
+                                          g_tiny ? 4 : 8, rng);
+  }();
+  static const graph::Graph random = [] {
+    stats::Rng rng(4);
+    return graph::erdos_renyi(g_tiny ? 500 : 20'000, g_tiny ? 4.0 : 8.0, rng);
+  }();
+  static const graph::Graph grid =
+      graph::grid_2d(g_tiny ? 20 : 141);  // ~n matches the other families
+  switch (idx) {
+    case 0: return social;
+    case 1: return random;
+    default: return grid;
+  }
+}
+
+graph::KernelOptions opts_of(benchmark::State& state) {
+  graph::KernelOptions opts;
+  opts.threads = static_cast<std::uint32_t>(state.range(1));
+  return opts;
+}
+
+void set_work(benchmark::State& state, const graph::WorkProfile& work) {
+  state.counters["edges_traversed"] =
+      benchmark::Counter(static_cast<double>(work.edges_traversed));
+  state.counters["iterations"] =
+      benchmark::Counter(static_cast<double>(work.iterations));
+}
+
+void BM_Bfs(benchmark::State& state) {
+  const auto& g = dataset(static_cast<int>(state.range(0)));
+  const auto opts = opts_of(state);
+  graph::BfsResult r;
+  for (auto _ : state) {
+    r = graph::bfs(g, 0, opts);
+    benchmark::DoNotOptimize(r.depth.data());
+  }
+  set_work(state, r.work);
+}
+
+void BM_PageRank(benchmark::State& state) {
+  const auto& g = dataset(static_cast<int>(state.range(0)));
+  const auto opts = opts_of(state);
+  graph::PageRankResult r;
+  for (auto _ : state) {
+    r = graph::pagerank(g, 10, 0.85, opts);
+    benchmark::DoNotOptimize(r.rank.data());
+  }
+  set_work(state, r.work);
+}
+
+void BM_Wcc(benchmark::State& state) {
+  const auto& g = dataset(static_cast<int>(state.range(0)));
+  const auto opts = opts_of(state);
+  graph::WccResult r;
+  for (auto _ : state) {
+    r = graph::wcc(g, opts);
+    benchmark::DoNotOptimize(r.component.data());
+  }
+  set_work(state, r.work);
+}
+
+void BM_Cdlp(benchmark::State& state) {
+  const auto& g = dataset(static_cast<int>(state.range(0)));
+  const auto opts = opts_of(state);
+  graph::CdlpResult r;
+  for (auto _ : state) {
+    r = graph::cdlp(g, 5, opts);
+    benchmark::DoNotOptimize(r.label.data());
+  }
+  set_work(state, r.work);
+}
+
+void BM_Lcc(benchmark::State& state) {
+  const auto& g = dataset(static_cast<int>(state.range(0)));
+  const auto opts = opts_of(state);
+  graph::LccResult r;
+  for (auto _ : state) {
+    r = graph::lcc(g, opts);
+    benchmark::DoNotOptimize(r.coefficient.data());
+  }
+  set_work(state, r.work);
+}
+
+void BM_Sssp(benchmark::State& state) {
+  const auto& g = dataset(static_cast<int>(state.range(0)));
+  const auto opts = opts_of(state);
+  graph::SsspResult r;
+  for (auto _ : state) {
+    r = graph::sssp(g, 0, opts);
+    benchmark::DoNotOptimize(r.distance.data());
+  }
+  set_work(state, r.work);
+}
+
+// ---- Legacy baselines (pre-rewrite implementations, serial only) ----
+
+// CDLP as it was before the rewrite: unordered_map vote counting over
+// out+in neighborhoods, no shared undirected view.
+std::vector<graph::VertexId> cdlp_legacy(const graph::Graph& g,
+                                         std::uint32_t iterations) {
+  const std::size_t n = g.num_vertices();
+  std::vector<graph::VertexId> label(n), next(n);
+  for (graph::VertexId v = 0; v < n; ++v) label[v] = v;
+  std::unordered_map<graph::VertexId, std::uint32_t> votes;
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    for (graph::VertexId v = 0; v < n; ++v) {
+      votes.clear();
+      for (graph::VertexId u : g.out(v)) ++votes[label[u]];
+      for (graph::VertexId u : g.in(v)) ++votes[label[u]];
+      if (votes.empty()) {
+        next[v] = label[v];
+        continue;
+      }
+      graph::VertexId best = label[v];
+      std::uint32_t best_count = 0;
+      for (const auto& [candidate, count] : votes) {
+        if (count > best_count ||
+            (count == best_count && candidate < best)) {
+          best = candidate;
+          best_count = count;
+        }
+      }
+      next[v] = best;
+    }
+    label.swap(next);
+  }
+  return label;
+}
+
+// LCC as it was before the rewrite: materialize vector<vector> undirected
+// adjacency per call, binary-search each neighbor pair.
+double lcc_legacy(const graph::Graph& g) {
+  const auto adj = g.undirected_adjacency();
+  const std::size_t n = adj.size();
+  double total = 0.0;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const auto& neighbors = adj[v];
+    const std::size_t d = neighbors.size();
+    if (d < 2) continue;
+    std::size_t closed = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = i + 1; j < d; ++j) {
+        const auto& a = adj[neighbors[i]];
+        if (std::binary_search(a.begin(), a.end(), neighbors[j])) ++closed;
+      }
+    }
+    total += 2.0 * static_cast<double>(closed) /
+             (static_cast<double>(d) * static_cast<double>(d - 1));
+  }
+  return n > 0 ? total / static_cast<double>(n) : 0.0;
+}
+
+void BM_CdlpLegacy(benchmark::State& state) {
+  const auto& g = dataset(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto label = cdlp_legacy(g, 5);
+    benchmark::DoNotOptimize(label.data());
+  }
+}
+
+void BM_LccLegacy(benchmark::State& state) {
+  const auto& g = dataset(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    double mean = lcc_legacy(g);
+    benchmark::DoNotOptimize(mean);
+  }
+}
+
+// ---- CSR construction: counting sort (current) vs comparison sort ----
+
+void BM_FromEdges(benchmark::State& state) {
+  const auto& g = dataset(static_cast<int>(state.range(0)));
+  const auto edges = g.edge_list();
+  const auto n = static_cast<graph::VertexId>(g.num_vertices());
+  for (auto _ : state) {
+    auto copy = edges;
+    auto built = graph::Graph::from_edges(n, std::move(copy));
+    benchmark::DoNotOptimize(built.num_edges());
+  }
+}
+
+// The pre-rewrite build strategy: comparison-sort the edge list, then a
+// linear dedup/fill pass (out-CSR only; in/undirected views not priced to
+// keep the comparison conservative).
+void BM_FromEdgesLegacy(benchmark::State& state) {
+  const auto& g = dataset(static_cast<int>(state.range(0)));
+  const auto edges = g.edge_list();
+  const std::size_t n = g.num_vertices();
+  for (auto _ : state) {
+    auto copy = edges;
+    std::sort(copy.begin(), copy.end());
+    copy.erase(std::unique(copy.begin(), copy.end()), copy.end());
+    std::vector<std::uint64_t> offsets(n + 1, 0);
+    std::vector<graph::VertexId> heads(copy.size());
+    for (const auto& e : copy) ++offsets[e.first + 1];
+    for (std::size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+    for (std::size_t i = 0; i < copy.size(); ++i) heads[i] = copy[i].second;
+    benchmark::DoNotOptimize(heads.data());
+  }
+}
+
+void register_benchmarks() {
+  const std::vector<std::pair<const char*,
+                              void (*)(benchmark::State&)>> kernels = {
+      {"BM_Bfs", BM_Bfs},   {"BM_PageRank", BM_PageRank},
+      {"BM_Wcc", BM_Wcc},   {"BM_Cdlp", BM_Cdlp},
+      {"BM_Lcc", BM_Lcc},   {"BM_Sssp", BM_Sssp},
+  };
+  for (const auto& [name, fn] : kernels) {
+    auto* b = benchmark::RegisterBenchmark(name, fn);
+    b->ArgNames({"dataset", "threads"});
+    for (int dataset_idx : {0, 1, 2})
+      for (int threads : {1, 8}) b->Args({dataset_idx, threads});
+  }
+  for (const auto& [name, fn] :
+       std::vector<std::pair<const char*, void (*)(benchmark::State&)>>{
+           {"BM_CdlpLegacy", BM_CdlpLegacy},
+           {"BM_LccLegacy", BM_LccLegacy},
+           {"BM_FromEdges", BM_FromEdges},
+           {"BM_FromEdgesLegacy", BM_FromEdgesLegacy}}) {
+    auto* b = benchmark::RegisterBenchmark(name, fn);
+    b->ArgNames({"dataset"});
+    for (int dataset_idx : {0, 1, 2}) b->Args({dataset_idx});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) {
+      g_tiny = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  register_benchmarks();
+  return atlarge::bench::run_benchmarks_with_json_flag(
+      static_cast<int>(args.size()), args.data(), "BENCH_graph.json");
+}

@@ -7,7 +7,10 @@
 // (the "Native-1N" platform measured for real).
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -21,7 +24,7 @@ using namespace atlarge;
 
 namespace {
 
-void pad_study() {
+void pad_study(std::uint32_t threads) {
   bench::header("[105]+[106] The PAD/HPAD law");
   stats::Rng rng(1);
   const auto social = graph::preferential_attachment(20'000, 8, rng);
@@ -38,7 +41,7 @@ void pad_study() {
       {"grid-L", &grid, 500.0},        // ~10M edges, high diameter
   };
   const auto platforms = graph::standard_platforms();
-  const auto study = graph::run_pad_study(datasets, platforms);
+  const auto study = graph::run_pad_study(datasets, platforms, threads);
 
   // Matrix: rows = algorithm x dataset, columns = platforms.
   std::printf("\npredicted runtime (s); * marks the per-row winner\n");
@@ -66,12 +69,14 @@ void pad_study() {
               study.distinct_winners > 1 ? "HOLDS" : "does NOT hold");
 }
 
-void granula_study() {
+void granula_study(std::uint32_t threads) {
   bench::header("[100] Granula-style phase breakdown");
   stats::Rng rng(2);
   const auto g = graph::preferential_attachment(20'000, 8, rng);
   const auto platforms = graph::standard_platforms();
-  const auto work = graph::run_algorithm(g, graph::Algorithm::kPageRank);
+  graph::KernelOptions opts;
+  opts.threads = threads;
+  const auto work = graph::run_algorithm(g, graph::Algorithm::kPageRank, opts);
   std::printf("PageRank on social-20k, per-platform modeled breakdown:\n");
   std::printf("%-14s %10s %10s %10s %10s\n", "platform", "startup%",
               "sync%", "compute%", "total(s)");
@@ -84,7 +89,7 @@ void granula_study() {
                 100.0 * b.share("compute"), b.total());
   }
   const auto measured = graph::measured_breakdown(
-      g.num_vertices(), g.edge_list(), graph::Algorithm::kPageRank);
+      g.num_vertices(), g.edge_list(), graph::Algorithm::kPageRank, opts);
   std::printf("measured native run: load %.3fs, compute %.3fs\n",
               measured.phases[0].seconds, measured.phases[1].seconds);
 }
@@ -129,10 +134,25 @@ BENCHMARK(BM_Sssp);
 }  // namespace
 
 int main(int argc, char** argv) {
-  pad_study();
-  granula_study();
+  // --threads=N parallelizes the kernel runs behind the studies (results
+  // are thread-count independent). Stripped before google-benchmark sees
+  // the arguments.
+  std::uint32_t threads = 1;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const long parsed = std::strtol(argv[i] + 10, nullptr, 10);
+      if (parsed > 0) threads = static_cast<std::uint32_t>(parsed);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  pad_study(threads);
+  granula_study(threads);
   bench::header("Native-1N measured kernels (google-benchmark)");
-  benchmark::Initialize(&argc, argv);
+  benchmark::Initialize(&filtered_argc, args.data());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -30,4 +30,10 @@ std::unique_ptr<SimulatorAdapter> make_autoscale_adapter();
 /// Objective: median download time.
 std::unique_ptr<SimulatorAdapter> make_p2p_adapter();
 
+/// Domain "graph": the Graphalytics kernels over dataset family x scale x
+/// algorithm x threads. Each trial runs the real kernel, then prices its
+/// measured work profile on the Native-1N platform model. Objective:
+/// predicted runtime (runtime_proxy).
+std::unique_ptr<SimulatorAdapter> make_graph_adapter();
+
 }  // namespace atlarge::exp

@@ -9,6 +9,20 @@
 // Each algorithm also reports its *work profile* (edges traversed,
 // iterations) — the Granula-style observable that lets platform models
 // price the same algorithm differently (granula.hpp).
+//
+// Parallelism and determinism: every kernel accepts a KernelOptions with a
+// `threads` knob. Parallel execution fans vertex blocks of a fixed size
+// over a sim::ThreadPool; every result vector slot is written by exactly
+// one owner block, per-block WorkProfile/floating-point accumulators are
+// reduced in block-index order, and the block size never depends on the
+// thread count — so results AND work profiles are byte-identical at 1..N
+// threads (the discipline proven by the portfolio evaluator and campaign
+// engine). BFS is direction-optimizing (top-down/bottom-up switching over
+// dense bitmap frontiers), PageRank is pull-based over the in-CSR (no
+// scatter races), WCC is frontier-based (only vertices with a changed
+// neighborhood are re-scanned), CDLP counts votes with a flat sorted-run
+// scan instead of a hash map, and LCC intersects sorted undirected
+// adjacency lists instead of probing per pair.
 
 #include <cstdint>
 #include <limits>
@@ -17,7 +31,22 @@
 
 #include "atlarge/graph/graph.hpp"
 
+namespace atlarge::obs {
+class Observability;
+}
+
 namespace atlarge::graph {
+
+/// Per-kernel execution knobs shared by all six algorithms.
+struct KernelOptions {
+  /// parallel_for lanes (1 = serial; the calling thread always
+  /// participates). Results are identical for every value.
+  std::uint32_t threads = 1;
+  /// Optional instrumentation plane: when set, kernels emit one tracer
+  /// span per iteration/round (category "graph") and bump the
+  /// graph.edges_traversed / graph.iterations counters on completion.
+  obs::Observability* obs = nullptr;
+};
 
 /// Work accounting shared by all algorithms.
 struct WorkProfile {
@@ -33,8 +62,13 @@ struct BfsResult {
   WorkProfile work;
 };
 
-/// Directed BFS from `source`.
-BfsResult bfs(const Graph& g, VertexId source);
+/// Directed BFS from `source`, direction-optimizing: levels run top-down
+/// (scan out-edges of the frontier) until the frontier's out-edge volume
+/// crosses m/alpha, then bottom-up (unvisited vertices probe their
+/// in-neighbors for a frontier member) until the frontier shrinks below
+/// n/beta. Frontiers are dense bitmaps; depths are level-synchronous and
+/// thread-count independent.
+BfsResult bfs(const Graph& g, VertexId source, const KernelOptions& opts = {});
 
 struct PageRankResult {
   std::vector<double> rank;  // sums to ~1
@@ -43,9 +77,10 @@ struct PageRankResult {
 
 /// Power-iteration PageRank with damping factor `d`, run for `iterations`
 /// rounds (the Graphalytics specification uses a fixed iteration count).
-/// Dangling-vertex mass is redistributed uniformly.
+/// Dangling-vertex mass is redistributed uniformly. Pull-based: each
+/// vertex gathers contributions over its in-CSR, so no scatter races.
 PageRankResult pagerank(const Graph& g, std::uint32_t iterations = 20,
-                        double d = 0.85);
+                        double d = 0.85, const KernelOptions& opts = {});
 
 struct WccResult {
   std::vector<VertexId> component;  // representative id per vertex
@@ -54,8 +89,10 @@ struct WccResult {
 };
 
 /// Weakly connected components (direction-ignoring label propagation to a
-/// fixed point, as the Graphalytics reference does).
-WccResult wcc(const Graph& g);
+/// fixed point, as the Graphalytics reference does). Frontier-based: a
+/// round only re-scans vertices adjacent to a vertex whose component
+/// changed in the previous round.
+WccResult wcc(const Graph& g, const KernelOptions& opts = {});
 
 struct CdlpResult {
   std::vector<VertexId> label;  // community label per vertex
@@ -65,8 +102,11 @@ struct CdlpResult {
 
 /// Community detection by synchronous label propagation for `iterations`
 /// rounds: each vertex adopts the most frequent label among its
-/// (direction-ignoring) neighbors, smallest label winning ties.
-CdlpResult cdlp(const Graph& g, std::uint32_t iterations = 10);
+/// (direction-ignoring, multiplicity-keeping) neighbors, smallest label
+/// winning ties. Votes are tallied by sorting the gathered labels and
+/// scanning runs — flat buffers, no per-vertex hash map.
+CdlpResult cdlp(const Graph& g, std::uint32_t iterations = 10,
+                const KernelOptions& opts = {});
 
 struct LccResult {
   std::vector<double> coefficient;  // per-vertex local clustering in [0,1]
@@ -74,8 +114,10 @@ struct LccResult {
   WorkProfile work;
 };
 
-/// Local clustering coefficient over the undirected view.
-LccResult lcc(const Graph& g);
+/// Local clustering coefficient over the undirected view, via sorted
+/// neighbor-list intersection (merge walk per incident edge) on the
+/// materialized undirected CSR.
+LccResult lcc(const Graph& g, const KernelOptions& opts = {});
 
 struct SsspResult {
   std::vector<double> distance;  // +inf if unreachable
@@ -83,8 +125,10 @@ struct SsspResult {
 };
 
 /// Dijkstra single-source shortest paths (non-negative weights; an
-/// unweighted graph degenerates to hop counts).
-SsspResult sssp(const Graph& g, VertexId source);
+/// unweighted graph degenerates to hop counts). Inherently sequential —
+/// the threads knob is accepted but unused.
+SsspResult sssp(const Graph& g, VertexId source,
+                const KernelOptions& opts = {});
 
 /// Graphalytics algorithm identifiers, for sweeps.
 enum class Algorithm { kBfs, kPageRank, kWcc, kCdlp, kLcc, kSssp };
@@ -94,6 +138,7 @@ const std::vector<Algorithm>& all_algorithms();
 
 /// Runs the algorithm with default parameters (source 0 where needed) and
 /// returns its work profile — the input to the PAD platform models.
-WorkProfile run_algorithm(const Graph& g, Algorithm a);
+WorkProfile run_algorithm(const Graph& g, Algorithm a,
+                          const KernelOptions& opts = {});
 
 }  // namespace atlarge::graph

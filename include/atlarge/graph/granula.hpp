@@ -37,9 +37,17 @@ Breakdown modeled_breakdown(const PlatformModel& platform, Algorithm algo,
 /// Measured breakdown of a native in-process run: graph-load (CSR build
 /// from an edge list) vs compute. Implemented as obs tracer spans around
 /// each phase, folded into a Breakdown via breakdown_from_trace.
+///
+/// `opts.threads` is forwarded to the kernel. When `opts.obs` is set, the
+/// load/compute spans are emitted into *that* plane's tracer alongside the
+/// kernel's own per-iteration spans, and the breakdown is folded from it —
+/// so the returned phases additionally include the per-round kernel phase
+/// (e.g. "pr.iteration"). Pass a fresh plane; earlier spans in its tracer
+/// would fold in too. Without a plane the breakdown is the classic
+/// two-phase load/compute split.
 Breakdown measured_breakdown(VertexId n,
                              std::vector<std::pair<VertexId, VertexId>> edges,
-                             Algorithm algo);
+                             Algorithm algo, const KernelOptions& opts = {});
 
 /// Folds the begin/end span pairs recorded in `tracer` into a Breakdown:
 /// one phase per distinct span name (first-seen order), seconds = summed

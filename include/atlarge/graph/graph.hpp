@@ -5,6 +5,15 @@
 // module supplies the datasets (synthetic generators spanning the degree
 // distributions that drive the PAD effect) and the graph representation
 // the algorithms in algorithms.hpp operate on.
+//
+// Three CSR views are materialized once at construction:
+//  * out-CSR  — out-neighbors per vertex, sorted by target;
+//  * in-CSR   — in-neighbors per vertex, sorted by source;
+//  * und-CSR  — distinct undirected neighbors per vertex, sorted — the
+//    merged view WCC/CDLP/LCC operate on, replacing the per-call
+//    vector<vector> the old undirected_adjacency() materialized.
+// The build is counting-sort based (two stable counting passes over the
+// edge list instead of a comparison sort), so construction is O(n + m).
 
 #include <cstdint>
 #include <span>
@@ -18,7 +27,8 @@ using VertexId = std::uint32_t;
 
 /// Immutable directed graph in CSR form, with optional edge weights.
 /// Vertices are [0, num_vertices). Self-loops and parallel edges are
-/// removed at build time.
+/// removed at build time (the first occurrence of a parallel edge, in
+/// input order, keeps its weight).
 class Graph {
  public:
   /// Builds from an edge list; `n` is the vertex count (edges must stay in
@@ -30,18 +40,45 @@ class Graph {
   VertexId num_vertices() const noexcept { return n_; }
   std::size_t num_edges() const noexcept { return heads_.size(); }
 
-  /// Out-neighbors of v.
-  std::span<const VertexId> out(VertexId v) const;
+  // The CSR accessors are defined inline: they sit on the innermost loop
+  // of every kernel, where an out-of-line call per edge would dominate.
+
+  /// Out-neighbors of v, sorted ascending.
+  std::span<const VertexId> out(VertexId v) const {
+    return {heads_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
   /// Weight of the i-th out-edge of v (1.0 when the graph is unweighted).
-  double out_weight(VertexId v, std::size_t i) const;
-  std::uint32_t out_degree(VertexId v) const;
-  std::uint32_t in_degree(VertexId v) const;
+  double out_weight(VertexId v, std::size_t i) const {
+    return weights_.empty() ? 1.0 : weights_[offsets_[v] + i];
+  }
+  std::uint32_t out_degree(VertexId v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+  std::uint32_t in_degree(VertexId v) const {
+    return static_cast<std::uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
 
-  /// In-neighbors of v (built lazily is avoided: both directions are
-  /// materialized at construction for algorithmic convenience).
-  std::span<const VertexId> in(VertexId v) const;
+  /// In-neighbors of v, sorted ascending (both directions are materialized
+  /// at construction for algorithmic convenience).
+  std::span<const VertexId> in(VertexId v) const {
+    return {in_heads_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
 
+  /// Undirected neighbors of v: distinct neighbors in either direction,
+  /// sorted ascending, from the undirected CSR materialized at
+  /// construction. Shared by WCC/CDLP/LCC.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {und_heads_.data() + und_offsets_[v],
+            und_offsets_[v + 1] - und_offsets_[v]};
+  }
   /// Undirected view degree: distinct neighbors in either direction.
+  std::uint32_t und_degree(VertexId v) const {
+    return static_cast<std::uint32_t>(und_offsets_[v + 1] - und_offsets_[v]);
+  }
+
+  /// The undirected view as an adjacency-list copy (kept for callers that
+  /// want owning vectors; the kernels use neighbors() directly).
   std::vector<std::vector<VertexId>> undirected_adjacency() const;
 
   bool weighted() const noexcept { return !weights_.empty(); }
@@ -56,9 +93,14 @@ class Graph {
   std::vector<double> weights_;        // parallel to heads_ (may be empty)
   std::vector<std::size_t> in_offsets_;
   std::vector<VertexId> in_heads_;
+  std::vector<std::size_t> und_offsets_;  // undirected CSR offsets
+  std::vector<VertexId> und_heads_;       // distinct merged neighbors
 };
 
-/// G(n, p)-style random graph with expected average out-degree `avg_deg`.
+/// G(n, p)-style random graph with average out-degree `avg_deg`: endpoint
+/// pairs are redrawn (bounded retries) until the graph *keeps* the target
+/// number of edges after self-loop/duplicate removal, so the realized
+/// density matches the request instead of silently undershooting it.
 Graph erdos_renyi(VertexId n, double avg_deg, atlarge::stats::Rng& rng);
 
 /// Power-law graph via preferential attachment (Barabási-Albert flavor):

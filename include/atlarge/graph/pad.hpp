@@ -90,8 +90,10 @@ struct NamedGraph {
 
 /// Runs every algorithm on every dataset, measures the work profiles
 /// (extrapolated by each dataset's scale), and prices them on every
-/// platform model.
+/// platform model. `threads` parallelizes each native kernel run (results
+/// are thread-count independent, so the study is too).
 PadStudy run_pad_study(const std::vector<NamedGraph>& datasets,
-                       const std::vector<PlatformModel>& platforms);
+                       const std::vector<PlatformModel>& platforms,
+                       std::uint32_t threads = 1);
 
 }  // namespace atlarge::graph

@@ -7,6 +7,9 @@
 #include "atlarge/autoscale/autoscalers.hpp"
 #include "atlarge/autoscale/elastic_sim.hpp"
 #include "atlarge/cluster/machine.hpp"
+#include "atlarge/graph/algorithms.hpp"
+#include "atlarge/graph/graph.hpp"
+#include "atlarge/graph/pad.hpp"
 #include "atlarge/p2p/swarm.hpp"
 #include "atlarge/sched/policies.hpp"
 #include "atlarge/sched/portfolio.hpp"
@@ -247,6 +250,77 @@ class P2pAdapter final : public SimulatorAdapter {
   }
 };
 
+// ----------------------------------------------------------------- graph --
+
+class GraphAdapter final : public SimulatorAdapter {
+ public:
+  std::string domain() const override { return "graph"; }
+  std::string objective() const override { return "runtime_proxy"; }
+
+  std::vector<ParamSpec> params() const override {
+    ParamSpec algorithm{"algorithm", {}, {}};
+    const auto& algos = graph::all_algorithms();
+    for (std::size_t i = 0; i < algos.size(); ++i) {
+      algorithm.values.push_back(static_cast<double>(i));
+      algorithm.labels.push_back(graph::to_string(algos[i]));
+    }
+    return {
+        {"dataset", {0.0, 1.0, 2.0}, {"social", "random", "grid"}},
+        {"scale_k", {1.0, 4.0, 16.0}, {}},  // thousands of vertices
+        std::move(algorithm),
+        {"threads", {1.0, 2.0, 4.0}, {}},
+    };
+  }
+
+  TrialResult run(const std::vector<double>& v, std::uint64_t seed,
+                  double scale) const override {
+    const auto n = static_cast<graph::VertexId>(
+        scaled(static_cast<std::size_t>(std::llround(v[1] * 1000.0)), scale,
+               64));
+    stats::Rng rng(seed ^ 0x6ea9ULL);
+    graph::Graph g = [&] {
+      switch (static_cast<int>(v[0])) {
+        case 0: return graph::preferential_attachment(n, 8, rng);
+        case 1: return graph::erdos_renyi(n, 8.0, rng);
+        default: {
+          const auto side = static_cast<graph::VertexId>(std::max(
+              8.0, std::round(std::sqrt(static_cast<double>(n)))));
+          return graph::grid_2d(side);
+        }
+      }
+    }();
+
+    const auto algo =
+        graph::all_algorithms()[static_cast<std::size_t>(v[2])];
+    graph::KernelOptions opts;
+    opts.threads = static_cast<std::uint32_t>(v[3]);
+    const graph::WorkProfile work = graph::run_algorithm(g, algo, opts);
+
+    // Price the measured profile on the single-node native platform model
+    // — a deterministic runtime proxy, unlike wall-clock timing, so memoed
+    // trials replay byte-identically.
+    const auto platforms = graph::standard_platforms();
+    const auto native = std::find_if(
+        platforms.begin(), platforms.end(),
+        [](const auto& p) { return p.name == "Native-1N"; });
+    const double runtime =
+        graph::predict_runtime(*native, algo, work, g.num_vertices(),
+                               g.num_edges()) /
+        static_cast<double>(opts.threads);
+
+    TrialResult out;
+    out.objective = runtime;
+    out.metrics = {
+        {"runtime_proxy", runtime},
+        {"edges_traversed", static_cast<double>(work.edges_traversed)},
+        {"iterations", static_cast<double>(work.iterations)},
+        {"vertices", static_cast<double>(g.num_vertices())},
+        {"edges", static_cast<double>(g.num_edges())},
+    };
+    return out;
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<SimulatorAdapter> make_portfolio_adapter() {
@@ -261,9 +335,12 @@ std::unique_ptr<SimulatorAdapter> make_autoscale_adapter() {
 std::unique_ptr<SimulatorAdapter> make_p2p_adapter() {
   return std::make_unique<P2pAdapter>();
 }
+std::unique_ptr<SimulatorAdapter> make_graph_adapter() {
+  return std::make_unique<GraphAdapter>();
+}
 
 std::vector<std::string> adapter_domains() {
-  return {"portfolio", "serverless", "autoscale", "p2p"};
+  return {"portfolio", "serverless", "autoscale", "p2p", "graph"};
 }
 
 std::unique_ptr<SimulatorAdapter> make_adapter(const std::string& domain) {
@@ -271,6 +348,7 @@ std::unique_ptr<SimulatorAdapter> make_adapter(const std::string& domain) {
   if (domain == "serverless") return make_serverless_adapter();
   if (domain == "autoscale") return make_autoscale_adapter();
   if (domain == "p2p") return make_p2p_adapter();
+  if (domain == "graph") return make_graph_adapter();
   std::string known;
   for (const auto& d : adapter_domains()) {
     if (!known.empty()) known += ", ";

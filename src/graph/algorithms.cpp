@@ -1,177 +1,574 @@
 #include "atlarge/graph/algorithms.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <queue>
-#include <unordered_map>
+
+#include "atlarge/obs/observability.hpp"
+#include "atlarge/sim/thread_pool.hpp"
 
 namespace atlarge::graph {
+namespace {
 
-BfsResult bfs(const Graph& g, VertexId source) {
-  BfsResult result;
-  result.depth.assign(g.num_vertices(), kUnreachable);
-  if (source >= g.num_vertices()) return result;
-  std::vector<VertexId> frontier{source};
-  result.depth[source] = 0;
-  std::uint32_t depth = 0;
-  while (!frontier.empty()) {
-    ++depth;
-    ++result.work.iterations;
-    std::vector<VertexId> next;
-    for (VertexId v : frontier) {
-      for (VertexId u : g.out(v)) {
-        ++result.work.edges_traversed;
-        if (result.depth[u] == kUnreachable) {
-          result.depth[u] = depth;
-          next.push_back(u);
-        }
-      }
-    }
-    frontier = std::move(next);
+// Fixed vertex-block size for parallel_for fan-out. A multiple of 64 so
+// every bitmap word belongs to exactly one block (owner-writes need no
+// atomics), and independent of the thread count so per-block accumulators
+// reduce to byte-identical totals at 1..N threads.
+constexpr std::size_t kBlockVertices = 1024;
+
+std::size_t block_count(std::size_t n) {
+  return (n + kBlockVertices - 1) / kBlockVertices;
+}
+
+/// Runs fn(block, begin, end) for every kBlockVertices-sized vertex block.
+template <typename Fn>
+void parallel_blocks(sim::ThreadPool& pool, std::size_t n, Fn&& fn) {
+  pool.parallel_for(block_count(n), [&](std::size_t b) {
+    const std::size_t begin = b * kBlockVertices;
+    const std::size_t end = std::min(n, begin + kBlockVertices);
+    fn(b, begin, end);
+  });
+}
+
+/// Dense vertex bitmap. set() is owner-block-only; set_atomic() is safe
+/// from any thread (scatter into foreign blocks).
+class Bitmap {
+ public:
+  explicit Bitmap(std::size_t bits) : words_((bits + 63) / 64, 0) {}
+
+  void clear() { std::fill(words_.begin(), words_.end(), 0); }
+  bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
   }
+  void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void set_atomic(std::size_t i) {
+    std::atomic_ref<std::uint64_t>(words_[i >> 6])
+        .fetch_or(std::uint64_t{1} << (i & 63), std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+obs::Tracer* tracer_of(const KernelOptions& opts) {
+  return opts.obs != nullptr ? &opts.obs->tracer : nullptr;
+}
+
+std::uint32_t lanes(const KernelOptions& opts) {
+  return opts.threads == 0 ? 1 : opts.threads;
+}
+
+/// Deterministic reduction: block partials summed in block-index order.
+template <typename T>
+T reduce_in_order(const std::vector<T>& parts) {
+  T total{};
+  for (const T& p : parts) total += p;
+  return total;
+}
+
+void publish_work(const WorkProfile& work, const KernelOptions& opts) {
+  if (opts.obs == nullptr) return;
+  opts.obs->metrics.counter("graph.edges_traversed")
+      .add(work.edges_traversed);
+  opts.obs->metrics.counter("graph.iterations").add(work.iterations);
+}
+
+}  // namespace
+
+BfsResult bfs(const Graph& g, VertexId source, const KernelOptions& opts) {
+  BfsResult result;
+  const std::size_t n = g.num_vertices();
+  result.depth.assign(n, kUnreachable);
+  if (source >= n) return result;
+
+  sim::ThreadPool pool(lanes(opts));
+  obs::Tracer* tracer = tracer_of(opts);
+  const std::size_t m = g.num_edges();
+  const std::size_t blocks = block_count(n);
+
+  // Direction-optimizing switch thresholds (Beamer-style): go bottom-up
+  // when the frontier's out-edge volume exceeds m/alpha, return top-down
+  // when the frontier shrinks below n/beta. Graphs below kMinEdges stay
+  // top-down: bottom-up pays an O(n) full sweep per level that tiny
+  // graphs cannot amortize.
+  constexpr std::size_t kAlpha = 14;
+  constexpr std::size_t kBeta = 24;
+  constexpr std::size_t kMinEdges = 256;
+
+  Bitmap cur(n), next(n);
+  std::vector<std::uint64_t> scanned(blocks, 0);
+  std::vector<std::size_t> next_count(blocks, 0), next_edges(blocks, 0);
+
+  result.depth[source] = 0;
+  cur.set(source);
+  std::size_t frontier_count = 1;
+  std::size_t frontier_out_edges = g.out_degree(source);
+  bool bottom_up = false;
+  std::uint32_t level = 0;
+
+  while (frontier_count > 0) {
+    ++level;
+    ++result.work.iterations;
+    if (tracer != nullptr) tracer->begin("bfs.level", "graph");
+    if (!bottom_up && m >= kMinEdges && frontier_out_edges > m / kAlpha) {
+      bottom_up = true;
+    } else if (bottom_up && frontier_count < n / kBeta) {
+      bottom_up = false;
+    }
+    next.clear();
+    const std::uint32_t depth_now = level;
+
+    if (bottom_up) {
+      // Unvisited vertices probe their in-neighbors for a frontier
+      // member. Every write targets the owner's block, no atomics.
+      parallel_blocks(pool, n, [&](std::size_t b, std::size_t begin,
+                                   std::size_t end) {
+        std::uint64_t edges = 0;
+        for (std::size_t v = begin; v < end; ++v) {
+          if (result.depth[v] != kUnreachable) continue;
+          for (VertexId u : g.in(static_cast<VertexId>(v))) {
+            ++edges;
+            if (cur.test(u)) {
+              result.depth[v] = depth_now;
+              next.set(v);
+              break;
+            }
+          }
+        }
+        scanned[b] = edges;
+      });
+    } else {
+      // Frontier vertices scan their out-edges; the CAS winner claims the
+      // neighbor. Every out-edge of the frontier is scanned regardless of
+      // claim order, so the edge count is thread-count independent.
+      parallel_blocks(pool, n, [&](std::size_t b, std::size_t begin,
+                                   std::size_t end) {
+        std::uint64_t edges = 0;
+        for (std::size_t v = begin; v < end; ++v) {
+          if (!cur.test(v)) continue;
+          for (VertexId u : g.out(static_cast<VertexId>(v))) {
+            ++edges;
+            std::atomic_ref<std::uint32_t> slot(result.depth[u]);
+            if (slot.load(std::memory_order_relaxed) != kUnreachable)
+              continue;
+            std::uint32_t expected = kUnreachable;
+            if (slot.compare_exchange_strong(expected, depth_now,
+                                             std::memory_order_relaxed)) {
+              next.set_atomic(u);
+            }
+          }
+        }
+        scanned[b] = edges;
+      });
+    }
+
+    // Frontier statistics for the next direction decision, computed
+    // per-block and reduced in block order — deterministic.
+    parallel_blocks(pool, n, [&](std::size_t b, std::size_t begin,
+                                 std::size_t end) {
+      std::size_t count = 0, edges = 0;
+      for (std::size_t v = begin; v < end; ++v) {
+        if (!next.test(v)) continue;
+        ++count;
+        edges += g.out_degree(static_cast<VertexId>(v));
+      }
+      next_count[b] = count;
+      next_edges[b] = edges;
+    });
+
+    result.work.edges_traversed += reduce_in_order(scanned);
+    frontier_count = reduce_in_order(next_count);
+    frontier_out_edges = reduce_in_order(next_edges);
+    std::swap(cur, next);
+    if (tracer != nullptr) tracer->end("bfs.level", "graph");
+  }
+  publish_work(result.work, opts);
   return result;
 }
 
-PageRankResult pagerank(const Graph& g, std::uint32_t iterations, double d) {
+PageRankResult pagerank(const Graph& g, std::uint32_t iterations, double d,
+                        const KernelOptions& opts) {
   PageRankResult result;
   const std::size_t n = g.num_vertices();
   if (n == 0) return result;
+
+  sim::ThreadPool pool(lanes(opts));
+  obs::Tracer* tracer = tracer_of(opts);
+  const std::size_t blocks = block_count(n);
+
   std::vector<double> rank(n, 1.0 / static_cast<double>(n));
   std::vector<double> next(n, 0.0);
+  std::vector<double> contrib(n, 0.0);
+  std::vector<double> dangling_part(blocks, 0.0);
+  std::vector<std::uint64_t> edges_part(blocks, 0);
+
   for (std::uint32_t it = 0; it < iterations; ++it) {
     ++result.work.iterations;
-    double dangling = 0.0;
-    std::fill(next.begin(), next.end(), 0.0);
-    for (VertexId v = 0; v < n; ++v) {
-      const auto out = g.out(v);
-      if (out.empty()) {
-        dangling += rank[v];
-        continue;
+    if (tracer != nullptr) tracer->begin("pr.iteration", "graph");
+
+    // Pass 1: per-vertex contribution (rank / out-degree) and per-block
+    // dangling mass.
+    parallel_blocks(pool, n, [&](std::size_t b, std::size_t begin,
+                                 std::size_t end) {
+      double dangling = 0.0;
+      for (std::size_t v = begin; v < end; ++v) {
+        const auto deg = g.out_degree(static_cast<VertexId>(v));
+        if (deg == 0) {
+          dangling += rank[v];
+          contrib[v] = 0.0;
+        } else {
+          contrib[v] = rank[v] / static_cast<double>(deg);
+        }
       }
-      const double share = rank[v] / static_cast<double>(out.size());
-      for (VertexId u : out) {
-        ++result.work.edges_traversed;
-        next[u] += share;
+      dangling_part[b] = dangling;
+    });
+    const double dangling = reduce_in_order(dangling_part);
+    const double base = (1.0 - d) / static_cast<double>(n) +
+                        d * dangling / static_cast<double>(n);
+
+    // Pass 2: pull over the in-CSR — each next[v] is written by exactly
+    // one owner, summing contributions in fixed CSR order.
+    parallel_blocks(pool, n, [&](std::size_t b, std::size_t begin,
+                                 std::size_t end) {
+      std::uint64_t edges = 0;
+      for (std::size_t v = begin; v < end; ++v) {
+        double sum = 0.0;
+        for (VertexId u : g.in(static_cast<VertexId>(v))) {
+          ++edges;
+          sum += contrib[u];
+        }
+        next[v] = base + d * sum;
       }
-    }
-    const double base =
-        (1.0 - d) / static_cast<double>(n) +
-        d * dangling / static_cast<double>(n);
-    for (VertexId v = 0; v < n; ++v) next[v] = base + d * next[v];
+      edges_part[b] += edges;
+    });
     rank.swap(next);
+    if (tracer != nullptr) tracer->end("pr.iteration", "graph");
   }
+  result.work.edges_traversed = reduce_in_order(edges_part);
   result.rank = std::move(rank);
+  publish_work(result.work, opts);
   return result;
 }
 
-WccResult wcc(const Graph& g) {
+WccResult wcc(const Graph& g, const KernelOptions& opts) {
   WccResult result;
   const std::size_t n = g.num_vertices();
   result.component.resize(n);
   for (VertexId v = 0; v < n; ++v) result.component[v] = v;
-  bool changed = true;
-  while (changed) {
-    changed = false;
+  if (n == 0) return result;
+
+  sim::ThreadPool pool(lanes(opts));
+  obs::Tracer* tracer = tracer_of(opts);
+  const std::size_t blocks = block_count(n);
+
+  std::vector<VertexId>& comp = result.component;
+  std::vector<VertexId> next(n);
+  Bitmap scan(n), changed(n);
+  for (std::size_t v = 0; v < n; ++v) scan.set(v);
+  std::vector<std::uint64_t> edges_part(blocks, 0);
+  std::vector<std::uint8_t> changed_part(blocks, 0);
+
+  bool active = true;
+  while (active) {
     ++result.work.iterations;
-    for (VertexId v = 0; v < n; ++v) {
-      VertexId best = result.component[v];
-      for (VertexId u : g.out(v)) {
-        ++result.work.edges_traversed;
-        best = std::min(best, result.component[u]);
+    if (tracer != nullptr) tracer->begin("wcc.round", "graph");
+    changed.clear();
+
+    // Gather: only vertices adjacent to a change in the previous round
+    // are re-scanned; everyone else keeps their component via the copy.
+    parallel_blocks(pool, n, [&](std::size_t b, std::size_t begin,
+                                 std::size_t end) {
+      std::uint64_t edges = 0;
+      std::uint8_t any = 0;
+      for (std::size_t v = begin; v < end; ++v) next[v] = comp[v];
+      for (std::size_t v = begin; v < end; ++v) {
+        if (!scan.test(v)) continue;
+        VertexId best = comp[v];
+        for (VertexId u : g.neighbors(static_cast<VertexId>(v))) {
+          ++edges;
+          best = std::min(best, comp[u]);
+        }
+        if (best < comp[v]) {
+          next[v] = best;
+          changed.set(v);
+          any = 1;
+        }
       }
-      for (VertexId u : g.in(v)) {
-        ++result.work.edges_traversed;
-        best = std::min(best, result.component[u]);
-      }
-      if (best < result.component[v]) {
-        result.component[v] = best;
-        changed = true;
-      }
+      edges_part[b] += edges;
+      changed_part[b] = any;
+    });
+    comp.swap(next);
+
+    active = false;
+    for (const std::uint8_t any : changed_part) active |= any != 0;
+    if (active) {
+      // Scatter: the next round re-scans every neighbor of a changed
+      // vertex (a vertex can only improve via a changed neighbor).
+      scan.clear();
+      parallel_blocks(pool, n, [&](std::size_t, std::size_t begin,
+                                   std::size_t end) {
+        for (std::size_t v = begin; v < end; ++v) {
+          if (!changed.test(v)) continue;
+          for (VertexId u : g.neighbors(static_cast<VertexId>(v)))
+            scan.set_atomic(u);
+        }
+      });
     }
+    if (tracer != nullptr) tracer->end("wcc.round", "graph");
   }
-  std::vector<VertexId> reps(result.component);
+  result.work.edges_traversed = reduce_in_order(edges_part);
+
+  std::vector<VertexId> reps(comp);
   std::sort(reps.begin(), reps.end());
   result.num_components = static_cast<std::size_t>(
       std::unique(reps.begin(), reps.end()) - reps.begin());
+  publish_work(result.work, opts);
   return result;
 }
 
-CdlpResult cdlp(const Graph& g, std::uint32_t iterations) {
+CdlpResult cdlp(const Graph& g, std::uint32_t iterations,
+                const KernelOptions& opts) {
   CdlpResult result;
   const std::size_t n = g.num_vertices();
   std::vector<VertexId> label(n);
   for (VertexId v = 0; v < n; ++v) label[v] = v;
   std::vector<VertexId> next(n);
-  std::unordered_map<VertexId, std::uint32_t> votes;
+
+  sim::ThreadPool pool(lanes(opts));
+  obs::Tracer* tracer = tracer_of(opts);
+  const std::size_t blocks = block_count(n);
+  std::vector<std::uint64_t> edges_part(blocks, 0);
+
+  // Dense vote counters, one per lane, leased per block. Labels are vertex
+  // ids, so votes index count[] directly; after each vertex only the
+  // touched entries are reset, keeping the counter O(degree) instead of
+  // O(degree log degree) sorting or hashing. The winner (max count,
+  // smallest label on ties) is order-independent, so leasing any scratch
+  // to any block cannot change results.
+  struct VoteScratch {
+    std::vector<std::uint32_t> count;
+    std::vector<VertexId> touched;
+  };
+  const std::uint32_t nlanes = lanes(opts);
+  std::vector<VoteScratch> scratch(nlanes);
+  for (auto& s : scratch) s.count.assign(n, 0);
+  std::vector<std::size_t> free_scratch(nlanes);
+  for (std::size_t i = 0; i < nlanes; ++i) free_scratch[i] = i;
+  std::mutex scratch_mu;
+
   for (std::uint32_t it = 0; it < iterations; ++it) {
     ++result.work.iterations;
-    for (VertexId v = 0; v < n; ++v) {
-      votes.clear();
-      for (VertexId u : g.out(v)) {
-        ++result.work.edges_traversed;
-        ++votes[label[u]];
+    if (tracer != nullptr) tracer->begin("cdlp.round", "graph");
+    parallel_blocks(pool, n, [&](std::size_t b, std::size_t begin,
+                                 std::size_t end) {
+      std::size_t si;
+      {
+        std::lock_guard<std::mutex> lk(scratch_mu);
+        si = free_scratch.back();
+        free_scratch.pop_back();
       }
-      for (VertexId u : g.in(v)) {
-        ++result.work.edges_traversed;
-        ++votes[label[u]];
-      }
-      if (votes.empty()) {
-        next[v] = label[v];
-        continue;
-      }
-      VertexId best = label[v];
-      std::uint32_t best_count = 0;
-      for (const auto& [candidate, count] : votes) {
-        if (count > best_count ||
-            (count == best_count && candidate < best)) {
-          best = candidate;
-          best_count = count;
+      VoteScratch& s = scratch[si];
+      std::uint64_t edges = 0;
+      for (std::size_t v = begin; v < end; ++v) {
+        s.touched.clear();
+        const auto vote = [&](VertexId l) {
+          if (s.count[l]++ == 0) s.touched.push_back(l);
+        };
+        const auto out = g.out(static_cast<VertexId>(v));
+        const auto in = g.in(static_cast<VertexId>(v));
+        for (VertexId u : out) vote(label[u]);
+        for (VertexId u : in) vote(label[u]);
+        edges += out.size() + in.size();
+        VertexId best = label[v];
+        std::uint32_t best_count = 0;
+        for (VertexId l : s.touched) {
+          const std::uint32_t c = s.count[l];
+          s.count[l] = 0;
+          if (c > best_count || (c == best_count && l < best)) {
+            best = l;
+            best_count = c;
+          }
         }
+        next[v] = best;
       }
-      next[v] = best;
-    }
+      edges_part[b] += edges;
+      {
+        std::lock_guard<std::mutex> lk(scratch_mu);
+        free_scratch.push_back(si);
+      }
+    });
     label.swap(next);
+    if (tracer != nullptr) tracer->end("cdlp.round", "graph");
   }
+  result.work.edges_traversed = reduce_in_order(edges_part);
   result.label = std::move(label);
+
   std::vector<VertexId> reps(result.label);
   std::sort(reps.begin(), reps.end());
   result.num_communities = static_cast<std::size_t>(
       std::unique(reps.begin(), reps.end()) - reps.begin());
+  publish_work(result.work, opts);
   return result;
 }
 
-LccResult lcc(const Graph& g) {
+LccResult lcc(const Graph& g, const KernelOptions& opts) {
   LccResult result;
-  const auto adj = g.undirected_adjacency();
-  const std::size_t n = adj.size();
+  const std::size_t n = g.num_vertices();
   result.coefficient.assign(n, 0.0);
   result.work.iterations = 1;
-  double total = 0.0;
+  if (n == 0) {
+    publish_work(result.work, opts);
+    return result;
+  }
+
+  sim::ThreadPool pool(lanes(opts));
+  obs::Tracer* tracer = tracer_of(opts);
+  const std::size_t blocks = block_count(n);
+  std::vector<std::uint64_t> edges_part(blocks, 0);
+  std::vector<double> total_part(blocks, 0.0);
+
+  if (tracer != nullptr) tracer->begin("lcc.triangles", "graph");
+
+  // Forward algorithm: rank vertices by (undirected degree, id) and orient
+  // every edge toward the higher rank, so each triangle {v, u, w} is
+  // enumerated exactly once (at its lowest-ranked corner) and the hubs of
+  // skewed graphs keep only short forward lists.
+  // Counting sort by degree (scanning ids in ascending order makes it the
+  // exact (degree, id) lexicographic rank).
+  std::vector<std::uint32_t> deg(n);
+  std::uint32_t max_deg = 0;
   for (VertexId v = 0; v < n; ++v) {
-    const auto& neighbors = adj[v];
-    const std::size_t d = neighbors.size();
-    if (d < 2) continue;
-    std::size_t closed = 0;
-    for (std::size_t i = 0; i < d; ++i) {
-      for (std::size_t j = i + 1; j < d; ++j) {
-        ++result.work.edges_traversed;
-        const auto& a = adj[neighbors[i]];
-        if (std::binary_search(a.begin(), a.end(), neighbors[j])) ++closed;
+    deg[v] = g.und_degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  std::vector<std::uint64_t> bucket(static_cast<std::size_t>(max_deg) + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bucket[deg[v] + 1];
+  for (std::size_t d = 1; d < bucket.size(); ++d) bucket[d] += bucket[d - 1];
+  std::vector<VertexId> order(n);
+  std::vector<VertexId> rank(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto r = bucket[deg[v]]++;
+    order[r] = v;
+    rank[v] = static_cast<VertexId>(r);
+  }
+
+  // Forward CSR: per vertex, the *ranks* of its higher-ranked neighbors in
+  // ascending rank order (a shared sort key for merge intersections).
+  std::vector<std::uint64_t> fwd_off(n + 1, 0);
+  parallel_blocks(pool, n, [&](std::size_t, std::size_t begin,
+                               std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      std::uint64_t deg = 0;
+      for (VertexId u : g.neighbors(static_cast<VertexId>(v)))
+        deg += rank[u] > rank[v] ? 1 : 0;
+      fwd_off[v + 1] = deg;
+    }
+  });
+  for (std::size_t v = 0; v < n; ++v) fwd_off[v + 1] += fwd_off[v];
+  std::vector<VertexId> fwd(fwd_off[n]);
+  parallel_blocks(pool, n, [&](std::size_t, std::size_t begin,
+                               std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      std::uint64_t at = fwd_off[v];
+      for (VertexId u : g.neighbors(static_cast<VertexId>(v)))
+        if (rank[u] > rank[v]) fwd[at++] = rank[u];
+      // Forward lists average a handful of entries; insertion sort skips
+      // the per-slice std::sort call overhead that would dominate here.
+      VertexId* base = fwd.data() + fwd_off[v];
+      const std::size_t len = static_cast<std::size_t>(at - fwd_off[v]);
+      if (len > 32) {
+        std::sort(base, base + len);
+      } else {
+        for (std::size_t i = 1; i < len; ++i) {
+          const VertexId key = base[i];
+          std::size_t j = i;
+          for (; j > 0 && base[j - 1] > key; --j) base[j] = base[j - 1];
+          base[j] = key;
+        }
       }
     }
-    result.coefficient[v] =
-        2.0 * static_cast<double>(closed) /
-        (static_cast<double>(d) * static_cast<double>(d - 1));
-    total += result.coefficient[v];
-  }
-  result.mean = n > 0 ? total / static_cast<double>(n) : 0.0;
+  });
+
+  // Count triangles once each; scatter increments are integer and
+  // commutative, so relaxed atomics stay deterministic at any thread
+  // count. edges_traversed counts merge steps, deterministic per edge.
+  std::vector<std::uint64_t> triangles(n, 0);
+  parallel_blocks(pool, n, [&](std::size_t b, std::size_t begin,
+                               std::size_t end) {
+    std::uint64_t edges = 0;
+    for (std::size_t v = begin; v < end; ++v) {
+      const VertexId* fv = fwd.data() + fwd_off[v];
+      const std::size_t dv =
+          static_cast<std::size_t>(fwd_off[v + 1] - fwd_off[v]);
+      std::uint64_t at_v = 0;
+      for (std::size_t k = 0; k < dv; ++k) {
+        const VertexId u = order[fv[k]];
+        const VertexId* fu = fwd.data() + fwd_off[u];
+        const std::size_t du =
+            static_cast<std::size_t>(fwd_off[u + 1] - fwd_off[u]);
+        // fu holds ranks above rank(u) = fv[k], so fv[0..k] cannot match:
+        // start the merge past k.
+        std::size_t i = k + 1, j = 0;
+        std::uint64_t at_u = 0;
+        while (i < dv && j < du) {
+          ++edges;
+          if (fv[i] < fu[j]) {
+            ++i;
+          } else if (fu[j] < fv[i]) {
+            ++j;
+          } else {
+            std::atomic_ref<std::uint64_t>(triangles[order[fv[i]]])
+                .fetch_add(1, std::memory_order_relaxed);
+            ++at_u;
+            ++i;
+            ++j;
+          }
+        }
+        if (at_u != 0) {
+          std::atomic_ref<std::uint64_t>(triangles[u])
+              .fetch_add(at_u, std::memory_order_relaxed);
+          at_v += at_u;
+        }
+      }
+      if (at_v != 0) {
+        std::atomic_ref<std::uint64_t>(triangles[v])
+            .fetch_add(at_v, std::memory_order_relaxed);
+      }
+    }
+    edges_part[b] = edges;
+  });
+
+  parallel_blocks(pool, n, [&](std::size_t b, std::size_t begin,
+                               std::size_t end) {
+    double total = 0.0;
+    for (std::size_t v = begin; v < end; ++v) {
+      const std::size_t d = g.und_degree(static_cast<VertexId>(v));
+      if (d < 2) continue;
+      result.coefficient[v] =
+          2.0 * static_cast<double>(triangles[v]) /
+          (static_cast<double>(d) * static_cast<double>(d - 1));
+      total += result.coefficient[v];
+    }
+    total_part[b] = total;
+  });
+  if (tracer != nullptr) tracer->end("lcc.triangles", "graph");
+
+  result.work.edges_traversed = reduce_in_order(edges_part);
+  const double total = reduce_in_order(total_part);
+  result.mean = total / static_cast<double>(n);
+  publish_work(result.work, opts);
   return result;
 }
 
-SsspResult sssp(const Graph& g, VertexId source) {
+SsspResult sssp(const Graph& g, VertexId source, const KernelOptions& opts) {
   SsspResult result;
   constexpr double kInf = std::numeric_limits<double>::infinity();
   result.distance.assign(g.num_vertices(), kInf);
   if (source >= g.num_vertices()) return result;
+
+  obs::Tracer* tracer = tracer_of(opts);
+  if (tracer != nullptr) tracer->begin("sssp.dijkstra", "graph");
   using Entry = std::pair<double, VertexId>;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
   result.distance[source] = 0.0;
@@ -191,6 +588,8 @@ SsspResult sssp(const Graph& g, VertexId source) {
       }
     }
   }
+  if (tracer != nullptr) tracer->end("sssp.dijkstra", "graph");
+  publish_work(result.work, opts);
   return result;
 }
 
@@ -213,14 +612,15 @@ const std::vector<Algorithm>& all_algorithms() {
   return kAll;
 }
 
-WorkProfile run_algorithm(const Graph& g, Algorithm a) {
+WorkProfile run_algorithm(const Graph& g, Algorithm a,
+                          const KernelOptions& opts) {
   switch (a) {
-    case Algorithm::kBfs: return bfs(g, 0).work;
-    case Algorithm::kPageRank: return pagerank(g).work;
-    case Algorithm::kWcc: return wcc(g).work;
-    case Algorithm::kCdlp: return cdlp(g).work;
-    case Algorithm::kLcc: return lcc(g).work;
-    case Algorithm::kSssp: return sssp(g, 0).work;
+    case Algorithm::kBfs: return bfs(g, 0, opts).work;
+    case Algorithm::kPageRank: return pagerank(g, 20, 0.85, opts).work;
+    case Algorithm::kWcc: return wcc(g, opts).work;
+    case Algorithm::kCdlp: return cdlp(g, 10, opts).work;
+    case Algorithm::kLcc: return lcc(g, opts).work;
+    case Algorithm::kSssp: return sssp(g, 0, opts).work;
   }
   return {};
 }

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <utility>
 
+#include "atlarge/obs/observability.hpp"
+
 namespace atlarge::graph {
 
 double Breakdown::total() const noexcept {
@@ -42,17 +44,19 @@ Breakdown modeled_breakdown(const PlatformModel& platform, Algorithm algo,
 
 Breakdown measured_breakdown(VertexId n,
                              std::vector<std::pair<VertexId, VertexId>> edges,
-                             Algorithm algo) {
+                             Algorithm algo, const KernelOptions& opts) {
   // Phase timing is expressed as tracer spans, then folded back into the
-  // Breakdown — the same span stream a caller-supplied tracer would see.
-  obs::Tracer tracer(8);
+  // Breakdown. With a caller-supplied plane the kernel's per-iteration
+  // spans land in the same tracer and fold into additional phases.
+  obs::Tracer local(8);
+  obs::Tracer& tracer = opts.obs != nullptr ? opts.obs->tracer : local;
 
   tracer.begin("load", "graph");
   const Graph g = Graph::from_edges(n, std::move(edges));
   tracer.end("load", "graph");
 
   tracer.begin("compute", "graph");
-  (void)run_algorithm(g, algo);
+  (void)run_algorithm(g, algo, opts);
   tracer.end("compute", "graph");
 
   return breakdown_from_trace(tracer, "native/" + to_string(algo));

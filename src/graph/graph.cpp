@@ -1,10 +1,28 @@
 #include "atlarge/graph/graph.hpp"
 
 #include <algorithm>
-#include <numeric>
+#include <cmath>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace atlarge::graph {
+namespace {
+
+/// Stable counting sort of edge indices by `key(edges[i])`: `order_in` is
+/// permuted into `order_out` so that keys ascend and equal keys keep their
+/// `order_in` order. `counts` is scratch of size n+1 (overwritten).
+template <typename Key>
+void counting_pass(const std::vector<std::pair<VertexId, VertexId>>& edges,
+                   const std::vector<std::size_t>& order_in,
+                   std::vector<std::size_t>& order_out,
+                   std::vector<std::size_t>& counts, Key key) {
+  std::fill(counts.begin(), counts.end(), 0);
+  for (const std::size_t i : order_in) ++counts[key(edges[i]) + 1];
+  for (std::size_t i = 1; i < counts.size(); ++i) counts[i] += counts[i - 1];
+  for (const std::size_t i : order_in) order_out[counts[key(edges[i])]++] = i;
+}
+
+}  // namespace
 
 Graph Graph::from_edges(VertexId n,
                         std::vector<std::pair<VertexId, VertexId>> edges,
@@ -16,12 +34,19 @@ Graph Graph::from_edges(VertexId n,
       throw std::invalid_argument("Graph: edge endpoint out of range");
   }
 
-  // Sort edges (stably carrying weights), drop self-loops and duplicates.
+  // Two stable counting passes (by target, then by source) sort the edge
+  // indices by (source, target) in O(n + m) — no comparison sort.
+  std::vector<std::size_t> by_target(edges.size());
   std::vector<std::size_t> order(edges.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return edges[a] < edges[b];
-  });
+  {
+    std::vector<std::size_t> identity(edges.size());
+    for (std::size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+    std::vector<std::size_t> counts(static_cast<std::size_t>(n) + 1);
+    counting_pass(edges, identity, by_target, counts,
+                  [](const auto& e) { return e.second; });
+    counting_pass(edges, by_target, order, counts,
+                  [](const auto& e) { return e.first; });
+  }
 
   Graph g;
   g.n_ = n;
@@ -40,7 +65,9 @@ Graph Graph::from_edges(VertexId n,
   for (std::size_t i = 1; i < g.offsets_.size(); ++i)
     g.offsets_[i] += g.offsets_[i - 1];
 
-  // In-CSR.
+  // In-CSR: counting-scatter of the kept edges by target. Kept edges are
+  // walked in (source, target) order, so every in-adjacency list comes out
+  // sorted by source.
   g.in_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
   for (const auto& e : kept) ++g.in_offsets_[e.second + 1];
   for (std::size_t i = 1; i < g.in_offsets_.size(); ++i)
@@ -49,43 +76,37 @@ Graph Graph::from_edges(VertexId n,
   std::vector<std::size_t> cursor(g.in_offsets_.begin(),
                                   g.in_offsets_.end() - 1);
   for (const auto& [u, v] : kept) g.in_heads_[cursor[v]++] = u;
+
+  // Undirected CSR: per vertex, merge the sorted out- and in-lists,
+  // dropping duplicates (edges present in both directions).
+  g.und_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  g.und_heads_.reserve(2 * kept.size());
+  for (VertexId v = 0; v < n; ++v) {
+    const auto a = g.out(v);
+    const auto b = g.in(v);
+    std::size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+      VertexId next;
+      if (j == b.size() || (i < a.size() && a[i] < b[j])) {
+        next = a[i++];
+      } else if (i == a.size() || b[j] < a[i]) {
+        next = b[j++];
+      } else {  // equal: one neighbor, both directions
+        next = a[i++];
+        ++j;
+      }
+      g.und_heads_.push_back(next);
+    }
+    g.und_offsets_[v + 1] = g.und_heads_.size();
+  }
   return g;
-}
-
-std::span<const VertexId> Graph::out(VertexId v) const {
-  return {heads_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
-}
-
-std::span<const VertexId> Graph::in(VertexId v) const {
-  return {in_heads_.data() + in_offsets_[v],
-          in_offsets_[v + 1] - in_offsets_[v]};
-}
-
-double Graph::out_weight(VertexId v, std::size_t i) const {
-  if (weights_.empty()) return 1.0;
-  return weights_[offsets_[v] + i];
-}
-
-std::uint32_t Graph::out_degree(VertexId v) const {
-  return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
-}
-
-std::uint32_t Graph::in_degree(VertexId v) const {
-  return static_cast<std::uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
 }
 
 std::vector<std::vector<VertexId>> Graph::undirected_adjacency() const {
   std::vector<std::vector<VertexId>> adj(n_);
   for (VertexId v = 0; v < n_; ++v) {
-    for (VertexId u : out(v)) {
-      adj[v].push_back(u);
-      adj[u].push_back(v);
-    }
-  }
-  for (auto& neighbors : adj) {
-    std::sort(neighbors.begin(), neighbors.end());
-    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
-                    neighbors.end());
+    const auto nb = neighbors(v);
+    adj[v].assign(nb.begin(), nb.end());
   }
   return adj;
 }
@@ -100,14 +121,28 @@ std::vector<std::pair<VertexId, VertexId>> Graph::edge_list() const {
 }
 
 Graph erdos_renyi(VertexId n, double avg_deg, stats::Rng& rng) {
+  // Draw until the *kept* edge count reaches the target: a rejected draw
+  // (self-loop or duplicate) is redrawn instead of silently shrinking the
+  // realized density below avg_deg. Retries are bounded so a target near
+  // the complete graph cannot loop forever.
+  const auto max_edges = static_cast<std::size_t>(n) *
+                         (n > 0 ? static_cast<std::size_t>(n) - 1 : 0);
+  const auto target = std::min(
+      static_cast<std::size_t>(std::llround(avg_deg * n)), max_edges);
   std::vector<std::pair<VertexId, VertexId>> edges;
-  const auto m = static_cast<std::size_t>(avg_deg * n);
-  edges.reserve(m);
-  for (std::size_t i = 0; i < m; ++i) {
+  edges.reserve(target);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(2 * target);
+  const std::size_t max_attempts = 10 * target + 1'000;
+  for (std::size_t attempt = 0;
+       edges.size() < target && attempt < max_attempts; ++attempt) {
     const auto u = static_cast<VertexId>(
         rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
     const auto v = static_cast<VertexId>(
         rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    if (u == v) continue;
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (!seen.insert(key).second) continue;
     edges.emplace_back(u, v);
   }
   return Graph::from_edges(n, std::move(edges));

@@ -103,8 +103,11 @@ std::vector<PlatformModel> standard_platforms() {
 }
 
 PadStudy run_pad_study(const std::vector<NamedGraph>& datasets,
-                       const std::vector<PlatformModel>& platforms) {
+                       const std::vector<PlatformModel>& platforms,
+                       std::uint32_t threads) {
   PadStudy study;
+  KernelOptions kernel_opts;
+  kernel_opts.threads = threads;
   std::vector<std::string> winner_names;
   for (const auto& dataset : datasets) {
     const Graph& g = *dataset.graph;
@@ -115,7 +118,7 @@ PadStudy run_pad_study(const std::vector<NamedGraph>& datasets,
         static_cast<std::uint64_t>(static_cast<double>(g.num_edges()) *
                                    scale);
     for (Algorithm algo : all_algorithms()) {
-      WorkProfile work = run_algorithm(g, algo);
+      WorkProfile work = run_algorithm(g, algo, kernel_opts);
       work.edges_traversed = static_cast<std::uint64_t>(
           static_cast<double>(work.edges_traversed) * scale);
       double best_time = std::numeric_limits<double>::infinity();

@@ -1,8 +1,10 @@
 // Tests for the graph substrate: CSR representation, generators, the six
-// Graphalytics algorithms, the PAD study, and Granula breakdowns.
+// Graphalytics algorithms (serial golden results and parallel
+// determinism), the PAD study, and Granula breakdowns.
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
 #include <gtest/gtest.h>
@@ -11,6 +13,7 @@
 #include "atlarge/graph/granula.hpp"
 #include "atlarge/graph/graph.hpp"
 #include "atlarge/graph/pad.hpp"
+#include "atlarge/obs/observability.hpp"
 
 namespace graph = atlarge::graph;
 using atlarge::stats::Rng;
@@ -21,6 +24,18 @@ namespace {
 // 0 -> 1 -> 2, 0 -> 2, isolated 3.
 graph::Graph tiny() {
   return graph::Graph::from_edges(4, {{0, 1}, {1, 2}, {0, 2}});
+}
+
+// K4 minus the {2,3} edge: two triangles {0,1,2} and {0,1,3} sharing the
+// 0-1 edge. Small enough that every kernel's result is derivable by hand.
+graph::Graph diamond() {
+  return graph::Graph::from_edges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}});
+}
+
+graph::KernelOptions threads(std::uint32_t t) {
+  graph::KernelOptions opts;
+  opts.threads = t;
+  return opts;
 }
 
 }  // namespace
@@ -361,6 +376,310 @@ INSTANTIATE_TEST_SUITE_P(
     AllAlgorithms, WorkGrowsWithSize,
     ::testing::ValuesIn(graph::all_algorithms()),
     [](const auto& info) { return graph::to_string(info.param); });
+
+// ----------------------------------------------------------------- golden --
+// Hand-derived results on the diamond graph (K4 minus the {2,3} edge).
+
+TEST(Golden, BfsDepthsOnDiamond) {
+  const auto r = graph::bfs(diamond(), 0);
+  EXPECT_EQ(r.depth[0], 0u);
+  EXPECT_EQ(r.depth[1], 1u);
+  EXPECT_EQ(r.depth[2], 1u);
+  EXPECT_EQ(r.depth[3], 1u);
+}
+
+TEST(Golden, WccSingleComponentOnDiamond) {
+  const auto r = graph::wcc(diamond());
+  EXPECT_EQ(r.num_components, 1u);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(r.component[v], 0u);
+}
+
+TEST(Golden, CdlpConvergesToZeroOnDiamond) {
+  // Round 1: v0 adopts 1 (smallest neighbor label), everyone else adopts
+  // 0; round 2 onward: all 0.
+  const auto r = graph::cdlp(diamond(), 10);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(r.label[v], 0u);
+  EXPECT_EQ(r.num_communities, 1u);
+}
+
+TEST(Golden, LccCoefficientsOnDiamond) {
+  // Triangles {0,1,2} and {0,1,3}: vertices 0/1 close 2 of their 3 pairs
+  // (2/3), vertices 2/3 close their single pair (1).
+  const auto r = graph::lcc(diamond());
+  EXPECT_DOUBLE_EQ(r.coefficient[0], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(r.coefficient[1], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(r.coefficient[2], 1.0);
+  EXPECT_DOUBLE_EQ(r.coefficient[3], 1.0);
+  EXPECT_DOUBLE_EQ(r.mean, (2.0 / 3.0 + 2.0 / 3.0 + 1.0 + 1.0) / 4.0);
+}
+
+TEST(Golden, SsspUnitDistancesOnDiamond) {
+  const auto r = graph::sssp(diamond(), 0);
+  EXPECT_DOUBLE_EQ(r.distance[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.distance[1], 1.0);
+  EXPECT_DOUBLE_EQ(r.distance[2], 1.0);
+  EXPECT_DOUBLE_EQ(r.distance[3], 1.0);
+}
+
+TEST(Golden, PageRankTwoCycleIsExactlyHalf) {
+  // A 2-cycle is rank-invariant: 0.5 stays 0.5 at every iteration, with
+  // no rounding (0.15/2 + 0.85*0.5 == 0.5 exactly in binary).
+  const auto g = graph::Graph::from_edges(2, {{0, 1}, {1, 0}});
+  const auto r = graph::pagerank(g, 20);
+  EXPECT_DOUBLE_EQ(r.rank[0], 0.5);
+  EXPECT_DOUBLE_EQ(r.rank[1], 0.5);
+}
+
+TEST(Golden, PageRankMatchesNaiveReference) {
+  Rng rng(12);
+  const auto g = graph::erdos_renyi(400, 6.0, rng);
+  const std::size_t n = g.num_vertices();
+  const double d = 0.85;
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n)), next(n);
+  for (int it = 0; it < 15; ++it) {
+    double dangling = 0.0;
+    for (VertexId v = 0; v < n; ++v)
+      if (g.out_degree(v) == 0) dangling += rank[v];
+    const double base = (1.0 - d) / static_cast<double>(n) +
+                        d * dangling / static_cast<double>(n);
+    std::fill(next.begin(), next.end(), base);
+    for (VertexId v = 0; v < n; ++v) {
+      const auto deg = g.out_degree(v);
+      for (VertexId u : g.out(v))
+        next[u] += d * rank[v] / static_cast<double>(deg);
+    }
+    rank.swap(next);
+  }
+  const auto r = graph::pagerank(g, 15, d);
+  for (VertexId v = 0; v < n; ++v) EXPECT_NEAR(r.rank[v], rank[v], 1e-12);
+}
+
+// ------------------------------------------------------------ parallelism --
+// Kernel results and work profiles must be byte-identical at any thread
+// count (the determinism contract CI's TSan job also exercises).
+
+namespace {
+
+std::vector<graph::Graph> determinism_graphs() {
+  std::vector<graph::Graph> graphs;
+  Rng rng(21);
+  graphs.push_back(graph::preferential_attachment(4'000, 6, rng));
+  graphs.push_back(graph::grid_2d(50));
+  return graphs;
+}
+
+void expect_same_work(const graph::WorkProfile& a,
+                      const graph::WorkProfile& b) {
+  EXPECT_EQ(a.edges_traversed, b.edges_traversed);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+}  // namespace
+
+TEST(ParallelDeterminism, BfsIdenticalAcrossThreadCounts) {
+  for (const auto& g : determinism_graphs()) {
+    const auto base = graph::bfs(g, 0, threads(1));
+    for (std::uint32_t t : {2u, 8u}) {
+      const auto r = graph::bfs(g, 0, threads(t));
+      EXPECT_TRUE(r.depth == base.depth);
+      expect_same_work(r.work, base.work);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, PageRankIdenticalAcrossThreadCounts) {
+  for (const auto& g : determinism_graphs()) {
+    const auto base = graph::pagerank(g, 12, 0.85, threads(1));
+    for (std::uint32_t t : {2u, 8u}) {
+      const auto r = graph::pagerank(g, 12, 0.85, threads(t));
+      ASSERT_EQ(r.rank.size(), base.rank.size());
+      EXPECT_EQ(std::memcmp(r.rank.data(), base.rank.data(),
+                            base.rank.size() * sizeof(double)),
+                0);
+      expect_same_work(r.work, base.work);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, WccIdenticalAcrossThreadCounts) {
+  for (const auto& g : determinism_graphs()) {
+    const auto base = graph::wcc(g, threads(1));
+    for (std::uint32_t t : {2u, 8u}) {
+      const auto r = graph::wcc(g, threads(t));
+      EXPECT_TRUE(r.component == base.component);
+      EXPECT_EQ(r.num_components, base.num_components);
+      expect_same_work(r.work, base.work);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, CdlpIdenticalAcrossThreadCounts) {
+  for (const auto& g : determinism_graphs()) {
+    const auto base = graph::cdlp(g, 8, threads(1));
+    for (std::uint32_t t : {2u, 8u}) {
+      const auto r = graph::cdlp(g, 8, threads(t));
+      EXPECT_TRUE(r.label == base.label);
+      EXPECT_EQ(r.num_communities, base.num_communities);
+      expect_same_work(r.work, base.work);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, LccIdenticalAcrossThreadCounts) {
+  for (const auto& g : determinism_graphs()) {
+    const auto base = graph::lcc(g, threads(1));
+    for (std::uint32_t t : {2u, 8u}) {
+      const auto r = graph::lcc(g, threads(t));
+      ASSERT_EQ(r.coefficient.size(), base.coefficient.size());
+      EXPECT_EQ(std::memcmp(r.coefficient.data(), base.coefficient.data(),
+                            base.coefficient.size() * sizeof(double)),
+                0);
+      EXPECT_EQ(r.mean, base.mean);
+      expect_same_work(r.work, base.work);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, SsspIdenticalAcrossThreadCounts) {
+  Rng rng(22);
+  const auto base_graph = graph::preferential_attachment(2'000, 4, rng);
+  const auto g = graph::with_random_weights(base_graph, 0.5, 2.0, rng);
+  const auto base = graph::sssp(g, 0, threads(1));
+  for (std::uint32_t t : {2u, 8u}) {
+    const auto r = graph::sssp(g, 0, threads(t));
+    EXPECT_EQ(std::memcmp(r.distance.data(), base.distance.data(),
+                          base.distance.size() * sizeof(double)),
+              0);
+    expect_same_work(r.work, base.work);
+  }
+}
+
+TEST(ParallelDeterminism, PadStudyThreadCountIndependent) {
+  Rng rng(23);
+  const auto social = graph::preferential_attachment(2'000, 6, rng);
+  const std::vector<graph::NamedGraph> datasets = {{"social", &social, 1.0}};
+  const auto platforms = graph::standard_platforms();
+  const auto serial = graph::run_pad_study(datasets, platforms, 1);
+  const auto parallel = graph::run_pad_study(datasets, platforms, 2);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i)
+    EXPECT_EQ(serial.cells[i].runtime_s, parallel.cells[i].runtime_s);
+  EXPECT_TRUE(serial.winners == parallel.winners);
+}
+
+// ----------------------------------------------------- undirected CSR view --
+
+TEST(UndirectedCsr, NeighborsSortedDistinctAndSymmetric) {
+  Rng rng(24);
+  const auto g = graph::erdos_renyi(500, 6.0, rng);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nb = g.neighbors(v);
+    EXPECT_EQ(nb.size(), g.und_degree(v));
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+    EXPECT_EQ(std::adjacent_find(nb.begin(), nb.end()), nb.end());
+    for (VertexId u : nb) {
+      const auto back = g.neighbors(u);
+      EXPECT_TRUE(std::binary_search(back.begin(), back.end(), v));
+    }
+  }
+}
+
+TEST(UndirectedCsr, MatchesAdjacencyCopy) {
+  Rng rng(25);
+  const auto g = graph::preferential_attachment(300, 4, rng);
+  const auto adj = g.undirected_adjacency();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nb = g.neighbors(v);
+    ASSERT_EQ(adj[v].size(), nb.size());
+    EXPECT_TRUE(std::equal(nb.begin(), nb.end(), adj[v].begin()));
+  }
+}
+
+TEST(UndirectedCsr, MergesBothDirectionsOnce) {
+  // 0->1 and 1->0 are one undirected neighbor relation.
+  const auto g = graph::Graph::from_edges(2, {{0, 1}, {1, 0}});
+  EXPECT_EQ(g.und_degree(0), 1u);
+  EXPECT_EQ(g.und_degree(1), 1u);
+}
+
+// -------------------------------------------------------------- generators --
+
+TEST(Generators, ErdosRenyiRealizesRequestedDensity) {
+  // The generator redraws rejected pairs, so the kept-edge count matches
+  // the request within 2% instead of silently undershooting.
+  Rng rng(26);
+  const auto g = graph::erdos_renyi(2'000, 8.0, rng);
+  const double realized =
+      static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_NEAR(realized, 8.0, 0.16);
+}
+
+TEST(Generators, ErdosRenyiDenseRequestStillRealized) {
+  // Heavy dedup pressure: 50 of 99 possible out-neighbors per vertex.
+  Rng rng(27);
+  const auto g = graph::erdos_renyi(100, 50.0, rng);
+  const double realized =
+      static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_NEAR(realized, 50.0, 1.0);
+}
+
+TEST(Generators, ErdosRenyiOverfullRequestClampsToCompleteGraph) {
+  Rng rng(28);
+  const auto g = graph::erdos_renyi(10, 100.0, rng);
+  EXPECT_EQ(g.num_edges(), 90u);  // n * (n - 1)
+}
+
+// ----------------------------------------------------------- observability --
+
+TEST(Obs, KernelsEmitSpansAndCounters) {
+  Rng rng(29);
+  const auto g = graph::erdos_renyi(500, 4.0, rng);
+  atlarge::obs::Observability plane;
+  graph::KernelOptions opts;
+  opts.obs = &plane;
+  const auto r = graph::pagerank(g, 5, 0.85, opts);
+
+  std::size_t iteration_spans = 0;
+  for (const auto& rec : plane.tracer.records()) {
+    if (rec.kind == atlarge::obs::SpanKind::kBegin &&
+        std::strcmp(rec.name, "pr.iteration") == 0)
+      ++iteration_spans;
+  }
+  EXPECT_EQ(iteration_spans, 5u);
+  EXPECT_EQ(plane.metrics.counter("graph.edges_traversed").value(),
+            r.work.edges_traversed);
+  EXPECT_EQ(plane.metrics.counter("graph.iterations").value(),
+            r.work.iterations);
+}
+
+TEST(Obs, BfsLevelsTracedPerIteration) {
+  atlarge::obs::Observability plane;
+  graph::KernelOptions opts;
+  opts.obs = &plane;
+  const auto r = graph::bfs(graph::grid_2d(8), 0, opts);
+  std::size_t levels = 0;
+  for (const auto& rec : plane.tracer.records()) {
+    if (rec.kind == atlarge::obs::SpanKind::kBegin &&
+        std::strcmp(rec.name, "bfs.level") == 0)
+      ++levels;
+  }
+  EXPECT_EQ(levels, r.work.iterations);
+}
+
+TEST(Granula, MeasuredBreakdownWithPlaneIncludesKernelPhases) {
+  Rng rng(30);
+  const auto g = graph::erdos_renyi(500, 4.0, rng);
+  atlarge::obs::Observability plane;
+  graph::KernelOptions opts;
+  opts.obs = &plane;
+  const auto b = graph::measured_breakdown(g.num_vertices(), g.edge_list(),
+                                           graph::Algorithm::kPageRank, opts);
+  EXPECT_GT(b.share("compute"), 0.0);
+  bool has_iteration_phase = false;
+  for (const auto& p : b.phases)
+    has_iteration_phase |= p.name == std::string("pr.iteration");
+  EXPECT_TRUE(has_iteration_phase);
+}
 
 TEST(Granula, BreakdownFromTraceAggregatesSpansByName) {
   atlarge::obs::Tracer tracer(16);
