@@ -3,7 +3,9 @@
 // binary regenerates one table or figure of the paper as aligned text,
 // so EXPERIMENTS.md can quote the output directly.
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -29,6 +31,35 @@ inline std::string trace_flag(int argc, char** argv) {
       return argv[i + 1];
   }
   return "";
+}
+
+/// Raw value of a `--name=<v>` / `--name <v>` flag, or "" when absent.
+inline std::string flag_value(int argc, char** argv, const char* name) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=')
+      return argv[i] + len + 1;
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc)
+      return argv[i + 1];
+  }
+  return "";
+}
+
+/// Double-valued flag (`--faults=20`), or `fallback` when absent.
+inline double double_flag(int argc, char** argv, const char* name,
+                          double fallback) {
+  const std::string v = flag_value(argc, argv, name);
+  return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+}
+
+/// Unsigned flag (`--fault-seed=7`), or `fallback` when absent.
+inline std::uint64_t u64_flag(int argc, char** argv, const char* name,
+                              std::uint64_t fallback) {
+  const std::string v = flag_value(argc, argv, name);
+  return v.empty()
+             ? fallback
+             : static_cast<std::uint64_t>(
+                   std::strtoull(v.c_str(), nullptr, 10));
 }
 
 }  // namespace atlarge::bench

@@ -10,6 +10,7 @@
 #include "atlarge/autoscale/elastic_sim.hpp"
 #include "atlarge/autoscale/ranking.hpp"
 #include "atlarge/cluster/cost.hpp"
+#include "atlarge/fault/fault.hpp"
 #include "atlarge/workflow/generators.hpp"
 #include "bench_util.hpp"
 
@@ -36,7 +37,7 @@ workflow::Workload experiment_workload(std::size_t experiment) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::header("Section 6.7: autoscaler evaluation (N=5 experiments)");
 
   const std::size_t kExperiments = 5;
@@ -46,6 +47,27 @@ int main() {
   config.provisioning_delay = 60.0;
   config.interval = 30.0;
   config.sla_factor = 4.0;
+
+  // Chaos mode (--faults=<rate> [--fault-seed=<n>]): every experiment runs
+  // under the same seeded machine-crash plan, so the rankings measure how
+  // well each policy re-provisions around capacity loss. Without the flag
+  // the plan pointer stays null and output is byte-identical to before.
+  fault::FaultPlan plan;
+  const double fault_rate = bench::double_flag(argc, argv, "--faults", 0.0);
+  if (fault_rate > 0.0) {
+    fault::FaultSpec fspec;
+    fspec.rate = fault_rate;
+    fspec.horizon = 4'000.0;
+    fspec.seed = bench::u64_flag(argc, argv, "--fault-seed", 1);
+    fspec.targets = static_cast<std::uint32_t>(config.max_machines);
+    fspec.mean_duration = 180.0;
+    fspec.kinds = {fault::FaultKind::kMachineCrash};
+    plan = fault::FaultPlan::generate(fspec);
+    config.faults = &plan;
+    bench::note("fault plan: " + std::to_string(plan.size()) +
+                " machine crashes (rate " + std::to_string(fault_rate) +
+                "/1000s, seed " + std::to_string(fspec.seed) + ")");
+  }
 
   // Aggregate per-autoscaler metric vectors across experiments (all
   // lower-is-better).

@@ -20,6 +20,8 @@
 //   atlarge::design     - the design framework itself (Figs. 1-3, 5-8)
 //   atlarge::exp        - design-space campaign engine (specs, memoized
 //                         parallel trials, checkpoint/resume, aggregation)
+//   atlarge::fault      - deterministic fault plans + kernel injector
+//                         (chaos dimension of every domain simulator)
 
 #include "atlarge/autoscale/autoscaler.hpp"
 #include "atlarge/autoscale/autoscalers.hpp"
@@ -43,6 +45,8 @@
 #include "atlarge/exp/engine.hpp"
 #include "atlarge/exp/runner.hpp"
 #include "atlarge/exp/store.hpp"
+#include "atlarge/fault/fault.hpp"
+#include "atlarge/fault/injector.hpp"
 #include "atlarge/graph/algorithms.hpp"
 #include "atlarge/graph/granula.hpp"
 #include "atlarge/graph/graph.hpp"

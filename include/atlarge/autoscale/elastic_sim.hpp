@@ -37,6 +37,13 @@ struct ElasticConfig {
   /// "autoscale.tick" span per decision, and records tick/machine-churn
   /// counters plus supply/demand core gauges.
   obs::Observability* obs = nullptr;
+  /// Optional fault plan (not owned, may be null), replayed through the
+  /// kernel fault hook. The elastic pool interprets kMachineCrash: the
+  /// target machine is lost (its rental ends, its running tasks are
+  /// killed and re-queued); the autoscaler heals the capacity loss
+  /// through ordinary provisioning. A null or empty plan keeps behaviour
+  /// byte-identical.
+  const fault::FaultPlan* faults = nullptr;
 };
 
 struct ElasticResult {
@@ -53,6 +60,11 @@ struct ElasticResult {
   /// Rental duration of every machine instance ever provisioned, seconds;
   /// feeds cluster::CostModel::total_cost.
   std::vector<double> rentals;
+  /// Fault outcomes (all zero with a null/empty plan). A recovery is a
+  /// crash victim task successfully restarted on a surviving machine.
+  std::size_t faults_injected = 0;
+  std::size_t faults_recovered = 0;
+  std::size_t tasks_requeued = 0;
   double deadline_violation_rate() const noexcept {
     return deadline_total == 0
                ? 0.0

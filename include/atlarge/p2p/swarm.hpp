@@ -21,6 +21,10 @@ namespace atlarge::obs {
 class Observability;
 }
 
+namespace atlarge::fault {
+class FaultPlan;
+}
+
 namespace atlarge::p2p {
 
 struct SwarmConfig {
@@ -39,6 +43,14 @@ struct SwarmConfig {
   /// finished/aborted peers, and records a download-time histogram. (The
   /// fluid model is not a DES, so no kernel observer is attached.)
   obs::Observability* obs = nullptr;
+  /// Optional fault plan (not owned, may be null). The swarm interprets
+  /// kChurnSpike: at the event's time, floor(magnitude x leechers) of the
+  /// newest leechers abandon the swarm at once (a correlated churn burst,
+  /// e.g. an ISP outage). The fluid model has no DES kernel, so the plan
+  /// is walked directly at epoch boundaries — the documented exception to
+  /// the fault-hook route. A null or empty plan keeps behaviour
+  /// byte-identical.
+  const fault::FaultPlan* faults = nullptr;
 };
 
 /// Per-peer ground truth.
@@ -68,6 +80,8 @@ struct SwarmResult {
   std::size_t finished = 0;
   std::size_t aborted = 0;
   std::uint32_t peak_swarm_size = 0;
+  /// Leechers expelled by churn-spike fault events (0 without a plan).
+  std::size_t churned = 0;
 };
 
 /// Simulates one swarm: peers arrive at the given times (nondecreasing),

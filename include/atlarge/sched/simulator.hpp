@@ -33,6 +33,10 @@ namespace atlarge::obs {
 class Observability;
 }
 
+namespace atlarge::fault {
+class FaultPlan;
+}
+
 namespace atlarge::sched {
 
 struct JobStats {
@@ -64,6 +68,12 @@ struct SchedResult {
   /// Portfolio bookkeeping: how often each policy was selected (empty for
   /// plain policies).
   std::map<std::string, std::size_t> selections;
+  /// Fault outcomes (all zero with a null/empty plan): injections applied,
+  /// machines restarted / slowdowns healed, and tasks killed by a crash
+  /// and re-queued (they rerun from scratch).
+  std::size_t faults_injected = 0;
+  std::size_t faults_recovered = 0;
+  std::size_t tasks_requeued = 0;
 };
 
 struct SimOptions {
@@ -75,6 +85,13 @@ struct SimOptions {
   /// scheduler-level spans ("sched.simulate", per-pass "sched.pass") and
   /// metrics (sched.passes, sched.tasks_placed, sched.eligible_queue).
   obs::Observability* obs = nullptr;
+  /// Optional fault plan (not owned, may be null), replayed through the
+  /// kernel fault hook. The scheduler interprets kMachineCrash (machine
+  /// down for the event's duration; its running tasks are killed and
+  /// re-queued, restarting from scratch) and kSlowdown (machine limps at
+  /// base speed x magnitude for the duration; affects new placements).
+  /// A null or empty plan keeps behaviour byte-identical.
+  const fault::FaultPlan* faults = nullptr;
 };
 
 /// Runs `workload` on `env` under `policy`. Deterministic for fixed inputs.

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "atlarge/fault/fault.hpp"
 #include "atlarge/stats/rng.hpp"
 
 namespace atlarge::obs {
@@ -39,6 +40,17 @@ struct PlatformConfig {
   /// starts and queueing as instants, and records invocation counters,
   /// a live-instances gauge, and a latency histogram.
   obs::Observability* obs = nullptr;
+  /// Optional fault plan (not owned, may be null), replayed through the
+  /// kernel fault hook. The platform interprets kMessageLoss (requests
+  /// dispatched in the window are dropped), kMessageDelay (requests in
+  /// the window are deferred to its end, no attempt consumed), and
+  /// kColdStartFailure (new containers for the target function cannot be
+  /// provisioned during the window). A null or empty plan keeps behaviour
+  /// byte-identical to a fault-unaware platform.
+  const fault::FaultPlan* faults = nullptr;
+  /// Client-side retry/timeout/backoff policy. The default (one attempt,
+  /// no timeout) is a no-op.
+  fault::RetryPolicy retry;
 };
 
 /// One invocation request.
@@ -51,8 +63,10 @@ struct InvocationStats {
   std::size_t function = 0;
   double arrival = 0.0;
   double start = 0.0;     // execution start (after cold start if any)
-  double finish = 0.0;
+  double finish = 0.0;    // for failed invocations: time of final failure
   bool cold = false;
+  std::uint32_t attempts = 1;  // attempts consumed (first try included)
+  bool failed = false;         // true if every attempt failed
 
   double latency() const noexcept { return finish - arrival; }
 };
@@ -69,6 +83,13 @@ struct PlatformResult {
   /// Busy seconds only (useful work).
   double busy_instance_seconds = 0.0;
   std::uint32_t peak_instances = 0;
+  /// Fault/retry outcomes. With a null/empty plan and the default retry
+  /// policy: failed_invocations == retries == 0 and success_rate == 1.
+  std::size_t failed_invocations = 0;
+  std::size_t retries = 0;
+  double success_rate = 1.0;
+  std::size_t faults_injected = 0;
+  std::size_t faults_recovered = 0;
 };
 
 /// Simulates the invocations (sorted by arrival) against the platform.

@@ -63,6 +63,23 @@ class Observer {
   }
 };
 
+/// Optional fault hook: a domain-agnostic seam through which a fault
+/// plane schedules failure injections as ordinary kernel events, so
+/// injections are totally ordered against domain events and every run
+/// remains a deterministic function of its inputs. The fault module
+/// provides the standard implementation (atlarge::fault::Injector), which
+/// replays a materialized FaultPlan; custom hooks can subclass directly.
+/// The kernel itself never interprets faults — it only gives the hook a
+/// chance to schedule its injections when attached.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Called once by Simulation::set_fault_hook: schedule the hook's
+  /// injections (via schedule_at/schedule_after) on `sim`.
+  virtual void attach(Simulation& sim) = 0;
+};
+
 /// Handle to a scheduled event; allows cancellation. Default-constructed
 /// handles are inert. A handle is a {slot index, generation} pair into its
 /// Simulation's event pool and must not outlive the Simulation it came from.
@@ -134,6 +151,15 @@ class Simulation {
   void set_observer(Observer* observer) noexcept { observer_ = observer; }
   Observer* observer() const noexcept { return observer_; }
 
+  /// Attaches a fault hook and lets it schedule its injections (attach()
+  /// is invoked immediately). Not owned; must outlive the Simulation.
+  /// Passing nullptr detaches without side effects.
+  void set_fault_hook(FaultHook* hook) {
+    fault_hook_ = hook;
+    if (hook != nullptr) hook->attach(*this);
+  }
+  FaultHook* fault_hook() const noexcept { return fault_hook_; }
+
  private:
   friend class EventHandle;
 
@@ -186,6 +212,7 @@ class Simulation {
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   Observer* observer_ = nullptr;
+  FaultHook* fault_hook_ = nullptr;
   bool stopped_ = false;
 };
 

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
+#include "atlarge/fault/injector.hpp"
 #include "atlarge/obs/observability.hpp"
 #include "atlarge/sim/simulation.hpp"
 #include "atlarge/stats/descriptive.hpp"
@@ -20,6 +22,9 @@ struct TaskState {
   std::uint32_t remaining_deps = 0;
   double eligible_time = 0.0;
   double expected_finish = 0.0;  // valid while running
+  std::uint32_t machine = 0;     // valid while running
+  sim::EventHandle completion;   // valid while running
+  std::int32_t blame = -1;       // crash event that killed this task last
 };
 
 struct JobState {
@@ -71,6 +76,12 @@ class ElasticEngine {
     if (obs_ != nullptr) {
       sim_.set_observer(obs_->kernel_observer());
       obs_->tracer.begin("autoscale.run", "autoscale", sim_.now());
+    }
+    if (config_.faults != nullptr && !config_.faults->empty()) {
+      injector_.emplace(*config_.faults, obs_);
+      injector_->on_kind(fault::FaultKind::kMachineCrash,
+                         [this](const fault::FaultEvent& e) { crash(e); });
+      sim_.set_fault_hook(&*injector_);
     }
     for (std::uint32_t i = 0; i < config_.min_machines; ++i) add_machine();
     for (std::size_t ji = 0; ji < jobs_.size(); ++ji)
@@ -222,6 +233,37 @@ class ElasticEngine {
     place();
   }
 
+  void crash(const fault::FaultEvent& e) {
+    // Pick the victim among currently alive machines (deterministic:
+    // target reduced modulo the alive count, in slot order).
+    std::vector<std::size_t> alive;
+    for (std::size_t mi = 0; mi < machines_.size(); ++mi)
+      if (machines_[mi].alive) alive.push_back(mi);
+    if (alive.empty()) return;
+    const std::size_t mi = alive[e.target % alive.size()];
+
+    // Kill every task running on it; victims re-queue and rerun from
+    // scratch. The capacity loss itself heals through the autoscaler's
+    // ordinary provisioning path.
+    crash_events_.push_back(e);
+    const auto blame = static_cast<std::int32_t>(crash_events_.size() - 1);
+    for (std::size_t ji = 0; ji < jobs_.size(); ++ji) {
+      auto& js = jobs_[ji];
+      for (std::size_t ti = 0; ti < js.tasks.size(); ++ti) {
+        auto& ts = js.tasks[ti];
+        if (ts.status != TaskStatus::kRunning || ts.machine != mi) continue;
+        ts.completion.cancel();
+        ts.status = TaskStatus::kEligible;
+        ts.eligible_time = sim_.now();
+        ts.blame = blame;
+        eligible_.emplace_back(ji, ti);
+        ++result_.tasks_requeued;
+      }
+    }
+    remove_machine(mi);
+    place();
+  }
+
   void place() {
     // FCFS: by job submit time, then eligibility, then ids. The eligible
     // deque is appended in that order already except across jobs; sort to
@@ -256,12 +298,21 @@ class ElasticEngine {
   void start_task(std::size_t ji, std::size_t ti, std::size_t mi) {
     auto& js = jobs_[ji];
     const auto& task = js.job->tasks[ti];
-    js.tasks[ti].status = TaskStatus::kRunning;
-    js.tasks[ti].expected_finish = sim_.now() + task.runtime;
+    auto& ts = js.tasks[ti];
+    ts.status = TaskStatus::kRunning;
+    ts.expected_finish = sim_.now() + task.runtime;
+    ts.machine = static_cast<std::uint32_t>(mi);
     if (js.start < 0.0) js.start = sim_.now();
     machines_[mi].free -= task.cores;
-    sim_.schedule_after(task.runtime,
-                        [this, ji, ti, mi] { finish_task(ji, ti, mi); });
+    ts.completion = sim_.schedule_after(
+        task.runtime, [this, ji, ti, mi] { finish_task(ji, ti, mi); });
+    if (ts.blame >= 0) {
+      // A crash victim restarted on a surviving machine: recovered.
+      if (injector_.has_value())
+        injector_->recovered(crash_events_[static_cast<std::size_t>(ts.blame)],
+                             sim_.now());
+      ts.blame = -1;
+    }
   }
 
   void finish_task(std::size_t ji, std::size_t ti, std::size_t mi) {
@@ -329,6 +380,10 @@ class ElasticEngine {
       }
     }
     result_.metrics = compute_metrics(result_.series, result_.makespan);
+    if (injector_.has_value()) {
+      result_.faults_injected = injector_->injected();
+      result_.faults_recovered = injector_->recovered_count();
+    }
   }
 
   Autoscaler& autoscaler_;
@@ -340,6 +395,8 @@ class ElasticEngine {
   std::uint32_t pending_ = 0;
   std::uint32_t drain_quota_ = 0;
   std::size_t completed_jobs_ = 0;
+  std::optional<fault::Injector> injector_;
+  std::vector<fault::FaultEvent> crash_events_;
   ElasticResult result_;
 
   // Instrumentation plane; metric handles are resolved once in the ctor so

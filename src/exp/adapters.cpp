@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "atlarge/autoscale/autoscalers.hpp"
+#include "atlarge/fault/fault.hpp"
 #include "atlarge/autoscale/elastic_sim.hpp"
 #include "atlarge/cluster/machine.hpp"
 #include "atlarge/graph/algorithms.hpp"
@@ -29,6 +31,31 @@ std::size_t scaled(std::size_t nominal, double scale, std::size_t floor_at) {
   return std::max(v, floor_at);
 }
 
+/// The shared faults.* dimension: events per 1000 simulated seconds. 0
+/// (the first option, and the one every committed non-chaos spec pins)
+/// runs with no plan at all, so those trials stay byte-identical to a
+/// fault-unaware adapter.
+ParamSpec fault_rate_param() { return {"faults.rate", {0.0, 8.0, 40.0}, {}}; }
+
+/// Seed for the per-trial fault plan: FNV-1a over every parameter EXCEPT
+/// faults.rate itself (and excluding the trial seed, which varies with the
+/// rate through the trial descriptor). Plans at different rates therefore
+/// share a seed when the rest of the design point matches — and since
+/// FaultPlan::generate derives each event purely from (seed, index), the
+/// lower-rate plan is a subset of the higher-rate one, which is what makes
+/// "sweep faults.rate" campaigns monotone-comparable.
+std::uint64_t fault_plan_seed(const std::vector<double>& v,
+                              std::size_t rate_index) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i == rate_index) continue;
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v[i], sizeof bits);
+    h = (h ^ bits) * 1099511628211ULL;
+  }
+  return h;
+}
+
 // ------------------------------------------------------------- portfolio --
 
 class PortfolioAdapter final : public SimulatorAdapter {
@@ -42,6 +69,7 @@ class PortfolioAdapter final : public SimulatorAdapter {
         {"active_set", {0.0, 2.0, 4.0}, {}},  // 0 = simulate all policies
         {"cost_per_task_policy", {0.0, 1e-4, 1e-3}, {}},
         {"workload", {0.0, 1.0, 2.0}, {"Syn", "Sci", "BD"}},
+        fault_rate_param(),
     };
   }
 
@@ -68,7 +96,21 @@ class PortfolioAdapter final : public SimulatorAdapter {
     config.eval_threads = 1;  // trial-level parallelism only
     sched::PortfolioScheduler portfolio(sched::standard_policies(), env,
                                         config);
-    const auto result = sched::simulate(env, workload, portfolio);
+    sched::SimOptions options;
+    fault::FaultPlan plan;
+    if (v[4] > 0.0) {
+      fault::FaultSpec fspec;
+      fspec.rate = v[4];
+      fspec.horizon = wspec.horizon;
+      fspec.seed = fault_plan_seed(v, 4);
+      fspec.targets = 16;  // machine count of the campaign cluster
+      fspec.mean_duration = 120.0;
+      fspec.kinds = {fault::FaultKind::kMachineCrash,
+                     fault::FaultKind::kSlowdown};
+      plan = fault::FaultPlan::generate(fspec);
+      options.faults = &plan;
+    }
+    const auto result = sched::simulate(env, workload, portfolio, options);
 
     TrialResult out;
     out.objective = result.mean_slowdown;
@@ -81,6 +123,8 @@ class PortfolioAdapter final : public SimulatorAdapter {
         {"utilization", result.utilization},
         {"decision_overhead", result.decision_overhead},
         {"tasks_completed", static_cast<double>(result.tasks_completed)},
+        {"faults_injected", static_cast<double>(result.faults_injected)},
+        {"tasks_requeued", static_cast<double>(result.tasks_requeued)},
     };
     return out;
   }
@@ -98,6 +142,7 @@ class ServerlessAdapter final : public SimulatorAdapter {
         {"keep_alive", {0.0, 60.0, 300.0, 600.0}, {}},
         {"prewarmed", {0.0, 2.0, 8.0}, {}},
         {"max_instances", {32.0, 128.0, 512.0}, {}},
+        fault_rate_param(),
     };
   }
 
@@ -117,6 +162,22 @@ class ServerlessAdapter final : public SimulatorAdapter {
     config.keep_alive = v[0];
     config.prewarmed = static_cast<std::uint32_t>(v[1]);
     config.max_instances = static_cast<std::uint32_t>(v[2]);
+    fault::FaultPlan plan;
+    if (v[3] > 0.0) {
+      fault::FaultSpec fspec;
+      fspec.rate = v[3];
+      fspec.horizon = horizon;
+      fspec.seed = fault_plan_seed(v, 3);
+      fspec.targets = static_cast<std::uint32_t>(registry.size());
+      fspec.mean_duration = 30.0;
+      fspec.kinds = {fault::FaultKind::kMessageLoss,
+                     fault::FaultKind::kMessageDelay,
+                     fault::FaultKind::kColdStartFailure};
+      plan = fault::FaultPlan::generate(fspec);
+      config.faults = &plan;
+      config.retry.max_attempts = 2;
+      config.retry.timeout = 10.0;
+    }
     const auto result = serverless::run_platform(registry, invocations,
                                                  config);
 
@@ -131,6 +192,10 @@ class ServerlessAdapter final : public SimulatorAdapter {
         {"busy_instance_seconds", result.busy_instance_seconds},
         {"peak_instances", static_cast<double>(result.peak_instances)},
         {"invocations", static_cast<double>(result.invocations.size())},
+        {"success_rate", result.success_rate},
+        {"failed", static_cast<double>(result.failed_invocations)},
+        {"retries", static_cast<double>(result.retries)},
+        {"faults_injected", static_cast<double>(result.faults_injected)},
     };
     return out;
   }
@@ -157,6 +222,7 @@ class AutoscaleAdapter final : public SimulatorAdapter {
         {"cores_per_machine", {2.0, 4.0, 8.0}, {}},
         {"provisioning_delay", {30.0, 60.0, 120.0}, {}},
         {"interval", {30.0, 60.0}, {}},
+        fault_rate_param(),
     };
   }
 
@@ -179,6 +245,18 @@ class AutoscaleAdapter final : public SimulatorAdapter {
     config.max_machines = 48;
     config.provisioning_delay = v[2];
     config.interval = v[3];
+    fault::FaultPlan plan;
+    if (v[4] > 0.0) {
+      fault::FaultSpec fspec;
+      fspec.rate = v[4];
+      fspec.horizon = wspec.horizon;
+      fspec.seed = fault_plan_seed(v, 4);
+      fspec.targets = config.max_machines;
+      fspec.mean_duration = 180.0;
+      fspec.kinds = {fault::FaultKind::kMachineCrash};
+      plan = fault::FaultPlan::generate(fspec);
+      config.faults = &plan;
+    }
     const auto result = autoscale::run_elastic(workload, *zoo[idx], config);
 
     double rented_seconds = 0.0;
@@ -195,6 +273,8 @@ class AutoscaleAdapter final : public SimulatorAdapter {
         {"norm_accuracy_over", result.metrics.norm_accuracy_over},
         {"norm_accuracy_under", result.metrics.norm_accuracy_under},
         {"machine_seconds", rented_seconds},
+        {"faults_injected", static_cast<double>(result.faults_injected)},
+        {"tasks_requeued", static_cast<double>(result.tasks_requeued)},
     };
     return out;
   }
@@ -216,6 +296,7 @@ class P2pAdapter final : public SimulatorAdapter {
         {"seed_upload_mbps", {4.0, 8.0, 16.0}, {}},
         {"initial_seeds", {1.0, 4.0}, {}},
         {"seed_time_mean", {600.0, 1800.0}, {}},
+        fault_rate_param(),
     };
   }
 
@@ -234,6 +315,18 @@ class P2pAdapter final : public SimulatorAdapter {
     const auto arrivals = p2p::flashcrowd_arrivals(
         0.02, horizon * 0.5, scaled(120, scale, 16), horizon * 0.1, 10.0,
         rng);
+    fault::FaultPlan plan;
+    if (v[4] > 0.0) {
+      fault::FaultSpec fspec;
+      fspec.rate = v[4];
+      fspec.horizon = horizon;
+      fspec.seed = fault_plan_seed(v, 4);
+      fspec.targets = 1;
+      fspec.mean_magnitude = 0.3;
+      fspec.kinds = {fault::FaultKind::kChurnSpike};
+      plan = fault::FaultPlan::generate(fspec);
+      config.faults = &plan;
+    }
     const auto result = p2p::simulate_swarm(config, arrivals, horizon);
 
     TrialResult out;
@@ -245,6 +338,7 @@ class P2pAdapter final : public SimulatorAdapter {
         {"aborted", static_cast<double>(result.aborted)},
         {"peak_swarm_size", static_cast<double>(result.peak_swarm_size)},
         {"peers", static_cast<double>(result.peers.size())},
+        {"churned", static_cast<double>(result.churned)},
     };
     return out;
   }

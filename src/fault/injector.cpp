@@ -1,0 +1,51 @@
+#include "atlarge/fault/injector.hpp"
+
+#include <string>
+
+#include "atlarge/obs/observability.hpp"
+
+namespace atlarge::fault {
+
+Injector::Injector(const FaultPlan& plan, obs::Observability* obs)
+    : plan_(&plan), obs_(obs) {}
+
+void Injector::on_kind(FaultKind kind, Handler handler) {
+  handlers_[static_cast<std::size_t>(kind)] = std::move(handler);
+}
+
+void Injector::attach(sim::Simulation& sim) {
+  // One kernel event per plan entry. The plan outlives the injector (and
+  // the simulation), so capturing the event by reference is safe and
+  // avoids copying per injection.
+  for (const FaultEvent& event : plan_->events()) {
+    sim.schedule_at(event.time,
+                    [this, &event, &sim] { fire(event, sim.now()); });
+  }
+}
+
+void Injector::fire(const FaultEvent& event, double now) {
+  const Handler& handler = handlers_[static_cast<std::size_t>(event.kind)];
+  if (!handler) {
+    ++ignored_;
+    return;
+  }
+  ++injected_;
+  if (obs_ != nullptr) {
+    obs_->metrics.counter("fault.injected").add(1);
+    obs_->metrics
+        .counter(std::string("fault.injected.") + to_string(event.kind))
+        .add(1);
+    obs_->tracer.instant(span_name(event.kind), "fault", now);
+  }
+  handler(event);
+}
+
+void Injector::recovered(const FaultEvent& event, double now) {
+  ++recovered_;
+  if (obs_ != nullptr) {
+    obs_->metrics.counter("fault.recovered").add(1);
+    obs_->tracer.instant(span_name(event.kind), "fault", now);
+  }
+}
+
+}  // namespace atlarge::fault

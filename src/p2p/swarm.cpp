@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "atlarge/fault/fault.hpp"
 #include "atlarge/obs/observability.hpp"
 #include "atlarge/stats/descriptive.hpp"
 
@@ -50,11 +51,46 @@ SwarmResult simulate_swarm(const SwarmConfig& config,
     plane->tracer.begin("p2p.swarm", "p2p", 0.0);
   }
 
+  // Fault plan cursor: the fluid model has no DES kernel, so churn events
+  // are applied directly at the first epoch boundary at/after their time
+  // (the documented exception to the fault-hook route).
+  const bool faulted =
+      config.faults != nullptr && !config.faults->empty();
+  std::size_t next_fault = 0;
+
   for (double now = 0.0; now < horizon; now += config.epoch) {
     last_now = now;
     // Admit arrivals.
     while (next_arrival < arrivals.size() && arrivals[next_arrival] <= now)
       ++next_arrival;
+
+    // Apply due churn spikes: the newest floor(magnitude x leechers)
+    // leechers abandon the swarm at once (a correlated burst).
+    if (faulted) {
+      const auto& events = config.faults->events();
+      while (next_fault < events.size() && events[next_fault].time <= now) {
+        const fault::FaultEvent& e = events[next_fault];
+        ++next_fault;
+        if (e.kind != fault::FaultKind::kChurnSpike) continue;
+        std::uint32_t leeching = 0;
+        for (std::size_t i = 0; i < next_arrival; ++i)
+          if (state[i].phase == PeerPhase::kLeeching) ++leeching;
+        auto kick = static_cast<std::uint32_t>(
+            std::floor(e.magnitude * static_cast<double>(leeching)));
+        if (plane != nullptr) {
+          plane->metrics.counter("fault.injected").add(1);
+          plane->metrics.counter("fault.injected.churn_spike").add(1);
+          plane->tracer.instant(fault::span_name(e.kind), "fault", now);
+        }
+        for (std::size_t i = next_arrival; i-- > 0 && kick > 0;) {
+          if (state[i].phase != PeerPhase::kLeeching) continue;
+          state[i].phase = PeerPhase::kGone;
+          result.peers[i].departure = now;
+          ++result.churned;
+          --kick;
+        }
+      }
+    }
 
     // Census.
     std::uint32_t leechers = 0;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
+#include "atlarge/fault/injector.hpp"
 #include "atlarge/obs/observability.hpp"
 #include "atlarge/sim/simulation.hpp"
 #include "atlarge/stats/descriptive.hpp"
@@ -39,12 +41,18 @@ struct MachineState {
   std::uint32_t free = 0;
   double speed = 1.0;
   std::uint32_t cluster = 0;
+  double base_speed = 1.0;   // speed to restore after a slowdown heals
+  double slow_until = 0.0;   // end of the widest slowdown window
+  bool down = false;         // crashed, awaiting restart
 };
 
 struct RunningTask {
   double finish = 0.0;
   std::uint32_t machine = 0;
   std::uint32_t cores = 0;
+  std::size_t ji = 0;
+  std::size_t ti = 0;
+  sim::EventHandle completion;
 };
 
 class Engine {
@@ -65,7 +73,13 @@ class Engine {
     std::uint32_t max_cores = 0;
     machines_.reserve(machines.size());
     for (const auto& m : machines) {
-      machines_.push_back(MachineState{m.cores, m.cores, m.speed, m.cluster});
+      MachineState ms;
+      ms.total = m.cores;
+      ms.free = m.cores;
+      ms.speed = m.speed;
+      ms.cluster = m.cluster;
+      ms.base_speed = m.speed;
+      machines_.push_back(ms);
       max_cores = std::max(max_cores, m.cores);
     }
     result_.machine_busy_seconds.assign(machines_.size(), 0.0);
@@ -91,6 +105,8 @@ class Engine {
   SchedResult run() {
     if (obs_ != nullptr)
       obs_->tracer.begin("sched.simulate", "sched", sim_.now());
+    if (options_.faults != nullptr && !options_.faults->empty())
+      attach_faults();
     for (std::size_t ji = 0; ji < jobs_.size(); ++ji) {
       sim_.schedule_at(jobs_[ji].job->submit_time,
                        [this, ji] { arrive(ji); });
@@ -103,6 +119,63 @@ class Engine {
   }
 
  private:
+  void attach_faults() {
+    injector_.emplace(*options_.faults, obs_);
+    injector_->on_kind(fault::FaultKind::kMachineCrash,
+                       [this](const fault::FaultEvent& e) { crash(e); });
+    injector_->on_kind(fault::FaultKind::kSlowdown,
+                       [this](const fault::FaultEvent& e) { slow_down(e); });
+    // Attached before arrivals are scheduled, so at equal timestamps an
+    // injection fires before the arrival it could affect.
+    sim_.set_fault_hook(&*injector_);
+  }
+
+  void crash(const fault::FaultEvent& e) {
+    const std::size_t mi = e.target % machines_.size();
+    auto& m = machines_[mi];
+    if (m.down) return;  // overlapping crash on an already-down machine
+    m.down = true;
+    // Kill every task running on the machine: its completion is
+    // cancelled, its partial work is lost (busy seconds give back the
+    // un-run remainder), and it is re-queued to run from scratch.
+    for (auto it = running_.begin(); it != running_.end();) {
+      if (it->machine != mi) {
+        ++it;
+        continue;
+      }
+      it->completion.cancel();
+      result_.machine_busy_seconds[mi] -= it->finish - sim_.now();
+      auto& js = jobs_[it->ji];
+      js.tasks[it->ti].status = TaskStatus::kEligible;
+      js.tasks[it->ti].eligible_time = sim_.now();
+      eligible_.emplace_back(it->ji, it->ti);
+      ++result_.tasks_requeued;
+      m.free += it->cores;
+      it = running_.erase(it);
+    }
+    observe_busy();
+    sim_.schedule_after(e.duration, [this, mi, e] {
+      machines_[mi].down = false;
+      injector_->recovered(e, sim_.now());
+      request_pass();
+    });
+    request_pass();
+  }
+
+  void slow_down(const fault::FaultEvent& e) {
+    const std::size_t mi = e.target % machines_.size();
+    auto& m = machines_[mi];
+    m.speed = m.base_speed * e.magnitude;
+    m.slow_until = std::max(m.slow_until, e.time + e.duration);
+    sim_.schedule_after(e.duration, [this, mi, e] {
+      auto& machine = machines_[mi];
+      // Heal only if no later (overlapping) slowdown extended the window.
+      if (sim_.now() + 1e-12 < machine.slow_until) return;
+      machine.speed = machine.base_speed;
+      injector_->recovered(e, sim_.now());
+    });
+  }
+
   void arrive(std::size_t ji) {
     auto& js = jobs_[ji];
     js.arrived = true;
@@ -164,6 +237,7 @@ class Engine {
     double shadow = std::numeric_limits<double>::infinity();
     for (std::size_t mi = 0; mi < machines_.size(); ++mi) {
       const auto& m = machines_[mi];
+      if (m.down) continue;
       if (m.total < cores) continue;
       if (m.free >= cores) return sim_.now();
       // Running tasks on this machine, by finish time.
@@ -190,6 +264,7 @@ class Engine {
   std::size_t find_fit(std::uint32_t cores) const {
     std::size_t best = machines_.size();
     for (std::size_t mi = 0; mi < machines_.size(); ++mi) {
+      if (machines_[mi].down) continue;
       if (machines_[mi].free < cores) continue;
       if (best == machines_.size() ||
           machines_[mi].speed > machines_[best].speed) {
@@ -273,15 +348,19 @@ class Engine {
     }
     machines_[mi].free -= ref.cores;
     observe_busy();
-    running_.push_back(
-        RunningTask{sim_.now() + elapsed, static_cast<std::uint32_t>(mi),
-                    ref.cores});
     result_.machine_busy_seconds[mi] += elapsed;
 
-    sim_.schedule_after(elapsed, [this, ji, ti, mi, cores = ref.cores,
-                                  elapsed] {
-      complete(ji, ti, mi, cores, elapsed);
-    });
+    RunningTask rt;
+    rt.finish = sim_.now() + elapsed;
+    rt.machine = static_cast<std::uint32_t>(mi);
+    rt.cores = ref.cores;
+    rt.ji = ji;
+    rt.ti = ti;
+    rt.completion = sim_.schedule_after(
+        elapsed, [this, ji, ti, mi, cores = ref.cores, elapsed] {
+          complete(ji, ti, mi, cores, elapsed);
+        });
+    running_.push_back(rt);
   }
 
   void complete(std::size_t ji, std::size_t ti, std::size_t mi,
@@ -292,13 +371,10 @@ class Engine {
     observe_busy();
     ++result_.tasks_completed;
 
-    // Remove one matching running record.
-    const double finish = sim_.now();
+    // Remove this task's running record.
     const auto rit = std::find_if(
-        running_.begin(), running_.end(), [&](const RunningTask& r) {
-          return r.machine == mi && r.cores == cores &&
-                 std::abs(r.finish - finish) < 1e-9;
-        });
+        running_.begin(), running_.end(),
+        [&](const RunningTask& r) { return r.ji == ji && r.ti == ti; });
     if (rit != running_.end()) running_.erase(rit);
 
     add_usage(js.job->user, elapsed * cores);
@@ -366,6 +442,10 @@ class Engine {
       result_.utilization = busy_.average(result_.makespan) /
                             static_cast<double>(total_cores());
     }
+    if (injector_.has_value()) {
+      result_.faults_injected = injector_->injected();
+      result_.faults_recovered = injector_->recovered_count();
+    }
   }
 
   const cluster::Environment& env_;
@@ -386,6 +466,7 @@ class Engine {
   stats::TimeWeighted busy_;
   bool pass_pending_ = false;
   double blocked_until_ = 0.0;
+  std::optional<fault::Injector> injector_;
   SchedResult result_;
 };
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 #include <stdexcept>
 
+#include "atlarge/fault/injector.hpp"
 #include "atlarge/obs/observability.hpp"
 #include "atlarge/sim/simulation.hpp"
 #include "atlarge/stats/descriptive.hpp"
@@ -46,6 +48,9 @@ class FaasEngine {
       sim_.set_observer(obs_->kernel_observer());
       obs_->tracer.begin("faas.run", "serverless", sim_.now());
     }
+    attempts_.assign(invocations_.size(), 0);
+    if (config_.faults != nullptr && !config_.faults->empty())
+      attach_faults();
     // Pre-warm pools.
     for (std::size_t f = 0; f < registry_.size(); ++f) {
       for (std::uint32_t i = 0; i < config_.prewarmed; ++i) {
@@ -53,8 +58,8 @@ class FaasEngine {
         make_instance(f, /*busy=*/false);
       }
     }
-    for (const auto& inv : invocations_)
-      sim_.schedule_at(inv.arrival, [this, &inv] { dispatch(inv); });
+    for (std::size_t i = 0; i < invocations_.size(); ++i)
+      sim_.schedule_at(invocations_[i].arrival, [this, i] { dispatch(i); });
     sim_.run();
     finalize();
     if (obs_ != nullptr)
@@ -107,25 +112,120 @@ class FaasEngine {
     });
   }
 
-  void dispatch(const Invocation& inv) {
-    const std::size_t idle = find_idle(inv.function);
+  void attach_faults() {
+    faulted_ = true;
+    const std::size_t nf = registry_.size();
+    loss_until_.assign(nf, 0.0);
+    delay_until_.assign(nf, 0.0);
+    coldfail_until_.assign(nf, 0.0);
+    loss_event_.resize(nf);
+    coldfail_event_.resize(nf);
+    fault::FaultEvent none;
+    none.time = -1.0;  // sentinel: "no fault blamed yet"
+    last_fault_.assign(invocations_.size(), none);
+    injector_.emplace(*config_.faults, obs_);
+    // Each handler widens the per-function window to the event's end;
+    // window checks on the dispatch path are then O(1).
+    injector_->on_kind(
+        fault::FaultKind::kMessageLoss, [this](const fault::FaultEvent& e) {
+          const std::size_t f = e.target % registry_.size();
+          const double until = e.time + e.duration;
+          if (until > loss_until_[f]) {
+            loss_until_[f] = until;
+            loss_event_[f] = e;
+          }
+        });
+    injector_->on_kind(
+        fault::FaultKind::kMessageDelay, [this](const fault::FaultEvent& e) {
+          const std::size_t f = e.target % registry_.size();
+          delay_until_[f] = std::max(delay_until_[f], e.time + e.duration);
+        });
+    injector_->on_kind(fault::FaultKind::kColdStartFailure,
+                       [this](const fault::FaultEvent& e) {
+                         const std::size_t f = e.target % registry_.size();
+                         const double until = e.time + e.duration;
+                         if (until > coldfail_until_[f]) {
+                           coldfail_until_[f] = until;
+                           coldfail_event_[f] = e;
+                         }
+                       });
+    // Attached before arrivals are scheduled, so at equal timestamps the
+    // window-opening injection fires before the dispatch it affects.
+    sim_.set_fault_hook(&*injector_);
+  }
+
+  void dispatch(std::size_t i) {
+    const Invocation& inv = invocations_[i];
+    const std::size_t f = inv.function;
+    if (faulted_ && sim_.now() < delay_until_[f]) {
+      // Deferred, not failed: the request sits in the network until the
+      // delay window closes; no attempt is consumed.
+      sim_.schedule_at(delay_until_[f], [this, i] { dispatch(i); });
+      return;
+    }
+    ++attempts_[i];
+    if (faulted_ && sim_.now() < loss_until_[f]) {
+      // Dropped in flight. The client notices at its timeout (or, with no
+      // timeout configured, immediately).
+      last_fault_[i] = loss_event_[f];
+      if (config_.retry.timeout > 0.0) {
+        sim_.schedule_after(config_.retry.timeout,
+                            [this, i] { attempt_failed(i); });
+      } else {
+        attempt_failed(i);
+      }
+      return;
+    }
+    const std::size_t idle = find_idle(f);
     if (idle != instances_.size()) {
-      start_execution(inv, idle, /*cold=*/false);
+      start_execution(i, idle, /*cold=*/false);
+      return;
+    }
+    if (faulted_ && sim_.now() < coldfail_until_[f]) {
+      // No warm instance and the platform cannot provision new containers
+      // for this function during the window.
+      last_fault_[i] = coldfail_event_[f];
+      attempt_failed(i);
       return;
     }
     if (live_count_ < config_.max_instances) {
-      const std::size_t idx = make_instance(inv.function, /*busy=*/true);
-      start_execution(inv, idx, /*cold=*/true);
+      const std::size_t idx = make_instance(f, /*busy=*/true);
+      start_execution(i, idx, /*cold=*/true);
       return;
     }
     if (obs_ != nullptr) {
       queued_->add(1);
       obs_->tracer.instant("faas.queue", "serverless", sim_.now());
     }
-    pending_.push_back(inv);
+    pending_.push_back(i);
   }
 
-  void start_execution(const Invocation& inv, std::size_t idx, bool cold) {
+  void attempt_failed(std::size_t i) {
+    if (attempts_[i] < config_.retry.max_attempts) {
+      ++result_.retries;
+      sim_.schedule_after(config_.retry.backoff_delay(attempts_[i]),
+                          [this, i] { dispatch(i); });
+      return;
+    }
+    // Out of attempts: the invocation fails for good.
+    const Invocation& inv = invocations_[i];
+    InvocationStats stats;
+    stats.function = inv.function;
+    stats.arrival = inv.arrival;
+    stats.start = sim_.now();
+    stats.finish = sim_.now();
+    stats.attempts = attempts_[i];
+    stats.failed = true;
+    result_.invocations.push_back(stats);
+    ++result_.failed_invocations;
+    if (obs_ != nullptr) {
+      obs_->metrics.counter("faas.failed").add(1);
+      obs_->tracer.instant("faas.failed", "serverless", sim_.now());
+    }
+  }
+
+  void start_execution(std::size_t i, std::size_t idx, bool cold) {
+    const Invocation& inv = invocations_[i];
     auto& inst = instances_[idx];
     if (!inst.busy) {
       // Leaving the warm pool: bill the idle stretch, cancel expiry.
@@ -134,6 +234,18 @@ class FaasEngine {
       inst.busy = true;
     }
     const auto& spec = registry_[inv.function];
+    const double total = (cold ? spec.cold_start : 0.0) + spec.exec_time;
+    if (config_.retry.timeout > 0.0 && total > config_.retry.timeout) {
+      // The attempt times out before the function would finish: the
+      // instance is occupied (and billed) until the timeout, the work is
+      // abandoned (no useful busy seconds).
+      result_.billed_instance_seconds += config_.retry.timeout;
+      sim_.schedule_after(config_.retry.timeout, [this, i, idx] {
+        release(idx);
+        attempt_failed(i);
+      });
+      return;
+    }
     const double start = sim_.now() + (cold ? spec.cold_start : 0.0);
     const double finish = start + spec.exec_time;
     InvocationStats stats;
@@ -142,6 +254,7 @@ class FaasEngine {
     stats.start = start;
     stats.finish = finish;
     stats.cold = cold;
+    stats.attempts = attempts_[i] == 0 ? 1 : attempts_[i];
     if (obs_ != nullptr) {
       started_->add(1);
       latency_hist_->observe(stats.latency());
@@ -151,6 +264,8 @@ class FaasEngine {
       }
     }
     result_.invocations.push_back(stats);
+    if (faulted_ && attempts_[i] > 1 && last_fault_[i].time >= 0.0)
+      injector_->recovered(last_fault_[i], sim_.now());
     const double busy = finish - sim_.now();
     result_.busy_instance_seconds += spec.exec_time;
     result_.billed_instance_seconds += busy;
@@ -163,23 +278,32 @@ class FaasEngine {
     inst.idle_since = sim_.now();
 
     // Serve a queued request for the same function warm, if any.
-    const auto same = std::find_if(
-        pending_.begin(), pending_.end(),
-        [&](const Invocation& p) { return p.function == inst.function; });
+    const auto same =
+        std::find_if(pending_.begin(), pending_.end(), [&](std::size_t p) {
+          return invocations_[p].function == inst.function;
+        });
     if (same != pending_.end()) {
-      const Invocation inv = *same;
+      const std::size_t i = *same;
       pending_.erase(same);
-      start_execution(inv, idx, /*cold=*/false);
+      start_execution(i, idx, /*cold=*/false);
       return;
     }
     // Otherwise recycle this instance for the head-of-queue request
-    // (destroy + cold start) so a full platform never deadlocks.
-    if (!pending_.empty()) {
-      const Invocation inv = pending_.front();
+    // (destroy + cold start) so a full platform never deadlocks. Requests
+    // whose function is inside a cold-start-failure window lose their
+    // attempt instead of recycling the instance.
+    while (!pending_.empty()) {
+      const std::size_t i = pending_.front();
       pending_.pop_front();
+      const std::size_t f = invocations_[i].function;
+      if (faulted_ && sim_.now() < coldfail_until_[f]) {
+        last_fault_[i] = coldfail_event_[f];
+        attempt_failed(i);
+        continue;
+      }
       destroy_instance(idx);
-      const std::size_t fresh = make_instance(inv.function, /*busy=*/true);
-      start_execution(inv, fresh, /*cold=*/true);
+      const std::size_t fresh = make_instance(f, /*busy=*/true);
+      start_execution(i, fresh, /*cold=*/true);
       return;
     }
     arm_expiry(idx);
@@ -191,7 +315,8 @@ class FaasEngine {
     std::size_t cold = 0;
     for (const auto& s : result_.invocations) {
       end = std::max(end, s.finish);
-      latencies.push_back(s.latency());
+      // Failed invocations have no latency; percentiles cover successes.
+      if (!s.failed) latencies.push_back(s.latency());
       if (s.cold) ++cold;
     }
     // Bill the residual idle time of still-warm instances up to the last
@@ -209,6 +334,13 @@ class FaasEngine {
     if (!result_.invocations.empty()) {
       result_.cold_fraction = static_cast<double>(cold) /
                               static_cast<double>(result_.invocations.size());
+      result_.success_rate =
+          1.0 - static_cast<double>(result_.failed_invocations) /
+                    static_cast<double>(result_.invocations.size());
+    }
+    if (injector_.has_value()) {
+      result_.faults_injected = injector_->injected();
+      result_.faults_recovered = injector_->recovered_count();
     }
   }
 
@@ -217,9 +349,21 @@ class FaasEngine {
   PlatformConfig config_;
   sim::Simulation sim_;
   std::vector<Instance> instances_;
-  std::deque<Invocation> pending_;
+  std::deque<std::size_t> pending_;  // indices into invocations_
   std::uint32_t live_count_ = 0;
   PlatformResult result_;
+  std::vector<std::uint32_t> attempts_;  // attempts consumed, per invocation
+
+  // Fault plane (engaged only for a non-null, non-empty plan). Windows are
+  // per function: requests dispatched before *_until_[f] hit that fault.
+  bool faulted_ = false;
+  std::optional<fault::Injector> injector_;
+  std::vector<double> loss_until_;
+  std::vector<double> delay_until_;
+  std::vector<double> coldfail_until_;
+  std::vector<fault::FaultEvent> loss_event_;      // widest window's event
+  std::vector<fault::FaultEvent> coldfail_event_;
+  std::vector<fault::FaultEvent> last_fault_;      // per invocation; blame
 
   // Instrumentation plane; metric handles are resolved once in the ctor so
   // the hot path never does a name lookup.

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "atlarge/autoscale/autoscalers.hpp"
+#include "atlarge/fault/fault.hpp"
 #include "atlarge/obs/observability.hpp"
 #include "atlarge/autoscale/elastic_sim.hpp"
 #include "atlarge/autoscale/metrics.hpp"
@@ -398,4 +399,92 @@ TEST(Observability, ElasticRunEmitsAutoscaleTelemetry) {
   as::ReactAutoscaler bare_react;
   const auto bare = as::run_elastic(wl, bare_react, {});
   EXPECT_DOUBLE_EQ(bare.makespan, result.makespan);
+}
+
+// ----------------------------------------------------- fault injection --
+
+namespace {
+
+wf::Workload one_long_task() {
+  wf::Workload wl;
+  wf::Job job;
+  job.submit_time = 0.0;
+  job.user = "u";
+  job.tasks.push_back({100.0, 1, {}});
+  wl.jobs.push_back(std::move(job));
+  wl.normalize();
+  return wl;
+}
+
+as::ElasticConfig tight_pool() {
+  as::ElasticConfig config;
+  config.cores_per_machine = 1;
+  config.max_machines = 4;
+  config.min_machines = 1;
+  config.provisioning_delay = 10.0;
+  config.interval = 5.0;
+  return config;
+}
+
+}  // namespace
+
+TEST(Faults, CrashReprovisionsAndRestartsTheTask) {
+  const auto wl = one_long_task();
+  atlarge::fault::FaultPlan plan;
+  plan.add({20.0, atlarge::fault::FaultKind::kMachineCrash, 0, 60.0, 0.5});
+  as::ReactAutoscaler react;
+  auto config = tight_pool();
+  config.faults = &plan;
+  const auto result = as::run_elastic(wl, react, config);
+  // The crash discards 20s of progress; the autoscaler provisions a
+  // replacement (10s delay) and the task reruns from scratch, so the
+  // makespan exceeds the fault-free 100s by at least the lost progress.
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_GT(result.makespan, 120.0);
+  EXPECT_EQ(result.tasks_requeued, 1u);
+  EXPECT_EQ(result.faults_injected, 1u);
+  EXPECT_EQ(result.faults_recovered, 1u);  // restarted on a new machine
+  // The crashed machine's rental was closed: at least two rentals total.
+  EXPECT_GE(result.rentals.size(), 2u);
+}
+
+TEST(Faults, NullAndEmptyPlansKeepElasticRunByteIdentical) {
+  const auto wl = one_long_task();
+  const auto run = [&](const atlarge::fault::FaultPlan* faults) {
+    as::ReactAutoscaler react;
+    auto config = tight_pool();
+    config.faults = faults;
+    return as::run_elastic(wl, react, config);
+  };
+  const auto baseline = run(nullptr);
+  const atlarge::fault::FaultPlan empty;
+  const auto with_empty = run(&empty);
+  EXPECT_EQ(baseline.makespan, with_empty.makespan);
+  EXPECT_EQ(baseline.mean_slowdown, with_empty.mean_slowdown);
+  EXPECT_EQ(baseline.rentals, with_empty.rentals);
+  EXPECT_EQ(with_empty.faults_injected, 0u);
+  EXPECT_EQ(with_empty.tasks_requeued, 0u);
+  EXPECT_EQ(with_empty.faults_recovered, 0u);
+}
+
+TEST(Faults, RepeatedCrashesStillCompleteTheWorkload) {
+  wf::WorkloadSpec spec;
+  spec.cls = wf::WorkloadClass::kIndustrial;
+  spec.jobs = 10;
+  spec.horizon = 500.0;
+  spec.seed = 6;
+  const auto wl = wf::generate(spec);
+  atlarge::fault::FaultPlan plan;
+  plan.add({50.0, atlarge::fault::FaultKind::kMachineCrash, 0, 30.0, 0.5});
+  plan.add({120.0, atlarge::fault::FaultKind::kMachineCrash, 1, 30.0, 0.5});
+  plan.add({300.0, atlarge::fault::FaultKind::kMachineCrash, 2, 30.0, 0.5});
+  as::ReactAutoscaler react;
+  as::ElasticConfig config;
+  config.cores_per_machine = 4;
+  config.max_machines = 8;
+  config.faults = &plan;
+  const auto result = as::run_elastic(wl, react, config);
+  EXPECT_EQ(result.jobs.size(), wl.jobs.size());
+  EXPECT_EQ(result.faults_injected, 3u);
+  EXPECT_GE(result.faults_recovered, result.tasks_requeued == 0 ? 0u : 1u);
 }

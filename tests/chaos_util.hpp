@@ -1,0 +1,67 @@
+#pragma once
+// Property-test harness for the fault plane. A chaos scenario is a closure
+// that runs one domain simulation under an optional fault plan and folds
+// the results it cares about into a fingerprint string (exact decimal
+// renderings, no rounding). The harness then pins the two contracts every
+// domain must honour:
+//
+//  * Null safety: a null plan and an empty plan produce byte-identical
+//    fingerprints — the fault plane is invisible until a non-empty plan is
+//    supplied, so pre-fault behaviour is regression-locked.
+//  * Replay determinism: running under a plan, re-running under the same
+//    plan, and running under deserialize(serialize(plan)) all produce
+//    byte-identical fingerprints — applying a plan is purely
+//    deterministic; all randomness lives in FaultPlan::generate.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "atlarge/fault/fault.hpp"
+
+namespace atlarge::chaos {
+
+/// Runs one simulation; `plan` may be null (no faults). Returns a
+/// fingerprint: every metric the scenario cares about, rendered exactly.
+using Scenario = std::function<std::string(const fault::FaultPlan*)>;
+
+/// Renders a double with full round-trip precision for fingerprints.
+inline std::string exact(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+/// Null plan and empty plan are byte-identical (and equal to a second
+/// null-plan run, catching hidden global state).
+inline void expect_null_plan_identity(const Scenario& scenario) {
+  const std::string without = scenario(nullptr);
+  const fault::FaultPlan empty;
+  EXPECT_EQ(without, scenario(&empty))
+      << "an empty fault plan changed the simulation";
+  EXPECT_EQ(without, scenario(nullptr)) << "null-plan run is not idempotent";
+}
+
+/// A faulted run replays byte-identically, both from the plan object and
+/// from its serialized text form.
+inline void expect_replay_identity(const Scenario& scenario,
+                                   const fault::FaultPlan& plan) {
+  const std::string first = scenario(&plan);
+  EXPECT_EQ(first, scenario(&plan)) << "faulted run is not deterministic";
+  const fault::FaultPlan replayed =
+      fault::FaultPlan::deserialize(plan.serialize());
+  ASSERT_EQ(plan, replayed) << "serialize/deserialize is not a round trip";
+  EXPECT_EQ(first, scenario(&replayed))
+      << "replay from serialized plan diverged";
+}
+
+/// Full property check: null identity + replay identity for `plan`.
+inline void check_scenario(const Scenario& scenario,
+                           const fault::FaultPlan& plan) {
+  expect_null_plan_identity(scenario);
+  expect_replay_identity(scenario, plan);
+}
+
+}  // namespace atlarge::chaos

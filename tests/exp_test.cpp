@@ -690,4 +690,130 @@ TEST(Rendering, AggregateJsonAndTableCarryParamNames)
   EXPECT_NE(table.find("marginals"), std::string::npos);
 }
 
+// --------------------------------------------- store tail-repair edges --
+
+TEST(ResultStore, EmptyFileRecoversCleanly) {
+  const auto path = temp_path("empty.jsonl");
+  std::remove(path.c_str());
+  { std::ofstream out(path, std::ios::binary); }  // zero bytes
+  exp::ResultStore store(path);
+  EXPECT_EQ(store.recovered(), 0u);
+  EXPECT_EQ(store.discarded_lines(), 0u);
+  EXPECT_EQ(store.size(), 0u);
+  // The store is still usable: an append lands and survives reopening.
+  exp::TrialRecord record;
+  record.key = "after_empty";
+  record.objective = 4.0;
+  store.append(record, {});
+  exp::ResultStore reopened(path);
+  EXPECT_EQ(reopened.recovered(), 1u);
+  ASSERT_NE(reopened.lookup("after_empty"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(ResultStore, TornFinalLineWithoutNewlineIsDiscarded) {
+  const auto path = temp_path("torn.jsonl");
+  std::remove(path.c_str());
+  {
+    exp::ResultStore store(path);
+    exp::TrialRecord record;
+    record.key = "whole";
+    record.objective = 1.0;
+    store.append(record, {});
+  }
+  // A crash mid-write leaves a torn record with NO trailing newline.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "{\"key\":\"torn\",\"objective\":2.0,\"metr";
+  }
+  exp::ResultStore repaired(path);
+  EXPECT_EQ(repaired.recovered(), 1u);
+  EXPECT_GE(repaired.discarded_lines(), 1u);
+  EXPECT_NE(repaired.lookup("whole"), nullptr);
+  EXPECT_EQ(repaired.lookup("torn"), nullptr);
+  // Repair rewrote the file: a second reopen discards nothing.
+  exp::ResultStore clean(path);
+  EXPECT_EQ(clean.recovered(), 1u);
+  EXPECT_EQ(clean.discarded_lines(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultStore, RepeatedResumeIsStable) {
+  const auto path = temp_path("rere.jsonl");
+  std::remove(path.c_str());
+  for (int round = 0; round < 4; ++round) {
+    exp::ResultStore store(path);
+    EXPECT_EQ(store.recovered(), static_cast<std::size_t>(round));
+    EXPECT_EQ(store.discarded_lines(), 0u);
+    exp::TrialRecord record;
+    record.key = "round_" + std::to_string(round);
+    record.objective = round;
+    store.append(record, {});
+  }
+  exp::ResultStore final_store(path);
+  EXPECT_EQ(final_store.recovered(), 4u);
+  for (int round = 0; round < 4; ++round)
+    EXPECT_NE(final_store.lookup("round_" + std::to_string(round)), nullptr)
+        << round;
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------- the faults dimension --
+
+TEST(Adapters, SimulationDomainsExposeFaultRateDimension) {
+  for (const std::string domain : {"portfolio", "serverless", "autoscale",
+                                   "p2p"}) {
+    SCOPED_TRACE(domain);
+    const auto adapter = exp::make_adapter(domain);
+    bool found = false;
+    for (const auto& param : adapter->params()) {
+      if (param.name != "faults.rate") continue;
+      found = true;
+      ASSERT_FALSE(param.values.empty());
+      // Option 0 is always the no-fault baseline, so committed campaign
+      // specs can pin `dim faults.rate 0`.
+      EXPECT_EQ(param.values.front(), 0.0);
+    }
+    EXPECT_TRUE(found);
+  }
+  // The graph adapter runs real kernels, not a simulation: no fault dim.
+  for (const auto& param : exp::make_adapter("graph")->params())
+    EXPECT_NE(param.name, "faults.rate");
+}
+
+TEST(Adapters, FaultRateDimensionBindsInCampaignSpecs) {
+  // The committed campaign files pin `dim faults.rate 0`; the chaos sweep
+  // binds all three options. Both must resolve against the adapter.
+  const auto adapter = exp::make_adapter("serverless");
+  exp::CampaignSpec pinned;
+  pinned.domain = "serverless";
+  pinned.dims = {{"faults.rate", {"0"}}};
+  EXPECT_EQ(exp::BoundSpace(*adapter, pinned).grid_size() % 1u, 0u);
+  exp::CampaignSpec swept;
+  swept.domain = "serverless";
+  swept.dims = {{"faults.rate", {"0", "8", "40"}}, {"keep_alive", {"600"}},
+                {"prewarmed", {"0"}}, {"max_instances", {"128"}}};
+  EXPECT_EQ(exp::BoundSpace(*adapter, swept).grid_size(), 3u);
+}
+
+TEST(Adapters, ServerlessFaultsDegradeSuccessRate) {
+  const auto adapter = exp::make_adapter("serverless");
+  const std::vector<double> clean = {300.0, 2.0, 128.0, 0.0};
+  const std::vector<double> faulted = {300.0, 2.0, 128.0, 40.0};
+  const auto metric = [](const exp::TrialResult& r, const std::string& name) {
+    for (const auto& [key, value] : r.metrics)
+      if (key == name) return value;
+    ADD_FAILURE() << "missing metric " << name;
+    return 0.0;
+  };
+  const auto base = adapter->run(clean, 55, 0.2);
+  EXPECT_DOUBLE_EQ(metric(base, "success_rate"), 1.0);
+  EXPECT_EQ(metric(base, "failed"), 0.0);
+  EXPECT_EQ(metric(base, "faults_injected"), 0.0);
+  const auto hit = adapter->run(faulted, 55, 0.2);
+  EXPECT_GT(metric(hit, "faults_injected"), 0.0);
+  EXPECT_LT(metric(hit, "success_rate"), 1.0);
+  EXPECT_GT(metric(hit, "failed"), 0.0);
+}
+
 }  // namespace

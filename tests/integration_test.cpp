@@ -195,6 +195,144 @@ TEST(Integration, MmogPopulationDrivesElasticSimulator) {
   EXPECT_GT(result.metrics.avg_demand, 0.0);
 }
 
+namespace {
+
+// A small chaos campaign over the serverless adapter: one design point
+// swept along faults.rate only, so aggregates isolate the fault effect.
+exp::CampaignSpec chaos_campaign_spec() {
+  exp::CampaignSpec spec;
+  spec.name = "chaos-sweep";
+  spec.domain = "serverless";
+  spec.mode = exp::CampaignMode::kGrid;
+  spec.repeats = 3;
+  spec.seed = 7;
+  spec.scale = 0.2;
+  spec.dims = {{"keep_alive", {"600"}},
+               {"prewarmed", {"0"}},
+               {"max_instances", {"128"}},
+               {"faults.rate", {"0", "8", "40"}}};
+  return spec;
+}
+
+// Mean success_rate at the design point whose faults.rate label is `rate`.
+double success_rate_at(const exp::CampaignAggregate& aggregate,
+                       const std::string& rate) {
+  std::size_t rate_dim = aggregate.param_names.size();
+  for (std::size_t d = 0; d < aggregate.param_names.size(); ++d)
+    if (aggregate.param_names[d] == "faults.rate") rate_dim = d;
+  EXPECT_LT(rate_dim, aggregate.param_names.size());
+  for (const auto& point : aggregate.ranked) {
+    if (point.labels[rate_dim] != rate) continue;
+    for (const auto& [name, value] : point.mean_metrics)
+      if (name == "success_rate") return value;
+  }
+  ADD_FAILURE() << "no aggregate point with faults.rate=" << rate;
+  return -1.0;
+}
+
+}  // namespace
+
+TEST(Integration, FaultSweepDegradesServerlessSuccessMonotonically) {
+  // The acceptance property of the faults.* dimension: plans at a higher
+  // rate are supersets of lower-rate plans at the same design point, so
+  // the mean success-rate aggregate degrades monotonically along the
+  // sweep, with the rate-0 baseline at exactly 1.0.
+  const auto adapter = exp::make_adapter("serverless");
+  exp::ResultStore store;
+  const auto outcome =
+      exp::run_campaign(chaos_campaign_spec(), *adapter, store, {});
+  ASSERT_TRUE(outcome.complete);
+  ASSERT_EQ(outcome.aggregate.points, 3u);
+  const double clean = success_rate_at(outcome.aggregate, "0");
+  const double light = success_rate_at(outcome.aggregate, "8");
+  const double heavy = success_rate_at(outcome.aggregate, "40");
+  EXPECT_DOUBLE_EQ(clean, 1.0);
+  EXPECT_GE(clean, light);
+  EXPECT_GE(light, heavy);
+  EXPECT_LT(heavy, 1.0);
+}
+
+TEST(Integration, FaultSweepIsThreadCountInvariant) {
+  // Fixed seed => byte-identical aggregates at 1, 2, and 8 threads: fault
+  // plans are built per-trial from the trial descriptor, never shared.
+  const auto adapter = exp::make_adapter("serverless");
+  std::string reference;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    exp::ResultStore store;
+    exp::RunnerConfig config;
+    config.threads = threads;
+    const auto outcome =
+        exp::run_campaign(chaos_campaign_spec(), *adapter, store, config);
+    const auto json = exp::aggregate_json(outcome.aggregate);
+    if (reference.empty())
+      reference = json;
+    else
+      EXPECT_EQ(json, reference) << threads << " threads diverged";
+  }
+}
+
+TEST(Integration, FaultSweepSurvivesKillAndResume) {
+  // Interrupt the chaos campaign mid-run (the executed-trials cap is how
+  // CI simulates a kill), then resume against the same store: the final
+  // aggregate is byte-identical to an uninterrupted run.
+  const auto adapter = exp::make_adapter("serverless");
+  exp::ResultStore uninterrupted;
+  const auto reference = exp::run_campaign(chaos_campaign_spec(), *adapter,
+                                           uninterrupted, {});
+
+  exp::ResultStore store;
+  exp::RunnerConfig interrupted;
+  interrupted.max_executed = 4;  // of 9 trials
+  const auto first =
+      exp::run_campaign(chaos_campaign_spec(), *adapter, store, interrupted);
+  EXPECT_FALSE(first.complete);
+  const auto resumed =
+      exp::run_campaign(chaos_campaign_spec(), *adapter, store, {});
+  ASSERT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.stats.memoized, 4u);
+  EXPECT_EQ(exp::aggregate_json(resumed.aggregate),
+            exp::aggregate_json(reference.aggregate));
+}
+
+TEST(Integration, FaultInjectionMirrorsIntoObservabilityPlane) {
+  // fault -> serverless -> obs, composed: every injection and recovery
+  // the platform reports is visible as obs counters, and the metrics
+  // JSON carries the fault series alongside the FaaS telemetry.
+  const auto registry = serverless::uniform_registry(2, 0.2, 1.0);
+  stats::Rng rng(8);
+  const auto invocations =
+      serverless::bursty_invocations(2, 0.1, 2'000.0, 500.0, 8, rng);
+  fault::FaultSpec fspec;
+  fspec.rate = 20.0;
+  fspec.horizon = 2'000.0;
+  fspec.seed = 3;
+  fspec.targets = 2;
+  fspec.kinds = {fault::FaultKind::kMessageLoss,
+                 fault::FaultKind::kColdStartFailure};
+  const auto plan = fault::FaultPlan::generate(fspec);
+
+  obs::Observability plane;
+  serverless::PlatformConfig config;
+  config.obs = &plane;
+  config.faults = &plan;
+  config.retry.max_attempts = 2;
+  config.retry.timeout = 10.0;
+  const auto result = serverless::run_platform(registry, invocations, config);
+
+  EXPECT_EQ(result.faults_injected, plan.size());
+  const auto& counters = plane.metrics.counters();
+  ASSERT_TRUE(counters.contains("fault.injected"));
+  EXPECT_EQ(counters.at("fault.injected").value(), result.faults_injected);
+  if (result.faults_recovered > 0) {
+    ASSERT_TRUE(counters.contains("fault.recovered"));
+    EXPECT_EQ(counters.at("fault.recovered").value(),
+              result.faults_recovered);
+  }
+  if (result.failed_invocations > 0)
+    EXPECT_EQ(counters.at("faas.failed").value(), result.failed_invocations);
+  EXPECT_NE(plane.metrics.json().find("fault.injected"), std::string::npos);
+}
+
 TEST(Integration, SamplerObservesSchedulerLoad) {
   // The sim kernel's Sampler plays the DevOps monitoring role over a toy
   // system built directly on the kernel.

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "atlarge/obs/observability.hpp"
+#include "atlarge/fault/fault.hpp"
 #include "atlarge/p2p/ecosystem.hpp"
 #include "atlarge/p2p/flashcrowd.hpp"
 #include "atlarge/p2p/monitor.hpp"
@@ -357,4 +358,51 @@ TEST(Observability, SwarmEmitsCensusAndDownloadTelemetry) {
   const auto unobserved = p2p::simulate_swarm(bare, arrivals, 50'000.0);
   EXPECT_EQ(unobserved.finished, result.finished);
   EXPECT_DOUBLE_EQ(unobserved.mean_download_time, result.mean_download_time);
+}
+
+// ----------------------------------------------------- fault injection --
+
+TEST(Faults, ChurnSpikeEvictsNewestLeechers) {
+  const std::vector<double> arrivals = {0.0, 10.0, 20.0};
+  atlarge::fault::FaultPlan plan;
+  plan.add({50.0, atlarge::fault::FaultKind::kChurnSpike, 0, 0.0, 0.5});
+  auto config = small_swarm();
+  config.faults = &plan;
+  const auto result = p2p::simulate_swarm(config, arrivals, 100'000.0);
+  // floor(0.5 x 3 leechers) = 1 victim, evicted newest-first at the epoch
+  // boundary that reaches the event time.
+  EXPECT_EQ(result.churned, 1u);
+  ASSERT_EQ(result.peers.size(), 3u);
+  EXPECT_FALSE(result.peers[2].finished);
+  EXPECT_DOUBLE_EQ(result.peers[2].departure, 50.0);
+  EXPECT_TRUE(result.peers[0].finished);
+  EXPECT_TRUE(result.peers[1].finished);
+  EXPECT_EQ(result.finished, 2u);
+}
+
+TEST(Faults, FullMagnitudeSpikeDrainsTheSwarm) {
+  const std::vector<double> arrivals = {0.0, 5.0, 10.0};
+  atlarge::fault::FaultPlan plan;
+  plan.add({30.0, atlarge::fault::FaultKind::kChurnSpike, 0, 0.0, 1.0});
+  auto config = small_swarm();
+  config.faults = &plan;
+  const auto result = p2p::simulate_swarm(config, arrivals, 100'000.0);
+  EXPECT_EQ(result.churned, 3u);
+  EXPECT_EQ(result.finished, 0u);
+  for (const auto& peer : result.peers) EXPECT_FALSE(peer.finished);
+}
+
+TEST(Faults, NonChurnKindsAreIgnoredBySwarm) {
+  const std::vector<double> arrivals = {0.0, 10.0, 20.0};
+  atlarge::fault::FaultPlan plan;
+  plan.add({30.0, atlarge::fault::FaultKind::kMachineCrash, 0, 10.0, 0.5});
+  plan.add({40.0, atlarge::fault::FaultKind::kSlowdown, 0, 10.0, 0.5});
+  auto config = small_swarm();
+  const auto clean = p2p::simulate_swarm(config, arrivals, 100'000.0);
+  config.faults = &plan;
+  const auto faulted = p2p::simulate_swarm(config, arrivals, 100'000.0);
+  EXPECT_EQ(faulted.churned, 0u);
+  EXPECT_EQ(faulted.finished, clean.finished);
+  EXPECT_EQ(faulted.mean_download_time, clean.mean_download_time);
+  EXPECT_EQ(faulted.peak_swarm_size, clean.peak_swarm_size);
 }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "atlarge/cluster/machine.hpp"
+#include "atlarge/fault/fault.hpp"
 #include "atlarge/obs/observability.hpp"
 #include "atlarge/sched/policies.hpp"
 #include "atlarge/sched/simulator.hpp"
@@ -392,4 +393,63 @@ TEST(Observability, SimulateEmitsKernelAndSchedulerTelemetry) {
   const auto bare = sched::simulate(env, wl, bare_policy);
   EXPECT_DOUBLE_EQ(bare.makespan, result.makespan);
   EXPECT_DOUBLE_EQ(bare.mean_slowdown, result.mean_slowdown);
+}
+
+// ----------------------------------------------------- fault injection --
+
+TEST(Faults, CrashKillsAndRequeuesRunningTask) {
+  const auto env = cluster::make_homogeneous_cluster("c", 1, 1);
+  auto wl = single_task_jobs({10.0});
+  atlarge::fault::FaultPlan plan;
+  plan.add({2.0, atlarge::fault::FaultKind::kMachineCrash, 0, 3.0, 0.5});
+  sched::FcfsPolicy policy;
+  sched::SimOptions options;
+  options.faults = &plan;
+  const auto result = sched::simulate(env, wl, policy, options);
+  // The task loses its 2s of progress, waits out the 3s outage, and
+  // reruns from scratch on the restarted machine: 5.0 + 10.0 = 15.0.
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.jobs[0].finish, 15.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 15.0);
+  EXPECT_EQ(result.tasks_requeued, 1u);
+  EXPECT_EQ(result.faults_injected, 1u);
+  EXPECT_EQ(result.faults_recovered, 1u);  // the machine restarted
+  EXPECT_EQ(result.tasks_completed, 1u);
+}
+
+TEST(Faults, SlowdownStretchesPlacementsMadeDuringTheWindow) {
+  const auto env = cluster::make_homogeneous_cluster("c", 1, 1);
+  auto wl = single_task_jobs({10.0});
+  atlarge::fault::FaultPlan plan;
+  // Injections attach before arrivals, so at t=0 the machine is already
+  // limping at half speed when the task is placed: 10 / 0.5 = 20.
+  plan.add({0.0, atlarge::fault::FaultKind::kSlowdown, 0, 30.0, 0.5});
+  sched::FcfsPolicy policy;
+  sched::SimOptions options;
+  options.faults = &plan;
+  const auto result = sched::simulate(env, wl, policy, options);
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.jobs[0].finish, 20.0);
+  EXPECT_EQ(result.faults_injected, 1u);
+  EXPECT_EQ(result.tasks_requeued, 0u);  // slowdowns never kill tasks
+}
+
+TEST(Faults, NullAndEmptyPlansKeepBaselineByteIdentical) {
+  const auto env = cluster::make_homogeneous_cluster("c", 2, 2);
+  auto wl = single_task_jobs({5.0, 7.0, 3.0});
+  const auto run = [&](const atlarge::fault::FaultPlan* faults) {
+    sched::FcfsPolicy policy;
+    sched::SimOptions options;
+    options.faults = faults;
+    return sched::simulate(env, wl, policy, options);
+  };
+  const auto baseline = run(nullptr);
+  const atlarge::fault::FaultPlan empty;
+  const auto with_empty = run(&empty);
+  EXPECT_EQ(baseline.makespan, with_empty.makespan);
+  EXPECT_EQ(baseline.mean_wait, with_empty.mean_wait);
+  EXPECT_EQ(baseline.utilization, with_empty.utilization);
+  EXPECT_EQ(baseline.machine_busy_seconds, with_empty.machine_busy_seconds);
+  EXPECT_EQ(with_empty.faults_injected, 0u);
+  EXPECT_EQ(with_empty.tasks_requeued, 0u);
 }

@@ -302,3 +302,102 @@ TEST(Observability, PlatformEmitsFaasTelemetry) {
   EXPECT_DOUBLE_EQ(unobserved.billed_instance_seconds,
                    result.billed_instance_seconds);
 }
+
+// ----------------------------------------------------- fault injection --
+
+TEST(Faults, MessageLossFailsSingleAttemptInvocation) {
+  const auto registry = two_functions();
+  atlarge::fault::FaultPlan plan;
+  plan.add({0.0, atlarge::fault::FaultKind::kMessageLoss, 0, 10.0, 0.5});
+  sl::PlatformConfig config;
+  config.faults = &plan;  // default retry: one attempt, no timeout
+  const std::vector<sl::Invocation> invocations = {{0, 1.0}};
+  const auto result = sl::run_platform(registry, invocations, config);
+  ASSERT_EQ(result.invocations.size(), 1u);
+  EXPECT_TRUE(result.invocations[0].failed);
+  EXPECT_EQ(result.invocations[0].attempts, 1u);
+  EXPECT_EQ(result.failed_invocations, 1u);
+  EXPECT_DOUBLE_EQ(result.success_rate, 0.0);
+  EXPECT_EQ(result.faults_injected, 1u);
+  EXPECT_EQ(result.retries, 0u);
+}
+
+TEST(Faults, RetriesEscapeTheLossWindow) {
+  const auto registry = two_functions();
+  atlarge::fault::FaultPlan plan;
+  plan.add({0.0, atlarge::fault::FaultKind::kMessageLoss, 0, 2.0, 0.5});
+  sl::PlatformConfig config;
+  config.faults = &plan;
+  config.retry.max_attempts = 3;
+  config.retry.backoff_base = 0.5;
+  config.retry.backoff_factor = 2.0;
+  const std::vector<sl::Invocation> invocations = {{0, 1.0}};
+  const auto result = sl::run_platform(registry, invocations, config);
+  // Attempt 1 at t=1.0 is lost; retry at 1.5 still inside the window;
+  // retry at 2.5 escapes it and cold-starts: 2.5 + 1.0 + 0.2 = 3.7.
+  ASSERT_EQ(result.invocations.size(), 1u);
+  EXPECT_FALSE(result.invocations[0].failed);
+  EXPECT_EQ(result.invocations[0].attempts, 3u);
+  EXPECT_DOUBLE_EQ(result.invocations[0].finish, 3.7);
+  EXPECT_EQ(result.retries, 2u);
+  EXPECT_DOUBLE_EQ(result.success_rate, 1.0);
+  EXPECT_GE(result.faults_recovered, 1u);
+}
+
+TEST(Faults, TimeoutAbandonsAttemptsThatRunTooLong) {
+  // No fault plan: the retry/timeout machinery stands on its own. beta's
+  // cold start (2.0 + 0.5) exceeds the 1s timeout; the abandoned instance
+  // stays warm, so the retry at 1.5 executes in 0.5s and succeeds.
+  const auto registry = two_functions();
+  sl::PlatformConfig config;
+  config.retry.max_attempts = 2;
+  config.retry.timeout = 1.0;
+  config.retry.backoff_base = 0.5;
+  const std::vector<sl::Invocation> invocations = {{1, 0.0}};
+  const auto result = sl::run_platform(registry, invocations, config);
+  ASSERT_EQ(result.invocations.size(), 1u);
+  EXPECT_FALSE(result.invocations[0].failed);
+  EXPECT_EQ(result.invocations[0].attempts, 2u);
+  EXPECT_DOUBLE_EQ(result.invocations[0].finish, 2.0);
+  EXPECT_EQ(result.retries, 1u);
+  EXPECT_EQ(result.failed_invocations, 0u);
+}
+
+TEST(Faults, ColdStartFailureWindowBlocksProvisioning) {
+  const auto registry = two_functions();
+  atlarge::fault::FaultPlan plan;
+  plan.add({0.0, atlarge::fault::FaultKind::kColdStartFailure, 0, 5.0, 0.5});
+  sl::PlatformConfig config;
+  config.keep_alive = 1.0;  // the failed attempt leaves no warm instance
+  config.faults = &plan;
+  const std::vector<sl::Invocation> invocations = {{0, 1.0}, {0, 6.0}};
+  const auto result = sl::run_platform(registry, invocations, config);
+  ASSERT_EQ(result.invocations.size(), 2u);
+  std::size_t failed = 0;
+  for (const auto& s : result.invocations)
+    if (s.failed) ++failed;
+  EXPECT_EQ(failed, 1u);
+  EXPECT_DOUBLE_EQ(result.success_rate, 0.5);
+  // The invocation after the window cold-starts normally.
+  EXPECT_EQ(result.failed_invocations, 1u);
+}
+
+TEST(Faults, MessageDelayDefersDispatchWithoutFailing) {
+  const auto registry = two_functions();
+  atlarge::fault::FaultPlan plan;
+  plan.add({0.0, atlarge::fault::FaultKind::kMessageDelay, 0, 5.0, 0.5});
+  sl::PlatformConfig config;
+  config.faults = &plan;
+  const std::vector<sl::Invocation> invocations = {{0, 1.0}};
+  const auto result = sl::run_platform(registry, invocations, config);
+  ASSERT_EQ(result.invocations.size(), 1u);
+  const auto& s = result.invocations[0];
+  EXPECT_FALSE(s.failed);
+  EXPECT_EQ(s.attempts, 1u);  // deferral consumes no attempt
+  EXPECT_TRUE(s.cold);
+  // Dispatch deferred to the window end: start 5.0 + 1.0 cold = 6.0.
+  EXPECT_DOUBLE_EQ(s.start, 6.0);
+  EXPECT_DOUBLE_EQ(s.latency(), 6.2 - 1.0);
+  EXPECT_EQ(result.failed_invocations, 0u);
+  EXPECT_DOUBLE_EQ(result.success_rate, 1.0);
+}
