@@ -4,16 +4,54 @@
 // CI and the tracked BENCH_*.json snapshots use one stable spelling
 // regardless of the benchmark library version in use.
 //
+// Every run also stamps provenance into the JSON `context` block:
+//   * git_sha          — the commit the binary was built from (via the
+//                        ATLARGE_GIT_SHA compile definition, "unknown"
+//                        outside a git checkout);
+//   * atlarge_build_type — CMAKE_BUILD_TYPE of this build, so the perf
+//                        gate (bench/compare_bench.py) can refuse to
+//                        compare a Debug run against a Release baseline;
+//   * queue_backend    — which kernel event-queue backend the process
+//                        defaults to. Selectable per run via the
+//                        ATLARGE_SIM_QUEUE environment variable ("heap" or
+//                        "calendar") for head-to-head comparisons without
+//                        a rebuild.
+//
 // Usage (exactly once per binary, after all BENCHMARK registrations):
 //
 //   ATLARGE_BENCH_JSON_MAIN("BENCH_kernel.json")
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "atlarge/sim/simulation.hpp"
+
+#ifndef ATLARGE_GIT_SHA
+#define ATLARGE_GIT_SHA "unknown"
+#endif
+#ifndef ATLARGE_BUILD_TYPE
+#define ATLARGE_BUILD_TYPE "unknown"
+#endif
+
 namespace atlarge::bench {
+
+/// Applies the ATLARGE_SIM_QUEUE selection (if set) and returns the name
+/// of the resulting process-wide default backend.
+inline const char* apply_queue_backend_env() {
+  const char* env = std::getenv("ATLARGE_SIM_QUEUE");
+  if (env != nullptr) {
+    if (std::strcmp(env, "calendar") == 0)
+      sim::set_default_queue_kind(sim::QueueKind::kCalendar);
+    else if (std::strcmp(env, "heap") == 0)
+      sim::set_default_queue_kind(sim::QueueKind::kHeap);
+  }
+  return sim::default_queue_kind() == sim::QueueKind::kHeap ? "heap"
+                                                            : "calendar";
+}
 
 /// Runs the registered benchmarks, rewriting `--json[=path]` (default
 /// output path `default_json`) into --benchmark_out/--benchmark_out_format.
@@ -49,6 +87,9 @@ inline int run_benchmarks_with_json_flag(int argc, char** argv,
   benchmark::Initialize(&filtered_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
     return 1;
+  benchmark::AddCustomContext("git_sha", ATLARGE_GIT_SHA);
+  benchmark::AddCustomContext("atlarge_build_type", ATLARGE_BUILD_TYPE);
+  benchmark::AddCustomContext("queue_backend", apply_queue_backend_env());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -25,6 +25,17 @@ namespace atlarge::graph {
 
 using VertexId = std::uint32_t;
 
+/// Raw pointers into one CSR direction of a Graph. Kernel inner loops
+/// hoist these out of the per-vertex loop and mark their local copies
+/// __restrict: the per-edge span construction disappears and the compiler
+/// can vectorize the gather, which it cannot prove safe through the
+/// accessor methods. Vertex v's edges are heads[offsets[v]..offsets[v+1]);
+/// edge counts fall out of offset differences, no per-edge counter needed.
+struct CsrView {
+  const std::size_t* offsets;  // size n+1
+  const VertexId* heads;
+};
+
 /// Immutable directed graph in CSR form, with optional edge weights.
 /// Vertices are [0, num_vertices). Self-loops and parallel edges are
 /// removed at build time (the first occurrence of a parallel edge, in
@@ -75,6 +86,16 @@ class Graph {
   /// Undirected view degree: distinct neighbors in either direction.
   std::uint32_t und_degree(VertexId v) const {
     return static_cast<std::uint32_t>(und_offsets_[v + 1] - und_offsets_[v]);
+  }
+
+  /// Raw views of the three CSR directions, for kernel inner loops (see
+  /// CsrView). Valid as long as the Graph is.
+  CsrView out_csr() const noexcept { return {offsets_.data(), heads_.data()}; }
+  CsrView in_csr() const noexcept {
+    return {in_offsets_.data(), in_heads_.data()};
+  }
+  CsrView und_csr() const noexcept {
+    return {und_offsets_.data(), und_heads_.data()};
   }
 
   /// The undirected view as an adjacency-list copy (kept for callers that

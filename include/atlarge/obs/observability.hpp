@@ -27,7 +27,9 @@ namespace atlarge::obs {
 /// Standard kernel instrumentation: event-transition counters
 /// (sim.events_scheduled / sim.events_fired / sim.events_cancelled), a
 /// queue-depth gauge (sim.queue_depth), a per-run executed-events
-/// histogram (sim.run_events), and a "sim.run" span per run()/run_until().
+/// histogram (sim.run_events), a system-allocator counter
+/// (sim.alloc_events — zero for a pre-sized steady-state run), and a
+/// "sim.run" span per run()/run_until().
 class KernelObserver final : public sim::Observer {
  public:
   KernelObserver(Registry& metrics, Tracer& tracer)
@@ -35,6 +37,7 @@ class KernelObserver final : public sim::Observer {
         scheduled_(&metrics.counter("sim.events_scheduled")),
         fired_(&metrics.counter("sim.events_fired")),
         cancelled_(&metrics.counter("sim.events_cancelled")),
+        alloc_events_(&metrics.counter("sim.alloc_events")),
         queue_depth_(&metrics.gauge("sim.queue_depth")),
         run_events_(&metrics.histogram("sim.run_events")) {}
 
@@ -65,11 +68,14 @@ class KernelObserver final : public sim::Observer {
     tracer_->end("sim.run", "kernel", now);
   }
 
+  void on_alloc_event() override { alloc_events_->add(1); }
+
  private:
   Tracer* tracer_;
   Counter* scheduled_;
   Counter* fired_;
   Counter* cancelled_;
+  Counter* alloc_events_;
   Gauge* queue_depth_;
   Histogram* run_events_;
 };

@@ -1,0 +1,112 @@
+#pragma once
+// Bump-pointer arena for event payloads. Every pool slot owns one 64-byte
+// block from this arena for its whole lifetime (the common case — small
+// closures are constructed, invoked, and destroyed in place there), and
+// larger closures take a per-event block from the matching size class —
+// storage that would otherwise cost one malloc/free per event on a hot
+// path.
+//
+// Layout: fixed 64 KiB chunks carved into power-of-two size classes
+// (64..1024 bytes). allocate() pops a per-class free list or bumps the
+// cursor chunk, advancing into pre-reserved chunks before allocating new
+// ones; deallocate() pushes back onto the free list, so after warm-up a
+// steady-state simulation recycles payload storage without touching the
+// system allocator. Chunks are never returned individually — the arena
+// frees them wholesale on destruction, which is exactly the lifetime the
+// kernel needs (a Simulation owns its arena and both die together).
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace atlarge::sim {
+
+class PayloadArena {
+ public:
+  static constexpr std::size_t kMinClass = 64;
+  static constexpr std::size_t kMaxClass = 1024;
+  static constexpr std::size_t kChunkBytes = std::size_t{1} << 16;
+
+  /// Smallest size class holding `bytes`, or 0 if `bytes` exceeds
+  /// kMaxClass (the caller falls back to the system allocator).
+  static constexpr std::size_t size_class(std::size_t bytes) noexcept {
+    if (bytes > kMaxClass) return 0;
+    std::size_t cls = kMinClass;
+    while (cls < bytes) cls <<= 1;
+    return cls;
+  }
+
+  /// Allocates one block of size class `cls` (a value returned by
+  /// size_class, > 0). Alignment is alignof(std::max_align_t).
+  void* allocate(std::size_t cls) {
+    FreeNode*& head = free_[class_index(cls)];
+    if (head != nullptr) {
+      FreeNode* node = head;
+      head = node->next;
+      return node;
+    }
+    if (opened_ == 0 || used_ + cls > kChunkBytes) advance_chunk();
+    void* p =
+        reinterpret_cast<unsigned char*>(chunks_[opened_ - 1].get()) + used_;
+    used_ += cls;
+    return p;
+  }
+
+  /// Returns a block obtained from allocate(cls) to its class free list.
+  void deallocate(void* p, std::size_t cls) noexcept {
+    FreeNode*& head = free_[class_index(cls)];
+    auto* node = static_cast<FreeNode*>(p);
+    node->next = head;
+    head = node;
+  }
+
+  /// Pre-allocates enough chunks to cover `bytes` of payload without a
+  /// further system allocation (growth beyond that still works). The
+  /// cursor does not move: pre-reserved chunks are consumed on demand.
+  void reserve(std::size_t bytes) {
+    std::size_t want = (bytes + kChunkBytes - 1) / kChunkBytes;
+    chunks_.reserve(want);
+    while (chunks_.size() < want) push_chunk();
+  }
+
+  /// Number of chunk allocations performed so far (the arena's only
+  /// system-allocator traffic); the kernel's alloc-event accounting uses
+  /// the delta across an operation. Chunks created by reserve() count
+  /// here too — callers snapshot around the operations they meter.
+  std::size_t chunks() const noexcept { return chunks_.size(); }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static constexpr std::size_t class_index(std::size_t cls) noexcept {
+    std::size_t i = 0;
+    for (std::size_t c = kMinClass; c < cls; c <<= 1) ++i;
+    return i;
+  }
+  static constexpr std::size_t kNumClasses = 5;  // 64,128,256,512,1024
+
+  // Chunks are arrays of max_align_t so every 64-byte-multiple offset is
+  // suitably aligned for any payload.
+  static constexpr std::size_t kChunkUnits =
+      kChunkBytes / sizeof(std::max_align_t);
+
+  void push_chunk() {
+    chunks_.push_back(std::make_unique<std::max_align_t[]>(kChunkUnits));
+  }
+
+  // Opens the next chunk: a pre-reserved one when available, else new.
+  void advance_chunk() {
+    if (opened_ == chunks_.size()) push_chunk();
+    ++opened_;
+    used_ = 0;
+  }
+
+  std::vector<std::unique_ptr<std::max_align_t[]>> chunks_;
+  std::size_t opened_ = 0;  // chunks the bump cursor has passed through
+  std::size_t used_ = 0;    // bytes used in chunk opened_ - 1
+  FreeNode* free_[kNumClasses] = {};
+};
+
+}  // namespace atlarge::sim

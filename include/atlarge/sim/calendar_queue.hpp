@@ -1,0 +1,298 @@
+#pragma once
+// Calendar-queue event scheduler (Brown 1988), the O(1)-amortized
+// alternative to the kernel's 4-ary heap. Records hash into a power-of-two
+// array of "day" buckets by floor(time / width); a dequeue scans one
+// "year" of buckets from a cursor, falling back to a direct full search
+// when the year comes up empty (sparse far-future schedules).
+//
+// The queue orders the same packed 128-bit records as the heap
+// (time bits : 64 | seq : 40 | slot : 24) and always pops the exact
+// total-order minimum: within the candidate bucket the minimum is taken
+// by full record comparison, so ties at equal timestamps break by
+// sequence number and the heap and calendar backends produce
+// byte-identical event orderings by construction (pinned by
+// tests/sim_queue_test.cpp).
+//
+// All day bookkeeping uses one computation — floor(time * inv_width) — for
+// both the bucket hash and the year scan, so the two can never disagree on
+// which day a record belongs to. Day indices are exact as doubles up to
+// 2^53; widths are re-derived from content on resize (3x the mean
+// inter-event gap), which keeps realistic day indices within ~3x the live
+// event count, far below that limit.
+//
+// Resize policy: grow (double) when size exceeds 2x buckets, shrink
+// (halve) when size falls below buckets/8 — but never below the floor set
+// by reserve(), so a pre-sized queue stays allocation-free in steady
+// state.
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace atlarge::sim {
+
+/// What the event queues order: one 128-bit integer per event, laid out as
+/// (time bits : 64 | seq : 40 | slot : 24). Simulated time is always >= 0,
+/// and non-negative IEEE-754 doubles order identically to their bit
+/// patterns, so a single unsigned compare is exactly the (time, seq, slot)
+/// event order.
+using QueueRecord = unsigned __int128;
+
+/// Simulated time of a packed record.
+inline double queue_record_time(QueueRecord rec) noexcept {
+  return std::bit_cast<double>(static_cast<std::uint64_t>(rec >> 64));
+}
+
+class CalendarQueue {
+ public:
+  static constexpr std::size_t kMinBuckets = 16;
+
+  CalendarQueue() { rebuild(kMinBuckets, 1.0); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Inserts a record. Returns true if the insert had to allocate (bucket
+  /// growth or a table resize) — the kernel's alloc-event accounting.
+  bool push(QueueRecord rec) {
+    bool allocated = false;
+    if (size_ + 1 > (nbuckets_ << 1)) {
+      resize(nbuckets_ << 1);
+      allocated = true;
+    }
+    const double day = day_of(queue_record_time(rec));
+    const std::size_t b = bucket_of_day(day);
+    std::vector<QueueRecord>& bucket = buckets_[b];
+    if (bucket.size() == bucket.capacity()) allocated = true;
+    bucket.push_back(rec);
+    ++size_;
+    if (size_ == 1 || day < cursor_day_) {
+      // First record, or earlier than the cursor's current day: rewind the
+      // scan cursor so the year scan starts where this record lives.
+      cursor_bucket_ = b;
+      cursor_day_ = day;
+      cache_valid_ = false;
+    } else if (cache_valid_ && rec < min_rec_) {
+      min_rec_ = rec;
+      min_bucket_ = b;
+      min_index_ = bucket.size() - 1;
+    }
+    return allocated;
+  }
+
+  /// The exact total-order minimum record. Requires !empty().
+  QueueRecord front() {
+    if (!cache_valid_) locate_min();
+    return min_rec_;
+  }
+
+  /// Removes the minimum record. Requires !empty(). Returns true if the
+  /// removal triggered a reallocation via table shrink.
+  bool pop_front() {
+    if (!cache_valid_) locate_min();
+    std::vector<QueueRecord>& bucket = buckets_[min_bucket_];
+    bucket[min_index_] = bucket.back();
+    bucket.pop_back();
+    --size_;
+    cursor_bucket_ = min_bucket_;
+    cursor_day_ = day_of(queue_record_time(min_rec_));
+    cache_valid_ = false;
+    return maybe_shrink();
+  }
+
+  /// Removes every record sharing the minimum record's timestamp and
+  /// appends them (unsorted) to `out`. Equal-time records always hash to
+  /// the same bucket, so this is one bucket sweep. Returns true if a table
+  /// shrink allocated.
+  bool extract_equal_run(std::vector<QueueRecord>& out) {
+    if (!cache_valid_) locate_min();
+    const std::uint64_t time_bits =
+        static_cast<std::uint64_t>(min_rec_ >> 64);
+    std::vector<QueueRecord>& bucket = buckets_[min_bucket_];
+    std::size_t i = 0;
+    while (i < bucket.size()) {
+      const QueueRecord rec = bucket[i];
+      if (static_cast<std::uint64_t>(rec >> 64) == time_bits) {
+        out.push_back(rec);
+        bucket[i] = bucket.back();
+        bucket.pop_back();
+        --size_;
+      } else {
+        ++i;
+      }
+    }
+    cursor_bucket_ = min_bucket_;
+    cursor_day_ = day_of(queue_record_time(min_rec_));
+    cache_valid_ = false;
+    return maybe_shrink();
+  }
+
+  /// Pre-sizes the bucket table for `events` concurrent records and pins
+  /// it as the shrink floor, so a matched workload runs allocation-free.
+  void reserve(std::size_t events) {
+    std::size_t want = kMinBuckets;
+    while (want < (events + 1) / 2) want <<= 1;
+    if (want > min_buckets_) {
+      min_buckets_ = want;
+      if (nbuckets_ < want) resize(want);
+    }
+    for (std::vector<QueueRecord>& b : buckets_)
+      if (b.capacity() < 4) b.reserve(4);
+    scratch_.reserve(events);
+  }
+
+ private:
+  /// Absolute day index of time `t` — exact as a double up to 2^53.
+  double day_of(double t) const noexcept {
+    return std::floor(t * inv_width_);
+  }
+
+  std::size_t bucket_of_day(double day) const noexcept {
+    // The cast below is undefined past 2^64; such a day index has long
+    // since wrapped around the table, so fold it with fmod first.
+    if (day < 1.8e19) {
+      return static_cast<std::size_t>(static_cast<std::uint64_t>(day)) &
+             mask_;
+    }
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(
+               std::fmod(day, static_cast<double>(nbuckets_)))) &
+           mask_;
+  }
+
+  // Scan invariant: no queued record's day precedes cursor_day_ (pops only
+  // move time forward; pushes behind the cursor rewind it). So the first
+  // bucket, in cursor order, holding a record of the exact day being
+  // scanned holds the global minimum, and the full-record minimum within
+  // that bucket is the exact total-order front.
+  void locate_min() {
+    std::size_t b = cursor_bucket_;
+    double day = cursor_day_;
+    for (std::size_t n = 0; n < nbuckets_; ++n) {
+      const std::vector<QueueRecord>& bucket = buckets_[b];
+      bool found = false;
+      QueueRecord best = 0;
+      std::size_t best_i = 0;
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        if (day_of(queue_record_time(bucket[i])) == day &&
+            (!found || bucket[i] < best)) {
+          best = bucket[i];
+          best_i = i;
+          found = true;
+        }
+      }
+      if (found) {
+        min_rec_ = best;
+        min_bucket_ = b;
+        min_index_ = best_i;
+        cache_valid_ = true;
+        return;
+      }
+      b = (b + 1) & mask_;
+      day += 1.0;
+    }
+    direct_search();
+  }
+
+  /// A whole year held nothing (sparse far-future schedule): scan every
+  /// record for the global minimum and park the cursor on its day.
+  void direct_search() {
+    bool found = false;
+    QueueRecord best = 0;
+    std::size_t best_b = 0;
+    std::size_t best_i = 0;
+    for (std::size_t b = 0; b < nbuckets_; ++b) {
+      const std::vector<QueueRecord>& bucket = buckets_[b];
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        if (!found || bucket[i] < best) {
+          best = bucket[i];
+          best_b = b;
+          best_i = i;
+          found = true;
+        }
+      }
+    }
+    min_rec_ = best;
+    min_bucket_ = best_b;
+    min_index_ = best_i;
+    cache_valid_ = true;
+    cursor_bucket_ = best_b;
+    cursor_day_ = day_of(queue_record_time(best));
+  }
+
+  bool maybe_shrink() {
+    if (nbuckets_ > min_buckets_ && size_ < (nbuckets_ >> 3)) {
+      resize(nbuckets_ >> 1);
+      return true;
+    }
+    return false;
+  }
+
+  void resize(std::size_t target) {
+    scratch_.clear();
+    double tmin = 0.0;
+    double tmax = 0.0;
+    bool first = true;
+    for (std::vector<QueueRecord>& bucket : buckets_) {
+      for (const QueueRecord rec : bucket) {
+        const double t = queue_record_time(rec);
+        if (first || t < tmin) tmin = t;
+        if (first || t > tmax) tmax = t;
+        first = false;
+        scratch_.push_back(rec);
+      }
+      bucket.clear();
+    }
+    double width = 1.0;
+    if (scratch_.size() >= 2 && tmax > tmin)
+      width = 3.0 * (tmax - tmin) / static_cast<double>(scratch_.size());
+    if (!(width > 1e-300)) width = 1.0;
+    rebuild(target, width);
+    for (const QueueRecord rec : scratch_) {
+      buckets_[bucket_of_day(day_of(queue_record_time(rec)))].push_back(rec);
+    }
+    size_ = scratch_.size();
+    if (!scratch_.empty()) {
+      cursor_day_ = day_of(tmin);
+      cursor_bucket_ = bucket_of_day(cursor_day_);
+    }
+    cache_valid_ = false;
+  }
+
+  void rebuild(std::size_t target, double width) {
+    if (target < kMinBuckets) target = kMinBuckets;
+    nbuckets_ = std::size_t{1};
+    while (nbuckets_ < target) nbuckets_ <<= 1;
+    mask_ = nbuckets_ - 1;
+    width_ = width;
+    inv_width_ = 1.0 / width;
+    buckets_.clear();
+    buckets_.resize(nbuckets_);
+    cursor_bucket_ = 0;
+    cursor_day_ = 0.0;
+    cache_valid_ = false;
+  }
+
+  std::vector<std::vector<QueueRecord>> buckets_;
+  std::vector<QueueRecord> scratch_;  // resize staging, reused
+  std::size_t nbuckets_ = 0;
+  std::size_t mask_ = 0;
+  std::size_t min_buckets_ = kMinBuckets;
+  std::size_t size_ = 0;
+  double width_ = 1.0;
+  double inv_width_ = 1.0;
+
+  // Year-scan cursor: the next dequeue scans from this bucket at this
+  // absolute day index.
+  std::size_t cursor_bucket_ = 0;
+  double cursor_day_ = 0.0;
+
+  // Cached position of the current minimum (valid until any mutation).
+  bool cache_valid_ = false;
+  QueueRecord min_rec_ = 0;
+  std::size_t min_bucket_ = 0;
+  std::size_t min_index_ = 0;
+};
+
+}  // namespace atlarge::sim

@@ -14,10 +14,39 @@
 // shared-pointer control blocks. A slot's generation is bumped every time
 // the slot is recycled, so a stale handle can never cancel or observe an
 // unrelated later event that happens to reuse its slot.
+//
+// Event payloads (the scheduled closures) live in a 64-byte arena block
+// paired with each pool slot for the slot's lifetime — no type erasure
+// through std::function, no per-event heap traffic, and stable payload
+// addresses so closures are constructed, invoked, and destroyed in place.
+// Larger closures fall back to per-event blocks from the same bump-pointer
+// arena (atlarge/sim/arena.hpp), recycled with the Simulation; only
+// payloads past the arena's largest size class ever reach the system
+// allocator. Every residual allocation (pool/queue growth, arena chunks,
+// oversize payloads) is counted and reported through
+// Observer::on_alloc_event, so tests can assert that a pre-sized run is
+// allocation-free in steady state.
+//
+// Two queue backends order the same packed 128-bit records: the default
+// 4-ary min-heap (cache-friendly, O(log n), robust under any schedule
+// shape) and a calendar queue (O(1) amortized under churny,
+// near-uniform schedules — atlarge/sim/calendar_queue.hpp). Both pop the
+// exact total-order minimum, so the backend choice can never change
+// simulation results, only speed. run()/run_until() drain equal-time
+// events in batches: one queue extraction per distinct timestamp instead
+// of one pop per event.
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "atlarge/sim/arena.hpp"
+#include "atlarge/sim/calendar_queue.hpp"
 
 namespace atlarge::sim {
 
@@ -25,6 +54,43 @@ namespace atlarge::sim {
 using Time = double;
 
 class Simulation;
+
+/// Which event-queue backend a Simulation orders its records with. Both
+/// produce byte-identical event orderings (exact total-order pops); the
+/// choice is purely a performance trade pinned down in DESIGN.md.
+enum class QueueKind {
+  kHeap,      ///< 4-ary min-heap: O(log n), robust default.
+  kCalendar,  ///< calendar queue: O(1) amortized under dense schedules.
+};
+
+/// Process-wide default backend for newly constructed Simulations
+/// (initially QueueKind::kHeap). Benchmarks flip this to compare backends
+/// without threading a parameter through every domain engine.
+QueueKind default_queue_kind() noexcept;
+void set_default_queue_kind(QueueKind kind) noexcept;
+
+namespace detail {
+
+/// Static per-payload-type vtable: the two operations the kernel needs
+/// from an erased closure. One immutable constexpr instance per payload
+/// type replaces std::function's control block and heap fallback.
+/// Payloads are invoked and destroyed in place (their storage never
+/// relocates while they are alive), so no move operation is needed.
+struct PayloadOps {
+  void (*invoke)(void* payload);
+  void (*destroy)(void* payload) noexcept;
+};
+
+template <class F>
+struct PayloadOpsFor {
+  static void invoke(void* payload) { (*static_cast<F*>(payload))(); }
+  static void destroy(void* payload) noexcept {
+    static_cast<F*>(payload)->~F();
+  }
+  static constexpr PayloadOps ops{&invoke, &destroy};
+};
+
+}  // namespace detail
 
 /// Optional kernel instrumentation hook. A Simulation with no observer
 /// attached pays one pointer test per schedule/fire/cancel (the null-sink
@@ -61,6 +127,10 @@ class Observer {
     (void)now;
     (void)executed;
   }
+  /// The kernel touched the system allocator: pool/queue growth, an arena
+  /// chunk, or an oversize payload. A pre-sized steady-state run emits
+  /// none of these (asserted in tests via Simulation::alloc_events()).
+  virtual void on_alloc_event() {}
 };
 
 /// Optional fault hook: a domain-agnostic seam through which a fault
@@ -108,21 +178,62 @@ class EventHandle {
 /// The event-driven simulation engine.
 class Simulation {
  public:
+  /// Compatibility alias: a type-erased action is still accepted anywhere
+  /// a callable is, but the kernel no longer stores payloads through it.
   using Action = std::function<void()>;
 
-  Simulation() = default;
+  explicit Simulation(QueueKind kind = default_queue_kind());
+  ~Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
   /// Current simulated time.
   Time now() const noexcept { return now_; }
 
+  /// Which queue backend this instance orders events with.
+  QueueKind queue_kind() const noexcept { return kind_; }
+
   /// Schedules `action` at absolute simulated time `at` (>= now()).
-  /// Scheduling in the past is clamped to now().
-  EventHandle schedule_at(Time at, Action action);
+  /// Scheduling in the past is clamped to now(). The callable is stored
+  /// in the slot's arena-resident payload block when it fits 64 bytes, in
+  /// a per-event arena allocation otherwise — construct captures in
+  /// place, no std::function detour.
+  template <class F>
+  EventHandle schedule_at(Time at, F&& action) {
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_v<Fn&>,
+                  "event payload must be callable with no arguments");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned event payloads are not supported");
+    const std::uint32_t slot = acquire_slot();
+    EventSlot& s = slots_[slot];
+    void* where;
+    if constexpr (sizeof(Fn) <= EventSlot::kInlineBytes) {
+      where = s.block;
+    } else {
+      constexpr std::size_t cls = PayloadArena::size_class(sizeof(Fn));
+      if constexpr (cls != 0) {
+        const std::size_t chunks_before = arena_.chunks();
+        where = arena_.allocate(cls);
+        if (arena_.chunks() != chunks_before) note_alloc_event();
+      } else {
+        where = ::operator new(sizeof(Fn));
+        note_alloc_event();
+      }
+      s.heap_payload = where;
+      s.payload_class = static_cast<std::uint32_t>(cls);
+    }
+    ::new (where) Fn(std::forward<F>(action));
+    s.ops = &detail::PayloadOpsFor<Fn>::ops;
+    return schedule_slot(at, slot);
+  }
 
   /// Schedules `action` after a relative delay (>= 0).
-  EventHandle schedule_after(Time delay, Action action);
+  template <class F>
+  EventHandle schedule_after(Time delay, F&& action) {
+    return schedule_at(now_ + std::max(delay, 0.0),
+                       std::forward<F>(action));
+  }
 
   /// Runs until the event queue drains or the clock would pass `until`.
   /// Events scheduled exactly at `until` still fire. Returns the number of
@@ -140,8 +251,19 @@ class Simulation {
   /// never counts cancelled tombstones still sitting in the queue.
   std::size_t pending() const noexcept { return live_; }
 
-  /// Pre-sizes the event pool and queue for `events` concurrent events.
-  void reserve(std::size_t events);
+  /// Pre-sizes the event pool, queue (heap or calendar buckets), dispatch
+  /// scratch, and — when `payload_bytes` > 0 — the payload arena, for
+  /// `events` concurrent events. A heap-backed workload that stays within
+  /// these bounds runs without touching the system allocator
+  /// (alloc_events() stays 0); the calendar backend additionally grows
+  /// bucket capacities toward the schedule's day clustering during a first
+  /// rotation of the table, then goes allocation-free too.
+  void reserve(std::size_t events, std::size_t payload_bytes = 0);
+
+  /// Number of system-allocator events (pool/queue growth, arena chunks,
+  /// oversize payloads) since construction. Zero after a reserve()-sized
+  /// steady-state run; mirrored to Observer::on_alloc_event.
+  std::uint64_t alloc_events() const noexcept { return alloc_events_; }
 
   /// Requests that run()/run_until() return after the current event.
   void stop() noexcept { stopped_ = true; }
@@ -163,56 +285,113 @@ class Simulation {
  private:
   friend class EventHandle;
 
-  /// Pooled event state; recycled through `free_slots_`.
+  /// Pooled event state; recycled through `free_slots_`. The payload
+  /// lives in `block` — a 64-byte arena allocation paired with the slot
+  /// for the slot's whole lifetime, so payload addresses are stable even
+  /// when the slot vector reallocates (the kernel invokes payloads in
+  /// place, and an action may grow the pool mid-execution). Payloads past
+  /// 64 bytes live at `heap_payload` instead (a per-event arena block of
+  /// class `payload_class`, or — when the class is 0 — a plain
+  /// operator-new block). `ops` is null iff the slot currently owns no
+  /// payload.
   struct EventSlot {
-    Action action;
+    static constexpr std::size_t kInlineBytes = 64;
+
+    const detail::PayloadOps* ops = nullptr;
+    void* block = nullptr;
+    void* heap_payload = nullptr;
+    std::uint32_t payload_class = 0;
     std::uint64_t generation = 0;
     bool live = false;
+
+    EventSlot() = default;
+    EventSlot(const EventSlot&) = delete;
+    EventSlot& operator=(const EventSlot&) = delete;
+    // Pool growth relocates slot records; payloads stay put in their
+    // arena blocks, so this is a plain pointer move.
+    EventSlot(EventSlot&& other) noexcept
+        : ops(other.ops),
+          block(other.block),
+          heap_payload(other.heap_payload),
+          payload_class(other.payload_class),
+          generation(other.generation),
+          live(other.live) {
+      other.ops = nullptr;
+      other.block = nullptr;
+      other.heap_payload = nullptr;
+    }
+    // Destroys a still-owned payload. Arena storage is not returned here
+    // (no arena reference); ~Simulation destroys slots before the arena
+    // member, which then releases their blocks wholesale.
+    ~EventSlot() {
+      if (ops == nullptr) return;
+      ops->destroy(heap_payload != nullptr ? heap_payload : block);
+      if (heap_payload != nullptr && payload_class == 0)
+        ::operator delete(heap_payload);
+    }
   };
 
-  /// What the priority queue actually orders: one 128-bit integer per
-  /// event, laid out as (time bits : 64 | seq : 40 | slot : 24). Simulated
-  /// time is always >= 0 (schedule_at clamps to now(), which starts at 0),
-  /// and non-negative IEEE-754 doubles order identically to their bit
-  /// patterns, so a single unsigned 128-bit compare is exactly the
-  /// (time, seq) event order — branchless, where a struct comparator costs
-  /// a data-dependent branch per heap level. seq gives 1.1e12 events per
-  /// Simulation; slot caps concurrent events at 16.7M.
-  ///
-  /// The slot is owned by its record until the record is popped, so
-  /// records never dangle; cancellation just clears `live` and the record
-  /// becomes a tombstone reclaimed on pop.
-  using QueueRecord = unsigned __int128;
-  static constexpr unsigned kSlotBits = 24;
-
   static QueueRecord pack(Time time, std::uint64_t seq_slot) noexcept;
-  static Time record_time(QueueRecord rec) noexcept;
+  static constexpr unsigned kSlotBits = 24;
+  static Time record_time(QueueRecord rec) noexcept {
+    return queue_record_time(rec);
+  }
   static std::uint32_t record_slot(QueueRecord rec) noexcept {
     return static_cast<std::uint32_t>(static_cast<std::uint64_t>(rec) &
                                       ((1u << kSlotBits) - 1));
   }
 
   std::uint32_t acquire_slot();
+  EventHandle schedule_slot(Time at, std::uint32_t slot);
+  void destroy_payload(EventSlot& s) noexcept;
   void release_slot(std::uint32_t slot) noexcept;
-  void purge_cancelled() noexcept;
+  void fire_slot(std::uint32_t slot);
+  std::size_t run_batch();
+  void purge_cancelled();
+  bool slot_pending(std::uint32_t slot,
+                    std::uint64_t generation) const noexcept;
+  bool cancel_slot(std::uint32_t slot, std::uint64_t generation) noexcept;
+  void note_alloc_event() noexcept;
+
+  // Queue backend dispatch: one branch per operation on `kind_`, perfectly
+  // predicted in any real run.
+  bool queue_empty() const noexcept;
+  QueueRecord queue_front();
+  void queue_pop_front();
+  void queue_push(QueueRecord rec);
+  /// Moves every record at the front timestamp into batch_, sorted by full
+  /// record order (== scheduling order at equal time).
+  void queue_extract_equal_run();
+
   void heap_push(QueueRecord rec);
   void heap_pop_front() noexcept;
-  bool slot_pending(std::uint32_t slot, std::uint64_t generation) const noexcept;
-  bool cancel_slot(std::uint32_t slot, std::uint64_t generation) noexcept;
+  void heap_extract_equal_run();
 
   // 4-ary min-heap with bottom-up ("hole-sinking") pop: half the levels of
   // a binary heap, children share a cache line, and the record type makes
   // every comparison a single wide integer compare. Measured ~2x faster
   // than std::push_heap/pop_heap over {double, u64} structs on 100k-event
   // queues.
+  //
+  // Member order matters: arena_ is declared before slots_ so that slot
+  // destructors (which may run payload destructors living in arena
+  // storage) execute while the arena is still alive.
+  PayloadArena arena_;
   std::vector<QueueRecord> heap_;
+  CalendarQueue calendar_;
   std::vector<EventSlot> slots_;
   std::vector<std::uint32_t> free_slots_;
+  // Batched-dispatch scratch: the current equal-time run, reused across
+  // batches (swapped out while executing so reentrant runs can't clobber
+  // it).
+  std::vector<QueueRecord> batch_;
   std::size_t live_ = 0;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t alloc_events_ = 0;
   Observer* observer_ = nullptr;
   FaultHook* fault_hook_ = nullptr;
+  QueueKind kind_ = QueueKind::kHeap;
   bool stopped_ = false;
 };
 

@@ -77,6 +77,14 @@ class ElasticEngine {
       sim_.set_observer(obs_->kernel_observer());
       obs_->tracer.begin("autoscale.run", "autoscale", sim_.now());
     }
+    // Pre-size the kernel: one arrival per job, one completion per
+    // in-flight task, one autoscaler tick, one provisioning timer, and
+    // two timers per fault event.
+    std::size_t total_tasks = 0;
+    for (const JobState& js : jobs_) total_tasks += js.tasks.size();
+    const std::size_t fault_events =
+        config_.faults != nullptr ? config_.faults->events().size() : 0;
+    sim_.reserve(jobs_.size() + total_tasks + 2 * fault_events + 8);
     if (config_.faults != nullptr && !config_.faults->empty()) {
       injector_.emplace(*config_.faults, obs_);
       injector_->on_kind(fault::FaultKind::kMachineCrash,

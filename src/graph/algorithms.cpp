@@ -203,22 +203,33 @@ PageRankResult pagerank(const Graph& g, std::uint32_t iterations, double d,
   std::vector<double> dangling_part(blocks, 0.0);
   std::vector<std::uint64_t> edges_part(blocks, 0);
 
+  // Both passes run on raw restrict-qualified CSR/SoA pointers: the
+  // contribution gather is the hot loop of the whole kernel and the span
+  // accessor hid the no-alias facts the vectorizer needs. Summation stays
+  // in fixed CSR order (single accumulator), so results are bit-identical
+  // to the accessor form at every thread count.
+  const CsrView in_csr = g.in_csr();
+  const CsrView out_csr = g.out_csr();
+
   for (std::uint32_t it = 0; it < iterations; ++it) {
     ++result.work.iterations;
     if (tracer != nullptr) tracer->begin("pr.iteration", "graph");
 
     // Pass 1: per-vertex contribution (rank / out-degree) and per-block
-    // dangling mass.
+    // dangling mass. Out-degree is an offset difference.
     parallel_blocks(pool, n, [&](std::size_t b, std::size_t begin,
                                  std::size_t end) {
+      const std::size_t* __restrict out_off = out_csr.offsets;
+      const double* __restrict rk = rank.data();
+      double* __restrict ct = contrib.data();
       double dangling = 0.0;
       for (std::size_t v = begin; v < end; ++v) {
-        const auto deg = g.out_degree(static_cast<VertexId>(v));
+        const std::size_t deg = out_off[v + 1] - out_off[v];
         if (deg == 0) {
-          dangling += rank[v];
-          contrib[v] = 0.0;
+          dangling += rk[v];
+          ct[v] = 0.0;
         } else {
-          contrib[v] = rank[v] / static_cast<double>(deg);
+          ct[v] = rk[v] / static_cast<double>(deg);
         }
       }
       dangling_part[b] = dangling;
@@ -228,19 +239,22 @@ PageRankResult pagerank(const Graph& g, std::uint32_t iterations, double d,
                         d * dangling / static_cast<double>(n);
 
     // Pass 2: pull over the in-CSR — each next[v] is written by exactly
-    // one owner, summing contributions in fixed CSR order.
+    // one owner, summing contributions in fixed CSR order. The block's
+    // edge count is one offset difference, not a per-edge counter.
     parallel_blocks(pool, n, [&](std::size_t b, std::size_t begin,
                                  std::size_t end) {
-      std::uint64_t edges = 0;
+      const std::size_t* __restrict off = in_csr.offsets;
+      const VertexId* __restrict heads = in_csr.heads;
+      const double* __restrict ct = contrib.data();
+      double* __restrict nx = next.data();
       for (std::size_t v = begin; v < end; ++v) {
+        const std::size_t e0 = off[v];
+        const std::size_t e1 = off[v + 1];
         double sum = 0.0;
-        for (VertexId u : g.in(static_cast<VertexId>(v))) {
-          ++edges;
-          sum += contrib[u];
-        }
-        next[v] = base + d * sum;
+        for (std::size_t e = e0; e < e1; ++e) sum += ct[heads[e]];
+        nx[v] = base + d * sum;
       }
-      edges_part[b] += edges;
+      edges_part[b] += off[end] - off[begin];
     });
     rank.swap(next);
     if (tracer != nullptr) tracer->end("pr.iteration", "graph");
@@ -345,17 +359,26 @@ CdlpResult cdlp(const Graph& g, std::uint32_t iterations,
   // touched entries are reset, keeping the counter O(degree) instead of
   // O(degree log degree) sorting or hashing. The winner (max count,
   // smallest label on ties) is order-independent, so leasing any scratch
-  // to any block cannot change results.
+  // to any block cannot change results. touched is pre-sized to n and
+  // cursor-indexed so the vote update has no push_back and no branch: the
+  // label is unconditionally staged at the cursor, which only advances on
+  // a first vote.
   struct VoteScratch {
     std::vector<std::uint32_t> count;
     std::vector<VertexId> touched;
   };
   const std::uint32_t nlanes = lanes(opts);
   std::vector<VoteScratch> scratch(nlanes);
-  for (auto& s : scratch) s.count.assign(n, 0);
+  for (auto& s : scratch) {
+    s.count.assign(n, 0);
+    s.touched.assign(n, 0);
+  }
   std::vector<std::size_t> free_scratch(nlanes);
   for (std::size_t i = 0; i < nlanes; ++i) free_scratch[i] = i;
   std::mutex scratch_mu;
+
+  const CsrView out_csr = g.out_csr();
+  const CsrView in_csr = g.in_csr();
 
   for (std::uint32_t it = 0; it < iterations; ++it) {
     ++result.work.iterations;
@@ -369,30 +392,47 @@ CdlpResult cdlp(const Graph& g, std::uint32_t iterations,
         free_scratch.pop_back();
       }
       VoteScratch& s = scratch[si];
-      std::uint64_t edges = 0;
+      std::uint32_t* __restrict count = s.count.data();
+      VertexId* __restrict touched = s.touched.data();
+      const std::size_t* __restrict out_off = out_csr.offsets;
+      const VertexId* __restrict out_heads = out_csr.heads;
+      const std::size_t* __restrict in_off = in_csr.offsets;
+      const VertexId* __restrict in_heads = in_csr.heads;
+      const VertexId* __restrict lab = label.data();
+      VertexId* __restrict nxt = next.data();
       for (std::size_t v = begin; v < end; ++v) {
-        s.touched.clear();
-        const auto vote = [&](VertexId l) {
-          if (s.count[l]++ == 0) s.touched.push_back(l);
-        };
-        const auto out = g.out(static_cast<VertexId>(v));
-        const auto in = g.in(static_cast<VertexId>(v));
-        for (VertexId u : out) vote(label[u]);
-        for (VertexId u : in) vote(label[u]);
-        edges += out.size() + in.size();
-        VertexId best = label[v];
-        std::uint32_t best_count = 0;
-        for (VertexId l : s.touched) {
-          const std::uint32_t c = s.count[l];
-          s.count[l] = 0;
-          if (c > best_count || (c == best_count && l < best)) {
-            best = l;
-            best_count = c;
-          }
+        std::size_t ntouched = 0;
+        for (std::size_t e = out_off[v]; e < out_off[v + 1]; ++e) {
+          const VertexId l = lab[out_heads[e]];
+          const std::uint32_t c = count[l];
+          touched[ntouched] = l;
+          ntouched += c == 0;
+          count[l] = c + 1;
         }
-        next[v] = best;
+        for (std::size_t e = in_off[v]; e < in_off[v + 1]; ++e) {
+          const VertexId l = lab[in_heads[e]];
+          const std::uint32_t c = count[l];
+          touched[ntouched] = l;
+          ntouched += c == 0;
+          count[l] = c + 1;
+        }
+        // Winner scan as conditional selects (no stores under a branch):
+        // max count, smallest label on ties.
+        VertexId best = lab[v];
+        std::uint32_t best_count = 0;
+        for (std::size_t i = 0; i < ntouched; ++i) {
+          const VertexId l = touched[i];
+          const std::uint32_t c = count[l];
+          count[l] = 0;
+          const bool better =
+              c > best_count || (c == best_count && l < best);
+          best = better ? l : best;
+          best_count = better ? c : best_count;
+        }
+        nxt[v] = best;
       }
-      edges_part[b] += edges;
+      edges_part[b] += (out_off[end] - out_off[begin]) +
+                       (in_off[end] - in_off[begin]);
       {
         std::lock_guard<std::mutex> lk(scratch_mu);
         free_scratch.push_back(si);

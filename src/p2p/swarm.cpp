@@ -29,6 +29,10 @@ SwarmResult simulate_swarm(const SwarmConfig& config,
   result.peers.resize(arrivals.size());
   for (std::size_t i = 0; i < arrivals.size(); ++i)
     result.peers[i].arrival = arrivals[i];
+  // One sample per epoch boundary: pre-size so the epoch loop appends
+  // without reallocating mid-run.
+  result.series.reserve(
+      static_cast<std::size_t>(horizon / config.epoch) + 2);
 
   std::vector<PeerState> state(arrivals.size());
   stats::Rng rng(config.seed);
@@ -192,6 +196,7 @@ SwarmResult simulate_swarm(const SwarmConfig& config,
   }
 
   std::vector<double> times;
+  times.reserve(result.peers.size());
   for (const auto& p : result.peers) {
     if (p.finished) times.push_back(p.download_time());
   }
@@ -205,6 +210,7 @@ SwarmResult simulate_swarm(const SwarmConfig& config,
 std::vector<double> poisson_arrivals(double rate, double horizon,
                                      stats::Rng& rng) {
   std::vector<double> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(rate * horizon) + 16);
   double now = 0.0;
   while (true) {
     now += rng.exponential(rate);

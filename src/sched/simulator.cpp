@@ -100,6 +100,17 @@ class Engine {
             static_cast<std::uint32_t>(job.tasks[ti].deps.size());
       jobs_.push_back(std::move(js));
     }
+
+    // Pre-size the kernel for the run's concurrent-event ceiling: one
+    // arrival per job, at most one in-flight completion per task, one
+    // pending scheduling pass, and two timers per fault event. A matched
+    // reserve makes the steady state allocation-free (sim.alloc_events
+    // stays 0 under the kernel observer; pinned by sched_test).
+    std::size_t total_tasks = 0;
+    for (const auto& job : workload.jobs) total_tasks += job.tasks.size();
+    const std::size_t fault_events =
+        options.faults != nullptr ? options.faults->events().size() : 0;
+    sim_.reserve(workload.jobs.size() + total_tasks + 2 * fault_events + 8);
   }
 
   SchedResult run() {

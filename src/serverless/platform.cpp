@@ -49,6 +49,10 @@ class FaasEngine {
       obs_->tracer.begin("faas.run", "serverless", sim_.now());
     }
     attempts_.assign(invocations_.size(), 0);
+    // Pre-size the kernel: each invocation holds at most one pending
+    // event at a time (dispatch, retry, or delay reschedule) and every
+    // instance at most one keep-alive expiry.
+    sim_.reserve(invocations_.size() + config_.max_instances + 8);
     if (config_.faults != nullptr && !config_.faults->empty())
       attach_faults();
     // Pre-warm pools.

@@ -40,6 +40,11 @@ class WorkflowRunner {
 
   WorkflowEngineResult run() {
     states_.resize(jobs_.size());
+    // Pre-size the kernel: one submit event per job plus at most two
+    // in-flight events per task (execute + complete timers).
+    std::size_t total_tasks = 0;
+    for (const auto& job : jobs_) total_tasks += job.tasks.size();
+    sim_.reserve(jobs_.size() + 2 * total_tasks + 8);
     for (std::size_t ji = 0; ji < jobs_.size(); ++ji) {
       states_[ji].remaining_deps.resize(jobs_[ji].tasks.size());
       states_[ji].done.assign(jobs_[ji].tasks.size(), false);

@@ -1,11 +1,31 @@
 #include "atlarge/sim/simulation.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <stdexcept>
 #include <utility>
 
 namespace atlarge::sim {
+
+namespace {
+std::atomic<QueueKind> g_default_queue_kind{QueueKind::kHeap};
+}  // namespace
+
+QueueKind default_queue_kind() noexcept {
+  return g_default_queue_kind.load(std::memory_order_relaxed);
+}
+
+void set_default_queue_kind(QueueKind kind) noexcept {
+  g_default_queue_kind.store(kind, std::memory_order_relaxed);
+}
+
+Simulation::Simulation(QueueKind kind) : kind_(kind) {}
+
+// Out of line so EventSlot destructors (which may destroy arena-resident
+// payloads) run before arena_ — guaranteed by member order: arena_ is
+// declared first, so it is destroyed last.
+Simulation::~Simulation() = default;
 
 bool EventHandle::pending() const noexcept {
   return sim_ != nullptr && sim_->slot_pending(slot_, generation_);
@@ -26,11 +46,16 @@ bool Simulation::cancel_slot(std::uint32_t slot,
   if (!slot_pending(slot, generation)) return false;
   EventSlot& s = slots_[slot];
   s.live = false;
-  s.action = nullptr;  // drop captured state eagerly; the queue record stays
-                       // behind as a tombstone reclaimed on pop
+  destroy_payload(s);  // drop captured state eagerly; the queue record
+                       // stays behind as a tombstone reclaimed on pop
   --live_;
   if (observer_ != nullptr) observer_->on_cancel(now_, live_);
   return true;
+}
+
+void Simulation::note_alloc_event() noexcept {
+  ++alloc_events_;
+  if (observer_ != nullptr) observer_->on_alloc_event();
 }
 
 std::uint32_t Simulation::acquire_slot() {
@@ -41,28 +66,97 @@ std::uint32_t Simulation::acquire_slot() {
   }
   if (slots_.size() >= (std::size_t{1} << kSlotBits))
     throw std::length_error("Simulation: too many concurrent events");
+  if (slots_.size() == slots_.capacity()) note_alloc_event();
+  const std::size_t chunks_before = arena_.chunks();
+  void* const block = arena_.allocate(EventSlot::kInlineBytes);
+  if (arena_.chunks() != chunks_before) note_alloc_event();
   slots_.emplace_back();
+  slots_.back().block = block;  // paired with the slot for its lifetime
   return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulation::destroy_payload(EventSlot& s) noexcept {
+  if (s.ops == nullptr) return;
+  void* const payload =
+      s.heap_payload != nullptr ? s.heap_payload : s.block;
+  s.ops->destroy(payload);
+  if (s.heap_payload != nullptr) {
+    if (s.payload_class != 0)
+      arena_.deallocate(s.heap_payload, s.payload_class);
+    else
+      ::operator delete(s.heap_payload);
+  }
+  s.ops = nullptr;
+  s.heap_payload = nullptr;
+  s.payload_class = 0;
 }
 
 void Simulation::release_slot(std::uint32_t slot) noexcept {
   EventSlot& s = slots_[slot];
-  s.action = nullptr;
+  destroy_payload(s);
   s.live = false;
   ++s.generation;  // invalidate every outstanding handle to this slot
+  if (free_slots_.size() == free_slots_.capacity()) note_alloc_event();
   free_slots_.push_back(slot);
 }
 
-Simulation::QueueRecord Simulation::pack(Time time,
-                                         std::uint64_t seq_slot) noexcept {
+QueueRecord Simulation::pack(Time time, std::uint64_t seq_slot) noexcept {
   // Valid because time >= 0 (clamped in schedule_at): the IEEE-754 bit
   // pattern of a non-negative double is monotone in its value.
   return (static_cast<QueueRecord>(std::bit_cast<std::uint64_t>(time)) << 64) |
          seq_slot;
 }
 
-Time Simulation::record_time(QueueRecord rec) noexcept {
-  return std::bit_cast<double>(static_cast<std::uint64_t>(rec >> 64));
+EventHandle Simulation::schedule_slot(Time at, std::uint32_t slot) {
+  EventSlot& s = slots_[slot];
+  s.live = true;
+  ++live_;
+  const Time when = std::max(at, now_);
+  queue_push(pack(when, (next_seq_++ << kSlotBits) | slot));
+  if (observer_ != nullptr) observer_->on_schedule(when, live_);
+  return EventHandle(this, slot, s.generation);
+}
+
+bool Simulation::queue_empty() const noexcept {
+  return kind_ == QueueKind::kHeap ? heap_.empty() : calendar_.empty();
+}
+
+QueueRecord Simulation::queue_front() {
+  return kind_ == QueueKind::kHeap ? heap_.front() : calendar_.front();
+}
+
+void Simulation::queue_pop_front() {
+  if (kind_ == QueueKind::kHeap) {
+    heap_pop_front();
+  } else if (calendar_.pop_front()) {
+    note_alloc_event();
+  }
+}
+
+void Simulation::queue_push(QueueRecord rec) {
+  if (kind_ == QueueKind::kHeap) {
+    if (heap_.size() == heap_.capacity()) note_alloc_event();
+    heap_push(rec);
+  } else if (calendar_.push(rec)) {
+    note_alloc_event();
+  }
+}
+
+void Simulation::queue_extract_equal_run() {
+  batch_.clear();
+  const std::size_t cap_before = batch_.capacity();
+  if (kind_ == QueueKind::kHeap) {
+    // Heap pops come out already sorted — no post-pass needed.
+    heap_extract_equal_run();
+  } else {
+    if (calendar_.extract_equal_run(batch_)) note_alloc_event();
+    // The bucket sweep collects in bucket order; sorting by full 128-bit
+    // record restores (time, seq) scheduling order — every record in the
+    // batch shares one timestamp, so this is exactly the
+    // tie-break-by-sequence order the per-pop loop used to produce.
+    std::sort(batch_.begin(), batch_.end());
+  }
+  if (batch_.capacity() != cap_before) note_alloc_event();
 }
 
 void Simulation::heap_push(QueueRecord rec) {
@@ -106,55 +200,147 @@ void Simulation::heap_pop_front() noexcept {
   heap_[i] = back;
 }
 
-void Simulation::reserve(std::size_t events) {
-  heap_.reserve(events);
+// Removes every record sharing the root's timestamp and appends them to
+// batch_ — already in full record order, because consecutive heap pops of
+// equal-time records come out sorted by (seq, slot). Equal-key pops on
+// the 4-ary heap are cheap (the replacement's float-up is shallow while
+// the root's timestamp repeats), so pop-collection measured faster here
+// than subtree extraction with Floyd-style hole repair — the batching win
+// on the heap is in the dispatch loop (queue mutation decoupled from
+// action side effects, one timestamp resolution per run), not in the pop
+// count. The calendar backend's extract is the opposite: one bucket sweep
+// replaces per-pop year scans entirely.
+void Simulation::heap_extract_equal_run() {
+  const QueueRecord front = heap_.front();
+  const std::uint64_t time_bits = static_cast<std::uint64_t>(front >> 64);
+  batch_.push_back(front);
+  heap_pop_front();
+  while (!heap_.empty() &&
+         static_cast<std::uint64_t>(heap_.front() >> 64) == time_bits) {
+    batch_.push_back(heap_.front());
+    heap_pop_front();
+  }
+}
+
+void Simulation::reserve(std::size_t events, std::size_t payload_bytes) {
   slots_.reserve(events);
   free_slots_.reserve(events);
+  batch_.reserve(events);
+  if (kind_ == QueueKind::kHeap) {
+    heap_.reserve(events);
+  } else {
+    calendar_.reserve(events);
+  }
+  arena_.reserve(events * EventSlot::kInlineBytes + payload_bytes);
 }
 
-EventHandle Simulation::schedule_at(Time at, Action action) {
-  const std::uint32_t slot = acquire_slot();
+// Marks the slot fired and invokes the payload in place — its arena block
+// is stable, so no move-out is needed even if the action grows the slot
+// pool (which may reallocate slots_, hence no slot reference is held
+// across the call). The slot's generation is bumped up front so stale
+// handles die before the action runs, but the slot only joins the free
+// list afterwards: its payload must not be overwritten while executing.
+// The guard destroys the payload and recycles the slot even if the action
+// throws.
+void Simulation::fire_slot(std::uint32_t slot) {
   EventSlot& s = slots_[slot];
-  s.action = std::move(action);
-  s.live = true;
-  ++live_;
-  const Time when = std::max(at, now_);
-  heap_push(pack(when, (next_seq_++ << kSlotBits) | slot));
-  if (observer_ != nullptr) observer_->on_schedule(when, live_);
-  return EventHandle(this, slot, s.generation);
-}
-
-EventHandle Simulation::schedule_after(Time delay, Action action) {
-  return schedule_at(now_ + std::max(delay, 0.0), std::move(action));
+  s.live = false;  // fired; handles report !pending()
+  --live_;
+  if (observer_ != nullptr) observer_->on_fire(now_, live_);
+  const detail::PayloadOps* const ops = s.ops;
+  void* const heap_payload = s.heap_payload;
+  void* const payload = heap_payload != nullptr ? heap_payload : s.block;
+  const std::uint32_t cls = s.payload_class;
+  s.ops = nullptr;  // ownership moves to the guard below
+  s.heap_payload = nullptr;
+  s.payload_class = 0;
+  ++s.generation;  // invalidate every outstanding handle to this slot
+  struct PayloadGuard {
+    Simulation* sim;
+    const detail::PayloadOps* ops;
+    void* payload;
+    void* heap_payload;
+    std::uint32_t cls;
+    std::uint32_t slot;
+    ~PayloadGuard() {
+      ops->destroy(payload);
+      if (heap_payload != nullptr) {
+        if (cls != 0)
+          sim->arena_.deallocate(heap_payload, cls);
+        else
+          ::operator delete(heap_payload);
+      }
+      if (sim->free_slots_.size() == sim->free_slots_.capacity())
+        sim->note_alloc_event();
+      sim->free_slots_.push_back(slot);
+    }
+  } guard{this, ops, payload, heap_payload, cls, slot};
+  ops->invoke(payload);
 }
 
 bool Simulation::step() {
-  while (!heap_.empty()) {
-    const QueueRecord top = heap_.front();
-    heap_pop_front();
+  while (!queue_empty()) {
+    const QueueRecord top = queue_front();
+    queue_pop_front();
     const std::uint32_t slot = record_slot(top);
     if (!slots_[slot].live) {  // cancelled tombstone
       release_slot(slot);
       continue;
     }
-    slots_[slot].live = false;  // fired; handles report !pending()
-    --live_;
     now_ = record_time(top);
-    if (observer_ != nullptr) observer_->on_fire(now_, live_);
-    Action action = std::move(slots_[slot].action);
-    release_slot(slot);  // recycle before running: the action may
-                         // schedule new events into this very slot
-    action();
+    fire_slot(slot);
     return true;
   }
   return false;
 }
 
-void Simulation::purge_cancelled() noexcept {
-  while (!heap_.empty() && !slots_[record_slot(heap_.front())].live) {
-    release_slot(record_slot(heap_.front()));
-    heap_pop_front();
+void Simulation::purge_cancelled() {
+  while (!queue_empty()) {
+    const QueueRecord front = queue_front();
+    const std::uint32_t slot = record_slot(front);
+    if (slots_[slot].live) break;
+    queue_pop_front();
+    release_slot(slot);
   }
+}
+
+// Executes one equal-time batch: a single queue extraction per distinct
+// timestamp instead of one pop (and heap repair) per event. The guard
+// returns any unexecuted remainder to the queue — after stop(), or if an
+// action throws — with the original records, so resuming preserves the
+// exact (time, seq) order. Events an action schedules at the current
+// timestamp carry larger sequence numbers and fire in the *next* batch at
+// this time, exactly as the per-pop loop ordered them. batch_ is swapped
+// out during execution so a reentrant run() inside an action cannot
+// clobber the batch being drained.
+std::size_t Simulation::run_batch() {
+  queue_extract_equal_run();
+  now_ = record_time(batch_.front());
+  struct BatchGuard {
+    Simulation* sim;
+    std::vector<QueueRecord> batch;
+    std::size_t next = 0;
+    ~BatchGuard() {
+      for (std::size_t j = next; j < batch.size(); ++j)
+        sim->queue_push(batch[j]);
+      batch.clear();
+      sim->batch_.swap(batch);  // hand the capacity back for reuse
+    }
+  } g{this, {}};
+  g.batch.swap(batch_);
+  std::size_t executed = 0;
+  while (g.next < g.batch.size()) {
+    const QueueRecord rec = g.batch[g.next++];
+    const std::uint32_t slot = record_slot(rec);
+    if (!slots_[slot].live) {  // cancelled mid-batch or earlier
+      release_slot(slot);
+      continue;
+    }
+    fire_slot(slot);
+    ++executed;
+    if (stopped_) break;
+  }
+  return executed;
 }
 
 std::size_t Simulation::run_until(Time until) {
@@ -163,13 +349,14 @@ std::size_t Simulation::run_until(Time until) {
   if (observer_ != nullptr) observer_->on_run_begin(now_);
   // Purge before peeking: a cancelled tombstone at the front may carry an
   // earlier timestamp than the first live event, and peeking at it would
-  // let step() fire an event beyond `until`.
+  // stop the run short of events that should still fire.
   purge_cancelled();
-  while (!stopped_ && !heap_.empty() && record_time(heap_.front()) <= until) {
-    if (step()) ++executed;
+  while (!stopped_ && !queue_empty() &&
+         record_time(queue_front()) <= until) {
+    executed += run_batch();
     purge_cancelled();
   }
-  if (heap_.empty() || record_time(heap_.front()) > until)
+  if (queue_empty() || record_time(queue_front()) > until)
     now_ = std::max(now_, until);
   if (observer_ != nullptr) observer_->on_run_end(now_, executed);
   return executed;
@@ -179,7 +366,11 @@ std::size_t Simulation::run() {
   stopped_ = false;
   std::size_t executed = 0;
   if (observer_ != nullptr) observer_->on_run_begin(now_);
-  while (!stopped_ && step()) ++executed;
+  purge_cancelled();
+  while (!stopped_ && !queue_empty()) {
+    executed += run_batch();
+    purge_cancelled();
+  }
   if (observer_ != nullptr) observer_->on_run_end(now_, executed);
   return executed;
 }

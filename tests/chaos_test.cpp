@@ -16,6 +16,7 @@
 #include "atlarge/sched/simulator.hpp"
 #include "atlarge/serverless/platform.hpp"
 #include "atlarge/serverless/workflow_engine.hpp"
+#include "atlarge/sim/simulation.hpp"
 #include "atlarge/workflow/generators.hpp"
 #include "chaos_util.hpp"
 
@@ -261,6 +262,59 @@ TEST(ChaosCrossDomain, MixedKindPlanIsSafeEverywhere) {
   retry.max_attempts = 2;
   retry.timeout = 10.0;
   EXPECT_NO_THROW(serverless_scenario(retry)(&plan));
+}
+
+// ------------------------------------------------------- calendar queue --
+
+// The whole chaos contract must hold regardless of which queue backend the
+// kernel runs on, and the backends themselves must agree: a domain run
+// under the calendar queue produces the byte-identical fingerprint of the
+// same run under the heap, faulted or not.
+struct QueueKindGuard {
+  sim::QueueKind saved = sim::default_queue_kind();
+  explicit QueueKindGuard(sim::QueueKind kind) {
+    sim::set_default_queue_kind(kind);
+  }
+  ~QueueKindGuard() { sim::set_default_queue_kind(saved); }
+};
+
+TEST(ChaosCalendarQueue, SchedMatchesHeapAndHonoursContracts) {
+  const auto scenario = sched_scenario();
+  const FaultPlan plan = sched_plan();
+  const std::string heap_clean = scenario(nullptr);
+  const std::string heap_faulted = scenario(&plan);
+  QueueKindGuard guard(sim::QueueKind::kCalendar);
+  chaos::check_scenario(scenario, plan);
+  EXPECT_EQ(heap_clean, scenario(nullptr))
+      << "calendar backend changed a clean sched run";
+  EXPECT_EQ(heap_faulted, scenario(&plan))
+      << "calendar backend changed a faulted sched run";
+}
+
+TEST(ChaosCalendarQueue, ServerlessMatchesHeapAndHonoursContracts) {
+  fault::RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.timeout = 8.0;
+  const auto scenario = serverless_scenario(retry);
+  const FaultPlan plan = serverless_plan();
+  const std::string heap_clean = scenario(nullptr);
+  const std::string heap_faulted = scenario(&plan);
+  QueueKindGuard guard(sim::QueueKind::kCalendar);
+  chaos::check_scenario(scenario, plan);
+  EXPECT_EQ(heap_clean, scenario(nullptr))
+      << "calendar backend changed a clean serverless run";
+  EXPECT_EQ(heap_faulted, scenario(&plan))
+      << "calendar backend changed a faulted serverless run";
+}
+
+TEST(ChaosCalendarQueue, AutoscaleMatchesHeap) {
+  const auto scenario = autoscale_scenario();
+  const FaultPlan plan = autoscale_plan();
+  const std::string heap_clean = scenario(nullptr);
+  const std::string heap_faulted = scenario(&plan);
+  QueueKindGuard guard(sim::QueueKind::kCalendar);
+  EXPECT_EQ(heap_clean, scenario(nullptr));
+  EXPECT_EQ(heap_faulted, scenario(&plan));
 }
 
 }  // namespace

@@ -374,6 +374,9 @@ TEST(Observability, SimulateEmitsKernelAndSchedulerTelemetry) {
             result.tasks_completed);
   EXPECT_GT(counters.at("sched.passes").value(), 0u);
   EXPECT_GT(counters.at("sim.events_fired").value(), 0u);
+  // The engine pre-sizes its kernel for the workload's concurrent-event
+  // ceiling, so the whole run never touches the system allocator.
+  EXPECT_EQ(counters.at("sim.alloc_events").value(), 0.0);
   EXPECT_EQ(plane.metrics.histograms().at("sched.task_wait").count(),
             result.tasks_completed);
 
