@@ -33,6 +33,19 @@ inline std::string trace_flag(int argc, char** argv) {
   return "";
 }
 
+/// Writes `text` to `path`, exiting with a message on I/O failure. Used by
+/// the `--metrics-out` exporters (the TimeSeries/FlightRecorder classes
+/// have their own write_* helpers).
+inline void write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr || std::fwrite(text.data(), 1, text.size(), f) !=
+                          text.size() ||
+      std::fclose(f) != 0) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    std::exit(1);
+  }
+}
+
 /// Raw value of a `--name=<v>` / `--name <v>` flag, or "" when absent.
 inline std::string flag_value(int argc, char** argv, const char* name) {
   const std::size_t len = std::strlen(name);

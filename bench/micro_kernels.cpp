@@ -167,6 +167,104 @@ void BM_TracerInstantDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_TracerInstantDisabled);
 
+// Continuous telemetry attached: the same schedule-and-fire loop with a
+// TimeSeries riding the kernel's sampling hook at the default 1.0s
+// interval (1000 boundaries over the i%1000 schedule). The acceptance
+// budget for the telemetry plane is <3% over BM_SimulationScheduleRun at
+// 100k events; the perf gate tracks both so the delta stays visible.
+void BM_SimulationScheduleRunSampled(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  obs::Observability plane(0);
+  obs::TimeSeries series(1.0, 2048);
+  series.track_counter("fired", plane.metrics.counter("sim.events_fired"));
+  series.track_gauge("depth", plane.metrics.gauge("sim.queue_depth"));
+  plane.attach_timeseries(&series);
+  for (auto _ : state) {
+    sim::Simulation s;
+    s.set_observer(plane.kernel_observer());
+    s.set_sampling_hook(plane.sampling_hook(), plane.sampling_interval());
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      s.schedule_at(static_cast<double>(i % 1'000), [&fired] { ++fired; });
+    }
+    s.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+}
+BENCHMARK(BM_SimulationScheduleRunSampled)->Arg(100'000);
+
+// ------------------------------------------------------------- telemetry --
+
+// Digest insertion: the per-observation hot-path cost domain engines pay
+// when a registry digest is attached (frexp + two shifts + an array bump).
+void BM_DigestAdd(benchmark::State& state) {
+  stats::Rng rng(7);
+  std::vector<double> values(4096);
+  for (auto& v : values) v = rng.uniform(1e-3, 1e3);
+  obs::Digest digest;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    digest.add(values[i++ & 4095]);
+  }
+  benchmark::DoNotOptimize(digest.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DigestAdd);
+
+// Digest merge: the campaign aggregation path (one merge per repeat per
+// design point). Items/sec counts merges of a well-populated digest.
+void BM_DigestMerge(benchmark::State& state) {
+  stats::Rng rng(8);
+  obs::Digest source;
+  for (std::size_t i = 0; i < 10'000; ++i)
+    source.add(rng.uniform(1e-3, 1e3));
+  for (auto _ : state) {
+    obs::Digest sink;
+    sink.merge(source);
+    benchmark::DoNotOptimize(sink.count());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DigestMerge);
+
+// Digest quantile queries on a populated sketch (the SLO monitor pays this
+// per evaluation window; exports pay four of them per digest).
+void BM_DigestQuantile(benchmark::State& state) {
+  stats::Rng rng(9);
+  obs::Digest digest;
+  for (std::size_t i = 0; i < 10'000; ++i)
+    digest.add(rng.uniform(1e-3, 1e3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(digest.quantile(0.99));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DigestQuantile);
+
+// TimeSeries row append in the zero-alloc steady state (ring full, so every
+// sample also overwrites the oldest row — the worst case).
+void BM_TimeSeriesSample(benchmark::State& state) {
+  obs::Registry registry;
+  obs::TimeSeries series(1.0, 1024);
+  auto& c0 = registry.counter("a");
+  auto& c1 = registry.counter("b");
+  series.track_counter("a", c0);
+  series.track_counter("b", c1);
+  series.track_gauge("g", registry.gauge("g"));
+  double t = 0.0;
+  for (auto _ : state) {
+    c0.add(1);
+    c1.add(2);
+    series.sample(t);
+    t += 1.0;
+  }
+  benchmark::DoNotOptimize(series.size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimeSeriesSample);
+
 // Schedule/cancel churn: half the events are cancelled before they fire,
 // exercising handle bookkeeping, tombstone reclamation, and slot reuse.
 void BM_SimulationCancelChurn(benchmark::State& state) {

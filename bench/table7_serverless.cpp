@@ -158,15 +158,34 @@ void study_faults(double rate, std::uint64_t seed) {
 }
 
 /// Re-runs one representative FaaS experiment with the observability plane
-/// attached and exports the kernel + platform spans as a Chrome trace.
-void traced_run(const std::string& path) {
-  bench::header("Traced run (--trace " + path + ")");
+/// attached and exports whatever was asked for: the span timeline as a
+/// Chrome trace (--trace), the final registry state as JSON
+/// (--metrics-out), the continuous sim-time series sampled every 60 s
+/// (--timeseries-out, JSON or CSV by extension), and the causal
+/// flight-recorder snapshot (--flight-out, Chrome trace format).
+void instrumented_run(const std::string& trace_path,
+                      const std::string& metrics_path,
+                      const std::string& series_path,
+                      const std::string& flight_path) {
+  bench::header("Instrumented run "
+                "(--trace/--metrics-out/--timeseries-out/--flight-out)");
   const auto registry = serverless::uniform_registry(4, 0.2, 1.5);
   stats::Rng rng(5);
   const auto invocations =
       serverless::bursty_invocations(4, 0.05, 20'000.0, 4'000.0, 15, rng);
 
   obs::Observability plane;
+  obs::TimeSeries series(60.0);
+  series.track_counter("requests", plane.metrics.counter("faas.requests"));
+  series.track_counter("cold_starts",
+                       plane.metrics.counter("faas.cold_starts"));
+  series.track_counter("failed", plane.metrics.counter("faas.failed"));
+  series.track_gauge("live_instances",
+                     plane.metrics.gauge("faas.live_instances"));
+  plane.attach_timeseries(&series);
+  obs::FlightRecorder flight;
+  plane.attach_flight(&flight);
+
   serverless::PlatformConfig config;
   config.keep_alive = 600.0;
   config.obs = &plane;
@@ -174,12 +193,34 @@ void traced_run(const std::string& path) {
   std::printf("%zu invocations, %.1f%% cold\n", r.invocations.size(),
               100.0 * r.cold_fraction);
 
-  if (!plane.tracer.write_chrome_json(path)) {
-    std::fprintf(stderr, "failed to write %s\n", path.c_str());
-    std::exit(1);
+  if (!trace_path.empty()) {
+    if (!plane.tracer.write_chrome_json(trace_path)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+      std::exit(1);
+    }
+    bench::note("trace: " + std::to_string(plane.tracer.size()) +
+                " records -> " + trace_path);
   }
-  bench::note("trace: " + std::to_string(plane.tracer.size()) +
-              " records -> " + path);
+  if (!metrics_path.empty()) {
+    bench::write_text_file(metrics_path, plane.metrics.json());
+    bench::note("metrics -> " + metrics_path);
+  }
+  if (!series_path.empty()) {
+    if (series_path.size() > 4 &&
+        series_path.compare(series_path.size() - 4, 4, ".csv") == 0) {
+      series.write_csv(series_path);
+    } else {
+      series.write_json(series_path);
+    }
+    bench::note("timeseries: " + std::to_string(series.size()) + " rows -> " +
+                series_path);
+  }
+  if (!flight_path.empty()) {
+    flight.write_chrome_json(flight_path);
+    bench::note("flight: " + std::to_string(flight.recorded()) +
+                " records over " + std::to_string(flight.entities()) +
+                " entities -> " + flight_path);
+  }
   bench::note("metrics: " + plane.metrics.json());
 }
 
@@ -194,6 +235,11 @@ int main(int argc, char** argv) {
   if (fault_rate > 0.0)
     study_faults(fault_rate, bench::u64_flag(argc, argv, "--fault-seed", 1));
   const std::string trace = bench::trace_flag(argc, argv);
-  if (!trace.empty()) traced_run(trace);
+  const std::string metrics = bench::flag_value(argc, argv, "--metrics-out");
+  const std::string series = bench::flag_value(argc, argv, "--timeseries-out");
+  const std::string flight = bench::flag_value(argc, argv, "--flight-out");
+  if (!trace.empty() || !metrics.empty() || !series.empty() ||
+      !flight.empty())
+    instrumented_run(trace, metrics, series, flight);
   return 0;
 }

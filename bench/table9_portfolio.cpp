@@ -141,14 +141,25 @@ void misselection() {
 }
 
 /// Re-runs one representative portfolio experiment with the observability
-/// plane attached and exports the kernel + scheduler + portfolio spans as
-/// a Chrome trace (load in Perfetto / about://tracing).
-void traced_run(const std::string& path) {
-  bench::header("Traced run (--trace " + path + ")");
+/// plane attached and exports whatever was asked for: the span timeline as
+/// a Chrome trace (--trace, load in Perfetto / about://tracing), the final
+/// registry state as JSON (--metrics-out), and the continuous sim-time
+/// series sampled every 10 s (--timeseries-out, JSON or CSV by extension).
+void instrumented_run(const std::string& trace_path,
+                      const std::string& metrics_path,
+                      const std::string& series_path) {
+  bench::header("Instrumented run (--trace/--metrics-out/--timeseries-out)");
   const auto env = cluster::make_homogeneous_cluster("CL", 4, 8);
   const auto wl = make_workload(workflow::WorkloadClass::kScientific, 42);
 
   obs::Observability plane;
+  obs::TimeSeries series(10.0);
+  series.track_counter("events_fired", plane.metrics.counter("sim.events_fired"));
+  series.track_counter("tasks_placed", plane.metrics.counter("sched.tasks_placed"));
+  series.track_gauge("eligible_queue", plane.metrics.gauge("sched.eligible_queue"));
+  series.track_gauge("queue_depth", plane.metrics.gauge("sim.queue_depth"));
+  plane.attach_timeseries(&series);
+
   sched::PortfolioConfig config;
   config.obs = &plane;
   sched::PortfolioScheduler portfolio(sched::standard_policies(), env,
@@ -159,12 +170,28 @@ void traced_run(const std::string& path) {
   std::printf("slowdown %.2f over %zu jobs\n", r.mean_slowdown,
               r.jobs.size());
 
-  if (!plane.tracer.write_chrome_json(path)) {
-    std::fprintf(stderr, "failed to write %s\n", path.c_str());
-    std::exit(1);
+  if (!trace_path.empty()) {
+    if (!plane.tracer.write_chrome_json(trace_path)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+      std::exit(1);
+    }
+    bench::note("trace: " + std::to_string(plane.tracer.size()) +
+                " records -> " + trace_path);
   }
-  bench::note("trace: " + std::to_string(plane.tracer.size()) +
-              " records -> " + path);
+  if (!metrics_path.empty()) {
+    bench::write_text_file(metrics_path, plane.metrics.json());
+    bench::note("metrics -> " + metrics_path);
+  }
+  if (!series_path.empty()) {
+    if (series_path.size() > 4 &&
+        series_path.compare(series_path.size() - 4, 4, ".csv") == 0) {
+      series.write_csv(series_path);
+    } else {
+      series.write_json(series_path);
+    }
+    bench::note("timeseries: " + std::to_string(series.size()) + " rows -> " +
+                series_path);
+  }
   bench::note("metrics: " + plane.metrics.json());
 }
 
@@ -175,6 +202,9 @@ int main(int argc, char** argv) {
   online_cost_arc();
   misselection();
   const std::string trace = bench::trace_flag(argc, argv);
-  if (!trace.empty()) traced_run(trace);
+  const std::string metrics = bench::flag_value(argc, argv, "--metrics-out");
+  const std::string series = bench::flag_value(argc, argv, "--timeseries-out");
+  if (!trace.empty() || !metrics.empty() || !series.empty())
+    instrumented_run(trace, metrics, series);
   return 0;
 }

@@ -7,7 +7,9 @@
 // Modules (each usable independently):
 //   atlarge::stats      - statistics, distributions, reproducible RNG
 //   atlarge::sim        - discrete-event simulation kernel
-//   atlarge::obs        - metrics registry, span tracer, kernel observer
+//   atlarge::obs        - metrics registry, span tracer, kernel observer,
+//                         continuous telemetry (time series, percentile
+//                         digests, SLO burn-rate monitors, flight recorder)
 //   atlarge::trace      - trace tables and FAIR archive catalogs
 //   atlarge::workflow   - jobs, DAGs, workload generators
 //   atlarge::cluster    - datacenter model, cost models, Figure 9 ref. arch.
@@ -55,9 +57,13 @@
 #include "atlarge/mmog/interest.hpp"
 #include "atlarge/mmog/provisioning.hpp"
 #include "atlarge/mmog/workload.hpp"
+#include "atlarge/obs/digest.hpp"
+#include "atlarge/obs/flight.hpp"
 #include "atlarge/obs/json.hpp"
 #include "atlarge/obs/metrics.hpp"
 #include "atlarge/obs/observability.hpp"
+#include "atlarge/obs/slo.hpp"
+#include "atlarge/obs/timeseries.hpp"
 #include "atlarge/obs/trace.hpp"
 #include "atlarge/p2p/ecosystem.hpp"
 #include "atlarge/p2p/flashcrowd.hpp"

@@ -14,6 +14,7 @@
 
 #include "atlarge/autoscale/autoscaler.hpp"
 #include "atlarge/autoscale/metrics.hpp"
+#include "atlarge/obs/digest.hpp"
 #include "atlarge/sched/simulator.hpp"
 #include "atlarge/workflow/job.hpp"
 
@@ -35,7 +36,10 @@ struct ElasticConfig {
   /// Optional instrumentation plane (not owned, may be null): attaches the
   /// kernel observer, wraps the run in an "autoscale.run" span with one
   /// "autoscale.tick" span per decision, and records tick/machine-churn
-  /// counters plus supply/demand core gauges.
+  /// counters plus supply/demand core gauges and an
+  /// "autoscale.job_slowdown" registry digest. When the plane carries a
+  /// TimeSeries or SloMonitor, its sampling hook is attached to the
+  /// kernel.
   obs::Observability* obs = nullptr;
   /// Optional fault plan (not owned, may be null), replayed through the
   /// kernel fault hook. The elastic pool interprets kMachineCrash: the
@@ -65,6 +69,9 @@ struct ElasticResult {
   std::size_t faults_injected = 0;
   std::size_t faults_recovered = 0;
   std::size_t tasks_requeued = 0;
+  /// Mergeable percentile digest over per-job bounded slowdowns (same
+  /// population as the exact mean/median fields above).
+  obs::Digest slowdown_digest;
   double deadline_violation_rate() const noexcept {
     return deadline_total == 0
                ? 0.0

@@ -14,7 +14,9 @@
 //  * deterministic — a pure function of (values, seed, scale);
 //  * thread-safe — trials are fanned out over a sim::ThreadPool, so run()
 //    must not touch shared mutable state (construct simulators, policies,
-//    and RNGs per call; pass no obs plane into the domain simulator);
+//    RNGs, and any obs::Observability plane per call; a *local* per-trial
+//    plane — used by the serverless/portfolio adapters for SLO burn-rate
+//    evaluation — is fine, a shared one is not);
 //  * metric names and order must not depend on the values, so rows of one
 //    campaign are column-compatible.
 
@@ -42,9 +44,14 @@ struct ParamSpec {
 
 /// Outcome of one simulator trial. `metrics` keeps insertion order (the
 /// adapter's declared order), including the objective metric itself.
+/// `digest` optionally carries the trial's latency/slowdown distribution
+/// as a serialized obs::Digest (see Digest::serialize) — exact strings
+/// round-trip through the store, so campaign aggregation can merge
+/// distributions across repeats instead of averaging quantiles.
 struct TrialResult {
   double objective = 0.0;
   std::vector<std::pair<std::string, double>> metrics;
+  std::string digest;
 };
 
 class SimulatorAdapter {

@@ -19,6 +19,7 @@
 
 #include "atlarge/exp/campaign.hpp"
 #include "atlarge/exp/store.hpp"
+#include "atlarge/obs/digest.hpp"
 #include "atlarge/stats/bootstrap.hpp"
 
 namespace atlarge::exp {
@@ -35,6 +36,12 @@ struct PointAggregate {
   stats::Interval objective_ci;
   /// Mean of every adapter metric over repeats, adapter order.
   std::vector<std::pair<std::string, double>> mean_metrics;
+  /// Union of every repeat's serialized trial digest (empty when the
+  /// adapter records none). Merging distributions — rather than averaging
+  /// per-trial quantiles — is the statistically honest way to report a
+  /// design point's tail, and digest merge is commutative, so this is
+  /// deterministic in (spec, records) like everything else here.
+  obs::Digest digest;
 };
 
 /// Mean objective restricted to points choosing `option` on `dim` — the

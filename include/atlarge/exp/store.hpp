@@ -41,6 +41,11 @@ struct TrialRecord {
   std::string key;
   double objective = 0.0;
   std::vector<std::pair<std::string, double>> metrics;
+  /// Optional serialized obs::Digest (empty when the adapter recorded
+  /// none). Digest serialization is exact (%.17g + integer buckets), so
+  /// the string read back from disk equals the one appended; lines
+  /// written before this field existed simply parse to an empty digest.
+  std::string digest;
 };
 
 /// Presentation context persisted alongside a record (not needed to

@@ -14,7 +14,13 @@
 //   w.str();  // {"name":"run","t":1.5,"tags":["a","b"]}
 //
 // Callers are responsible for well-formedness (matched begin/end, keys
-// only inside objects); the writer does not validate.
+// only inside objects); the writer does not validate structure. Strings
+// ARE validated: control characters are \u-escaped, multi-byte sequences
+// are checked as UTF-8 (overlong encodings, surrogate code points, and
+// truncated sequences are replaced with U+FFFD, so output is always valid
+// UTF-8 JSON even for garbage input), and set_ascii_only(true) escapes
+// every non-ASCII code point as \uXXXX (surrogate pairs past the BMP) for
+// consumers that cannot be trusted with raw UTF-8.
 
 #include <cmath>
 #include <cstdint>
@@ -111,6 +117,12 @@ class JsonWriter {
 
   const std::string& str() const noexcept { return out_; }
 
+  /// When true, every code point >= U+0080 is emitted as a \uXXXX escape
+  /// (two escapes forming a surrogate pair beyond the BMP); when false
+  /// (default), valid UTF-8 passes through byte-for-byte.
+  void set_ascii_only(bool v) noexcept { ascii_only_ = v; }
+  bool ascii_only() const noexcept { return ascii_only_; }
+
  private:
   /// Emits the separating comma before a value/key unless it is the first
   /// element of its container or the value completing a key.
@@ -125,26 +137,96 @@ class JsonWriter {
     }
   }
 
+  void escape_code_point(unsigned cp) {
+    char buf[16];
+    if (cp < 0x10000) {
+      std::snprintf(buf, sizeof(buf), "\\u%04x", cp);
+    } else {  // surrogate pair for astral code points
+      cp -= 0x10000;
+      std::snprintf(buf, sizeof(buf), "\\u%04x\\u%04x",
+                    0xd800u + (cp >> 10), 0xdc00u + (cp & 0x3ffu));
+    }
+    out_ += buf;
+  }
+
+  /// Decodes one UTF-8 sequence starting at s[i]; returns the code point
+  /// and advances `i` past the sequence, or returns U+FFFD (advancing one
+  /// byte) for anything malformed: stray continuation bytes, truncated
+  /// sequences, overlong encodings, surrogates, values past U+10FFFF.
+  unsigned decode_utf8(std::string_view s, std::size_t& i) {
+    const auto byte = [&](std::size_t k) {
+      return static_cast<unsigned>(static_cast<unsigned char>(s[k]));
+    };
+    const unsigned b0 = byte(i);
+    std::size_t len = 0;
+    unsigned cp = 0;
+    if ((b0 & 0xe0u) == 0xc0u) {
+      len = 2;
+      cp = b0 & 0x1fu;
+    } else if ((b0 & 0xf0u) == 0xe0u) {
+      len = 3;
+      cp = b0 & 0x0fu;
+    } else if ((b0 & 0xf8u) == 0xf0u) {
+      len = 4;
+      cp = b0 & 0x07u;
+    } else {  // 0x80..0xbf continuation or 0xf8..0xff: never a lead byte
+      ++i;
+      return 0xfffdu;
+    }
+    if (i + len > s.size()) {  // truncated at end of string
+      ++i;
+      return 0xfffdu;
+    }
+    for (std::size_t k = 1; k < len; ++k) {
+      const unsigned b = byte(i + k);
+      if ((b & 0xc0u) != 0x80u) {
+        ++i;
+        return 0xfffdu;
+      }
+      cp = (cp << 6) | (b & 0x3fu);
+    }
+    static constexpr unsigned kMinForLen[5] = {0, 0, 0x80u, 0x800u,
+                                               0x10000u};
+    if (cp < kMinForLen[len] ||                  // overlong encoding
+        (cp >= 0xd800u && cp <= 0xdfffu) ||      // UTF-16 surrogate
+        cp > 0x10ffffu) {
+      ++i;
+      return 0xfffdu;
+    }
+    i += len;
+    return cp;
+  }
+
   void quote(std::string_view s) {
     out_ += '"';
-    for (const char c : s) {
+    std::size_t i = 0;
+    while (i < s.size()) {
+      const char c = s[i];
       switch (c) {
-        case '"': out_ += "\\\""; break;
-        case '\\': out_ += "\\\\"; break;
-        case '\n': out_ += "\\n"; break;
-        case '\r': out_ += "\\r"; break;
-        case '\t': out_ += "\\t"; break;
-        case '\b': out_ += "\\b"; break;
-        case '\f': out_ += "\\f"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x",
-                          static_cast<unsigned>(c));
-            out_ += buf;
-          } else {
-            out_ += c;
-          }
+        case '"': out_ += "\\\""; ++i; continue;
+        case '\\': out_ += "\\\\"; ++i; continue;
+        case '\n': out_ += "\\n"; ++i; continue;
+        case '\r': out_ += "\\r"; ++i; continue;
+        case '\t': out_ += "\\t"; ++i; continue;
+        case '\b': out_ += "\\b"; ++i; continue;
+        case '\f': out_ += "\\f"; ++i; continue;
+        default: break;
+      }
+      const unsigned b = static_cast<unsigned char>(c);
+      if (b < 0x20) {
+        escape_code_point(b);
+        ++i;
+      } else if (b < 0x80) {
+        out_ += c;
+        ++i;
+      } else {
+        const std::size_t start = i;
+        const unsigned cp = decode_utf8(s, i);
+        if (ascii_only_ || cp == 0xfffdu) {
+          escape_code_point(cp);
+        } else {
+          out_.append(s.substr(start, i - start));
+        }
       }
     }
     out_ += '"';
@@ -153,6 +235,7 @@ class JsonWriter {
   std::string out_;
   std::vector<bool> first_;
   bool after_key_ = false;
+  bool ascii_only_ = false;
 };
 
 }  // namespace atlarge::obs

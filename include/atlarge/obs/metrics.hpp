@@ -23,6 +23,8 @@
 #include <map>
 #include <string>
 
+#include "atlarge/obs/digest.hpp"
+
 namespace atlarge::obs {
 
 /// Monotonically increasing event count.
@@ -90,6 +92,9 @@ class Registry {
   Counter& counter(const std::string& name) { return counters_[name]; }
   Gauge& gauge(const std::string& name) { return gauges_[name]; }
   Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  /// Fine-grained mergeable quantile digest (see obs/digest.hpp) — the
+  /// instrument behind latency-quantile SLOs and campaign digest merging.
+  Digest& digest(const std::string& name) { return digests_[name]; }
 
   const std::map<std::string, Counter>& counters() const noexcept {
     return counters_;
@@ -100,18 +105,27 @@ class Registry {
   const std::map<std::string, Histogram>& histograms() const noexcept {
     return histograms_;
   }
+  const std::map<std::string, Digest>& digests() const noexcept {
+    return digests_;
+  }
 
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
-  /// max,mean,p50,p95,p99}}}
+  /// max,mean,p50,p95,p99}},"digests":{name:{count,sum,min,max,mean,p50,
+  /// p95,p99,p999}}}
   std::string json() const;
 
-  /// Prometheus text exposition format ('.' in names mapped to '_').
+  /// Prometheus text exposition format: '.' in names mapped to '_', one
+  /// `# HELP`/`# TYPE` pair per family, label values escaped per the
+  /// exposition-format rules (backslash, double quote, newline).
+  /// Histograms emit cumulative `le` buckets; digests emit summaries with
+  /// `quantile` labels.
   std::string prometheus() const;
 
  private:
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Digest> digests_;
 };
 
 }  // namespace atlarge::obs

@@ -12,13 +12,24 @@
 // metrics into the same plane, so an exported trace shows kernel and
 // domain activity on one timeline.
 //
+// The plane also anchors the *continuous* telemetry layer: an attached
+// TimeSeries, SloMonitor, and FlightRecorder ride the kernel's sampling
+// hook (sampling_hook()/sample_now), so every domain that honors `obs`
+// gets sim-time series, burn-rate SLO alerting, and causal incident dumps
+// for free — see DESIGN.md's Telemetry section.
+//
 // A plane is single-run / single-threaded: share one plane across
 // sequential runs (metrics accumulate; spans append), but never across
 // concurrently running simulations.
 
 #include <cstddef>
+#include <string>
+#include <utility>
 
+#include "atlarge/obs/flight.hpp"
 #include "atlarge/obs/metrics.hpp"
+#include "atlarge/obs/slo.hpp"
+#include "atlarge/obs/timeseries.hpp"
 #include "atlarge/obs/trace.hpp"
 #include "atlarge/sim/simulation.hpp"
 
@@ -97,8 +108,91 @@ class Observability {
   /// The observer to pass to sim::Simulation::set_observer.
   sim::Observer* kernel_observer() noexcept { return &kernel_; }
 
+  // ----------------------------------------------------- telemetry plane --
+  // Continuous components (none owned; each must outlive the plane or be
+  // detached with nullptr). Domain engines that honor `obs` in their
+  // config attach sampling_hook() to their kernel when it is non-null, so
+  // attaching a TimeSeries or SloMonitor here is all a caller does to get
+  // continuous telemetry out of any domain run.
+
+  /// Attach a time-series recorder; its rows advance at every sampling
+  /// boundary. When no explicit sampling interval is set, the recorder's
+  /// own interval becomes the plane's.
+  void attach_timeseries(TimeSeries* series) noexcept { series_ = series; }
+  TimeSeries* timeseries() const noexcept { return series_; }
+
+  /// Attach an SLO monitor; it is advanced at every sampling boundary.
+  void attach_slo(SloMonitor* slo) noexcept { slo_ = slo; }
+  SloMonitor* slo() const noexcept { return slo_; }
+
+  /// Attach a flight recorder; domain engines feed it causal per-entity
+  /// events, and the first SLO alert dumps it (see set_alert_dump_path).
+  void attach_flight(FlightRecorder* flight) noexcept { flight_ = flight; }
+  FlightRecorder* flight() const noexcept { return flight_; }
+
+  /// When set and a flight recorder is attached, the first SLO alert
+  /// writes the recorder's Chrome-trace snapshot to `path` (once — the
+  /// black box captures the history *leading into* the first incident).
+  void set_alert_dump_path(std::string path) {
+    alert_dump_path_ = std::move(path);
+  }
+  const std::string& alert_dump_path() const noexcept {
+    return alert_dump_path_;
+  }
+  bool alert_dumped() const noexcept { return alert_dumped_; }
+
+  /// Sim-time sampling period used when attaching the hook. Defaults to
+  /// the attached TimeSeries' interval, or 1.0 with none attached.
+  void set_sampling_interval(double interval) noexcept {
+    sampling_interval_ = interval;
+  }
+  double sampling_interval() const noexcept {
+    if (sampling_interval_ > 0.0) return sampling_interval_;
+    return series_ != nullptr ? series_->interval() : 1.0;
+  }
+
+  /// The hook to pass to sim::Simulation::set_sampling_hook, or nullptr
+  /// when no continuous component is attached (so domains skip the kernel
+  /// sampling machinery entirely on plain metric/trace planes).
+  sim::SamplingHook* sampling_hook() noexcept {
+    return series_ != nullptr || slo_ != nullptr ? &hub_ : nullptr;
+  }
+
+  /// One sampling boundary at sim-time `t`: record a time-series row,
+  /// advance the SLO monitor, and on the first rising-edge alert emit an
+  /// "slo.alert" trace instant and dump the flight recorder. Called by the
+  /// kernel hook; call directly from non-DES loops (p2p epochs).
+  void sample_now(double t) {
+    if (series_ != nullptr) series_->sample(t);
+    if (slo_ == nullptr) return;
+    const std::size_t before = slo_->alerts().size();
+    slo_->advance(t);
+    if (slo_->alerts().size() == before) return;
+    tracer.instant("slo.alert", "slo", t);
+    if (flight_ != nullptr && !alert_dump_path_.empty() && !alert_dumped_) {
+      flight_->write_chrome_json(alert_dump_path_);
+      alert_dumped_ = true;
+    }
+  }
+
  private:
+  class Hub final : public sim::SamplingHook {
+   public:
+    explicit Hub(Observability& owner) : owner_(owner) {}
+    void on_sample(sim::Time now) override { owner_.sample_now(now); }
+
+   private:
+    Observability& owner_;
+  };
+
   KernelObserver kernel_;
+  Hub hub_{*this};
+  TimeSeries* series_ = nullptr;
+  SloMonitor* slo_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
+  std::string alert_dump_path_;
+  double sampling_interval_ = 0.0;
+  bool alert_dumped_ = false;
 };
 
 }  // namespace atlarge::obs

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "atlarge/obs/digest.hpp"
 #include "atlarge/stats/rng.hpp"
 
 namespace atlarge::obs {
@@ -40,8 +41,11 @@ struct SwarmConfig {
   std::uint64_t seed = 1;
   /// Optional instrumentation plane (not owned, may be null): wraps the
   /// run in a "p2p.swarm" span, tracks seed/leecher census gauges, counts
-  /// finished/aborted peers, and records a download-time histogram. (The
-  /// fluid model is not a DES, so no kernel observer is attached.)
+  /// finished/aborted peers, and records a download-time histogram plus a
+  /// "p2p.download_time" registry digest. (The fluid model is not a DES,
+  /// so no kernel observer or sampling hook is attached; instead
+  /// Observability::sample_now is driven manually at each epoch boundary,
+  /// so TimeSeries and SloMonitor planes still work.)
   obs::Observability* obs = nullptr;
   /// Optional fault plan (not owned, may be null). The swarm interprets
   /// kChurnSpike: at the event's time, floor(magnitude x leechers) of the
@@ -82,6 +86,9 @@ struct SwarmResult {
   std::uint32_t peak_swarm_size = 0;
   /// Leechers expelled by churn-spike fault events (0 without a plan).
   std::size_t churned = 0;
+  /// Mergeable percentile digest over finished-peer download times (same
+  /// population as the exact mean/median fields above).
+  obs::Digest download_digest;
 };
 
 /// Simulates one swarm: peers arrive at the given times (nondecreasing),

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "atlarge/cluster/machine.hpp"
+#include "atlarge/obs/digest.hpp"
 #include "atlarge/sched/policy.hpp"
 #include "atlarge/workflow/job.hpp"
 
@@ -59,6 +60,7 @@ struct SchedResult {
   double mean_slowdown = 0.0;
   double median_slowdown = 0.0;
   double p95_slowdown = 0.0;
+  double p999_slowdown = 0.0;
   double utilization = 0.0;       // time-weighted busy/total cores
   double decision_overhead = 0.0; // total policy tick() seconds
   std::size_t tasks_completed = 0;
@@ -74,6 +76,12 @@ struct SchedResult {
   std::size_t faults_injected = 0;
   std::size_t faults_recovered = 0;
   std::size_t tasks_requeued = 0;
+  /// Mergeable percentile digests over per-job wait and bounded slowdown
+  /// (same populations as the exact mean/median/p95 fields above). These
+  /// are what campaign aggregation merges across trials; the exact fields
+  /// stay for single-run precision.
+  obs::Digest wait_digest;
+  obs::Digest slowdown_digest;
 };
 
 struct SimOptions {
@@ -83,7 +91,11 @@ struct SimOptions {
   /// Optional instrumentation plane (not owned, may be null): attaches
   /// the kernel observer to the internal Simulation and emits
   /// scheduler-level spans ("sched.simulate", per-pass "sched.pass") and
-  /// metrics (sched.passes, sched.tasks_placed, sched.eligible_queue).
+  /// metrics (sched.passes, sched.tasks_placed, sched.eligible_queue, and
+  /// a sched.task_wait registry digest). When the plane carries a
+  /// TimeSeries or SloMonitor, its sampling hook is attached to the
+  /// kernel; when it carries a FlightRecorder, per-machine rings record
+  /// place/complete/crash/requeue events with causal links.
   obs::Observability* obs = nullptr;
   /// Optional fault plan (not owned, may be null), replayed through the
   /// kernel fault hook. The scheduler interprets kMachineCrash (machine

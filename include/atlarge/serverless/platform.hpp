@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "atlarge/fault/fault.hpp"
+#include "atlarge/obs/digest.hpp"
 #include "atlarge/stats/rng.hpp"
 
 namespace atlarge::obs {
@@ -38,7 +39,11 @@ struct PlatformConfig {
   /// Optional instrumentation plane (not owned, may be null): attaches
   /// the kernel observer, wraps the run in a "faas.run" span, marks cold
   /// starts and queueing as instants, and records invocation counters,
-  /// a live-instances gauge, and a latency histogram.
+  /// a live-instances gauge, a latency histogram, and a "faas.latency"
+  /// registry digest. When the plane carries a TimeSeries or SloMonitor,
+  /// its sampling hook is attached to the kernel; when it carries a
+  /// FlightRecorder, per-function rings record invoke/cold_start/queue/
+  /// fail events with causal links.
   obs::Observability* obs = nullptr;
   /// Optional fault plan (not owned, may be null), replayed through the
   /// kernel fault hook. The platform interprets kMessageLoss (requests
@@ -76,6 +81,11 @@ struct PlatformResult {
   double p50_latency = 0.0;
   double p95_latency = 0.0;
   double p99_latency = 0.0;
+  double p999_latency = 0.0;
+  /// Mergeable percentile digest over successful-invocation latencies
+  /// (same population as the exact p50/p95/p99 fields); campaign
+  /// aggregation merges these across trials.
+  obs::Digest latency_digest;
   double cold_fraction = 0.0;
   /// Billed seconds: busy time plus warm idle time across instances — the
   /// serverless cost driver.

@@ -37,6 +37,7 @@
 // of one pop per event.
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -131,6 +132,26 @@ class Observer {
   /// chunk, or an oversize payload. A pre-sized steady-state run emits
   /// none of these (asserted in tests via Simulation::alloc_events()).
   virtual void on_alloc_event() {}
+};
+
+/// Optional periodic sampling hook: the kernel-side seam for continuous
+/// telemetry (time-series recorders, SLO monitors). When attached with an
+/// interval dt, the kernel invokes on_sample(k*dt) for every grid boundary
+/// the clock crosses, *before* executing any event at or past the
+/// boundary — so a sample at time b observes exactly the state produced by
+/// events strictly earlier than b. Boundaries are derived from event
+/// timestamps alone, so the sample stream is byte-identical across queue
+/// backends and independent of host threading. A Simulation with no hook
+/// attached pays one pointer test per batch; hooks must not schedule or
+/// cancel events. run_until(t) with finite t also emits the trailing
+/// boundaries up to t after the queue drains, so a recorded series covers
+/// the full horizon even when the tail is idle.
+class SamplingHook {
+ public:
+  virtual ~SamplingHook() = default;
+
+  /// The clock reached sampling boundary `now` (== k * interval).
+  virtual void on_sample(Time now) = 0;
 };
 
 /// Optional fault hook: a domain-agnostic seam through which a fault
@@ -282,6 +303,24 @@ class Simulation {
   }
   FaultHook* fault_hook() const noexcept { return fault_hook_; }
 
+  /// Attaches a periodic sampling hook invoked at every multiple of
+  /// `interval` the clock crosses during run()/run_until() (see
+  /// SamplingHook for the exact boundary semantics). The first boundary is
+  /// the smallest multiple of `interval` strictly greater than now().
+  /// Passing nullptr detaches; `interval` must be > 0 when attaching.
+  /// Not owned; must outlive the Simulation or be detached first.
+  void set_sampling_hook(SamplingHook* hook, Time interval) {
+    sampling_hook_ = hook;
+    sample_interval_ = interval;
+    if (hook != nullptr) {
+      // Align to the absolute grid so the boundary times are a function of
+      // the interval alone, not of when the hook was attached.
+      const double k = std::floor(now_ / interval);
+      next_sample_ = (k + 1.0) * interval;
+    }
+  }
+  SamplingHook* sampling_hook() const noexcept { return sampling_hook_; }
+
  private:
   friend class EventHandle;
 
@@ -352,6 +391,9 @@ class Simulation {
                     std::uint64_t generation) const noexcept;
   bool cancel_slot(std::uint32_t slot, std::uint64_t generation) noexcept;
   void note_alloc_event() noexcept;
+  /// Fires every pending sampling boundary <= `upto`, advancing the clock
+  /// to each boundary before invoking the hook.
+  void emit_samples(Time upto);
 
   // Queue backend dispatch: one branch per operation on `kind_`, perfectly
   // predicted in any real run.
@@ -391,6 +433,9 @@ class Simulation {
   std::uint64_t alloc_events_ = 0;
   Observer* observer_ = nullptr;
   FaultHook* fault_hook_ = nullptr;
+  SamplingHook* sampling_hook_ = nullptr;
+  Time sample_interval_ = 0.0;
+  Time next_sample_ = 0.0;
   QueueKind kind_ = QueueKind::kHeap;
   bool stopped_ = false;
 };

@@ -75,6 +75,9 @@ class ElasticEngine {
   ElasticResult run() {
     if (obs_ != nullptr) {
       sim_.set_observer(obs_->kernel_observer());
+      if (obs_->sampling_hook() != nullptr)
+        sim_.set_sampling_hook(obs_->sampling_hook(),
+                               obs_->sampling_interval());
       obs_->tracer.begin("autoscale.run", "autoscale", sim_.now());
     }
     // Pre-size the kernel: one arrival per job, one completion per
@@ -381,6 +384,10 @@ class ElasticEngine {
     result_.mean_slowdown = stats::mean(slowdowns);
     result_.median_slowdown = stats::quantile(slowdowns, 0.5);
     result_.mean_response = stats::mean(responses);
+    for (const double s : slowdowns) result_.slowdown_digest.add(s);
+    if (obs_ != nullptr)
+      obs_->metrics.digest("autoscale.job_slowdown")
+          .merge(result_.slowdown_digest);
     for (auto& m : machines_) {
       if (m.alive) {
         result_.rentals.push_back(result_.makespan - m.rental_start);

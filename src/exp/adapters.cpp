@@ -8,6 +8,7 @@
 #include "atlarge/autoscale/autoscalers.hpp"
 #include "atlarge/fault/fault.hpp"
 #include "atlarge/autoscale/elastic_sim.hpp"
+#include "atlarge/obs/observability.hpp"
 #include "atlarge/cluster/machine.hpp"
 #include "atlarge/graph/algorithms.hpp"
 #include "atlarge/graph/graph.hpp"
@@ -56,6 +57,15 @@ std::uint64_t fault_plan_seed(const std::vector<double>& v,
   return h;
 }
 
+/// slo_pass / slo_alerts metric pair from a per-trial monitor. Trials are
+/// graded like production services: the SLO passes when no multi-window
+/// burn-rate alert fired anywhere in the run.
+void append_slo_metrics(TrialResult& out, const obs::SloMonitor& slo) {
+  out.metrics.emplace_back("slo_alerts",
+                           static_cast<double>(slo.alerts().size()));
+  out.metrics.emplace_back("slo_pass", slo.alerts().empty() ? 1.0 : 0.0);
+}
+
 // ------------------------------------------------------------- portfolio --
 
 class PortfolioAdapter final : public SimulatorAdapter {
@@ -96,7 +106,25 @@ class PortfolioAdapter final : public SimulatorAdapter {
     config.eval_threads = 1;  // trial-level parallelism only
     sched::PortfolioScheduler portfolio(sched::standard_policies(), env,
                                         config);
+    // Per-trial telemetry plane (local, so the thread-safety contract
+    // holds): a queue-saturation SLO graded over the whole run. The
+    // tracer ring is disabled — campaigns only need the SLO verdict.
+    obs::Observability plane(0);
+    obs::SloMonitor slo;
+    obs::SloSpec sspec;
+    sspec.name = "sched-queue";
+    sspec.kind = obs::SloKind::kGaugeAbove;
+    sspec.objective = 0.9;  // queue may exceed the bound 10% of the time
+    sspec.threshold = 64.0;
+    sspec.gauge = &plane.metrics.gauge("sched.eligible_queue");
+    sspec.fast = {120.0, 5.0};
+    sspec.slow = {1200.0, 2.0};
+    slo.add(sspec);
+    plane.attach_slo(&slo);
+    plane.set_sampling_interval(10.0);
+
     sched::SimOptions options;
+    options.obs = &plane;
     fault::FaultPlan plan;
     if (v[4] > 0.0) {
       fault::FaultSpec fspec;
@@ -118,6 +146,7 @@ class PortfolioAdapter final : public SimulatorAdapter {
         {"mean_slowdown", result.mean_slowdown},
         {"median_slowdown", result.median_slowdown},
         {"p95_slowdown", result.p95_slowdown},
+        {"p999_slowdown", result.p999_slowdown},
         {"mean_wait", result.mean_wait},
         {"makespan", result.makespan},
         {"utilization", result.utilization},
@@ -126,6 +155,8 @@ class PortfolioAdapter final : public SimulatorAdapter {
         {"faults_injected", static_cast<double>(result.faults_injected)},
         {"tasks_requeued", static_cast<double>(result.tasks_requeued)},
     };
+    append_slo_metrics(out, slo);
+    out.digest = result.slowdown_digest.serialize();
     return out;
   }
 };
@@ -158,7 +189,26 @@ class ServerlessAdapter final : public SimulatorAdapter {
     const auto invocations = serverless::bursty_invocations(
         registry.size(), 1.5, horizon, 180.0, scaled(48, scale, 6), rng);
 
+    // Per-trial telemetry plane: an availability SLO over the request
+    // error ratio, evaluated continuously while the platform runs. With
+    // faults.rate > 0 the loss/cold-start-failure windows this plan
+    // injects are exactly what the burn-rate monitor is built to detect.
+    obs::Observability plane(0);
+    obs::SloMonitor slo;
+    obs::SloSpec sspec;
+    sspec.name = "faas-availability";
+    sspec.kind = obs::SloKind::kErrorRatio;
+    sspec.objective = 0.95;  // 5% error budget
+    sspec.bad = &plane.metrics.counter("faas.failed");
+    sspec.total = &plane.metrics.counter("faas.requests");
+    sspec.fast = {60.0, 4.0};   // >= 20% of the last minute's requests bad
+    sspec.slow = {600.0, 1.0};  // >= 5% over ten minutes
+    slo.add(sspec);
+    plane.attach_slo(&slo);
+    plane.set_sampling_interval(5.0);
+
     serverless::PlatformConfig config;
+    config.obs = &plane;
     config.keep_alive = v[0];
     config.prewarmed = static_cast<std::uint32_t>(v[1]);
     config.max_instances = static_cast<std::uint32_t>(v[2]);
@@ -196,7 +246,10 @@ class ServerlessAdapter final : public SimulatorAdapter {
         {"failed", static_cast<double>(result.failed_invocations)},
         {"retries", static_cast<double>(result.retries)},
         {"faults_injected", static_cast<double>(result.faults_injected)},
+        {"p999_latency", result.p999_latency},
     };
+    append_slo_metrics(out, slo);
+    out.digest = result.latency_digest.serialize();
     return out;
   }
 };
@@ -276,6 +329,7 @@ class AutoscaleAdapter final : public SimulatorAdapter {
         {"faults_injected", static_cast<double>(result.faults_injected)},
         {"tasks_requeued", static_cast<double>(result.tasks_requeued)},
     };
+    out.digest = result.slowdown_digest.serialize();
     return out;
   }
 
@@ -340,6 +394,7 @@ class P2pAdapter final : public SimulatorAdapter {
         {"peers", static_cast<double>(result.peers.size())},
         {"churned", static_cast<double>(result.churned)},
     };
+    out.digest = result.download_digest.serialize();
     return out;
   }
 };

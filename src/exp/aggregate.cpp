@@ -95,6 +95,13 @@ CampaignAggregate aggregate_campaign(
                             point.mean_objective};
     }
 
+    // Merge every repeat's distribution digest; records predating the
+    // digest field (or adapters without one) contribute nothing.
+    for (const TrialRecord* record : group.unique_records) {
+      obs::Digest d;
+      if (obs::Digest::deserialize(record->digest, d)) point.digest.merge(d);
+    }
+
     // Metric means, in the adapter's declared (first record's) order.
     if (!group.unique_records.empty()) {
       const auto& first = group.unique_records.front()->metrics;
@@ -180,6 +187,15 @@ std::string aggregate_json(const CampaignAggregate& aggregate) {
     w.key("metrics").begin_object();
     for (const auto& [name, value] : point.mean_metrics)
       w.key(name).value(value);
+    w.end_object();
+    // Quantiles of the *merged* distribution over all repeats (all-zero
+    // when the adapter records no digest).
+    w.key("digest").begin_object();
+    w.key("count").value(point.digest.count());
+    w.key("p50").value(point.digest.p50());
+    w.key("p95").value(point.digest.p95());
+    w.key("p99").value(point.digest.p99());
+    w.key("p999").value(point.digest.p999());
     w.end_object();
     w.end_object();
   }

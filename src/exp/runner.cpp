@@ -107,6 +107,9 @@ std::vector<std::optional<TrialRecord>> TrialRunner::run(
     record.key = task.key;
     record.objective = results[j].result.objective;
     record.metrics = std::move(results[j].result.metrics);
+    // Exact round-trip by construction (Digest::serialize is %.17g +
+    // integer buckets), so no canonicalization pass is needed here.
+    record.digest = std::move(results[j].result.digest);
     TrialRowContext context;
     context.domain = adapter_->domain();
     context.repeat = task.repeat;

@@ -206,6 +206,13 @@ bool parse_trial_line(const std::string& line, TrialRecord& out) {
     if (v.kind != JsonValue::Kind::kNumber) return false;
     out.metrics.emplace_back(name, v.number);
   }
+  // Optional serialized-digest field; absent on lines written before the
+  // digest existed (those records just carry an empty distribution).
+  out.digest.clear();
+  if (const JsonValue* digest = root.find("digest")) {
+    if (digest->kind != JsonValue::Kind::kString) return false;
+    out.digest = digest->string;
+  }
   return true;
 }
 
@@ -296,6 +303,7 @@ std::string ResultStore::render_line(const TrialRecord& record,
   w.key("metrics").begin_object();
   for (const auto& [name, value] : record.metrics) w.key(name).value(value);
   w.end_object();
+  if (!record.digest.empty()) w.key("digest").value(record.digest);
   w.end_object();
   return w.str();
 }

@@ -1,0 +1,156 @@
+#include "atlarge/obs/digest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace atlarge::obs {
+
+int Digest::bucket_index(double v) noexcept {
+  if (!(v > 0.0)) return 0;              // zero, negatives, NaN -> underflow
+  if (std::isinf(v)) return kBuckets - 1;
+  int e;
+  const double m = std::frexp(v, &e);    // v = m * 2^e, m in [0.5, 1)
+  const int octave = (e - 1) - kMinExp;  // floor(log2 v) - kMinExp
+  if (octave < 0) return 0;
+  if (octave >= kOctaves) return kBuckets - 1;
+  // Linear position of the mantissa within its octave: m*2 in [1, 2).
+  const int sub = static_cast<int>((m * 2.0 - 1.0) * kSub);
+  return 1 + octave * kSub + std::min(sub, kSub - 1);
+}
+
+void Digest::add(double v, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  if (std::isnan(v) || std::isinf(v)) {
+    buckets_[kBuckets - 1] += n;
+    count_ += n;
+    return;
+  }
+  if (finite_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  finite_ += n;
+  count_ += n;
+  sum_ += v * static_cast<double>(n);
+  buckets_[bucket_index(v)] += n;
+}
+
+void Digest::merge(const Digest& other) noexcept {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (other.finite_ != 0) {
+    if (finite_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  finite_ += other.finite_;
+  sum_ += other.sum_;
+}
+
+double Digest::bucket_upper_bound(int i) noexcept {
+  if (i <= 0) return std::ldexp(1.0, kMinExp);
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  const int octave = (i - 1) / kSub;
+  const int sub = (i - 1) % kSub;
+  return std::ldexp(1.0 + static_cast<double>(sub + 1) / kSub,
+                    kMinExp + octave);
+}
+
+double Digest::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target)
+      return std::clamp(bucket_upper_bound(i), min(), max());
+  }
+  return max();
+}
+
+std::uint64_t Digest::count_above(double x) const noexcept {
+  std::uint64_t below = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (bucket_upper_bound(i) > x) break;
+    below += buckets_[i];
+  }
+  return count_ - below;
+}
+
+std::string Digest::serialize() const {
+  if (count_ == 0) return "";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "d1;%llu;%llu;%.17g;%.17g;%.17g;",
+                static_cast<unsigned long long>(count_),
+                static_cast<unsigned long long>(finite_), sum_, min_, max_);
+  std::string out = buf;
+  bool first = true;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%d:%llu", i,
+                  static_cast<unsigned long long>(buckets_[i]));
+    out += buf;
+  }
+  return out;
+}
+
+bool Digest::deserialize(std::string_view text, Digest& out) {
+  out = Digest{};
+  if (text.empty()) return true;
+  const std::string s(text);  // NUL-terminate for strtod/strtoull
+  const char* p = s.c_str();
+  if (std::strncmp(p, "d1;", 3) != 0) return false;
+  p += 3;
+  char* end = nullptr;
+  const auto u64 = [&](std::uint64_t& v) {
+    v = std::strtoull(p, &end, 10);
+    const bool ok = end != p && *end == ';';
+    p = ok ? end + 1 : p;
+    return ok;
+  };
+  const auto f64 = [&](double& v) {
+    v = std::strtod(p, &end);
+    const bool ok = end != p && *end == ';';
+    p = ok ? end + 1 : p;
+    return ok;
+  };
+  Digest d;
+  if (!u64(d.count_) || !u64(d.finite_) || !f64(d.sum_) || !f64(d.min_) ||
+      !f64(d.max_))
+    return false;
+  std::uint64_t total = 0;
+  while (*p != '\0') {
+    const long idx = std::strtol(p, &end, 10);
+    if (end == p || *end != ':' || idx < 0 || idx >= kBuckets) return false;
+    p = end + 1;
+    const std::uint64_t n = std::strtoull(p, &end, 10);
+    if (end == p) return false;
+    p = end;
+    d.buckets_[idx] += n;
+    total += n;
+    if (*p == ',') ++p;
+    else if (*p != '\0') return false;
+  }
+  if (total != d.count_) return false;
+  out = d;
+  return true;
+}
+
+}  // namespace atlarge::obs

@@ -1,0 +1,104 @@
+#include "atlarge/obs/flight.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "atlarge/obs/json.hpp"
+
+namespace atlarge::obs {
+
+std::size_t FlightRecorder::entity(const std::string& name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  Ring ring;
+  ring.name = name;
+  ring.records.reserve(per_entity_);
+  rings_.push_back(std::move(ring));
+  index_.emplace(name, rings_.size() - 1);
+  return rings_.size() - 1;
+}
+
+std::uint64_t FlightRecorder::record(std::size_t entity, double t,
+                                     const char* event, double detail,
+                                     std::uint64_t cause) {
+  Ring& ring = rings_[entity];
+  Record rec;
+  rec.time = t;
+  rec.event = event;
+  rec.detail = detail;
+  rec.seq = next_seq_++;
+  rec.cause = cause;
+  if (ring.records.size() < per_entity_) {
+    ring.records.push_back(rec);
+    ++ring.size;
+  } else {
+    ring.records[ring.head] = rec;  // overwrite the oldest
+    ++dropped_;
+  }
+  ring.head = ring.head + 1 == per_entity_ ? 0 : ring.head + 1;
+  ring.last_seq = rec.seq;
+  return rec.seq;
+}
+
+std::string FlightRecorder::chrome_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  for (std::size_t e = 0; e < rings_.size(); ++e) {
+    const Ring& ring = rings_[e];
+    w.begin_object();
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(std::uint64_t{1});
+    w.key("tid").value(static_cast<std::uint64_t>(e + 1));
+    w.key("args").begin_object().key("name").value(ring.name).end_object();
+    w.end_object();
+  }
+  for (std::size_t e = 0; e < rings_.size(); ++e) {
+    const Ring& ring = rings_[e];
+    // Oldest retained record first: once wrapped, it sits at head.
+    const std::size_t first = ring.size < per_entity_ ? 0 : ring.head;
+    for (std::size_t i = 0; i < ring.size; ++i) {
+      const std::size_t slot =
+          first + i >= per_entity_ ? first + i - per_entity_ : first + i;
+      const Record& rec = ring.records[slot];
+      w.begin_object();
+      w.key("name").value(rec.event);
+      w.key("cat").value("flight");
+      w.key("ph").value("i");
+      w.key("s").value("t");
+      // Sim seconds to trace microseconds, the Tracer's convention.
+      w.key("ts").value(rec.time * 1e6);
+      w.key("pid").value(std::uint64_t{1});
+      w.key("tid").value(static_cast<std::uint64_t>(e + 1));
+      w.key("args")
+          .begin_object()
+          .key("seq")
+          .value(rec.seq)
+          .key("cause")
+          .value(rec.cause)
+          .key("detail")
+          .value(rec.detail)
+          .end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void FlightRecorder::write_chrome_json(const std::string& path) const {
+  const std::string content = chrome_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr)
+    throw std::runtime_error("FlightRecorder: cannot open '" + path + "'");
+  const std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = n == content.size() && std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok)
+    throw std::runtime_error("FlightRecorder: cannot write '" + path + "'");
+}
+
+}  // namespace atlarge::obs

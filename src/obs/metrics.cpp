@@ -76,6 +76,21 @@ std::string Registry::json() const {
     w.end_object();
   }
   w.end_object();
+  w.key("digests").begin_object();
+  for (const auto& [name, d] : digests_) {
+    w.key(name).begin_object();
+    w.key("count").value(d.count());
+    w.key("sum").value(d.sum());
+    w.key("min").value(d.min());
+    w.key("max").value(d.max());
+    w.key("mean").value(d.mean());
+    w.key("p50").value(d.p50());
+    w.key("p95").value(d.p95());
+    w.key("p99").value(d.p99());
+    w.key("p999").value(d.p999());
+    w.end_object();
+  }
+  w.end_object();
   w.end_object();
   return w.str();
 }
@@ -100,34 +115,84 @@ std::string prom_number(double v) {
   return buf;
 }
 
+/// Label-value escaping per the exposition format: backslash, double
+/// quote, and newline must be escaped; everything else passes through.
+std::string prom_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// HELP text escaping: backslash and newline only (quotes are legal).
+std::string prom_help_text(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void prom_header(std::string& out, const std::string& n,
+                 const std::string& original, const char* type) {
+  out += "# HELP " + n + " atlarge metric " + prom_help_text(original) +
+         "\n";
+  out += "# TYPE " + n + " ";
+  out += type;
+  out += "\n";
+}
+
 }  // namespace
 
 std::string Registry::prometheus() const {
   std::string out;
   for (const auto& [name, c] : counters_) {
     const std::string n = prom_name(name);
-    out += "# TYPE " + n + " counter\n";
+    prom_header(out, n, name, "counter");
     out += n + " " + std::to_string(c.value()) + "\n";
   }
   for (const auto& [name, g] : gauges_) {
     const std::string n = prom_name(name);
-    out += "# TYPE " + n + " gauge\n";
+    prom_header(out, n, name, "gauge");
     out += n + " " + prom_number(g.value()) + "\n";
   }
   for (const auto& [name, h] : histograms_) {
     const std::string n = prom_name(name);
-    out += "# TYPE " + n + " histogram\n";
+    prom_header(out, n, name, "histogram");
     std::uint64_t cumulative = 0;
     for (int i = 0; i < Histogram::kBuckets; ++i) {
       if (h.buckets()[i] == 0) continue;  // sparse: skip empty buckets
       cumulative += h.buckets()[i];
       out += n + "_bucket{le=\"" +
-             prom_number(Histogram::bucket_upper_bound(i)) + "\"} " +
-             std::to_string(cumulative) + "\n";
+             prom_label_value(prom_number(Histogram::bucket_upper_bound(i))) +
+             "\"} " + std::to_string(cumulative) + "\n";
     }
     out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count()) + "\n";
     out += n + "_sum " + prom_number(h.sum()) + "\n";
     out += n + "_count " + std::to_string(h.count()) + "\n";
+  }
+  for (const auto& [name, d] : digests_) {
+    const std::string n = prom_name(name);
+    prom_header(out, n, name, "summary");
+    static constexpr double kQuantiles[] = {0.5, 0.95, 0.99, 0.999};
+    for (const double q : kQuantiles) {
+      out += n + "{quantile=\"" + prom_label_value(prom_number(q)) + "\"} " +
+             prom_number(d.quantile(q)) + "\n";
+    }
+    out += n + "_sum " + prom_number(d.sum()) + "\n";
+    out += n + "_count " + std::to_string(d.count()) + "\n";
   }
   return out;
 }

@@ -1,0 +1,165 @@
+#include "atlarge/obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "atlarge/obs/json.hpp"
+
+namespace atlarge::obs {
+namespace {
+
+const char* kind_name(SloKind kind) {
+  switch (kind) {
+    case SloKind::kErrorRatio: return "error_ratio";
+    case SloKind::kLatencyAbove: return "latency_above";
+    case SloKind::kGaugeAbove: return "gauge_above";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::size_t SloMonitor::add(SloSpec spec) {
+  if (!(spec.objective >= 0.0 && spec.objective < 1.0))
+    throw std::invalid_argument("SloMonitor: objective must be in [0, 1)");
+  if (!(spec.fast.span > 0.0) || !(spec.slow.span > 0.0))
+    throw std::invalid_argument("SloMonitor: window spans must be > 0");
+  const bool wired =
+      (spec.kind == SloKind::kErrorRatio && spec.bad != nullptr &&
+       spec.total != nullptr) ||
+      (spec.kind == SloKind::kLatencyAbove && spec.digest != nullptr) ||
+      (spec.kind == SloKind::kGaugeAbove && spec.gauge != nullptr);
+  if (!wired)
+    throw std::invalid_argument(
+        "SloMonitor: spec instruments do not match its kind");
+
+  State state;
+  state.spec = std::move(spec);
+  for (int w = 0; w < 2; ++w) {
+    const SloWindow& win = w == 0 ? state.spec.fast : state.spec.slow;
+    state.windows[w].span = win.span;
+    state.windows[w].burn_threshold = win.burn_threshold;
+    state.windows[w].bucket_width =
+        win.span / static_cast<double>(kWindowBuckets);
+    state.windows[w].bad.assign(kWindowBuckets, 0.0);
+    state.windows[w].total.assign(kWindowBuckets, 0.0);
+  }
+  slos_.push_back(std::move(state));
+  if (alerts_.capacity() == 0) alerts_.reserve(64);
+  return slos_.size() - 1;
+}
+
+void SloMonitor::cumulative(const State& s, double& bad,
+                            double& total) const {
+  switch (s.spec.kind) {
+    case SloKind::kErrorRatio:
+      bad = static_cast<double>(s.spec.bad->value());
+      total = static_cast<double>(s.spec.total->value());
+      break;
+    case SloKind::kLatencyAbove:
+      bad = static_cast<double>(s.spec.digest->count_above(s.spec.threshold));
+      total = static_cast<double>(s.spec.digest->count());
+      break;
+    case SloKind::kGaugeAbove:
+      // Each evaluation is one observation of the gauge: the budget is
+      // over *time spent* above the threshold, not over events.
+      bad = s.last_bad + (s.spec.gauge->value() > s.spec.threshold ? 1.0
+                                                                   : 0.0);
+      total = s.last_total + 1.0;
+      break;
+  }
+}
+
+void SloMonitor::Window::fold(double t, double dbad, double dtotal) {
+  const auto bucket =
+      static_cast<std::int64_t>(std::floor(t / bucket_width));
+  if (current < 0) {
+    current = bucket;
+  } else if (bucket > current) {
+    // Zero every slot the clock skipped past (at most the whole ring).
+    const std::int64_t skipped =
+        std::min<std::int64_t>(bucket - current,
+                               static_cast<std::int64_t>(kWindowBuckets));
+    for (std::int64_t i = 1; i <= skipped; ++i) {
+      const std::size_t slot =
+          static_cast<std::size_t>((current + i) % kWindowBuckets);
+      bad[slot] = 0.0;
+      total[slot] = 0.0;
+    }
+    current = bucket;
+  }
+  const std::size_t slot = static_cast<std::size_t>(current % kWindowBuckets);
+  bad[slot] += dbad;
+  total[slot] += dtotal;
+}
+
+void SloMonitor::advance(double t) {
+  for (State& s : slos_) {
+    double bad = 0.0;
+    double total = 0.0;
+    cumulative(s, bad, total);
+    const double dbad = bad - s.last_bad;
+    const double dtotal = total - s.last_total;
+    s.last_bad = bad;
+    s.last_total = total;
+    const double budget = 1.0 - s.spec.objective;
+
+    bool burning = true;
+    for (Window& w : s.windows) {
+      w.fold(t, dbad, dtotal);
+      double wbad = 0.0;
+      double wtotal = 0.0;
+      for (std::size_t i = 0; i < kWindowBuckets; ++i) {
+        wbad += w.bad[i];
+        wtotal += w.total[i];
+      }
+      w.burn = wtotal <= 0.0 ? 0.0 : (wbad / wtotal) / budget;
+      if (w.burn < w.burn_threshold) burning = false;
+    }
+
+    if (burning && !s.firing) {
+      SloAlert alert;
+      alert.time = t;
+      alert.slo = static_cast<std::size_t>(&s - slos_.data());
+      alert.name = s.spec.name;
+      alert.burn_fast = s.windows[0].burn;
+      alert.burn_slow = s.windows[1].burn;
+      alerts_.push_back(std::move(alert));
+    }
+    s.firing = burning;
+  }
+}
+
+std::string SloMonitor::json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("slos").begin_array();
+  for (const State& s : slos_) {
+    w.begin_object();
+    w.key("name").value(s.spec.name);
+    w.key("kind").value(kind_name(s.spec.kind));
+    w.key("objective").value(s.spec.objective);
+    w.key("threshold").value(s.spec.threshold);
+    w.key("firing").value(s.firing);
+    w.key("burn_fast").value(s.windows[0].burn);
+    w.key("burn_slow").value(s.windows[1].burn);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("alerts").begin_array();
+  for (const SloAlert& a : alerts_) {
+    w.begin_object();
+    w.key("time").value(a.time);
+    w.key("slo").value(static_cast<std::uint64_t>(a.slo));
+    w.key("name").value(a.name);
+    w.key("burn_fast").value(a.burn_fast);
+    w.key("burn_slow").value(a.burn_slow);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace atlarge::obs

@@ -45,6 +45,7 @@ SwarmResult simulate_swarm(const SwarmConfig& config,
   obs::Gauge* seeds_gauge = nullptr;
   obs::Gauge* leechers_gauge = nullptr;
   obs::Histogram* dl_hist = nullptr;
+  obs::Digest* dl_dig = nullptr;
   double last_now = 0.0;
   if (plane != nullptr) {
     finished_ctr = &plane->metrics.counter("p2p.finished");
@@ -52,6 +53,7 @@ SwarmResult simulate_swarm(const SwarmConfig& config,
     seeds_gauge = &plane->metrics.gauge("p2p.seeds");
     leechers_gauge = &plane->metrics.gauge("p2p.leechers");
     dl_hist = &plane->metrics.histogram("p2p.download_time");
+    dl_dig = &plane->metrics.digest("p2p.download_time");
     plane->tracer.begin("p2p.swarm", "p2p", 0.0);
   }
 
@@ -141,6 +143,9 @@ SwarmResult simulate_swarm(const SwarmConfig& config,
     if (plane != nullptr) {
       seeds_gauge->set(static_cast<double>(seeds));
       leechers_gauge->set(static_cast<double>(leechers));
+      // No DES kernel here: drive the continuous-telemetry plane by hand
+      // so TimeSeries rows and SLO windows advance each epoch.
+      plane->sample_now(now);
     }
 
     // Integrate one epoch.
@@ -170,6 +175,7 @@ SwarmResult simulate_swarm(const SwarmConfig& config,
             if (plane != nullptr) {
               finished_ctr->add(1);
               dl_hist->observe(out.download_time());
+              dl_dig->add(out.download_time());
             }
           }
           break;
@@ -202,6 +208,7 @@ SwarmResult simulate_swarm(const SwarmConfig& config,
   }
   result.mean_download_time = stats::mean(times);
   result.median_download_time = stats::quantile(times, 0.5);
+  for (const double t : times) result.download_digest.add(t);
   if (plane != nullptr)
     plane->tracer.end("p2p.swarm", "p2p", last_now + config.epoch);
   return result;

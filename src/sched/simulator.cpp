@@ -52,6 +52,7 @@ struct RunningTask {
   std::uint32_t cores = 0;
   std::size_t ji = 0;
   std::size_t ti = 0;
+  std::uint64_t place_seq = 0;  // flight-recorder causal link
   sim::EventHandle completion;
 };
 
@@ -62,10 +63,15 @@ class Engine {
       : env_(env), policy_(policy), options_(options), obs_(options.obs) {
     if (obs_ != nullptr) {
       sim_.set_observer(obs_->kernel_observer());
+      if (obs_->sampling_hook() != nullptr)
+        sim_.set_sampling_hook(obs_->sampling_hook(),
+                               obs_->sampling_interval());
       passes_ = &obs_->metrics.counter("sched.passes");
       placed_ = &obs_->metrics.counter("sched.tasks_placed");
       queue_depth_ = &obs_->metrics.gauge("sched.eligible_queue");
       wait_hist_ = &obs_->metrics.histogram("sched.task_wait");
+      wait_dig_ = &obs_->metrics.digest("sched.task_wait");
+      flight_ = obs_->flight();
     }
     const auto machines = env.all_machines();
     if (machines.empty())
@@ -83,6 +89,12 @@ class Engine {
       max_cores = std::max(max_cores, m.cores);
     }
     result_.machine_busy_seconds.assign(machines_.size(), 0.0);
+    if (flight_ != nullptr) {
+      flight_entity_.reserve(machines_.size());
+      for (std::size_t mi = 0; mi < machines_.size(); ++mi)
+        flight_entity_.push_back(
+            flight_->entity("machine/" + std::to_string(mi)));
+    }
 
     jobs_.reserve(workload.jobs.size());
     for (const auto& job : workload.jobs) {
@@ -146,6 +158,10 @@ class Engine {
     auto& m = machines_[mi];
     if (m.down) return;  // overlapping crash on an already-down machine
     m.down = true;
+    std::uint64_t crash_seq = 0;
+    if (flight_ != nullptr)
+      crash_seq = flight_->record(flight_entity_[mi], sim_.now(), "crash",
+                                  e.duration);
     // Kill every task running on the machine: its completion is
     // cancelled, its partial work is lost (busy seconds give back the
     // un-run remainder), and it is re-queued to run from scratch.
@@ -161,6 +177,9 @@ class Engine {
       js.tasks[it->ti].eligible_time = sim_.now();
       eligible_.emplace_back(it->ji, it->ti);
       ++result_.tasks_requeued;
+      if (flight_ != nullptr)
+        flight_->record(flight_entity_[mi], sim_.now(), "requeue",
+                        static_cast<double>(js.job->id), crash_seq);
       m.free += it->cores;
       it = running_.erase(it);
     }
@@ -355,7 +374,9 @@ class Engine {
 
     if (obs_ != nullptr) {
       placed_->add(1);
-      wait_hist_->observe(sim_.now() - js.tasks[ti].eligible_time);
+      const double wait = sim_.now() - js.tasks[ti].eligible_time;
+      wait_hist_->observe(wait);
+      wait_dig_->add(wait);
     }
     machines_[mi].free -= ref.cores;
     observe_busy();
@@ -367,6 +388,9 @@ class Engine {
     rt.cores = ref.cores;
     rt.ji = ji;
     rt.ti = ti;
+    if (flight_ != nullptr)
+      rt.place_seq = flight_->record(flight_entity_[mi], sim_.now(), "place",
+                                     static_cast<double>(ref.job_id));
     rt.completion = sim_.schedule_after(
         elapsed, [this, ji, ti, mi, cores = ref.cores, elapsed] {
           complete(ji, ti, mi, cores, elapsed);
@@ -386,7 +410,12 @@ class Engine {
     const auto rit = std::find_if(
         running_.begin(), running_.end(),
         [&](const RunningTask& r) { return r.ji == ji && r.ti == ti; });
-    if (rit != running_.end()) running_.erase(rit);
+    if (rit != running_.end()) {
+      if (flight_ != nullptr)
+        flight_->record(flight_entity_[mi], sim_.now(), "complete",
+                        static_cast<double>(js.job->id), rit->place_seq);
+      running_.erase(rit);
+    }
 
     add_usage(js.job->user, elapsed * cores);
 
@@ -446,6 +475,9 @@ class Engine {
     result_.mean_slowdown = stats::mean(slowdowns);
     result_.median_slowdown = stats::quantile(slowdowns, 0.5);
     result_.p95_slowdown = stats::quantile(slowdowns, 0.95);
+    result_.p999_slowdown = stats::quantile(slowdowns, 0.999);
+    for (const double w : waits) result_.wait_digest.add(w);
+    for (const double s : slowdowns) result_.slowdown_digest.add(s);
     const double horizon = result_.makespan - (std::isfinite(first_submit)
                                                    ? first_submit
                                                    : 0.0);
@@ -467,6 +499,9 @@ class Engine {
   obs::Counter* placed_ = nullptr;
   obs::Gauge* queue_depth_ = nullptr;
   obs::Histogram* wait_hist_ = nullptr;
+  obs::Digest* wait_dig_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::vector<std::size_t> flight_entity_;  // per-machine ring ids
 
   sim::Simulation sim_;
   std::vector<MachineState> machines_;

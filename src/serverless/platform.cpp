@@ -38,14 +38,26 @@ class FaasEngine {
       started_ = &obs_->metrics.counter("faas.invocations");
       cold_starts_ = &obs_->metrics.counter("faas.cold_starts");
       queued_ = &obs_->metrics.counter("faas.queued");
+      failed_ = &obs_->metrics.counter("faas.failed");
+      requests_ = &obs_->metrics.counter("faas.requests");
       live_gauge_ = &obs_->metrics.gauge("faas.live_instances");
       latency_hist_ = &obs_->metrics.histogram("faas.latency");
+      latency_dig_ = &obs_->metrics.digest("faas.latency");
+      flight_ = obs_->flight();
+      if (flight_ != nullptr) {
+        flight_entity_.reserve(registry_.size());
+        for (const auto& spec : registry_)
+          flight_entity_.push_back(flight_->entity("function/" + spec.name));
+      }
     }
   }
 
   PlatformResult run() {
     if (obs_ != nullptr) {
       sim_.set_observer(obs_->kernel_observer());
+      if (obs_->sampling_hook() != nullptr)
+        sim_.set_sampling_hook(obs_->sampling_hook(),
+                               obs_->sampling_interval());
       obs_->tracer.begin("faas.run", "serverless", sim_.now());
     }
     attempts_.assign(invocations_.size(), 0);
@@ -168,6 +180,9 @@ class FaasEngine {
       return;
     }
     ++attempts_[i];
+    // One request per attempt, *including* ones lost to faults — the
+    // denominator an error-ratio SLO needs (failures over attempts).
+    if (obs_ != nullptr) requests_->add(1);
     if (faulted_ && sim_.now() < loss_until_[f]) {
       // Dropped in flight. The client notices at its timeout (or, with no
       // timeout configured, immediately).
@@ -223,8 +238,14 @@ class FaasEngine {
     result_.invocations.push_back(stats);
     ++result_.failed_invocations;
     if (obs_ != nullptr) {
-      obs_->metrics.counter("faas.failed").add(1);
+      failed_->add(1);
       obs_->tracer.instant("faas.failed", "serverless", sim_.now());
+    }
+    if (flight_ != nullptr) {
+      const std::size_t ent = flight_entity_[inv.function];
+      flight_->record(ent, sim_.now(), "fail",
+                      static_cast<double>(attempts_[i]),
+                      flight_->last_seq(ent));
     }
   }
 
@@ -262,10 +283,16 @@ class FaasEngine {
     if (obs_ != nullptr) {
       started_->add(1);
       latency_hist_->observe(stats.latency());
+      latency_dig_->add(stats.latency());
       if (cold) {
         cold_starts_->add(1);
         obs_->tracer.instant("faas.cold_start", "serverless", sim_.now());
       }
+    }
+    if (flight_ != nullptr) {
+      const std::size_t ent = flight_entity_[inv.function];
+      flight_->record(ent, sim_.now(), cold ? "cold_start" : "invoke",
+                      stats.latency(), flight_->last_seq(ent));
     }
     result_.invocations.push_back(stats);
     if (faulted_ && attempts_[i] > 1 && last_fault_[i].time >= 0.0)
@@ -335,6 +362,8 @@ class FaasEngine {
     result_.p50_latency = stats::quantile(latencies, 0.5);
     result_.p95_latency = stats::quantile(latencies, 0.95);
     result_.p99_latency = stats::quantile(latencies, 0.99);
+    result_.p999_latency = stats::quantile(latencies, 0.999);
+    for (const double l : latencies) result_.latency_digest.add(l);
     if (!result_.invocations.empty()) {
       result_.cold_fraction = static_cast<double>(cold) /
                               static_cast<double>(result_.invocations.size());
@@ -375,8 +404,13 @@ class FaasEngine {
   obs::Counter* started_ = nullptr;
   obs::Counter* cold_starts_ = nullptr;
   obs::Counter* queued_ = nullptr;
+  obs::Counter* failed_ = nullptr;
+  obs::Counter* requests_ = nullptr;
   obs::Gauge* live_gauge_ = nullptr;
   obs::Histogram* latency_hist_ = nullptr;
+  obs::Digest* latency_dig_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::vector<std::size_t> flight_entity_;  // per-function ring ids
 };
 
 }  // namespace
@@ -421,6 +455,8 @@ PlatformResult run_microservice_baseline(
   result.p50_latency = stats::quantile(latencies, 0.5);
   result.p95_latency = stats::quantile(latencies, 0.95);
   result.p99_latency = stats::quantile(latencies, 0.99);
+  result.p999_latency = stats::quantile(latencies, 0.999);
+  for (const double l : latencies) result.latency_digest.add(l);
   result.billed_instance_seconds =
       static_cast<double>(instances) * static_cast<double>(registry.size()) *
       horizon;

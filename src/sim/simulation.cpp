@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -343,6 +344,19 @@ std::size_t Simulation::run_batch() {
   return executed;
 }
 
+// Crossed sampling boundaries fire before the batch that passes them: the
+// clock steps to each boundary (so the hook sees now() == boundary), the
+// hook observes the state produced by strictly earlier events, and only
+// then does the batch advance the clock. Boundary times depend on event
+// timestamps alone, never on the queue backend.
+void Simulation::emit_samples(Time upto) {
+  while (next_sample_ <= upto) {
+    now_ = next_sample_;
+    sampling_hook_->on_sample(next_sample_);
+    next_sample_ += sample_interval_;
+  }
+}
+
 std::size_t Simulation::run_until(Time until) {
   stopped_ = false;
   std::size_t executed = 0;
@@ -353,11 +367,17 @@ std::size_t Simulation::run_until(Time until) {
   purge_cancelled();
   while (!stopped_ && !queue_empty() &&
          record_time(queue_front()) <= until) {
+    if (sampling_hook_ != nullptr) emit_samples(record_time(queue_front()));
     executed += run_batch();
     purge_cancelled();
   }
-  if (queue_empty() || record_time(queue_front()) > until)
+  if (queue_empty() || record_time(queue_front()) > until) {
+    // Cover the idle tail so a recorded series spans the full horizon (an
+    // infinite horizon has no tail to cover).
+    if (sampling_hook_ != nullptr && !stopped_ && std::isfinite(until))
+      emit_samples(until);
     now_ = std::max(now_, until);
+  }
   if (observer_ != nullptr) observer_->on_run_end(now_, executed);
   return executed;
 }
@@ -368,6 +388,7 @@ std::size_t Simulation::run() {
   if (observer_ != nullptr) observer_->on_run_begin(now_);
   purge_cancelled();
   while (!stopped_ && !queue_empty()) {
+    if (sampling_hook_ != nullptr) emit_samples(record_time(queue_front()));
     executed += run_batch();
     purge_cancelled();
   }

@@ -5,12 +5,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "atlarge/autoscale/autoscalers.hpp"
 #include "atlarge/autoscale/elastic_sim.hpp"
 #include "atlarge/cluster/machine.hpp"
 #include "atlarge/fault/fault.hpp"
+#include "atlarge/obs/observability.hpp"
+#include "atlarge/obs/slo.hpp"
+#include "atlarge/obs/timeseries.hpp"
 #include "atlarge/p2p/swarm.hpp"
 #include "atlarge/sched/policies.hpp"
 #include "atlarge/sched/simulator.hpp"
@@ -315,6 +321,124 @@ TEST(ChaosCalendarQueue, AutoscaleMatchesHeap) {
   QueueKindGuard guard(sim::QueueKind::kCalendar);
   EXPECT_EQ(heap_clean, scenario(nullptr));
   EXPECT_EQ(heap_faulted, scenario(&plan));
+}
+
+// ---------------------------------------------------------- SLO detection --
+
+// The telemetry plane must *detect* injected chaos, not merely survive it:
+// a seeded cluster-wide outage at a known sim-time has to raise a
+// burn-rate alert within a bounded sim-time window, while the same monitor
+// stays silent on the clean run. The queue-depth threshold is calibrated
+// from the clean run's own maximum rather than hard-coded, so the test
+// tracks the workload generator instead of magic constants.
+
+// The crash lands at the workload's backlog peak (arrivals stop at the
+// 1000 s horizon; the 8-core cluster drains the queue until ~2500 s), so
+// the outage requeues every running task on top of the deepest clean
+// backlog — an immediate, sustained breach of the calibrated threshold.
+constexpr double kCrashTime = 1'200.0;
+constexpr double kOutage = 300.0;
+constexpr double kSloSampling = 5.0;
+
+FaultPlan outage_plan() {
+  FaultPlan plan;
+  for (std::uint32_t machine = 0; machine < 4; ++machine) {
+    fault::FaultEvent ev;
+    ev.time = kCrashTime;
+    ev.kind = FaultKind::kMachineCrash;
+    ev.target = machine;
+    ev.duration = kOutage;
+    plan.add(ev);
+  }
+  return plan;
+}
+
+struct SloRun {
+  std::vector<obs::SloAlert> alerts;
+  double max_queue = 0.0;
+  std::string slo_json;
+};
+
+SloRun slo_run(const FaultPlan* plan, double threshold) {
+  obs::Observability plane(0);
+  obs::SloMonitor slo;
+  obs::SloSpec spec;
+  spec.name = "sched-queue";
+  spec.kind = obs::SloKind::kGaugeAbove;
+  spec.objective = 0.5;  // the queue may sit above threshold half the time
+  spec.threshold = threshold;
+  spec.gauge = &plane.metrics.gauge("sched.eligible_queue");
+  spec.fast = {50.0, 1.5};   // >= 75% of the last 50 s saturated
+  spec.slow = {200.0, 1.2};  // >= 60% of the last 200 s saturated
+  slo.add(spec);
+  plane.attach_slo(&slo);
+  obs::TimeSeries series(kSloSampling, 8192);
+  series.track_gauge("queue", plane.metrics.gauge("sched.eligible_queue"));
+  plane.attach_timeseries(&series);
+  plane.set_sampling_interval(kSloSampling);
+
+  const auto env = cluster::make_homogeneous_cluster("chaos", 4, 2);
+  workflow::WorkloadSpec wspec;
+  wspec.cls = workflow::WorkloadClass::kIndustrial;
+  wspec.jobs = 15;
+  wspec.horizon = 1'000.0;
+  wspec.seed = 3;
+  const auto workload = workflow::generate(wspec);
+  sched::FcfsPolicy policy;
+  sched::SimOptions options;
+  options.faults = plan;
+  options.obs = &plane;
+  (void)sched::simulate(env, workload, policy, options);
+
+  SloRun out;
+  out.alerts = slo.alerts();
+  out.slo_json = slo.json();
+  for (std::size_t row = 0; row < series.size(); ++row)
+    out.max_queue = std::max(out.max_queue, series.value_at(row, 0));
+  return out;
+}
+
+TEST(ChaosSlo, SeededOutageIsDetectedWithinBoundedSimTime) {
+  // Calibrate: with an unreachable threshold the monitor never counts a
+  // bad evaluation, and the series records the clean queue-depth ceiling.
+  const SloRun probe = slo_run(nullptr, 1e18);
+  ASSERT_TRUE(probe.alerts.empty());
+  const double threshold = probe.max_queue + 1.0;
+
+  // Clean run against the calibrated threshold: still silent.
+  const SloRun clean = slo_run(nullptr, threshold);
+  EXPECT_TRUE(clean.alerts.empty())
+      << "burn-rate alert on a fault-free run: " << clean.slo_json;
+
+  // Cluster-wide outage at kCrashTime: the queue backs up past any level
+  // the clean run reached, and both windows must burn before the outage
+  // ends — detection latency is bounded by the slow-window span plus one
+  // sampling interval after the backlog first exceeds the threshold.
+  const FaultPlan plan = outage_plan();
+  const SloRun faulted = slo_run(&plan, threshold);
+  ASSERT_FALSE(faulted.alerts.empty())
+      << "outage never tripped the burn-rate monitor: " << faulted.slo_json;
+  EXPECT_GT(faulted.max_queue, probe.max_queue);
+  const obs::SloAlert& first = faulted.alerts.front();
+  EXPECT_GT(first.time, kCrashTime);
+  EXPECT_LE(first.time, kCrashTime + kOutage)
+      << "alert raised only after the outage had already ended";
+  EXPECT_GE(first.burn_fast, 1.5);
+  EXPECT_GE(first.burn_slow, 1.2);
+}
+
+TEST(ChaosSlo, AlertStreamIsIdenticalAcrossQueueBackends) {
+  const SloRun probe = slo_run(nullptr, 1e18);
+  const double threshold = probe.max_queue + 1.0;
+  const FaultPlan plan = outage_plan();
+  const SloRun heap = slo_run(&plan, threshold);
+  QueueKindGuard guard(sim::QueueKind::kCalendar);
+  const SloRun calendar = slo_run(&plan, threshold);
+  EXPECT_EQ(heap.slo_json, calendar.slo_json)
+      << "alert times must be sampling boundaries, not backend artifacts";
+  ASSERT_EQ(heap.alerts.size(), calendar.alerts.size());
+  for (std::size_t i = 0; i < heap.alerts.size(); ++i)
+    EXPECT_EQ(exact(heap.alerts[i].time), exact(calendar.alerts[i].time));
 }
 
 }  // namespace

@@ -671,6 +671,73 @@ TEST(CampaignEndToEnd, ResumeAfterTruncationMatchesUninterrupted) {
   std::remove(path.c_str());
 }
 
+TEST(CampaignEndToEnd, FaultRateSweepGradesTrialsAndMergesDigests) {
+  // A faults.rate sweep is the telemetry plane's end-to-end contract:
+  // every trial is graded against its adapter's SLO (slo_pass/slo_alerts
+  // metrics), per-trial digests round-trip through the JSONL store, and
+  // the aggregate reports a merged digest per design point.
+  const auto spec = exp::parse_campaign_spec(
+      "campaign slo-sweep\ndomain serverless\nmode grid\nrepeats 2\n"
+      "seed 5\nscale 0.05\ndim keep_alive 300\ndim prewarmed 0\n"
+      "dim max_instances 32\ndim faults.rate 0 40\n");
+  const auto adapter = exp::make_adapter(spec.domain);
+  const auto path = temp_path("slo_sweep.jsonl");
+  std::remove(path.c_str());
+  exp::ResultStore store(path);
+  const auto outcome = exp::run_campaign(spec, *adapter, store, {});
+  EXPECT_TRUE(outcome.complete);
+
+  // Store level: every persisted record is graded and its digest parses.
+  const auto content = slurp(path);
+  std::size_t records = 0;
+  std::uint64_t digest_total = 0;
+  std::istringstream lines(content);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    exp::TrialRecord record;
+    ASSERT_TRUE(exp::parse_trial_line(line, record)) << line;
+    ++records;
+    double alerts = -1.0, pass = -1.0;
+    for (const auto& [name, value] : record.metrics) {
+      if (name == "slo_alerts") alerts = value;
+      if (name == "slo_pass") pass = value;
+    }
+    ASSERT_GE(alerts, 0.0) << "trial without slo_alerts: " << line;
+    EXPECT_EQ(pass, alerts == 0.0 ? 1.0 : 0.0)
+        << "slo_pass must grade exactly on alert count";
+    obs::Digest d;
+    ASSERT_TRUE(obs::Digest::deserialize(record.digest, d)) << line;
+    EXPECT_GT(d.count(), 0u) << "serverless trials must record latencies";
+    digest_total += d.count();
+  }
+  EXPECT_EQ(records, 4u);  // 2 design points x 2 repeats
+
+  // Aggregate level: a merged digest per point (counts add up across
+  // repeats) and the mean SLO grade per design point; the fault-free
+  // point must pass its SLO outright.
+  const auto& agg = outcome.aggregate;
+  std::size_t rate_idx = agg.param_names.size();
+  for (std::size_t i = 0; i < agg.param_names.size(); ++i)
+    if (agg.param_names[i] == "faults.rate") rate_idx = i;
+  ASSERT_LT(rate_idx, agg.param_names.size());
+  std::uint64_t merged_total = 0;
+  for (const auto& point : agg.ranked) {
+    merged_total += point.digest.count();
+    double mean_pass = -1.0;
+    for (const auto& [name, value] : point.mean_metrics)
+      if (name == "slo_pass") mean_pass = value;
+    ASSERT_GE(mean_pass, 0.0);
+    if (point.values[rate_idx] == 0.0)
+      EXPECT_EQ(mean_pass, 1.0) << "fault-free trials may not burn budget";
+  }
+  EXPECT_EQ(merged_total, digest_total);
+  const auto json = exp::aggregate_json(outcome.aggregate);
+  EXPECT_NE(json.find("\"digest\""), std::string::npos);
+  EXPECT_NE(json.find("\"slo_pass\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
 // ------------------------------------------------------------- rendering --
 
 TEST(Rendering, AggregateJsonAndTableCarryParamNames)

@@ -61,6 +61,55 @@ TEST(JsonWriter, IntegerAndBoolValues) {
   EXPECT_EQ(w.str(), "[18446744073709551615,-7,true,null]");
 }
 
+TEST(JsonWriter, ValidUtf8PassesThroughByteForByte) {
+  obs::JsonWriter w;
+  // 2-byte (é), 3-byte (€), and 4-byte (😀) sequences stay raw UTF-8.
+  w.value(std::string_view("h\xc3\xa9llo \xe2\x82\xac \xf0\x9f\x98\x80"));
+  EXPECT_EQ(w.str(),
+            "\"h\xc3\xa9llo \xe2\x82\xac \xf0\x9f\x98\x80\"");
+}
+
+TEST(JsonWriter, MalformedUtf8BecomesReplacementCharacter) {
+  const auto quoted = [](std::string_view s) {
+    obs::JsonWriter w;
+    w.value(s);
+    return w.str();
+  };
+  // Stray continuation byte and a lead byte truncated at end-of-string:
+  // one replacement each.
+  EXPECT_EQ(quoted("\x80"), "\"\\ufffd\"");
+  EXPECT_EQ(quoted("\xc3"), "\"\\ufffd\"");
+  // Overlong encoding of '/': the bogus lead byte is replaced, then the
+  // orphaned continuation byte is replaced on its own.
+  EXPECT_EQ(quoted("\xc0\xaf"), "\"\\ufffd\\ufffd\"");
+  // UTF-16 surrogate (U+D800) and a value past U+10FFFF: rejected at the
+  // lead byte, leaving each continuation byte to be replaced in turn.
+  EXPECT_EQ(quoted("\xed\xa0\x80"), "\"\\ufffd\\ufffd\\ufffd\"");
+  EXPECT_EQ(quoted("\xf4\x90\x80\x80"),
+            "\"\\ufffd\\ufffd\\ufffd\\ufffd\"");
+  // Malformed input never produces invalid-UTF-8 output bytes.
+  for (const char c : quoted("a\xff\xfe z"))
+    EXPECT_LT(static_cast<unsigned char>(c), 0x80u);
+}
+
+TEST(JsonWriter, AsciiOnlyEscapesEveryNonAsciiCodePoint) {
+  obs::JsonWriter w;
+  w.set_ascii_only(true);
+  w.begin_array();
+  w.value(std::string_view("h\xc3\xa9"));            // U+00E9, BMP
+  w.value(std::string_view("\xe2\x82\xac"));         // U+20AC, BMP
+  w.value(std::string_view("\xf0\x9f\x98\x80"));     // U+1F600, astral
+  w.end_array();
+  EXPECT_EQ(w.str(), "[\"h\\u00e9\",\"\\u20ac\",\"\\ud83d\\ude00\"]");
+}
+
+TEST(JsonWriter, ControlCharactersAreAlwaysEscaped) {
+  obs::JsonWriter w;
+  w.value(std::string_view("a\x01\x1f\x7f"));
+  // C0 controls get \u escapes; DEL (0x7f) is legal raw in JSON strings.
+  EXPECT_EQ(w.str(), "\"a\\u0001\\u001f\x7f\"");
+}
+
 // --------------------------------------------------------------- metrics --
 
 TEST(Metrics, CounterAndGaugeBasics) {
@@ -155,6 +204,108 @@ TEST(Metrics, PrometheusExposition) {
   EXPECT_NE(prom.find("sched_task_wait_bucket{le=\"+Inf\"} 2"),
             std::string::npos);
   EXPECT_NE(prom.find("sched_task_wait_count 2"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusExpositionConformance) {
+  obs::Registry reg;
+  reg.counter("sim.events_fired").add(3);
+  reg.gauge("weird name!").set(1.0);  // sanitized to weird_name_
+  reg.gauge("esc\\ape\nme").set(2.0);
+  auto& h = reg.histogram("sched.task_wait");
+  h.observe(0.5);
+  h.observe(100.0);
+  auto& d = reg.digest("faas.latency");
+  for (int i = 1; i <= 100; ++i) d.add(static_cast<double>(i));
+  const std::string prom = reg.prometheus();
+
+  // Name sanitization maps every illegal character to '_'.
+  EXPECT_NE(prom.find("weird_name_ 1"), std::string::npos);
+  // HELP text carries the original name with backslash/newline escaped
+  // (quotes are legal in HELP per the exposition format).
+  EXPECT_NE(prom.find("# HELP esc_ape_me atlarge metric esc\\\\ape\\nme\n"),
+            std::string::npos);
+  // Digests export as summaries: quantile-labelled samples + _sum/_count.
+  EXPECT_NE(prom.find("# TYPE faas_latency summary"), std::string::npos);
+  EXPECT_NE(prom.find("faas_latency{quantile=\"0.5\"} "), std::string::npos);
+  EXPECT_NE(prom.find("faas_latency{quantile=\"0.999\"} "),
+            std::string::npos);
+  EXPECT_NE(prom.find("faas_latency_sum 5050"), std::string::npos);
+  EXPECT_NE(prom.find("faas_latency_count 100"), std::string::npos);
+
+  // Structural conformance: every line is "# HELP ...", "# TYPE ...", or
+  // "<name>[{labels}] <value>"; every sample's base name was declared by
+  // a preceding # TYPE header; names stay within [a-zA-Z0-9_:].
+  std::vector<std::string> declared;
+  std::size_t pos = 0;
+  while (pos < prom.size()) {
+    const std::size_t eol = prom.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "exposition must end in a newline";
+    const std::string line = prom.substr(pos, eol - pos);
+    pos = eol + 1;
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      const bool help = line.rfind("# HELP ", 0) == 0;
+      const bool type = line.rfind("# TYPE ", 0) == 0;
+      EXPECT_TRUE(help || type) << line;
+      if (type) {
+        const std::string rest = line.substr(7);
+        declared.push_back(rest.substr(0, rest.find(' ')));
+      }
+      continue;
+    }
+    std::size_t name_end = line.find('{');
+    if (name_end == std::string::npos) name_end = line.find(' ');
+    ASSERT_NE(name_end, std::string::npos) << line;
+    const std::string name = line.substr(0, name_end);
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      EXPECT_TRUE(ok) << "bad metric name char in: " << line;
+    }
+    bool owned = false;
+    for (const auto& base : declared) {
+      if (name == base || name == base + "_bucket" ||
+          name == base + "_sum" || name == base + "_count")
+        owned = true;
+    }
+    EXPECT_TRUE(owned) << "sample without a # TYPE header: " << line;
+    // A sample line ends in a space-separated value.
+    EXPECT_NE(line.rfind(' '), std::string::npos) << line;
+  }
+}
+
+TEST(Metrics, PrometheusLabelValueEscaping) {
+  // Histogram le labels and summary quantile labels are produced from
+  // numbers, so the interesting escapes come via prom_number("+Inf") and
+  // the quoting itself: assert the +Inf bucket label survives intact and
+  // that no label value contains a raw unescaped quote.
+  obs::Registry reg;
+  auto& h = reg.histogram("lat");
+  h.observe(1.0);
+  const std::string prom = reg.prometheus();
+  EXPECT_NE(prom.find("lat_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  // Every quoted label value must close before the next '}'.
+  std::size_t pos = 0;
+  while ((pos = prom.find("{le=\"", pos)) != std::string::npos) {
+    pos += 5;
+    const std::size_t close = prom.find('"', pos);
+    const std::size_t brace = prom.find('}', pos);
+    ASSERT_NE(close, std::string::npos);
+    EXPECT_LT(close, brace) << "unterminated label value";
+  }
+}
+
+TEST(Metrics, JsonSnapshotIncludesDigestQuantiles) {
+  obs::Registry reg;
+  auto& d = reg.digest("wait");
+  for (int i = 1; i <= 1000; ++i) d.add(static_cast<double>(i));
+  const std::string json = reg.json();
+  EXPECT_NE(json.find("\"digests\""), std::string::npos);
+  EXPECT_NE(json.find("\"wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1000"), std::string::npos);
+  for (const char* key : {"\"p50\"", "\"p95\"", "\"p99\"", "\"p999\"",
+                          "\"mean\"", "\"min\"", "\"max\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
 }
 
 // ---------------------------------------------------------------- tracer --
