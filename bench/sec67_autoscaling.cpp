@@ -13,6 +13,7 @@
 #include "atlarge/fault/fault.hpp"
 #include "atlarge/workflow/generators.hpp"
 #include "bench_util.hpp"
+#include "workload_mode.hpp"
 
 using namespace atlarge;
 
@@ -38,6 +39,7 @@ workflow::Workload experiment_workload(std::size_t experiment) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (bench::workload_mode(argc, argv, "gaming-diurnal")) return 0;
   bench::header("Section 6.7: autoscaler evaluation (N=5 experiments)");
 
   const std::size_t kExperiments = 5;

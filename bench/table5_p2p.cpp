@@ -15,6 +15,7 @@
 #include "atlarge/p2p/twofast.hpp"
 #include "atlarge/workflow/vicissitude.hpp"
 #include "bench_util.hpp"
+#include "workload_mode.hpp"
 
 using namespace atlarge;
 
@@ -198,7 +199,8 @@ void study_vicissitude() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::workload_mode(argc, argv, "video-flashcrowd")) return 0;
   bench::header("Table 5 / Section 6.1: P2P studies");
   study_asymmetry();
   study_flashcrowd();

@@ -12,6 +12,7 @@
 #include "atlarge/serverless/platform.hpp"
 #include "atlarge/serverless/workflow_engine.hpp"
 #include "bench_util.hpp"
+#include "workload_mode.hpp"
 
 using namespace atlarge;
 
@@ -227,6 +228,7 @@ void instrumented_run(const std::string& trace_path,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (bench::workload_mode(argc, argv, "feed-fanout")) return 0;
   bench::header("Table 7 / Section 6.4: serverless studies");
   study_economics();
   study_cold_starts();

@@ -17,6 +17,7 @@
 #include "atlarge/sched/simulator.hpp"
 #include "atlarge/workflow/generators.hpp"
 #include "bench_util.hpp"
+#include "workload_mode.hpp"
 
 using namespace atlarge;
 
@@ -198,6 +199,7 @@ void instrumented_run(const std::string& trace_path,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (bench::workload_mode(argc, argv, "ecommerce-spike")) return 0;
   table9();
   online_cost_arc();
   misselection();

@@ -1,0 +1,85 @@
+#pragma once
+// Shared `--workload` replay driver for the table/section harnesses.
+//
+// Every simulation harness (table5/table7/table9/sec67) doubles as a
+// trace-replay driver: pass `--workload=<scenario>` to run a named
+// trace::catalog scenario through its engine, or `--workload=<file.atl>`
+// to stream a binary trace from disk. The driver prints the deterministic
+// ReplaySummary (one key=value per line) and exits, skipping the paper
+// tables entirely.
+//
+// Flags:
+//   --workload=<scenario|file.atl>   required to enter replay mode
+//   --max-events=N                   cap events pulled from the stream
+//   --seed=N                         generator seed (default: scenario's)
+//   --workload-out=<file.atl>        write the generated trace, then
+//                                    replay it back FROM THE FILE (the
+//                                    write->read round trip CI smokes)
+//   --metrics-out=<file.json>        obs::Registry JSON (replay counters
+//                                    plus trace-reader residency gauges)
+//
+// A .atl file carries events but not an engine binding, so file replays
+// use the harness's default scenario for engine and config; named
+// scenarios may belong to any engine (the catalog knows which).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "atlarge/obs/metrics.hpp"
+#include "atlarge/trace/catalog.hpp"
+#include "bench_util.hpp"
+
+namespace atlarge::bench {
+
+/// Runs replay mode if `--workload` was passed. Returns true when it ran
+/// (the caller should exit 0) and false when the harness should print its
+/// normal tables.
+inline bool workload_mode(int argc, char** argv,
+                          const char* default_scenario) {
+  const std::string workload = flag_value(argc, argv, "--workload");
+  if (workload.empty()) return false;
+
+  const bool is_file = workload.size() > 4 &&
+                       workload.compare(workload.size() - 4, 4, ".atl") == 0;
+  const trace::catalog::Scenario* scenario =
+      trace::catalog::find(is_file ? default_scenario : workload.c_str());
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s'; catalog:\n",
+                 workload.c_str());
+    for (const auto& s : trace::catalog::scenarios())
+      std::fprintf(stderr, "  %-18s %-10s %s\n", s.name.c_str(),
+                   s.engine.c_str(), s.family.c_str());
+    std::exit(2);
+  }
+
+  obs::Registry registry;
+  trace::catalog::ReplayOptions options;
+  options.max_events = static_cast<std::size_t>(
+      u64_flag(argc, argv, "--max-events", 0));
+  options.obs = &registry;
+  const std::uint64_t seed =
+      u64_flag(argc, argv, "--seed", scenario->default_seed);
+
+  trace::catalog::ReplaySummary summary;
+  const std::string out = flag_value(argc, argv, "--workload-out");
+  if (is_file) {
+    summary = trace::catalog::replay_file(*scenario, workload, options);
+  } else if (!out.empty()) {
+    const auto written = trace::catalog::write_trace(*scenario, out, seed,
+                                                     options.max_events);
+    std::fprintf(stderr, "wrote %llu events to %s\n",
+                 static_cast<unsigned long long>(written), out.c_str());
+    summary = trace::catalog::replay_file(*scenario, out, options);
+  } else {
+    summary = trace::catalog::replay_generated(*scenario, seed, options);
+  }
+
+  std::fputs(summary.text().c_str(), stdout);
+
+  const std::string metrics = flag_value(argc, argv, "--metrics-out");
+  if (!metrics.empty()) write_text_file(metrics, registry.json());
+  return true;
+}
+
+}  // namespace atlarge::bench

@@ -98,6 +98,23 @@ SwarmResult simulate_swarm(const SwarmConfig& config,
                            const std::vector<double>& arrivals,
                            double horizon);
 
+/// Pull-source of peer arrival times in nondecreasing order — the seam
+/// trace-driven replays (trace::catalog) plug into.
+class ArrivalSource {
+ public:
+  virtual ~ArrivalSource() = default;
+  /// Fills `out` with the next arrival time; returns false at end.
+  virtual bool next(double& out) = 0;
+};
+
+/// Trace-driven variant. Note the honest caveat: the fluid model keeps
+/// per-peer state for every arrival (peers are the *output*), so unlike
+/// the serverless streaming path this adapter materializes the arrival
+/// vector — memory is O(peers) either way; what stays bounded is the
+/// upstream trace reader (one chunk resident).
+SwarmResult simulate_swarm(const SwarmConfig& config, ArrivalSource& source,
+                           double horizon);
+
 /// Poisson arrival times with the given rate over [0, horizon].
 std::vector<double> poisson_arrivals(double rate, double horizon,
                                      atlarge::stats::Rng& rng);

@@ -56,6 +56,12 @@ struct PlatformConfig {
   /// Client-side retry/timeout/backoff policy. The default (one attempt,
   /// no timeout) is a no-op.
   fault::RetryPolicy retry;
+  /// When false, PlatformResult::invocations stays empty and the latency
+  /// percentiles are estimated from the mergeable latency digest instead
+  /// of the exact per-invocation list. This is what makes a streaming
+  /// replay O(in-flight requests) in memory: with recording off and an
+  /// InvocationSource, nothing scales with the trace length.
+  bool record_invocations = true;
 };
 
 /// One invocation request.
@@ -102,9 +108,30 @@ struct PlatformResult {
   std::size_t faults_recovered = 0;
 };
 
+/// Pull-source of invocations in nondecreasing arrival order. The
+/// streaming run_platform overload drains one of these lazily — the next
+/// invocation is pulled only when the previous one's arrival fires — so a
+/// trace-backed source (e.g. trace::catalog's event adapter over a chunked
+/// .atl reader) replays with bounded memory.
+class InvocationSource {
+ public:
+  virtual ~InvocationSource() = default;
+  /// Fills `out` with the next invocation; returns false at end of load.
+  virtual bool next(Invocation& out) = 0;
+};
+
 /// Simulates the invocations (sorted by arrival) against the platform.
 PlatformResult run_platform(const std::vector<FunctionSpec>& registry,
                             const std::vector<Invocation>& invocations,
+                            const PlatformConfig& config);
+
+/// Streaming variant: pulls invocations lazily from `source` (arrivals
+/// must be nondecreasing; throws std::invalid_argument otherwise).
+/// Completed requests release their bookkeeping slot, so with
+/// config.record_invocations == false the platform's memory is bounded by
+/// the number of in-flight requests, not the trace length.
+PlatformResult run_platform(const std::vector<FunctionSpec>& registry,
+                            InvocationSource& source,
                             const PlatformConfig& config);
 
 /// Microservice baseline: `instances` always-on servers per function, FIFO

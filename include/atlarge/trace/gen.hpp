@@ -1,0 +1,116 @@
+#pragma once
+// Seeded deterministic workload generators (paper Secs. 3.6, 5).
+//
+// Each generator models a population of *sessions*: entities arrive under
+// a time-varying rate (a nonhomogeneous Poisson process sampled by
+// thinning), stay for a heavy-tailed duration, and issue requests at
+// exponential gaps while present. Popularity follows a zipfian law over a
+// fixed entity universe, request sizes are lognormal, and entities map to
+// regions with a stable skew — the statistical fingerprints the paper's
+// case studies (flashcrowds in BitTorrent swarms, diurnal gaming load,
+// bursty serverless traffic) report from real traces.
+//
+// Determinism: every generator is a pure function of (spec, seed). Events
+// are emitted in nondecreasing t_us order into an EventSink, so a
+// generator can feed a TraceWriter directly and a million-user day never
+// needs to be resident in memory. Session lifetimes overlap, so the
+// generator keeps a merge heap of the currently-open sessions' pending
+// events — memory is O(concurrent sessions), not O(total events).
+//
+// Event field conventions (see event.hpp):
+//   kSessionStart.size = session duration, milliseconds
+//   kRequest.size      = request payload/work size, KB
+//   kSessionEnd.size   = number of requests the session issued
+
+#include <cstdint>
+
+#include "atlarge/stats/rng.hpp"
+#include "atlarge/trace/event.hpp"
+
+namespace atlarge::trace::gen {
+
+/// Zipf(s) sampler over ranks [0, n) by rejection inversion (Hörmann &
+/// Derflinger): O(1) memory and O(1) expected time per draw regardless of
+/// n, so a million-entity universe costs nothing to skew. s = 0 is
+/// uniform; s ~ 1 is the classic web/key-popularity skew.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::int64_t n, double s);
+
+  std::int64_t operator()(stats::Rng& rng) const;
+
+  std::int64_t n() const noexcept { return n_; }
+  double s() const noexcept { return s_; }
+
+ private:
+  double h(double x) const;
+  double h_integral(double x) const;
+  double h_integral_inverse(double x) const;
+
+  std::int64_t n_;
+  double s_;
+  double h_x1_;          // hIntegral(1.5) - h(1)
+  double h_n_;           // hIntegral(n + 0.5)
+  double threshold_;     // s-constant of the rejection test
+};
+
+/// Population mix: who issues load, from where, and how big requests are.
+struct Mix {
+  std::int64_t entities = 100'000;  // entity universe size
+  double zipf_s = 0.99;             // popularity skew over entities
+  std::int64_t regions = 4;         // region count; skewed toward region 0
+  double size_log_mean = 2.0;       // request size ~ lognormal, ln(KB)
+  double size_log_sigma = 1.0;
+};
+
+/// Session length and in-session request process.
+struct SessionShape {
+  enum class Tail {
+    kPareto,     // duration = scale * U^(-1/alpha) (heavy tail)
+    kLognormal,  // duration = exp(N(log_mu, log_sigma))
+  };
+  Tail tail = Tail::kPareto;
+  double pareto_alpha = 1.5;   // tail index; < 2 => infinite variance
+  double pareto_scale = 30.0;  // minimum session length, s
+  double log_mu = 4.0;         // lognormal ln-seconds
+  double log_sigma = 1.0;
+  double max_duration = 7200.0;    // truncation cap, s
+  double mean_request_gap = 5.0;   // s between requests within a session
+  std::int64_t max_requests = 256; // per-session request cap
+};
+
+/// Flashcrowd: Poisson base-rate session arrivals plus a Gaussian surge
+/// pulse centred at surge_time — the video-streaming / e-commerce spike
+/// shape (sharp onset, symmetric decay).
+struct FlashcrowdSpec {
+  double duration = 3600.0;    // trace horizon, s
+  double base_rate = 50.0;     // session starts per second, baseline
+  double surge_time = 1800.0;  // pulse centre, s
+  double surge_rate = 450.0;   // extra session starts/s at the peak
+  double surge_width = 120.0;  // pulse sigma, s
+  Mix mix;
+  SessionShape session;
+};
+
+/// Diurnal: sinusoidal rate modulation around a mean — the day/night cycle
+/// of gaming and leaderboard traffic.
+struct DiurnalSpec {
+  double duration = 86'400.0;   // trace horizon, s
+  double mean_rate = 20.0;      // mean session starts per second
+  double amplitude = 0.8;       // relative swing in [0, 1)
+  double period = 86'400.0;     // cycle length, s
+  double phase = 0.0;           // radians; 0 starts at the mean, rising
+  Mix mix;
+  SessionShape session;
+};
+
+/// Generates the flashcrowd trace; emits events in nondecreasing t_us
+/// order. Pure function of (spec, seed).
+void flashcrowd(const FlashcrowdSpec& spec, std::uint64_t seed,
+                const EventSink& sink);
+
+/// Generates the diurnal trace; same contract as flashcrowd().
+void diurnal(const DiurnalSpec& spec, std::uint64_t seed,
+             const EventSink& sink);
+
+}  // namespace atlarge::trace::gen

@@ -19,6 +19,8 @@
 #include "atlarge/sched/simulator.hpp"
 #include "atlarge/serverless/platform.hpp"
 #include "atlarge/stats/rng.hpp"
+#include "atlarge/trace/catalog.hpp"
+#include "atlarge/trace/event.hpp"
 #include "atlarge/workflow/generators.hpp"
 
 namespace atlarge::exp {
@@ -57,6 +59,24 @@ std::uint64_t fault_plan_seed(const std::vector<double>& v,
   return h;
 }
 
+/// The shared workload.scenario dimension. Option 0 ("synthetic") keeps the
+/// adapter's built-in generator byte-identical to a trace-unaware adapter —
+/// it is the option every committed non-scenario spec pins. Option 1 replays
+/// the named trace::catalog scenario through the engine's trace-driven
+/// arrival seam. Appended AFTER faults.rate so existing v[] indices — and
+/// the rate_index baked into fault_plan_seed call sites — are unchanged.
+ParamSpec scenario_param(const char* scenario) {
+  return {"workload.scenario", {0.0, 1.0}, {"synthetic", scenario}};
+}
+
+const trace::catalog::Scenario& named_scenario(const char* name) {
+  const auto* s = trace::catalog::find(name);
+  if (s == nullptr)
+    throw std::logic_error(std::string("adapters: unknown catalog scenario ") +
+                           name);
+  return *s;
+}
+
 /// slo_pass / slo_alerts metric pair from a per-trial monitor. Trials are
 /// graded like production services: the SLO passes when no multi-window
 /// burn-rate alert fired anywhere in the run.
@@ -80,6 +100,7 @@ class PortfolioAdapter final : public SimulatorAdapter {
         {"cost_per_task_policy", {0.0, 1e-4, 1e-3}, {}},
         {"workload", {0.0, 1.0, 2.0}, {"Syn", "Sci", "BD"}},
         fault_rate_param(),
+        scenario_param("ecommerce-spike"),
     };
   }
 
@@ -90,12 +111,26 @@ class PortfolioAdapter final : public SimulatorAdapter {
         workflow::WorkloadClass::kScientific,
         workflow::WorkloadClass::kBigData,
     };
+    const bool from_trace = v[5] > 0.5;
     workflow::WorkloadSpec wspec;
     wspec.cls = kClasses[static_cast<std::size_t>(v[3])];
     wspec.jobs = scaled(48, scale, 8);
     wspec.horizon = 4'000.0 * scale + 500.0;
     wspec.seed = seed;
-    const auto workload = workflow::generate(wspec);
+    workflow::Workload workload;
+    if (from_trace) {
+      // workload.scenario overrides the synthetic workload dimension: jobs
+      // come from the e-commerce spike trace (session starts -> one-task
+      // jobs), capped at the same job budget as the generator.
+      const auto& scenario = named_scenario("ecommerce-spike");
+      auto events = trace::catalog::events(scenario, seed,
+                                           scaled(40'000, scale, 4'000));
+      trace::VectorEventStream stream(std::move(events));
+      workload = trace::catalog::to_workload(stream, wspec.jobs);
+      wspec.horizon = scenario.horizon();  // fault-plan window
+    } else {
+      workload = workflow::generate(wspec);
+    }
     const auto env = cluster::make_homogeneous_cluster("campaign", 16, 8);
 
     sched::PortfolioConfig config;
@@ -174,6 +209,7 @@ class ServerlessAdapter final : public SimulatorAdapter {
         {"prewarmed", {0.0, 2.0, 8.0}, {}},
         {"max_instances", {32.0, 128.0, 512.0}, {}},
         fault_rate_param(),
+        scenario_param("feed-fanout"),
     };
   }
 
@@ -184,10 +220,10 @@ class ServerlessAdapter final : public SimulatorAdapter {
         {"etl", 0.5, 1.8, 512.0},
         {"ml", 1.2, 2.5, 1024.0},
     };
-    stats::Rng rng(seed);
-    const double horizon = std::max(120.0, 1'500.0 * scale);
-    const auto invocations = serverless::bursty_invocations(
-        registry.size(), 1.5, horizon, 180.0, scaled(48, scale, 6), rng);
+    const bool from_trace = v[4] > 0.5;
+    const double horizon =
+        from_trace ? named_scenario("feed-fanout").horizon()
+                   : std::max(120.0, 1'500.0 * scale);
 
     // Per-trial telemetry plane: an availability SLO over the request
     // error ratio, evaluated continuously while the platform runs. With
@@ -228,8 +264,22 @@ class ServerlessAdapter final : public SimulatorAdapter {
       config.retry.max_attempts = 2;
       config.retry.timeout = 10.0;
     }
-    const auto result = serverless::run_platform(registry, invocations,
-                                                 config);
+    serverless::PlatformResult result;
+    if (from_trace) {
+      // Trace-driven arrivals: the feed-fanout flashcrowd scenario, capped
+      // so a trial stays campaign-priced, streamed through the platform's
+      // pull-based invocation seam. Requests route to functions by region.
+      auto events = trace::catalog::events(
+          named_scenario("feed-fanout"), seed, scaled(30'000, scale, 3'000));
+      trace::VectorEventStream stream(std::move(events));
+      trace::catalog::RequestInvocationSource source(stream, registry.size());
+      result = serverless::run_platform(registry, source, config);
+    } else {
+      stats::Rng rng(seed);
+      const auto invocations = serverless::bursty_invocations(
+          registry.size(), 1.5, horizon, 180.0, scaled(48, scale, 6), rng);
+      result = serverless::run_platform(registry, invocations, config);
+    }
 
     TrialResult out;
     out.objective = result.p95_latency;
@@ -276,17 +326,29 @@ class AutoscaleAdapter final : public SimulatorAdapter {
         {"provisioning_delay", {30.0, 60.0, 120.0}, {}},
         {"interval", {30.0, 60.0}, {}},
         fault_rate_param(),
+        scenario_param("gaming-diurnal"),
     };
   }
 
   TrialResult run(const std::vector<double>& v, std::uint64_t seed,
                   double scale) const override {
+    const bool from_trace = v[5] > 0.5;
     workflow::WorkloadSpec wspec;
     wspec.cls = workflow::WorkloadClass::kIndustrial;
     wspec.jobs = scaled(28, scale, 6);
     wspec.horizon = 6'000.0 * scale + 600.0;
     wspec.seed = seed;
-    const auto workload = workflow::generate(wspec);
+    workflow::Workload workload;
+    if (from_trace) {
+      const auto& scenario = named_scenario("gaming-diurnal");
+      auto events = trace::catalog::events(scenario, seed,
+                                           scaled(40'000, scale, 4'000));
+      trace::VectorEventStream stream(std::move(events));
+      workload = trace::catalog::to_workload(stream, wspec.jobs);
+      wspec.horizon = scenario.horizon();  // fault-plan window
+    } else {
+      workload = workflow::generate(wspec);
+    }
 
     auto zoo = autoscale::standard_autoscalers();
     const auto idx = static_cast<std::size_t>(v[0]);
@@ -351,6 +413,7 @@ class P2pAdapter final : public SimulatorAdapter {
         {"initial_seeds", {1.0, 4.0}, {}},
         {"seed_time_mean", {600.0, 1800.0}, {}},
         fault_rate_param(),
+        scenario_param("video-flashcrowd"),
     };
   }
 
@@ -364,11 +427,12 @@ class P2pAdapter final : public SimulatorAdapter {
     config.seed_time_mean = v[3];
     config.seed = seed;
 
-    const double horizon = std::max(2'000.0, 20'000.0 * scale);
-    stats::Rng rng(seed ^ 0xa11afeedULL);
-    const auto arrivals = p2p::flashcrowd_arrivals(
-        0.02, horizon * 0.5, scaled(120, scale, 16), horizon * 0.1, 10.0,
-        rng);
+    const bool from_trace = v[5] > 0.5;
+    // Scenario replays need room past the trace horizon for the tail of
+    // the swarm to finish downloading.
+    const double horizon =
+        from_trace ? named_scenario("video-flashcrowd").horizon() * 2.0
+                   : std::max(2'000.0, 20'000.0 * scale);
     fault::FaultPlan plan;
     if (v[4] > 0.0) {
       fault::FaultSpec fspec;
@@ -381,7 +445,21 @@ class P2pAdapter final : public SimulatorAdapter {
       plan = fault::FaultPlan::generate(fspec);
       config.faults = &plan;
     }
-    const auto result = p2p::simulate_swarm(config, arrivals, horizon);
+    p2p::SwarmResult result;
+    if (from_trace) {
+      auto events = trace::catalog::events(
+          named_scenario("video-flashcrowd"), seed,
+          scaled(20'000, scale, 2'000));
+      trace::VectorEventStream stream(std::move(events));
+      trace::catalog::SessionArrivalSource source(stream);
+      result = p2p::simulate_swarm(config, source, horizon);
+    } else {
+      stats::Rng rng(seed ^ 0xa11afeedULL);
+      const auto arrivals = p2p::flashcrowd_arrivals(
+          0.02, horizon * 0.5, scaled(120, scale, 16), horizon * 0.1, 10.0,
+          rng);
+      result = p2p::simulate_swarm(config, arrivals, horizon);
+    }
 
     TrialResult out;
     out.objective = result.median_download_time;

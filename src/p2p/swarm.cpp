@@ -214,6 +214,18 @@ SwarmResult simulate_swarm(const SwarmConfig& config,
   return result;
 }
 
+SwarmResult simulate_swarm(const SwarmConfig& config, ArrivalSource& source,
+                           double horizon) {
+  // Materializing adapter (see the header caveat): the fluid model's state
+  // and outputs are O(peers) regardless, so nothing is gained by lazy
+  // arrival consumption — only the upstream trace reader's residency
+  // matters, and that stays chunk-bounded.
+  std::vector<double> arrivals;
+  double t = 0.0;
+  while (source.next(t)) arrivals.push_back(t);
+  return simulate_swarm(config, arrivals, horizon);
+}
+
 std::vector<double> poisson_arrivals(double rate, double horizon,
                                      stats::Rng& rng) {
   std::vector<double> arrivals;

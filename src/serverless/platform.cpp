@@ -21,18 +21,31 @@ struct Instance {
   sim::EventHandle expiry;
 };
 
+// Per-request bookkeeping. In vector mode one Request exists per input
+// invocation for the whole run; in streaming mode slots are recycled
+// through a freelist as requests reach a terminal state, so the live set
+// is the in-flight set.
+struct Request {
+  Invocation inv;
+  std::uint32_t attempts = 0;
+  fault::FaultEvent last_fault;  // time < 0: "no fault blamed yet"
+};
+
 class FaasEngine {
  public:
   FaasEngine(const std::vector<FunctionSpec>& registry,
-             const std::vector<Invocation>& invocations,
-             const PlatformConfig& config)
+             const std::vector<Invocation>* invocations,
+             InvocationSource* source, const PlatformConfig& config)
       : registry_(registry),
         invocations_(invocations),
+        source_(source),
         config_(config),
         obs_(config.obs) {
-    for (const auto& inv : invocations_) {
-      if (inv.function >= registry_.size())
-        throw std::invalid_argument("run_platform: unknown function index");
+    if (invocations_ != nullptr) {
+      for (const auto& inv : *invocations_) {
+        if (inv.function >= registry_.size())
+          throw std::invalid_argument("run_platform: unknown function index");
+      }
     }
     if (obs_ != nullptr) {
       started_ = &obs_->metrics.counter("faas.invocations");
@@ -60,11 +73,12 @@ class FaasEngine {
                                obs_->sampling_interval());
       obs_->tracer.begin("faas.run", "serverless", sim_.now());
     }
-    attempts_.assign(invocations_.size(), 0);
+    const std::size_t upfront =
+        invocations_ != nullptr ? invocations_->size() : 1024;
     // Pre-size the kernel: each invocation holds at most one pending
     // event at a time (dispatch, retry, or delay reschedule) and every
     // instance at most one keep-alive expiry.
-    sim_.reserve(invocations_.size() + config_.max_instances + 8);
+    sim_.reserve(upfront + config_.max_instances + 8);
     if (config_.faults != nullptr && !config_.faults->empty())
       attach_faults();
     // Pre-warm pools.
@@ -74,8 +88,16 @@ class FaasEngine {
         make_instance(f, /*busy=*/false);
       }
     }
-    for (std::size_t i = 0; i < invocations_.size(); ++i)
-      sim_.schedule_at(invocations_[i].arrival, [this, i] { dispatch(i); });
+    if (invocations_ != nullptr) {
+      reqs_.reserve(invocations_->size());
+      for (const auto& inv : *invocations_) {
+        reqs_.push_back(make_request(inv));
+        const std::size_t i = reqs_.size() - 1;
+        sim_.schedule_at(inv.arrival, [this, i] { dispatch(i); });
+      }
+    } else {
+      schedule_next_arrival();
+    }
     sim_.run();
     finalize();
     if (obs_ != nullptr)
@@ -84,6 +106,50 @@ class FaasEngine {
   }
 
  private:
+  static Request make_request(const Invocation& inv) {
+    Request req;
+    req.inv = inv;
+    req.last_fault.time = -1.0;  // sentinel: "no fault blamed yet"
+    return req;
+  }
+
+  // Streaming mode: pull one invocation and schedule its arrival; the
+  // arrival event pulls its successor before dispatching, so exactly one
+  // un-arrived invocation is ever scheduled ahead.
+  void schedule_next_arrival() {
+    Invocation inv;
+    if (!source_->next(inv)) return;
+    if (inv.function >= registry_.size())
+      throw std::invalid_argument("run_platform: unknown function index");
+    if (inv.arrival < last_arrival_)
+      throw std::invalid_argument(
+          "run_platform: streaming arrivals must be nondecreasing");
+    last_arrival_ = inv.arrival;
+    const std::size_t slot = alloc_slot(inv);
+    sim_.schedule_at(inv.arrival, [this, slot] {
+      schedule_next_arrival();
+      dispatch(slot);
+    });
+  }
+
+  std::size_t alloc_slot(const Invocation& inv) {
+    if (!free_slots_.empty()) {
+      const std::size_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      reqs_[slot] = make_request(inv);
+      return slot;
+    }
+    reqs_.push_back(make_request(inv));
+    return reqs_.size() - 1;
+  }
+
+  // Called when a request reaches a terminal state (success recorded or
+  // final failure). Only streaming mode recycles; vector mode keeps the
+  // 1:1 slot/invocation mapping for the whole run.
+  void retire_slot(std::size_t i) {
+    if (source_ != nullptr) free_slots_.push_back(i);
+  }
+
   std::size_t find_idle(std::size_t function) {
     for (std::size_t i = 0; i < instances_.size(); ++i) {
       if (instances_[i].alive && !instances_[i].busy &&
@@ -136,9 +202,6 @@ class FaasEngine {
     coldfail_until_.assign(nf, 0.0);
     loss_event_.resize(nf);
     coldfail_event_.resize(nf);
-    fault::FaultEvent none;
-    none.time = -1.0;  // sentinel: "no fault blamed yet"
-    last_fault_.assign(invocations_.size(), none);
     injector_.emplace(*config_.faults, obs_);
     // Each handler widens the per-function window to the event's end;
     // window checks on the dispatch path are then O(1).
@@ -171,22 +234,21 @@ class FaasEngine {
   }
 
   void dispatch(std::size_t i) {
-    const Invocation& inv = invocations_[i];
-    const std::size_t f = inv.function;
+    const std::size_t f = reqs_[i].inv.function;
     if (faulted_ && sim_.now() < delay_until_[f]) {
       // Deferred, not failed: the request sits in the network until the
       // delay window closes; no attempt is consumed.
       sim_.schedule_at(delay_until_[f], [this, i] { dispatch(i); });
       return;
     }
-    ++attempts_[i];
+    ++reqs_[i].attempts;
     // One request per attempt, *including* ones lost to faults — the
     // denominator an error-ratio SLO needs (failures over attempts).
     if (obs_ != nullptr) requests_->add(1);
     if (faulted_ && sim_.now() < loss_until_[f]) {
       // Dropped in flight. The client notices at its timeout (or, with no
       // timeout configured, immediately).
-      last_fault_[i] = loss_event_[f];
+      reqs_[i].last_fault = loss_event_[f];
       if (config_.retry.timeout > 0.0) {
         sim_.schedule_after(config_.retry.timeout,
                             [this, i] { attempt_failed(i); });
@@ -203,7 +265,7 @@ class FaasEngine {
     if (faulted_ && sim_.now() < coldfail_until_[f]) {
       // No warm instance and the platform cannot provision new containers
       // for this function during the window.
-      last_fault_[i] = coldfail_event_[f];
+      reqs_[i].last_fault = coldfail_event_[f];
       attempt_failed(i);
       return;
     }
@@ -220,22 +282,22 @@ class FaasEngine {
   }
 
   void attempt_failed(std::size_t i) {
-    if (attempts_[i] < config_.retry.max_attempts) {
+    if (reqs_[i].attempts < config_.retry.max_attempts) {
       ++result_.retries;
-      sim_.schedule_after(config_.retry.backoff_delay(attempts_[i]),
+      sim_.schedule_after(config_.retry.backoff_delay(reqs_[i].attempts),
                           [this, i] { dispatch(i); });
       return;
     }
     // Out of attempts: the invocation fails for good.
-    const Invocation& inv = invocations_[i];
+    const Invocation& inv = reqs_[i].inv;
     InvocationStats stats;
     stats.function = inv.function;
     stats.arrival = inv.arrival;
     stats.start = sim_.now();
     stats.finish = sim_.now();
-    stats.attempts = attempts_[i];
+    stats.attempts = reqs_[i].attempts;
     stats.failed = true;
-    result_.invocations.push_back(stats);
+    record_outcome(stats);
     ++result_.failed_invocations;
     if (obs_ != nullptr) {
       failed_->add(1);
@@ -244,13 +306,14 @@ class FaasEngine {
     if (flight_ != nullptr) {
       const std::size_t ent = flight_entity_[inv.function];
       flight_->record(ent, sim_.now(), "fail",
-                      static_cast<double>(attempts_[i]),
+                      static_cast<double>(reqs_[i].attempts),
                       flight_->last_seq(ent));
     }
+    retire_slot(i);
   }
 
   void start_execution(std::size_t i, std::size_t idx, bool cold) {
-    const Invocation& inv = invocations_[i];
+    const Invocation inv = reqs_[i].inv;  // by value: the slot may retire
     auto& inst = instances_[idx];
     if (!inst.busy) {
       // Leaving the warm pool: bill the idle stretch, cancel expiry.
@@ -279,7 +342,7 @@ class FaasEngine {
     stats.start = start;
     stats.finish = finish;
     stats.cold = cold;
-    stats.attempts = attempts_[i] == 0 ? 1 : attempts_[i];
+    stats.attempts = reqs_[i].attempts == 0 ? 1 : reqs_[i].attempts;
     if (obs_ != nullptr) {
       started_->add(1);
       latency_hist_->observe(stats.latency());
@@ -294,13 +357,29 @@ class FaasEngine {
       flight_->record(ent, sim_.now(), cold ? "cold_start" : "invoke",
                       stats.latency(), flight_->last_seq(ent));
     }
-    result_.invocations.push_back(stats);
-    if (faulted_ && attempts_[i] > 1 && last_fault_[i].time >= 0.0)
-      injector_->recovered(last_fault_[i], sim_.now());
+    record_outcome(stats);
+    if (faulted_ && reqs_[i].attempts > 1 && reqs_[i].last_fault.time >= 0.0)
+      injector_->recovered(reqs_[i].last_fault, sim_.now());
+    retire_slot(i);
     const double busy = finish - sim_.now();
     result_.busy_instance_seconds += spec.exec_time;
     result_.billed_instance_seconds += busy;
     sim_.schedule_after(busy, [this, idx] { release(idx); });
+  }
+
+  // Terminal accounting shared by the success and final-failure paths.
+  // With recording on, the full InvocationStats row is kept (the exact
+  // percentile path in finalize()); with recording off only O(1) running
+  // aggregates survive, which is what bounds streaming-replay memory.
+  void record_outcome(const InvocationStats& stats) {
+    if (config_.record_invocations) {
+      result_.invocations.push_back(stats);
+      return;
+    }
+    ++outcomes_;
+    end_time_ = std::max(end_time_, stats.finish);
+    if (stats.cold) ++cold_outcomes_;
+    if (!stats.failed) result_.latency_digest.add(stats.latency());
   }
 
   void release(std::size_t idx) {
@@ -311,7 +390,7 @@ class FaasEngine {
     // Serve a queued request for the same function warm, if any.
     const auto same =
         std::find_if(pending_.begin(), pending_.end(), [&](std::size_t p) {
-          return invocations_[p].function == inst.function;
+          return reqs_[p].inv.function == inst.function;
         });
     if (same != pending_.end()) {
       const std::size_t i = *same;
@@ -326,9 +405,9 @@ class FaasEngine {
     while (!pending_.empty()) {
       const std::size_t i = pending_.front();
       pending_.pop_front();
-      const std::size_t f = invocations_[i].function;
+      const std::size_t f = reqs_[i].inv.function;
       if (faulted_ && sim_.now() < coldfail_until_[f]) {
-        last_fault_[i] = coldfail_event_[f];
+        reqs_[i].last_fault = coldfail_event_[f];
         attempt_failed(i);
         continue;
       }
@@ -342,13 +421,30 @@ class FaasEngine {
 
   void finalize() {
     double end = 0.0;
-    std::vector<double> latencies;
+    std::size_t total = 0;
     std::size_t cold = 0;
-    for (const auto& s : result_.invocations) {
-      end = std::max(end, s.finish);
-      // Failed invocations have no latency; percentiles cover successes.
-      if (!s.failed) latencies.push_back(s.latency());
-      if (s.cold) ++cold;
+    if (config_.record_invocations) {
+      std::vector<double> latencies;
+      for (const auto& s : result_.invocations) {
+        end = std::max(end, s.finish);
+        // Failed invocations have no latency; percentiles cover successes.
+        if (!s.failed) latencies.push_back(s.latency());
+        if (s.cold) ++cold;
+      }
+      total = result_.invocations.size();
+      result_.p50_latency = stats::quantile(latencies, 0.5);
+      result_.p95_latency = stats::quantile(latencies, 0.95);
+      result_.p99_latency = stats::quantile(latencies, 0.99);
+      result_.p999_latency = stats::quantile(latencies, 0.999);
+      for (const double l : latencies) result_.latency_digest.add(l);
+    } else {
+      end = end_time_;
+      total = outcomes_;
+      cold = cold_outcomes_;
+      result_.p50_latency = result_.latency_digest.p50();
+      result_.p95_latency = result_.latency_digest.p95();
+      result_.p99_latency = result_.latency_digest.p99();
+      result_.p999_latency = result_.latency_digest.p999();
     }
     // Bill the residual idle time of still-warm instances up to the last
     // event (capped by keep-alive, which would have fired afterwards).
@@ -359,17 +455,12 @@ class FaasEngine {
         inst.alive = false;
       }
     }
-    result_.p50_latency = stats::quantile(latencies, 0.5);
-    result_.p95_latency = stats::quantile(latencies, 0.95);
-    result_.p99_latency = stats::quantile(latencies, 0.99);
-    result_.p999_latency = stats::quantile(latencies, 0.999);
-    for (const double l : latencies) result_.latency_digest.add(l);
-    if (!result_.invocations.empty()) {
-      result_.cold_fraction = static_cast<double>(cold) /
-                              static_cast<double>(result_.invocations.size());
+    if (total != 0) {
+      result_.cold_fraction =
+          static_cast<double>(cold) / static_cast<double>(total);
       result_.success_rate =
           1.0 - static_cast<double>(result_.failed_invocations) /
-                    static_cast<double>(result_.invocations.size());
+                    static_cast<double>(total);
     }
     if (injector_.has_value()) {
       result_.faults_injected = injector_->injected();
@@ -378,14 +469,21 @@ class FaasEngine {
   }
 
   const std::vector<FunctionSpec>& registry_;
-  const std::vector<Invocation>& invocations_;
+  const std::vector<Invocation>* invocations_;  // vector mode (else null)
+  InvocationSource* source_;                    // streaming mode (else null)
   PlatformConfig config_;
   sim::Simulation sim_;
   std::vector<Instance> instances_;
-  std::deque<std::size_t> pending_;  // indices into invocations_
+  std::vector<Request> reqs_;        // request slots, indexed by `i`
+  std::vector<std::size_t> free_slots_;  // streaming-mode slot freelist
+  std::deque<std::size_t> pending_;  // indices into reqs_
   std::uint32_t live_count_ = 0;
+  double last_arrival_ = 0.0;        // streaming nondecreasing check
   PlatformResult result_;
-  std::vector<std::uint32_t> attempts_;  // attempts consumed, per invocation
+  // Aggregates kept when record_invocations is off (O(1) memory).
+  std::size_t outcomes_ = 0;
+  std::size_t cold_outcomes_ = 0;
+  double end_time_ = 0.0;
 
   // Fault plane (engaged only for a non-null, non-empty plan). Windows are
   // per function: requests dispatched before *_until_[f] hit that fault.
@@ -396,7 +494,6 @@ class FaasEngine {
   std::vector<double> coldfail_until_;
   std::vector<fault::FaultEvent> loss_event_;      // widest window's event
   std::vector<fault::FaultEvent> coldfail_event_;
-  std::vector<fault::FaultEvent> last_fault_;      // per invocation; blame
 
   // Instrumentation plane; metric handles are resolved once in the ctor so
   // the hot path never does a name lookup.
@@ -418,7 +515,14 @@ class FaasEngine {
 PlatformResult run_platform(const std::vector<FunctionSpec>& registry,
                             const std::vector<Invocation>& invocations,
                             const PlatformConfig& config) {
-  FaasEngine engine(registry, invocations, config);
+  FaasEngine engine(registry, &invocations, nullptr, config);
+  return engine.run();
+}
+
+PlatformResult run_platform(const std::vector<FunctionSpec>& registry,
+                            InvocationSource& source,
+                            const PlatformConfig& config) {
+  FaasEngine engine(registry, nullptr, &source, config);
   return engine.run();
 }
 

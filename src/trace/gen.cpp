@@ -1,0 +1,240 @@
+#include "atlarge/trace/gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace atlarge::trace::gen {
+namespace {
+
+// Series fallbacks for the small-argument region where expm1/log1p ratios
+// lose precision (the standard rejection-inversion helpers).
+double helper1(double x) {
+  if (std::abs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - x * 0.25));
+}
+
+double helper2(double x) {
+  if (std::abs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + x * 0.25));
+}
+
+// Stable per-entity attribute in [0, 1): a seeded one-shot draw, so an
+// entity keeps its region across sessions, generators, and seeds that
+// share the same entity salt.
+double entity_hash01(std::int64_t entity, std::uint64_t salt) {
+  stats::Rng rng(static_cast<std::uint64_t>(entity) * 0x9E3779B97F4A7C15ULL ^
+                 salt);
+  return rng.uniform();
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::int64_t n, double s) : n_(n), s_(s) {
+  if (n <= 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  if (s < 0) throw std::invalid_argument("ZipfSampler: s must be >= 0");
+  h_x1_ = h_integral(1.5) - 1.0;
+  h_n_ = h_integral(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfSampler::h(double x) const { return std::exp(-s_ * std::log(x)); }
+
+double ZipfSampler::h_integral(double x) const {
+  const double log_x = std::log(x);
+  return helper2((1.0 - s_) * log_x) * log_x;
+}
+
+double ZipfSampler::h_integral_inverse(double x) const {
+  double t = x * (1.0 - s_);
+  if (t < -1.0) t = -1.0;
+  return std::exp(helper1(t) * x);
+}
+
+std::int64_t ZipfSampler::operator()(stats::Rng& rng) const {
+  while (true) {
+    const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+    const double x = h_integral_inverse(u);
+    std::int64_t k = static_cast<std::int64_t>(x + 0.5);
+    if (k < 1)
+      k = 1;
+    else if (k > n_)
+      k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= threshold_ || u >= h_integral(kd + 0.5) - h(kd))
+      return k - 1;  // 0-based rank
+  }
+}
+
+namespace {
+
+// One fully sampled session, to be merged into the global event order.
+struct PendingEvent {
+  std::int64_t t_us = 0;
+  std::uint64_t seq = 0;  // global tie-break: insertion order
+  Event event;
+};
+
+struct PendingLater {
+  bool operator()(const PendingEvent& a, const PendingEvent& b) const {
+    if (a.t_us != b.t_us) return a.t_us > b.t_us;
+    return a.seq > b.seq;
+  }
+};
+
+using EventHeap =
+    std::priority_queue<PendingEvent, std::vector<PendingEvent>, PendingLater>;
+
+class SessionEmitter {
+ public:
+  SessionEmitter(const Mix& mix, const SessionShape& shape,
+                 std::uint64_t seed, const EventSink& sink)
+      : mix_(mix),
+        shape_(shape),
+        zipf_(mix.entities, mix.zipf_s),
+        session_salt_(seed ^ 0xA24BAED4963EE407ULL),
+        region_salt_(seed ^ 0x5851F42D4C957F2DULL),
+        sink_(sink) {}
+
+  /// Samples one whole session starting at `start_s` and stages its
+  /// events; then drains every staged event at or before `start_s` (the
+  /// arrival sweep guarantees no earlier event can still appear).
+  void open_session(double start_s) {
+    // Per-session substream derived from (seed, session index): session
+    // contents do not depend on how many thinning rejections preceded the
+    // arrival, only on arrival order.
+    stats::Rng rng(session_salt_ +
+                   0x9E3779B97F4A7C15ULL * (++session_index_));
+    const std::int64_t entity = zipf_(rng);
+    const std::int64_t region = region_of(entity);
+    const double duration = sample_duration(rng);
+
+    const std::int64_t t0 = to_micros(start_s);
+    std::vector<std::int64_t> request_ts;
+    std::vector<std::int64_t> request_sizes;
+    double offset = 0.0;
+    while (static_cast<std::int64_t>(request_ts.size()) <
+           shape_.max_requests) {
+      offset += rng.exponential(1.0 / shape_.mean_request_gap);
+      if (offset >= duration) break;
+      request_ts.push_back(to_micros(start_s + offset));
+      const double kb =
+          std::exp(rng.normal(mix_.size_log_mean, mix_.size_log_sigma));
+      request_sizes.push_back(
+          std::max<std::int64_t>(1, static_cast<std::int64_t>(kb)));
+    }
+
+    stage({t0, entity, static_cast<std::int64_t>(EventKind::kSessionStart),
+           static_cast<std::int64_t>(duration * 1e3 + 0.5), region});
+    for (std::size_t i = 0; i < request_ts.size(); ++i)
+      stage({request_ts[i], entity,
+             static_cast<std::int64_t>(EventKind::kRequest),
+             request_sizes[i], region});
+    stage({to_micros(start_s + duration), entity,
+           static_cast<std::int64_t>(EventKind::kSessionEnd),
+           static_cast<std::int64_t>(request_ts.size()), region});
+
+    drain_until(t0);
+  }
+
+  void finish() { drain_until(std::numeric_limits<std::int64_t>::max()); }
+
+ private:
+  std::int64_t region_of(std::int64_t entity) const {
+    // Quadratic skew toward region 0: u^2 concentrates ~70% of entities
+    // in the first half of the region list while keeping every region
+    // populated. Stable per entity (hash draw, not stream draw).
+    const double u = entity_hash01(entity, region_salt_);
+    return std::min<std::int64_t>(mix_.regions - 1,
+                                  static_cast<std::int64_t>(
+                                      u * u * static_cast<double>(mix_.regions)));
+  }
+
+  double sample_duration(stats::Rng& rng) const {
+    double d = 0.0;
+    switch (shape_.tail) {
+      case SessionShape::Tail::kPareto:
+        // Inverse transform: scale * u^(-1/alpha), u in (0, 1].
+        d = shape_.pareto_scale *
+            std::pow(1.0 - rng.uniform(), -1.0 / shape_.pareto_alpha);
+        break;
+      case SessionShape::Tail::kLognormal:
+        d = std::exp(rng.normal(shape_.log_mu, shape_.log_sigma));
+        break;
+    }
+    return std::min(d, shape_.max_duration);
+  }
+
+  void stage(Event e) { heap_.push({e.t_us, seq_++, e}); }
+
+  void drain_until(std::int64_t t_us) {
+    while (!heap_.empty() && heap_.top().t_us <= t_us) {
+      sink_(heap_.top().event);
+      heap_.pop();
+    }
+  }
+
+  Mix mix_;
+  SessionShape shape_;
+  ZipfSampler zipf_;
+  std::uint64_t session_salt_;
+  std::uint64_t region_salt_;
+  const EventSink& sink_;
+  EventHeap heap_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t session_index_ = 0;
+};
+
+// Nonhomogeneous Poisson session arrivals by thinning, feeding the
+// emitter. `rate(t)` must be <= rate_max on [0, duration].
+template <typename RateFn>
+void generate(double duration, double rate_max, RateFn rate, const Mix& mix,
+              const SessionShape& shape, std::uint64_t seed,
+              const EventSink& sink) {
+  if (duration <= 0) throw std::invalid_argument("gen: duration must be > 0");
+  if (rate_max <= 0) throw std::invalid_argument("gen: rate must be > 0");
+  stats::Rng arrivals(seed);
+  SessionEmitter emitter(mix, shape, seed, sink);
+  double t = 0.0;
+  while (true) {
+    t += arrivals.exponential(rate_max);
+    if (t >= duration) break;
+    if (arrivals.uniform() * rate_max <= rate(t)) emitter.open_session(t);
+  }
+  emitter.finish();
+}
+
+}  // namespace
+
+void flashcrowd(const FlashcrowdSpec& spec, std::uint64_t seed,
+                const EventSink& sink) {
+  const double rate_max = spec.base_rate + spec.surge_rate;
+  generate(
+      spec.duration, rate_max,
+      [&](double t) {
+        const double z = (t - spec.surge_time) / spec.surge_width;
+        return spec.base_rate + spec.surge_rate * std::exp(-0.5 * z * z);
+      },
+      spec.mix, spec.session, seed, sink);
+}
+
+void diurnal(const DiurnalSpec& spec, std::uint64_t seed,
+             const EventSink& sink) {
+  if (spec.amplitude < 0 || spec.amplitude >= 1)
+    throw std::invalid_argument("diurnal: amplitude must be in [0, 1)");
+  const double two_pi = 6.283185307179586;
+  const double rate_max = spec.mean_rate * (1.0 + spec.amplitude);
+  generate(
+      spec.duration, rate_max,
+      [&](double t) {
+        return spec.mean_rate *
+               (1.0 + spec.amplitude *
+                          std::sin(two_pi * t / spec.period + spec.phase));
+      },
+      spec.mix, spec.session, seed, sink);
+}
+
+}  // namespace atlarge::trace::gen

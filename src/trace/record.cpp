@@ -3,7 +3,6 @@
 #include <charconv>
 #include <istream>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
 
 namespace atlarge::trace {
@@ -11,6 +10,22 @@ namespace {
 
 bool needs_quoting(const std::string& s) {
   return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+// Files written on Windows (or transferred in text mode) end lines with
+// \r\n; getline leaves the \r attached to the last cell, which would break
+// the header match and the strict int/real parses below.
+void strip_trailing_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+// Locale-independent double formatting: shortest round-trippable decimal
+// via to_chars, regardless of the global locale's decimal separator.
+std::string format_real(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) throw std::runtime_error("format_real: to_chars");
+  return std::string(buf, ptr);
 }
 
 void write_quoted(std::ostream& out, const std::string& s) {
@@ -117,13 +132,9 @@ void Table::write_csv(std::ostream& out) const {
         case FieldType::kInt:
           out << std::get<std::int64_t>(row[i]);
           break;
-        case FieldType::kReal: {
-          std::ostringstream tmp;
-          tmp.precision(17);
-          tmp << std::get<double>(row[i]);
-          out << tmp.str();
+        case FieldType::kReal:
+          out << format_real(std::get<double>(row[i]));
           break;
-        }
         case FieldType::kText: {
           const auto& s = std::get<std::string>(row[i]);
           if (needs_quoting(s)) {
@@ -144,6 +155,7 @@ Table Table::read_csv(std::istream& in, std::vector<Column> schema) {
   std::string line;
   if (!std::getline(in, line))
     throw std::runtime_error("read_csv: missing header");
+  strip_trailing_cr(line);
   const auto header = split_csv_line(line);
   if (header.size() != table.schema_.size())
     throw std::runtime_error("read_csv: header arity mismatch");
@@ -153,6 +165,7 @@ Table Table::read_csv(std::istream& in, std::vector<Column> schema) {
                                header[i] + ", want " + table.schema_[i].name);
   }
   while (std::getline(in, line)) {
+    strip_trailing_cr(line);
     if (line.empty()) continue;
     const auto cells = split_csv_line(line);
     if (cells.size() != table.schema_.size())
@@ -171,14 +184,12 @@ Table Table::read_csv(std::istream& in, std::vector<Column> schema) {
           break;
         }
         case FieldType::kReal: {
-          try {
-            std::size_t pos = 0;
-            const double v = std::stod(cells[i], &pos);
-            if (pos != cells[i].size()) throw std::invalid_argument("trail");
-            row.emplace_back(v);
-          } catch (const std::exception&) {
+          double v = 0;
+          const auto [ptr, ec] = std::from_chars(
+              cells[i].data(), cells[i].data() + cells[i].size(), v);
+          if (ec != std::errc() || ptr != cells[i].data() + cells[i].size())
             throw std::runtime_error("read_csv: bad real cell: " + cells[i]);
-          }
+          row.emplace_back(v);
           break;
         }
         case FieldType::kText:

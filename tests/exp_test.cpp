@@ -600,7 +600,7 @@ TEST(CampaignEndToEnd, TwoDomainsByteIdenticalStoresAcrossThreads) {
   const char* kSpecs[] = {
       "campaign sv\ndomain serverless\nmode grid\nrepeats 2\nseed 5\n"
       "scale 0.05\ndim keep_alive 0 300\ndim prewarmed 0 2\n"
-      "dim max_instances 32\n",
+      "dim max_instances 32\ndim workload.scenario synthetic\n",
       "campaign pp\ndomain p2p\nmode random\ntrials 4\nrepeats 2\n"
       "seed 3\nscale 0.02\ndim initial_seeds 1 4\n",
   };
@@ -636,7 +636,7 @@ TEST(CampaignEndToEnd, ResumeAfterTruncationMatchesUninterrupted) {
   const auto spec = exp::parse_campaign_spec(
       "campaign rz\ndomain serverless\nmode grid\nrepeats 2\nseed 5\n"
       "scale 0.05\ndim keep_alive 0 300\ndim prewarmed 0 2\n"
-      "dim max_instances 32\n");
+      "dim max_instances 32\ndim workload.scenario synthetic\n");
   const auto adapter = exp::make_adapter(spec.domain);
 
   exp::ResultStore reference_store;
@@ -679,7 +679,8 @@ TEST(CampaignEndToEnd, FaultRateSweepGradesTrialsAndMergesDigests) {
   const auto spec = exp::parse_campaign_spec(
       "campaign slo-sweep\ndomain serverless\nmode grid\nrepeats 2\n"
       "seed 5\nscale 0.05\ndim keep_alive 300\ndim prewarmed 0\n"
-      "dim max_instances 32\ndim faults.rate 0 40\n");
+      "dim max_instances 32\ndim faults.rate 0 40\n"
+      "dim workload.scenario synthetic\n");
   const auto adapter = exp::make_adapter(spec.domain);
   const auto path = temp_path("slo_sweep.jsonl");
   std::remove(path.c_str());
@@ -859,14 +860,15 @@ TEST(Adapters, FaultRateDimensionBindsInCampaignSpecs) {
   exp::CampaignSpec swept;
   swept.domain = "serverless";
   swept.dims = {{"faults.rate", {"0", "8", "40"}}, {"keep_alive", {"600"}},
-                {"prewarmed", {"0"}}, {"max_instances", {"128"}}};
+                {"prewarmed", {"0"}}, {"max_instances", {"128"}},
+                {"workload.scenario", {"synthetic"}}};
   EXPECT_EQ(exp::BoundSpace(*adapter, swept).grid_size(), 3u);
 }
 
 TEST(Adapters, ServerlessFaultsDegradeSuccessRate) {
   const auto adapter = exp::make_adapter("serverless");
-  const std::vector<double> clean = {300.0, 2.0, 128.0, 0.0};
-  const std::vector<double> faulted = {300.0, 2.0, 128.0, 40.0};
+  const std::vector<double> clean = {300.0, 2.0, 128.0, 0.0, 0.0};
+  const std::vector<double> faulted = {300.0, 2.0, 128.0, 40.0, 0.0};
   const auto metric = [](const exp::TrialResult& r, const std::string& name) {
     for (const auto& [key, value] : r.metrics)
       if (key == name) return value;

@@ -210,7 +210,8 @@ exp::CampaignSpec chaos_campaign_spec() {
   spec.dims = {{"keep_alive", {"600"}},
                {"prewarmed", {"0"}},
                {"max_instances", {"128"}},
-               {"faults.rate", {"0", "8", "40"}}};
+               {"faults.rate", {"0", "8", "40"}},
+               {"workload.scenario", {"synthetic"}}};
   return spec;
 }
 
