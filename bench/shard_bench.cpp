@@ -1,0 +1,196 @@
+// Google-benchmark coverage of the sharded parallel DES (sim/sharded.hpp)
+// through its two ported engines: the zone-partitioned MMOG world
+// (mmog::simulate_zones) and the swarm-network P2P ecosystem
+// (p2p::simulate_swarm_network). Each benchmark runs the same workload
+// across shard/thread layouts, so the JSON doubles as a scaling table:
+// the speedup at N threads is the items_per_second ratio between the
+// /N/N and /1/1 rows. The shards/threads of every row are stamped into
+// its counters, alongside the cross-LP message count and the number of
+// conservative windows the run needed.
+//
+// The headline rows are the ISSUE targets: a million-avatar MMOG
+// ecosystem and a million-peer flashcrowd, single-iteration so CI cost
+// stays bounded. NOTE: realized speedup tracks the physical cores of the
+// machine recording the run — the committed BENCH_shard.json encodes the
+// CI runner's core count, and the perf gate compares like to like.
+//
+// Run with `--json[=path]` (default BENCH_shard.json). Regenerate with:
+//   ./build/bench/shard_bench --json=BENCH_shard.json
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bench_json_main.hpp"
+
+#include "atlarge/mmog/zonesim.hpp"
+#include "atlarge/p2p/swarmnet.hpp"
+
+using namespace atlarge;
+
+namespace {
+
+void stamp(benchmark::State& state, std::uint64_t windows,
+           std::uint64_t messages) {
+  state.counters["shards"] = static_cast<double>(state.range(0));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  state.counters["windows"] = static_cast<double>(windows);
+  state.counters["messages"] = static_cast<double>(messages);
+}
+
+// ------------------------------------------------------------ MMOG world --
+
+mmog::ZoneSimConfig zone_world(std::size_t zones, double horizon) {
+  mmog::ZoneSimConfig config;
+  config.zones = zones;
+  config.act_mean = 30.0;
+  config.migrate_prob = 0.08;
+  config.crossing_time = 5.0;  // interest radius / avatar speed
+  config.session_mean = 900.0;
+  config.horizon = horizon;
+  config.seed = 9;
+  return config;
+}
+
+const std::vector<mmog::ZoneArrival>& zone_arrivals(std::size_t avatars,
+                                                    std::size_t zones,
+                                                    double window) {
+  static std::vector<mmog::ZoneArrival> cache;
+  static std::size_t cached = 0;
+  if (cached != avatars) {
+    cache = mmog::synthetic_zone_arrivals(avatars, zones, window, 9);
+    cached = avatars;
+  }
+  return cache;
+}
+
+void BM_ShardedZoneSim(benchmark::State& state) {
+  auto config = zone_world(64, 1'200.0);
+  config.shard.shards = static_cast<std::size_t>(state.range(0));
+  config.shard.threads = static_cast<std::size_t>(state.range(1));
+  const auto& arrivals = zone_arrivals(12'000, config.zones, 400.0);
+  std::uint64_t actions = 0, windows = 0, messages = 0;
+  for (auto _ : state) {
+    const auto result = mmog::simulate_zones(config, arrivals);
+    actions = result.actions;
+    windows = result.windows;
+    messages = result.messages;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(actions) *
+                          state.iterations());
+  stamp(state, windows, messages);
+}
+
+void BM_ZoneSimMillionAvatars(benchmark::State& state) {
+  auto config = zone_world(256, 600.0);
+  config.act_mean = 60.0;
+  config.session_mean = 400.0;
+  config.shard.shards = static_cast<std::size_t>(state.range(0));
+  config.shard.threads = static_cast<std::size_t>(state.range(1));
+  const auto& arrivals = zone_arrivals(1'000'000, config.zones, 300.0);
+  std::uint64_t actions = 0, windows = 0, messages = 0;
+  for (auto _ : state) {
+    const auto result = mmog::simulate_zones(config, arrivals);
+    actions = result.actions;
+    windows = result.windows;
+    messages = result.messages;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(actions) *
+                          state.iterations());
+  stamp(state, windows, messages);
+}
+
+// ------------------------------------------------------- P2P swarm network --
+
+p2p::SwarmNetConfig swarm_net(std::size_t swarms, double horizon) {
+  p2p::SwarmNetConfig config;
+  config.swarms = swarms;
+  config.content_mb = 50.0;
+  config.epoch = 10.0;
+  config.announce_interval = 60.0;  // the conservative lookahead
+  config.horizon = horizon;
+  config.seed = 9;
+  return config;
+}
+
+const std::vector<p2p::PeerArrival>& net_arrivals(std::size_t peers,
+                                                  std::size_t swarms,
+                                                  double horizon) {
+  static std::vector<p2p::PeerArrival> cache;
+  static std::size_t cached = 0;
+  if (cached != peers) {
+    cache = p2p::flashcrowd_net_arrivals(peers, swarms, horizon,
+                                         horizon / 4.0, 0.4, 9);
+    cached = peers;
+  }
+  return cache;
+}
+
+void BM_ShardedSwarmNet(benchmark::State& state) {
+  auto config = swarm_net(32, 8'000.0);
+  config.shard.shards = static_cast<std::size_t>(state.range(0));
+  config.shard.threads = static_cast<std::size_t>(state.range(1));
+  const auto& arrivals = net_arrivals(16'000, config.swarms, config.horizon);
+  std::uint64_t windows = 0, messages = 0;
+  for (auto _ : state) {
+    const auto result = p2p::simulate_swarm_network(config, arrivals);
+    windows = result.windows;
+    messages = result.messages;
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(arrivals.size()) * state.iterations());
+  stamp(state, windows, messages);
+}
+
+void BM_SwarmNetMillionPeers(benchmark::State& state) {
+  auto config = swarm_net(64, 2'000.0);
+  config.content_mb = 20.0;
+  config.initial_seeds = 4;
+  config.seed_upload_mbps = 40.0;
+  config.shard.shards = static_cast<std::size_t>(state.range(0));
+  config.shard.threads = static_cast<std::size_t>(state.range(1));
+  const auto& arrivals =
+      net_arrivals(1'000'000, config.swarms, config.horizon);
+  std::uint64_t windows = 0, messages = 0;
+  for (auto _ : state) {
+    const auto result = p2p::simulate_swarm_network(config, arrivals);
+    windows = result.windows;
+    messages = result.messages;
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(arrivals.size()) * state.iterations());
+  stamp(state, windows, messages);
+}
+
+BENCHMARK(BM_ShardedZoneSim)
+    ->Args({1, 1})
+    ->Args({2, 2})
+    ->Args({4, 4})
+    ->Args({8, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ShardedSwarmNet)
+    ->Args({1, 1})
+    ->Args({2, 2})
+    ->Args({4, 4})
+    ->Args({8, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ZoneSimMillionAvatars)
+    ->Args({1, 1})
+    ->Args({8, 8})
+    ->Iterations(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SwarmNetMillionPeers)
+    ->Args({1, 1})
+    ->Args({8, 8})
+    ->Iterations(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+ATLARGE_BENCH_JSON_MAIN("BENCH_shard.json")

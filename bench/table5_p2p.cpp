@@ -12,6 +12,7 @@
 #include "atlarge/p2p/flashcrowd.hpp"
 #include "atlarge/p2p/monitor.hpp"
 #include "atlarge/p2p/swarm.hpp"
+#include "atlarge/p2p/swarmnet.hpp"
 #include "atlarge/p2p/twofast.hpp"
 #include "atlarge/workflow/vicissitude.hpp"
 #include "bench_util.hpp"
@@ -197,6 +198,39 @@ void study_vicissitude() {
               "the classic static bottleneck instead.\n");
 }
 
+/// The BTWorld ecosystem as a sharded parallel simulation: many fluid
+/// swarms plus a tracker, announce-interval lookahead, byte-identical on
+/// every shards x threads layout (D-P2P-Sim+, PAPERS.md).
+void study_sharded_network(std::size_t shards, std::size_t threads) {
+  bench::header("Sharded swarm network (conservative parallel DES)");
+  p2p::SwarmNetConfig config;
+  config.swarms = 16;
+  config.content_mb = 50.0;
+  config.horizon = 12'000.0;
+  config.seed = 9;
+  config.shard.shards = shards;
+  config.shard.threads = threads;
+  const auto arrivals = p2p::flashcrowd_net_arrivals(
+      8'000, config.swarms, config.horizon, 3'000.0, 0.5, config.seed);
+  const auto result = p2p::simulate_swarm_network(config, arrivals);
+  std::printf("swarms=%zu peers=%zu shards=%zu threads=%zu lookahead=%.0fs "
+              "(announce interval)\n",
+              config.swarms, arrivals.size(), shards, threads,
+              config.announce_interval);
+  std::printf("finished=%llu aborted=%llu announcements=%llu grants=%llu "
+              "residual=%llu\n",
+              static_cast<unsigned long long>(result.finished),
+              static_cast<unsigned long long>(result.aborted),
+              static_cast<unsigned long long>(result.announcements),
+              static_cast<unsigned long long>(result.grants),
+              static_cast<unsigned long long>(result.residual_leechers));
+  std::printf("mean download time %.0f s; cross-LP messages=%llu\n",
+              result.mean_download_time(),
+              static_cast<unsigned long long>(result.messages));
+  std::printf("=> results are byte-identical on every shards x threads "
+              "layout; speedup tracks physical cores (BENCH_shard.json).\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -208,5 +242,7 @@ int main(int argc, char** argv) {
   study_aliased_media();
   study_two_fast();
   study_vicissitude();
+  study_sharded_network(bench::u64_flag(argc, argv, "--shards", 1),
+                        bench::u64_flag(argc, argv, "--threads", 1));
   return 0;
 }

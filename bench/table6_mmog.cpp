@@ -5,16 +5,113 @@
 //  [74] implicit social networks; [77] toxicity detection.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "atlarge/mmog/analytics.hpp"
 #include "atlarge/mmog/interest.hpp"
 #include "atlarge/mmog/provisioning.hpp"
 #include "atlarge/mmog/workload.hpp"
+#include "atlarge/mmog/zonesim.hpp"
+#include "atlarge/trace/catalog.hpp"
 #include "bench_util.hpp"
 
 using namespace atlarge;
 
 namespace {
+
+/// Layout-invariant summary of a zone-ecosystem run: one key=value per
+/// line, so `diff` gates sharded vs unsharded replays directly. The
+/// layout-dependent diagnostics (windows) go to stderr.
+void print_zone_summary(const mmog::ZoneSimResult& result) {
+  std::printf("actions=%llu\n",
+              static_cast<unsigned long long>(result.actions));
+  std::printf("migrations=%llu\n",
+              static_cast<unsigned long long>(result.migrations));
+  std::printf("arrivals=%llu\n",
+              static_cast<unsigned long long>(result.arrivals));
+  std::printf("departures=%llu\n",
+              static_cast<unsigned long long>(result.departures));
+  std::printf("churned=%llu\n",
+              static_cast<unsigned long long>(result.churned));
+  std::printf("residents=%llu\n",
+              static_cast<unsigned long long>(result.residents));
+  std::printf("messages=%llu\n",
+              static_cast<unsigned long long>(result.messages));
+  std::printf("session_seconds_x1e6=%llu\n",
+              static_cast<unsigned long long>(result.session_seconds_x1e6));
+  std::fprintf(stderr, "windows=%llu (layout-dependent diagnostic)\n",
+               static_cast<unsigned long long>(result.windows));
+}
+
+/// `--sharded-replay=<scenario>`: adapts a catalog scenario's session
+/// starts to zone arrivals and replays them through the sharded zone
+/// ecosystem. The summary on stdout is byte-identical across
+/// --shards/--threads layouts — the shard-smoke CI job diffs an
+/// 8-shard run against the unsharded golden run.
+bool sharded_replay_mode(int argc, char** argv) {
+  const std::string name = bench::flag_value(argc, argv, "--sharded-replay");
+  if (name.empty()) return false;
+  const trace::catalog::Scenario* scenario =
+      trace::catalog::find(name.c_str());
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s'\n", name.c_str());
+    std::exit(2);
+  }
+
+  mmog::ZoneSimConfig config;
+  config.zones = 16;
+  config.horizon = 4'000.0;
+  config.seed = 9;
+  config.shard.shards = bench::u64_flag(argc, argv, "--shards", 1);
+  config.shard.threads = bench::u64_flag(argc, argv, "--threads", 1);
+
+  const auto events = trace::catalog::events(
+      *scenario, bench::u64_flag(argc, argv, "--seed", 9),
+      static_cast<std::size_t>(
+          bench::u64_flag(argc, argv, "--max-events", 8'000)));
+  std::vector<mmog::ZoneArrival> arrivals;
+  for (const auto& e : events) {
+    if (e.kind != static_cast<std::int64_t>(trace::EventKind::kSessionStart))
+      continue;
+    if (e.t_seconds() >= config.horizon) continue;
+    mmog::ZoneArrival a;
+    a.time = e.t_seconds();
+    a.avatar = static_cast<std::uint64_t>(e.entity);
+    a.zone = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(e.region) % config.zones);
+    arrivals.push_back(a);
+  }
+
+  std::printf("scenario=%s\n", name.c_str());
+  std::printf("zone_arrivals=%zu\n", arrivals.size());
+  print_zone_summary(mmog::simulate_zones(config, arrivals));
+  std::fprintf(stderr, "shards=%llu threads=%llu\n",
+               static_cast<unsigned long long>(config.shard.shards),
+               static_cast<unsigned long long>(config.shard.threads));
+  return true;
+}
+
+/// [76],[81] at ecosystem scale: the zone-partitioned world as a sharded
+/// parallel simulation, same results on every layout.
+void study_sharded_world(std::size_t shards, std::size_t threads) {
+  bench::header("Sharded zone ecosystem (conservative parallel DES)");
+  mmog::ZoneSimConfig config;
+  config.zones = 32;
+  config.horizon = 2'000.0;
+  config.seed = 9;
+  config.shard.shards = shards;
+  config.shard.threads = threads;
+  const auto arrivals =
+      mmog::synthetic_zone_arrivals(20'000, config.zones, 600.0, config.seed);
+  std::printf("zones=%zu avatars=%zu shards=%zu threads=%zu "
+              "lookahead=%.0fs (zone crossing time)\n",
+              config.zones, arrivals.size(), shards, threads,
+              config.crossing_time);
+  print_zone_summary(mmog::simulate_zones(config, arrivals));
+  std::printf("=> results are byte-identical on every shards x threads "
+              "layout; speedup tracks physical cores (BENCH_shard.json).\n");
+}
 
 void study_dynamics() {
   bench::header("[71]-[73] Population dynamics per genre");
@@ -129,11 +226,14 @@ void study_analytics() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (sharded_replay_mode(argc, argv)) return 0;
   bench::header("Table 6 / Section 6.2: MMOG studies");
   study_dynamics();
   study_provisioning();
   study_scalability();
   study_analytics();
+  study_sharded_world(bench::u64_flag(argc, argv, "--shards", 1),
+                      bench::u64_flag(argc, argv, "--threads", 1));
   return 0;
 }

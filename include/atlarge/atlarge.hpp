@@ -59,6 +59,7 @@
 #include "atlarge/mmog/interest.hpp"
 #include "atlarge/mmog/provisioning.hpp"
 #include "atlarge/mmog/workload.hpp"
+#include "atlarge/mmog/zonesim.hpp"
 #include "atlarge/obs/digest.hpp"
 #include "atlarge/obs/flight.hpp"
 #include "atlarge/obs/json.hpp"
@@ -71,6 +72,7 @@
 #include "atlarge/p2p/flashcrowd.hpp"
 #include "atlarge/p2p/monitor.hpp"
 #include "atlarge/p2p/swarm.hpp"
+#include "atlarge/p2p/swarmnet.hpp"
 #include "atlarge/p2p/twofast.hpp"
 #include "atlarge/sched/policies.hpp"
 #include "atlarge/sched/policy.hpp"
@@ -80,6 +82,7 @@
 #include "atlarge/serverless/workflow_engine.hpp"
 #include "atlarge/sim/resource.hpp"
 #include "atlarge/sim/sampler.hpp"
+#include "atlarge/sim/sharded.hpp"
 #include "atlarge/sim/simulation.hpp"
 #include "atlarge/stats/bootstrap.hpp"
 #include "atlarge/stats/correlation.hpp"

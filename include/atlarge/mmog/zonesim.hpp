@@ -1,0 +1,111 @@
+#pragma once
+// Sharded MMOG world simulation: the zones of interest management
+// (interest.hpp) turned into logical processes of a parallel DES
+// (sim/sharded.hpp), so one million-avatar world uses every core.
+//
+// Model: a ring of zones hosts avatars. Each avatar acts on its own
+// exponential clock (think time); an action either plays in place or
+// migrates the avatar to a neighbouring zone. Crossing a zone border
+// takes `crossing_time` seconds — the time to traverse the interest
+// radius between adjacent zones — which is exactly the conservative
+// lookahead of the sharded run: a migration sent at time t arrives at
+// t + crossing_time, so zones can simulate `crossing_time` of wall-clock
+// game time independently before they must exchange avatars.
+//
+// Determinism: every avatar owns a private Rng seeded from (seed, avatar
+// id), so its action times, migration path, and session length are a pure
+// function of the config — independent of shard layout and thread count.
+// Aggregates are order-independent (integer counters, fixed-point session
+// sum, digest bucket counts), so a run is invariant across
+// shards x threads; the property tests pin this.
+//
+// Faults: a FaultPlan's kChurnSpike events (target = zone index) kick a
+// `magnitude` fraction of the zone's residents at the spike time. Each LP
+// carries its own fault::Injector over the shared plan and handles only
+// the zones it hosts; injector events are attached before any avatar
+// spawns, so at tied timestamps a spike always fires before the activity
+// it preempts — on every shard layout. The kick decision is a per-avatar
+// hash draw, not a stream draw, so it too is layout-invariant.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "atlarge/obs/digest.hpp"
+#include "atlarge/sim/sharded.hpp"
+
+namespace atlarge::obs {
+class Observability;
+}
+
+namespace atlarge::fault {
+class FaultPlan;
+}
+
+namespace atlarge::mmog {
+
+/// One avatar entering the world (plain struct: the trace layer sits
+/// above mmog, so trace-driven replays adapt their events to this).
+struct ZoneArrival {
+  double time = 0.0;
+  std::uint64_t avatar = 0;  // unique id; also the cross-LP ordering key
+  std::uint32_t zone = 0;
+};
+
+struct ZoneSimConfig {
+  std::size_t zones = 8;         // ring topology
+  double act_mean = 30.0;        // mean think time between actions, s
+  double migrate_prob = 0.05;    // per-action border-crossing probability
+  double crossing_time = 5.0;    // interest-radius traversal = lookahead, s
+  double session_mean = 3600.0;  // mean session length, s
+  double horizon = 14'400.0;
+  std::uint64_t seed = 1;
+  /// Sharding knob. Defaults to a single LP on the caller thread — the
+  /// exact serial semantics. `shard.lookahead` is ignored: the engine
+  /// derives it from `crossing_time` (the model's real latency floor).
+  sim::ShardOptions shard;
+  /// Optional churn plan (kChurnSpike, target = zone). Not owned.
+  const fault::FaultPlan* faults = nullptr;
+  /// Optional instrumentation plane (not owned): wraps the run in an
+  /// "mmog.zonesim" span, mirrors the result counters, and merges per-LP
+  /// contributions in LP-id order.
+  obs::Observability* obs = nullptr;
+};
+
+struct ZoneSimResult {
+  std::uint64_t actions = 0;     // avatar actions executed
+  std::uint64_t migrations = 0;  // border crossings initiated
+  std::uint64_t arrivals = 0;    // border crossings completed
+  std::uint64_t departures = 0;  // natural session ends
+  std::uint64_t churned = 0;     // kicked by churn spikes
+  /// Avatars resident in a zone at the horizon (crossers still in flight
+  /// are `migrations - arrivals` on top of this).
+  std::uint64_t residents = 0;
+  std::vector<std::uint64_t> zone_actions;      // per zone
+  std::vector<std::uint32_t> final_population;  // per zone
+  /// Session lengths of departed avatars. Bucket counts / min / max /
+  /// quantiles are shard-layout invariant; `sum()` rounds per IEEE
+  /// addition order (use session_seconds_x1e6 for exact totals).
+  obs::Digest session_digest;
+  /// Exact fixed-point sum of departed session lengths (microseconds):
+  /// integer addition commutes, so this is bit-equal across layouts.
+  std::uint64_t session_seconds_x1e6 = 0;
+  // Sharded-run diagnostics (windows depends on shards/lookahead, not a
+  // model output; messages == migrations + initial spawns by design).
+  std::uint64_t windows = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Deterministic synthetic entry trace: `avatars` avatars, spawn times
+/// uniform in [0, spawn_window), zones assigned round-robin by id hash.
+std::vector<ZoneArrival> synthetic_zone_arrivals(std::size_t avatars,
+                                                 std::size_t zones,
+                                                 double spawn_window,
+                                                 std::uint64_t seed);
+
+/// Runs the world to config.horizon. Results are invariant across
+/// config.shard.{shards,threads} (see the determinism notes above).
+ZoneSimResult simulate_zones(const ZoneSimConfig& config,
+                             const std::vector<ZoneArrival>& arrivals);
+
+}  // namespace atlarge::mmog

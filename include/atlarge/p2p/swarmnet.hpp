@@ -1,0 +1,123 @@
+#pragma once
+// Sharded P2P swarm network: many fluid-model swarms (swarm.hpp) plus a
+// tracker, run as logical processes of a parallel DES (sim/sharded.hpp).
+// This is the D-P2P-Sim+ lesson from PAPERS.md applied to the BTWorld
+// ecosystem: one swarm engine stops scaling, a *network* of swarm engines
+// exchanging tracker traffic scales with cores.
+//
+// Model: each swarm integrates the fluid download model on its own epoch
+// clock (identical physics to simulate_swarm: availability-limited upload
+// pooling). Every announce interval it reports its census to the tracker;
+// the tracker aggregates the ecosystem view and — when cross_seed is on —
+// redistributes idle seeding capacity to under-seeded swarms (the 2fast
+// effect at ecosystem scale). The announce interval is the conservative
+// lookahead: announcements and grants always land one interval ahead.
+//
+// Determinism across shard layouts rests on strict-past reads: an epoch
+// at time T integrates only peers with arrival < T and grants received
+// strictly before T; a tracker round at time G reads only announcements
+// that arrived strictly before G. Tied-timestamp delivery order therefore
+// cannot change any result, and every aggregate is folded in swarm-id
+// order — runs are byte-identical across shards x threads (property
+// tests pin this, including the download digest).
+//
+// Faults: kChurnSpike (target = swarm) kicks a magnitude fraction of the
+// swarm's leechers via independent per-peer hash draws; per-LP injectors
+// attach before any peer is scheduled, so spikes win tied timestamps on
+// every layout (same rule as mmog::simulate_zones).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "atlarge/obs/digest.hpp"
+#include "atlarge/sim/sharded.hpp"
+
+namespace atlarge::obs {
+class Observability;
+}
+
+namespace atlarge::fault {
+class FaultPlan;
+}
+
+namespace atlarge::p2p {
+
+/// One peer joining a swarm (plain struct — the trace layer sits above
+/// p2p, so scenario replays adapt their events to this).
+struct PeerArrival {
+  double time = 0.0;
+  std::uint64_t peer = 0;  // unique id; also the cross-LP ordering key
+  std::uint32_t swarm = 0;
+};
+
+struct SwarmNetConfig {
+  std::size_t swarms = 4;
+  // Fluid physics, field-for-field the semantics of SwarmConfig.
+  double content_mb = 200.0;
+  double seed_upload_mbps = 8.0;
+  double peer_upload_mbps = 1.0;
+  double peer_download_mbps = 8.0;
+  double efficiency = 0.9;
+  double seed_time_mean = 1800.0;
+  double abort_rate = 0.0;
+  int initial_seeds = 1;
+  double epoch = 10.0;  // fluid integration step, s
+  /// Tracker announce period, s — the conservative lookahead. Rounded to
+  /// the nearest positive multiple of `epoch`.
+  double announce_interval = 60.0;
+  /// Tracker redistribution of idle seed capacity (drained swarms donate
+  /// their seeds' upload to under-seeded ones).
+  bool cross_seed = true;
+  double horizon = 20'000.0;
+  std::uint64_t seed = 1;
+  /// Sharding knob; defaults to one LP on the caller thread. The engine
+  /// derives `shard.lookahead` from the announce interval.
+  sim::ShardOptions shard;
+  /// Optional churn plan (kChurnSpike, target = swarm). Not owned.
+  const fault::FaultPlan* faults = nullptr;
+  /// Optional instrumentation plane (not owned): "p2p.swarmnet" span,
+  /// result counters, per-LP spans merged in LP-id order.
+  obs::Observability* obs = nullptr;
+};
+
+struct SwarmNetResult {
+  std::uint64_t finished = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t churned = 0;       // kicked by churn spikes
+  std::uint64_t announcements = 0; // swarm -> tracker reports
+  std::uint64_t grants = 0;        // tracker -> swarm capacity grants
+  std::uint64_t residual_leechers = 0;  // still downloading at horizon
+  std::uint64_t residual_seeds = 0;     // still seeding at horizon
+  std::vector<std::uint32_t> peak_swarm;  // per swarm, incl. origin seeds
+  /// Download times of finished peers; byte-identical across layouts
+  /// (per-swarm digests merged in swarm-id order).
+  obs::Digest download_digest;
+  /// Exact fixed-point total of download times (microseconds).
+  std::uint64_t download_seconds_x1e6 = 0;
+  std::uint64_t windows = 0;   // sharded-run diagnostic, layout-dependent
+  std::uint64_t messages = 0;  // cross-LP traffic carried by mailboxes
+
+  double mean_download_time() const noexcept {
+    return finished == 0 ? 0.0
+                         : static_cast<double>(download_seconds_x1e6) / 1e6 /
+                               static_cast<double>(finished);
+  }
+};
+
+/// Deterministic flashcrowd entry trace across `swarms` swarms: Poisson
+/// base arrivals plus an exponential-decay surge into swarm 0 (the
+/// paper's flashcrowd shape), peers assigned round-robin elsewhere.
+std::vector<PeerArrival> flashcrowd_net_arrivals(std::size_t peers,
+                                                 std::size_t swarms,
+                                                 double horizon,
+                                                 double surge_start,
+                                                 double surge_fraction,
+                                                 std::uint64_t seed);
+
+/// Runs the swarm network to config.horizon. Results are invariant
+/// across config.shard.{shards,threads}.
+SwarmNetResult simulate_swarm_network(const SwarmNetConfig& config,
+                                      const std::vector<PeerArrival>& arrivals);
+
+}  // namespace atlarge::p2p

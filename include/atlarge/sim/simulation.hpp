@@ -37,11 +37,14 @@
 // of one pop per event.
 
 #include <algorithm>
+#include <atomic>
+#include <cassert>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <new>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -174,6 +177,15 @@ class FaultHook {
 /// Handle to a scheduled event; allows cancellation. Default-constructed
 /// handles are inert. A handle is a {slot index, generation} pair into its
 /// Simulation's event pool and must not outlive the Simulation it came from.
+///
+/// Thread affinity: a handle inherits its Simulation's LP ownership rule
+/// (see "LP thread affinity" on Simulation below). cancel() and pending()
+/// mutate/read pool state without locks, so in a sharded run they must be
+/// invoked only from the thread currently executing the owning LP —
+/// never from another LP's event. Debug builds assert this; a release
+/// build would silently race. To cancel an event owned by another LP,
+/// route the request through ShardedSimulation::send so the owning LP
+/// cancels it inside its own event context.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -226,6 +238,7 @@ class Simulation {
                   "event payload must be callable with no arguments");
     static_assert(alignof(Fn) <= alignof(std::max_align_t),
                   "over-aligned event payloads are not supported");
+    assert_owner_thread();
     const std::uint32_t slot = acquire_slot();
     EventSlot& s = slots_[slot];
     void* where;
@@ -271,6 +284,41 @@ class Simulation {
   /// Maintained as a counter on schedule/cancel/fire, so this is O(1) and
   /// never counts cancelled tombstones still sitting in the queue.
   std::size_t pending() const noexcept { return live_; }
+
+  /// Timestamp of the earliest live event, or +infinity when none is
+  /// pending. Purges cancelled tombstones at the queue front first, so
+  /// the returned time is exact — the conservative-window scheduler
+  /// (sharded.hpp) derives its synchronization floors from this.
+  Time next_event_time();
+
+  // ------------------------------------------------------------------
+  // LP thread affinity (sharded runs).
+  //
+  // A Simulation is a single-threaded kernel: schedule_at/schedule_after,
+  // EventHandle::cancel()/pending(), step(), and run()/run_until() all
+  // mutate pool and queue state without locks. When a Simulation serves
+  // as one logical process (LP) of a ShardedSimulation, the rule is that
+  // every such call comes from the thread currently executing that LP:
+  // the worker the coordinator pinned the LP to during a synchronization
+  // window, or the coordinator thread between windows (mailbox delivery,
+  // floor queries). Cancelling or rescheduling another LP's event from
+  // your own LP's event context is a data race — ask the owning LP to do
+  // it by sending it a message (ShardedSimulation::send) instead.
+  //
+  // bind_owner_thread() pins the kernel to the calling thread and
+  // clear_owner_thread() releases it; while bound, debug builds (NDEBUG
+  // undefined) assert the rule on every entry point above, so a cross-LP
+  // cancel dies loudly instead of corrupting the pool. Release builds
+  // compile the checks out entirely.
+
+  /// Binds this kernel to the calling thread (debug-assert affinity).
+  void bind_owner_thread() noexcept {
+    owner_thread_.store(this_thread_token(), std::memory_order_relaxed);
+  }
+  /// Releases the binding; any thread may use the kernel again.
+  void clear_owner_thread() noexcept {
+    owner_thread_.store(0, std::memory_order_relaxed);
+  }
 
   /// Pre-sizes the event pool, queue (heap or calendar buckets), dispatch
   /// scratch, and — when `payload_bytes` > 0 — the payload arena, for
@@ -391,6 +439,22 @@ class Simulation {
                     std::uint64_t generation) const noexcept;
   bool cancel_slot(std::uint32_t slot, std::uint64_t generation) noexcept;
   void note_alloc_event() noexcept;
+  /// Nonzero token identifying the calling thread (hash of thread::id).
+  static std::size_t this_thread_token() noexcept {
+    const std::size_t h =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return h == 0 ? 1 : h;
+  }
+  /// Debug-asserts the LP-affinity rule documented above; a no-op when
+  /// unbound or in release builds.
+  void assert_owner_thread() const noexcept {
+#ifndef NDEBUG
+    const std::size_t owner = owner_thread_.load(std::memory_order_relaxed);
+    assert((owner == 0 || owner == this_thread_token()) &&
+           "Simulation accessed from a thread that does not own its LP "
+           "(cancel/reschedule cross-LP events via ShardedSimulation::send)");
+#endif
+  }
   /// Fires every pending sampling boundary <= `upto`, advancing the clock
   /// to each boundary before invoking the hook.
   void emit_samples(Time upto);
@@ -431,6 +495,10 @@ class Simulation {
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t alloc_events_ = 0;
+  // LP-affinity binding: 0 = unbound (any thread), else the owning
+  // thread's token. Only consulted by debug asserts; relaxed atomics keep
+  // bind/clear race-free across window hand-offs.
+  std::atomic<std::size_t> owner_thread_{0};
   Observer* observer_ = nullptr;
   FaultHook* fault_hook_ = nullptr;
   SamplingHook* sampling_hook_ = nullptr;

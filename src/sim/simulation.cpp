@@ -4,6 +4,7 @@
 #include <atomic>
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -38,12 +39,14 @@ bool EventHandle::cancel() noexcept {
 
 bool Simulation::slot_pending(std::uint32_t slot,
                               std::uint64_t generation) const noexcept {
+  assert_owner_thread();
   return slot < slots_.size() && slots_[slot].generation == generation &&
          slots_[slot].live;
 }
 
 bool Simulation::cancel_slot(std::uint32_t slot,
                              std::uint64_t generation) noexcept {
+  assert_owner_thread();
   if (!slot_pending(slot, generation)) return false;
   EventSlot& s = slots_[slot];
   s.live = false;
@@ -106,6 +109,13 @@ QueueRecord Simulation::pack(Time time, std::uint64_t seq_slot) noexcept {
   // pattern of a non-negative double is monotone in its value.
   return (static_cast<QueueRecord>(std::bit_cast<std::uint64_t>(time)) << 64) |
          seq_slot;
+}
+
+Time Simulation::next_event_time() {
+  assert_owner_thread();
+  purge_cancelled();
+  return queue_empty() ? std::numeric_limits<Time>::infinity()
+                       : record_time(queue_front());
 }
 
 EventHandle Simulation::schedule_slot(Time at, std::uint32_t slot) {
@@ -280,6 +290,7 @@ void Simulation::fire_slot(std::uint32_t slot) {
 }
 
 bool Simulation::step() {
+  assert_owner_thread();
   while (!queue_empty()) {
     const QueueRecord top = queue_front();
     queue_pop_front();
@@ -358,6 +369,7 @@ void Simulation::emit_samples(Time upto) {
 }
 
 std::size_t Simulation::run_until(Time until) {
+  assert_owner_thread();
   stopped_ = false;
   std::size_t executed = 0;
   if (observer_ != nullptr) observer_->on_run_begin(now_);
@@ -383,6 +395,7 @@ std::size_t Simulation::run_until(Time until) {
 }
 
 std::size_t Simulation::run() {
+  assert_owner_thread();
   stopped_ = false;
   std::size_t executed = 0;
   if (observer_ != nullptr) observer_->on_run_begin(now_);

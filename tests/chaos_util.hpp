@@ -15,11 +15,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
 
 #include "atlarge/fault/fault.hpp"
+#include "atlarge/obs/digest.hpp"
 
 namespace atlarge::chaos {
 
@@ -31,6 +33,26 @@ using Scenario = std::function<std::string(const fault::FaultPlan*)>;
 inline std::string exact(double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+/// Order-invariant digest fingerprint for sharded-run scenarios: count,
+/// extrema, and an FNV hash over the nonzero bucket array. The scalar
+/// sum is deliberately excluded — it rounds per IEEE addition order, and
+/// tied-timestamp events may fold into a digest in different orders on
+/// different shard layouts while the recorded multiset is identical.
+inline std::string digest_fingerprint(const obs::Digest& digest) {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto& buckets = digest.buckets();
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    hash = (hash ^ i) * 1099511628211ULL;
+    hash = (hash ^ buckets[i]) * 1099511628211ULL;
+  }
+  char buffer[128];
+  std::snprintf(buffer, sizeof buffer, "n=%llu min=%.17g max=%.17g h=%llx",
+                static_cast<unsigned long long>(digest.count()), digest.min(),
+                digest.max(), static_cast<unsigned long long>(hash));
   return buffer;
 }
 

@@ -80,3 +80,66 @@ TEST(ThreadPool, DestructionJoinsCleanly) {
   }  // destructor joins workers
   EXPECT_EQ(done.load(), 32);
 }
+
+TEST(ThreadPool, RunOnPinsJobsToOneWorkerThread) {
+  sim::ThreadPool pool(4);
+  ASSERT_EQ(pool.worker_count(), 3u);
+  std::vector<std::vector<std::thread::id>> seen(pool.worker_count());
+  for (int round = 0; round < 50; ++round) {
+    for (std::size_t w = 0; w < pool.worker_count(); ++w) {
+      // seen[w] is written only by worker w (that is the property under
+      // test), so no synchronization beyond wait_idle is needed.
+      pool.run_on(w, [&seen, w] { seen[w].push_back(std::this_thread::get_id()); });
+    }
+  }
+  pool.wait_idle();
+  std::set<std::thread::id> distinct;
+  for (std::size_t w = 0; w < seen.size(); ++w) {
+    ASSERT_EQ(seen[w].size(), 50u) << w;
+    for (const auto& id : seen[w]) EXPECT_EQ(id, seen[w].front()) << w;
+    EXPECT_NE(seen[w].front(), std::this_thread::get_id()) << w;
+    distinct.insert(seen[w].front());
+  }
+  EXPECT_EQ(distinct.size(), seen.size());  // one thread per worker index
+}
+
+TEST(ThreadPool, RunOnIsFifoPerWorker) {
+  sim::ThreadPool pool(2);
+  std::vector<int> order;
+  for (int i = 0; i < 200; ++i)
+    pool.run_on(0, [&order, i] { order.push_back(i); });
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, RunOnRunsInlineWithoutWorkers) {
+  sim::ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran;
+  pool.run_on(0, [&] { ran = std::this_thread::get_id(); });
+  EXPECT_EQ(ran, caller);
+}
+
+TEST(ThreadPool, RunOnReducesIndexModuloWorkerCount) {
+  sim::ThreadPool pool(3);  // workers 0 and 1
+  std::atomic<int> done{0};
+  pool.run_on(7, [&] { done.fetch_add(1); });  // 7 % 2 == 1
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPool, RunOnMixesWithSubmitAndParallelFor) {
+  sim::ThreadPool pool(4);
+  std::atomic<int> pinned{0};
+  std::atomic<int> shared{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.run_on(static_cast<std::size_t>(i), [&] { pinned.fetch_add(1); });
+    pool.submit([&] { shared.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(pinned.load(), 64);
+  EXPECT_EQ(shared.load(), 64);
+  pool.parallel_for(32, [&](std::size_t) { shared.fetch_add(1); });
+  EXPECT_EQ(shared.load(), 96);
+}
