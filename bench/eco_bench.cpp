@@ -1,0 +1,164 @@
+// Google-benchmark coverage of the ecosystem composition layer
+// (eco/ecosystem.hpp). Three questions, one JSON:
+//   * BM_EcosystemComposed — the fully bound ecosystem (serverless on the
+//     fabric, autoscaled zones, shared-fabric DAGs) across shard/thread
+//     layouts; the /N/N-to-/1/1 items_per_second ratio is the scaling
+//     table for the composed engine.
+//   * BM_EcosystemIdentity — the same workloads under identity bindings
+//     (no cross-domain coupling), i.e. the composition machinery priced
+//     with its couplings turned off.
+//   * BM_StandaloneSerial — the three standalone simulators run
+//     back-to-back on the identical workloads. Identity-vs-serial is the
+//     pure overhead of hosting the domains on one shared kernel (eco_test
+//     proves the results are byte-identical, so this is a fair race).
+//
+// items_per_second counts domain events (invocations + avatar actions +
+// scheduled tasks), so rows are comparable across all three benchmarks.
+//
+// Run with `--json[=path]` (default BENCH_eco.json). Regenerate with:
+//   ./build/bench/eco_bench --json=BENCH_eco.json
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_json_main.hpp"
+
+#include "atlarge/cluster/machine.hpp"
+#include "atlarge/eco/ecosystem.hpp"
+#include "atlarge/mmog/zonesim.hpp"
+#include "atlarge/sched/policies.hpp"
+#include "atlarge/sched/simulator.hpp"
+#include "atlarge/serverless/platform.hpp"
+#include "atlarge/stats/rng.hpp"
+#include "atlarge/workflow/generators.hpp"
+
+using namespace atlarge;
+
+namespace {
+
+eco::EcosystemSpec base_spec() {
+  eco::EcosystemSpec spec;
+  spec.horizon = 4'800.0;
+  spec.fabric.machines = 16;
+  spec.fabric.cores_per_machine = 8;
+  spec.fabric.provisioning_delay = 45.0;
+
+  spec.serverless.enabled = true;
+  spec.serverless.backing = eco::ServerlessBacking::kCluster;
+  spec.serverless.instance_cores = 1;
+  spec.serverless.registry = {{"api", 0.08, 0.9, 128.0},
+                              {"etl", 0.5, 1.8, 512.0},
+                              {"ml", 1.2, 2.5, 1024.0}};
+  spec.serverless.config.keep_alive = 120.0;
+  stats::Rng faas_rng(17);
+  spec.serverless.invocations = serverless::bursty_invocations(
+      spec.serverless.registry.size(), 2.0, 3'600.0, 300.0, 60, faas_rng);
+
+  spec.mmog.enabled = true;
+  spec.mmog.provisioning = eco::ZoneProvisioning::kAutoscaled;
+  spec.mmog.autoscaler = "React";
+  spec.mmog.avatars_per_machine = 48;
+  spec.mmog.report_interval = 30.0;
+  spec.mmog.initial_machines = 1;
+  spec.mmog.config.zones = 16;
+  spec.mmog.config.crossing_time = 5.0;
+  spec.mmog.config.act_mean = 25.0;
+  spec.mmog.config.migrate_prob = 0.1;
+  spec.mmog.config.session_mean = 2'400.0;
+  spec.mmog.config.seed = 7;
+  spec.mmog.arrivals =
+      mmog::synthetic_zone_arrivals(4'000, spec.mmog.config.zones, 2'400.0, 7);
+
+  spec.dags.enabled = true;
+  spec.dags.scheduling = eco::DagScheduling::kSharedFabric;
+  spec.dags.policy = "FCFS";
+  workflow::WorkloadSpec jobs;
+  jobs.cls = workflow::WorkloadClass::kSynthetic;
+  jobs.jobs = 64;
+  jobs.horizon = 2'400.0;
+  jobs.seed = 5;
+  spec.dags.workload = workflow::generate(jobs);
+  return spec;
+}
+
+eco::EcosystemSpec identity_spec() {
+  eco::EcosystemSpec spec = base_spec();
+  spec.serverless.backing = eco::ServerlessBacking::kAbstract;
+  spec.mmog.provisioning = eco::ZoneProvisioning::kUnlimited;
+  spec.dags.scheduling = eco::DagScheduling::kDedicated;
+  spec.dags.machines = spec.fabric.machines;
+  spec.dags.cores_per_machine = spec.fabric.cores_per_machine;
+  return spec;
+}
+
+std::uint64_t domain_events(const eco::EcosystemResult& r) {
+  return static_cast<std::uint64_t>(r.faas.invocations.size()) +
+         r.zones.actions + static_cast<std::uint64_t>(r.dags.tasks_completed);
+}
+
+void BM_EcosystemComposed(benchmark::State& state) {
+  eco::EcosystemSpec spec = base_spec();
+  spec.shards = static_cast<std::size_t>(state.range(0));
+  spec.threads = static_cast<std::size_t>(state.range(1));
+  std::uint64_t events = 0, windows = 0, messages = 0;
+  for (auto _ : state) {
+    const auto result = eco::run_ecosystem(spec);
+    events = domain_events(result);
+    windows = result.windows;
+    messages = result.messages;
+  }
+  state.counters["shards"] = static_cast<double>(spec.shards);
+  state.counters["threads"] = static_cast<double>(spec.threads);
+  state.counters["windows"] = static_cast<double>(windows);
+  state.counters["messages"] = static_cast<double>(messages);
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      events * static_cast<std::uint64_t>(state.iterations())));
+}
+
+void BM_EcosystemIdentity(benchmark::State& state) {
+  const eco::EcosystemSpec spec = identity_spec();
+  std::uint64_t events = 0;
+  for (auto _ : state) events = domain_events(eco::run_ecosystem(spec));
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      events * static_cast<std::uint64_t>(state.iterations())));
+}
+
+void BM_StandaloneSerial(benchmark::State& state) {
+  // The identical workloads through the three standalone simulators.
+  const eco::EcosystemSpec spec = identity_spec();
+  mmog::ZoneSimConfig zones = spec.mmog.config;
+  zones.horizon = spec.horizon;
+  const auto env = cluster::make_homogeneous_cluster(
+      "eco", spec.dags.machines, spec.dags.cores_per_machine);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto faas = serverless::run_platform(
+        spec.serverless.registry, spec.serverless.invocations,
+        spec.serverless.config);
+    sched::FcfsPolicy policy;
+    sched::SimOptions options;
+    const auto dags =
+        sched::simulate(env, spec.dags.workload, policy, options);
+    const auto world = mmog::simulate_zones(zones, spec.mmog.arrivals);
+    events = static_cast<std::uint64_t>(faas.invocations.size()) +
+             world.actions +
+             static_cast<std::uint64_t>(dags.tasks_completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      events * static_cast<std::uint64_t>(state.iterations())));
+}
+
+BENCHMARK(BM_EcosystemComposed)
+    ->Args({1, 1})
+    ->Args({2, 2})
+    ->Args({8, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EcosystemIdentity)->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StandaloneSerial)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+ATLARGE_BENCH_JSON_MAIN("BENCH_eco.json")

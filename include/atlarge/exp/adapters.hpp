@@ -36,4 +36,13 @@ std::unique_ptr<SimulatorAdapter> make_p2p_adapter();
 /// predicted runtime (runtime_proxy).
 std::unique_ptr<SimulatorAdapter> make_graph_adapter();
 
+/// Domain "eco": the full ecosystem composition (Section 2's "systems of
+/// systems") — serverless, MMOG zones, and workflow DAGs co-tenant on one
+/// cluster fabric. Sweeps the fabric shape (eco.machines,
+/// eco.provisioning_delay) against the control-plane choices
+/// (eco.autoscaler, eco.policy), so campaigns measure cross-domain
+/// interference, not a simulator in isolation. Objective: serverless p95
+/// latency under co-tenancy.
+std::unique_ptr<SimulatorAdapter> make_eco_adapter();
+
 }  // namespace atlarge::exp

@@ -29,6 +29,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "atlarge/obs/digest.hpp"
@@ -40,6 +41,7 @@ class Observability;
 
 namespace atlarge::fault {
 class FaultPlan;
+class Injector;
 }
 
 namespace atlarge::mmog {
@@ -90,6 +92,11 @@ struct ZoneSimResult {
   /// Exact fixed-point sum of departed session lengths (microseconds):
   /// integer addition commutes, so this is bit-equal across layouts.
   std::uint64_t session_seconds_x1e6 = 0;
+  /// Logins (spawns or completed crossings) that found their zone at
+  /// capacity and waited in the FIFO login queue (0 without capacity
+  /// caps). Avatars still queued at the horizon are neither residents nor
+  /// departures.
+  std::uint64_t queued_logins = 0;
   // Sharded-run diagnostics (windows depends on shards/lookahead, not a
   // model output; messages == migrations + initial spawns by design).
   std::uint64_t windows = 0;
@@ -107,5 +114,60 @@ std::vector<ZoneArrival> synthetic_zone_arrivals(std::size_t avatars,
 /// config.shard.{shards,threads} (see the determinism notes above).
 ZoneSimResult simulate_zones(const ZoneSimConfig& config,
                              const std::vector<ZoneArrival>& arrivals);
+
+namespace detail {
+struct ZoneEngine;
+}
+
+/// Composable form of the zone world: the same engine simulate_zones
+/// runs, but over an externally owned sharded kernel so the world can
+/// share a clock with other domain simulators (eco::Ecosystem). Zones map
+/// to LPs `lp_base + zone % lp_count`; `config.shard` is ignored and the
+/// kernel's lookahead must not exceed config.crossing_time (migrations
+/// ride the lookahead window exactly as in standalone runs).
+///
+/// Capacity binding: each zone optionally carries a login capacity (the
+/// eco autoscale binding). A spawn or completed crossing that finds its
+/// zone full waits in a per-zone FIFO login queue and is admitted when a
+/// departure, churn kick, migration, or capacity raise frees a slot. The
+/// default capacity is unlimited, which keeps per-zone event streams
+/// byte-identical to simulate_zones.
+class ZoneWorld {
+ public:
+  /// All referenced objects must outlive the ZoneWorld. Requires
+  /// lp_base + lp_count <= sharded.shards() and lp_count >= 1.
+  ZoneWorld(const ZoneSimConfig& config,
+            const std::vector<ZoneArrival>& arrivals,
+            sim::ShardedSimulation& sharded, std::size_t lp_base,
+            std::size_t lp_count);
+  ~ZoneWorld();
+  ZoneWorld(const ZoneWorld&) = delete;
+  ZoneWorld& operator=(const ZoneWorld&) = delete;
+
+  /// Attaches per-LP churn injectors (when config.faults is set) and
+  /// seeds the arrival trace through the sorted-mailbox path. Call once,
+  /// before the kernel runs.
+  void prepare();
+
+  /// LP hosting `zone` (lp_base + zone % lp_count).
+  std::size_t lp_of(std::size_t zone) const;
+  /// Current residents of `zone`. Read only from the zone's own LP.
+  std::size_t population(std::size_t zone) const;
+  /// Logins currently waiting in `zone`'s queue. Zone's own LP only.
+  std::size_t queue_length(std::size_t zone) const;
+  /// Sets `zone`'s login capacity and admits queued logins into freed
+  /// slots. Call from an event on the zone's own LP (eco routes grants
+  /// through ShardedSimulation::send), or before the kernel runs.
+  void set_capacity(std::size_t zone, std::uint32_t capacity);
+
+  /// Folds per-zone state into a result. windows/messages stay 0 — the
+  /// shared kernel's counters belong to the composition layer.
+  ZoneSimResult collect() const;
+
+ private:
+  std::unique_ptr<detail::ZoneEngine> engine_;
+  std::vector<std::unique_ptr<fault::Injector>> injectors_;
+  const std::vector<ZoneArrival>* arrivals_ = nullptr;
+};
 
 }  // namespace atlarge::mmog

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,10 @@ class Observability;
 
 namespace atlarge::fault {
 class FaultPlan;
+}
+
+namespace atlarge::sim {
+class Simulation;
 }
 
 namespace atlarge::sched {
@@ -110,5 +115,59 @@ struct SimOptions {
 SchedResult simulate(const cluster::Environment& env,
                      const workflow::Workload& workload, Policy& policy,
                      const SimOptions& options = {});
+
+namespace detail {
+class SchedEngine;
+}
+
+/// Composable form of the scheduling simulator: the same engine `simulate`
+/// runs, but driven by an externally owned kernel so several domain
+/// simulators can share one clock (eco::Ecosystem). The driver schedules
+/// its arrivals and fault hooks in prepare(), the caller runs the shared
+/// kernel, and collect() finalizes the result. With no seam calls the
+/// event stream is byte-identical to a standalone simulate() run.
+///
+/// The reserve/release seam lets a co-tenant (the eco cluster fabric)
+/// take cores out of the scheduler's machines while it holds leases on
+/// them, so placement contention between domains is real: reserved cores
+/// are indistinguishable from cores occupied by running tasks.
+class SchedDriver {
+ public:
+  /// `env`, `workload`, `policy`, and `sim` must outlive the driver.
+  /// `options.faults` attaches the scheduler's own injector exactly as in
+  /// standalone runs; pass a null plan when a composition layer routes
+  /// machine crashes through fail_machine() instead.
+  SchedDriver(const cluster::Environment& env,
+              const workflow::Workload& workload, Policy& policy,
+              const SimOptions& options, sim::Simulation& sim);
+  ~SchedDriver();
+  SchedDriver(const SchedDriver&) = delete;
+  SchedDriver& operator=(const SchedDriver&) = delete;
+
+  /// Schedules fault hooks and job arrivals on the shared kernel.
+  void prepare();
+  /// Finalizes statistics after the shared kernel has run. The result is
+  /// independent of the kernel's final clock: stats derive from job
+  /// submit/finish times only.
+  SchedResult collect();
+
+  // ---- fabric seam (all calls must come from the kernel's own events) --
+  std::size_t machine_count() const;
+  std::uint32_t free_cores_on(std::size_t machine) const;
+  std::uint32_t total_cores_on(std::size_t machine) const;
+  bool machine_down(std::size_t machine) const;
+  /// Takes `cores` from a machine for an external tenant. Fails (false)
+  /// when the machine is down or short on free cores.
+  bool reserve_cores(std::size_t machine, std::uint32_t cores);
+  /// Returns externally held cores and wakes the placement loop.
+  void release_cores(std::size_t machine, std::uint32_t cores);
+  /// Crashes a machine for `duration` seconds: running tasks are killed
+  /// and re-queued exactly as a kMachineCrash fault would, but without an
+  /// injector (the composition layer owns the fault bookkeeping).
+  void fail_machine(std::size_t machine, double duration);
+
+ private:
+  std::unique_ptr<detail::SchedEngine> engine_;
+};
 
 }  // namespace atlarge::sched

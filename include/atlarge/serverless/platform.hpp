@@ -11,6 +11,7 @@
 // (billing = instance busy+warm seconds), and event-driven elastic scaling.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,10 @@
 
 namespace atlarge::obs {
 class Observability;
+}
+
+namespace atlarge::sim {
+class Simulation;
 }
 
 namespace atlarge::serverless {
@@ -106,6 +111,10 @@ struct PlatformResult {
   double success_rate = 1.0;
   std::size_t faults_injected = 0;
   std::size_t faults_recovered = 0;
+  /// Instance creations refused by the backing substrate (always 0 for the
+  /// abstract pool). A refused creation consumes an attempt, like a
+  /// cold-start failure.
+  std::size_t capacity_denials = 0;
 };
 
 /// Pull-source of invocations in nondecreasing arrival order. The
@@ -133,6 +142,69 @@ PlatformResult run_platform(const std::vector<FunctionSpec>& registry,
 PlatformResult run_platform(const std::vector<FunctionSpec>& registry,
                             InvocationSource& source,
                             const PlatformConfig& config);
+
+/// Backing substrate for instance provisioning — the seam through which a
+/// composition layer (eco::Ecosystem) replaces the platform's abstract
+/// instance pool with a real datacenter model. Every instance creation
+/// asks the substrate for a machine lease; every instance destruction
+/// returns it. A null backing is the abstract pool: creations always
+/// succeed and cost nothing beyond the function's cold start.
+class InstanceBacking {
+ public:
+  virtual ~InstanceBacking() = default;
+  /// Lease capacity for one instance of `function`. On success fills
+  /// `machine` (substrate machine id, echoed back on release) and
+  /// `extra_latency` (additional provisioning delay — real machine
+  /// power-up — added to the instance's first cold start) and returns
+  /// true. Returns false when the substrate is out of capacity; the
+  /// triggering attempt then fails like a cold-start failure.
+  virtual bool acquire(std::size_t function, std::uint32_t& machine,
+                       double& extra_latency) = 0;
+  /// An instance was destroyed (keep-alive expiry, recycling, or crash);
+  /// its lease on `machine` is returned.
+  virtual void release(std::uint32_t machine) = 0;
+};
+
+namespace detail {
+class FaasEngine;
+}
+
+/// Composable form of the platform: the same engine run_platform uses, but
+/// scheduled onto an externally owned kernel so several domain simulators
+/// share one clock (eco::Ecosystem). prepare() schedules prewarm pools,
+/// fault hooks, and arrivals; the caller runs the shared kernel past the
+/// platform's quiescence; collect() finalizes. With a null backing and no
+/// fail_machine calls the per-domain event stream is byte-identical to a
+/// standalone run_platform run.
+class PlatformDriver {
+ public:
+  /// All referenced objects must outlive the driver. `invocations` must be
+  /// sorted by arrival.
+  PlatformDriver(const std::vector<FunctionSpec>& registry,
+                 const std::vector<Invocation>& invocations,
+                 const PlatformConfig& config, sim::Simulation& sim,
+                 InstanceBacking* backing = nullptr);
+  ~PlatformDriver();
+  PlatformDriver(const PlatformDriver&) = delete;
+  PlatformDriver& operator=(const PlatformDriver&) = delete;
+
+  /// Schedules prewarm pools, fault hooks, and invocation arrivals.
+  void prepare();
+  /// Finalizes statistics after the shared kernel has run. Correct as
+  /// long as the kernel ran past the platform's last invocation finish;
+  /// keep-alive expiries cut off after that point only re-bill idle time
+  /// that finalize() clamps identically.
+  PlatformResult collect();
+
+  /// Crash propagation from the backing substrate: warm instances on
+  /// `machine` are destroyed (their leases released); busy instances are
+  /// doomed — they finish their committed execution, then are destroyed
+  /// instead of rejoining the warm pool.
+  void fail_machine(std::uint32_t machine);
+
+ private:
+  std::unique_ptr<detail::FaasEngine> engine_;
+};
 
 /// Microservice baseline: `instances` always-on servers per function, FIFO
 /// queueing, no cold starts, billed for the full horizon.

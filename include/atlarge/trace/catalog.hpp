@@ -34,7 +34,7 @@ namespace atlarge::trace::catalog {
 struct Scenario {
   std::string name;    // catalog key, e.g. "feed-fanout"
   std::string family;  // the case-study family it models
-  std::string engine;  // "serverless" | "p2p" | "sched" | "autoscale"
+  std::string engine;  // "serverless" | "p2p" | "sched" | "autoscale" | "eco"
   enum class Shape { kFlashcrowd, kDiurnal };
   Shape shape = Shape::kFlashcrowd;
   gen::FlashcrowdSpec flashcrowd;  // used when shape == kFlashcrowd

@@ -8,6 +8,8 @@
 #include "atlarge/autoscale/autoscalers.hpp"
 #include "atlarge/fault/fault.hpp"
 #include "atlarge/autoscale/elastic_sim.hpp"
+#include "atlarge/eco/ecosystem.hpp"
+#include "atlarge/mmog/zonesim.hpp"
 #include "atlarge/obs/observability.hpp"
 #include "atlarge/cluster/machine.hpp"
 #include "atlarge/graph/algorithms.hpp"
@@ -548,6 +550,112 @@ class GraphAdapter final : public SimulatorAdapter {
   }
 };
 
+// ------------------------------------------------------------------ eco --
+
+class EcoAdapter final : public SimulatorAdapter {
+ public:
+  std::string domain() const override { return "eco"; }
+  std::string objective() const override { return "faas_p95_latency"; }
+
+  std::vector<ParamSpec> params() const override {
+    return {
+        {"eco.machines", {8.0, 16.0, 32.0}, {}},
+        {"eco.provisioning_delay", {15.0, 45.0, 120.0}, {}},
+        {"eco.autoscaler", {0.0, 1.0, 2.0}, {"React", "Hist", "Token"}},
+        {"eco.policy", {0.0, 1.0, 2.0}, {"FCFS", "EASY-BF", "SJF"}},
+        fault_rate_param(),
+    };
+  }
+
+  TrialResult run(const std::vector<double>& v, std::uint64_t seed,
+                  double scale) const override {
+    static const char* const kAutoscalers[] = {"React", "Hist", "Token"};
+    static const char* const kPolicies[] = {"FCFS", "EASY-BF", "SJF"};
+
+    eco::EcosystemSpec spec;
+    spec.horizon = std::max(900.0, 3'600.0 * scale);
+    spec.fabric.machines = static_cast<std::uint32_t>(v[0]);
+    spec.fabric.cores_per_machine = 8;
+    spec.fabric.provisioning_delay = v[1];
+
+    spec.serverless.enabled = true;
+    spec.serverless.backing = eco::ServerlessBacking::kCluster;
+    spec.serverless.instance_cores = 1;
+    spec.serverless.registry = {{"api", 0.08, 0.9, 128.0},
+                                {"etl", 0.5, 1.8, 512.0}};
+    spec.serverless.config.keep_alive = 120.0;
+    spec.serverless.config.prewarmed = 0;
+    stats::Rng faas_rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    spec.serverless.invocations = serverless::bursty_invocations(
+        spec.serverless.registry.size(), 1.0, 0.8 * spec.horizon, 240.0,
+        scaled(24, scale, 4), faas_rng);
+
+    spec.mmog.enabled = true;
+    spec.mmog.provisioning = eco::ZoneProvisioning::kAutoscaled;
+    spec.mmog.autoscaler = kAutoscalers[static_cast<std::size_t>(v[2])];
+    spec.mmog.avatars_per_machine = 32;
+    spec.mmog.report_interval = 30.0;
+    spec.mmog.initial_machines = 1;
+    spec.mmog.config.zones = 6;
+    spec.mmog.config.crossing_time = 5.0;
+    spec.mmog.config.act_mean = 25.0;
+    spec.mmog.config.migrate_prob = 0.1;
+    spec.mmog.config.session_mean = 0.5 * spec.horizon;
+    spec.mmog.config.seed = seed;
+    spec.mmog.arrivals = mmog::synthetic_zone_arrivals(
+        scaled(300, scale, 32), spec.mmog.config.zones, 0.6 * spec.horizon,
+        seed);
+
+    spec.dags.enabled = true;
+    spec.dags.scheduling = eco::DagScheduling::kSharedFabric;
+    spec.dags.policy = kPolicies[static_cast<std::size_t>(v[3])];
+    workflow::WorkloadSpec jobs;
+    jobs.cls = workflow::WorkloadClass::kSynthetic;
+    jobs.jobs = scaled(24, scale, 4);
+    jobs.horizon = 0.5 * spec.horizon;
+    jobs.seed = seed ^ 0xda3e39cb94b95bdbULL;
+    spec.dags.workload = workflow::generate(jobs);
+
+    fault::FaultPlan plan;
+    if (v[4] > 0.0) {
+      fault::FaultSpec fspec;
+      fspec.rate = v[4];
+      fspec.horizon = spec.horizon;
+      fspec.seed = fault_plan_seed(v, 4);
+      fspec.targets = spec.fabric.machines;
+      fspec.mean_duration = 60.0;
+      fspec.kinds = {fault::FaultKind::kMachineCrash};
+      plan = fault::FaultPlan::generate(fspec);
+      spec.faults = &plan;
+    }
+
+    const eco::EcosystemResult r = eco::run_ecosystem(spec);
+
+    TrialResult out;
+    out.objective = r.faas.p95_latency;
+    out.metrics = {
+        {"faas_p95_latency", r.faas.p95_latency},
+        {"faas_p50_latency", r.faas.p50_latency},
+        {"faas_cold_fraction", r.faas.cold_fraction},
+        {"faas_failed", static_cast<double>(r.faas.failed_invocations)},
+        {"faas_denials", static_cast<double>(r.fabric.faas_denials)},
+        {"zones_residents", static_cast<double>(r.zones.residents)},
+        {"zones_queued_logins", static_cast<double>(r.zones.queued_logins)},
+        {"dags_mean_wait", r.dags.mean_wait},
+        {"dags_mean_slowdown", r.dags.mean_slowdown},
+        {"dags_tasks_requeued", static_cast<double>(r.dags.tasks_requeued)},
+        {"fabric_machine_leases", static_cast<double>(r.fabric.machine_leases)},
+        {"fabric_autoscale_decisions",
+         static_cast<double>(r.fabric.autoscale_decisions)},
+        {"fabric_peak_cores_leased",
+         static_cast<double>(r.fabric.peak_cores_leased)},
+        {"fabric_crashes", static_cast<double>(r.fabric.crashes)},
+    };
+    out.digest = r.faas.latency_digest.serialize();
+    return out;
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<SimulatorAdapter> make_portfolio_adapter() {
@@ -565,9 +673,12 @@ std::unique_ptr<SimulatorAdapter> make_p2p_adapter() {
 std::unique_ptr<SimulatorAdapter> make_graph_adapter() {
   return std::make_unique<GraphAdapter>();
 }
+std::unique_ptr<SimulatorAdapter> make_eco_adapter() {
+  return std::make_unique<EcoAdapter>();
+}
 
 std::vector<std::string> adapter_domains() {
-  return {"portfolio", "serverless", "autoscale", "p2p", "graph"};
+  return {"portfolio", "serverless", "autoscale", "p2p", "graph", "eco"};
 }
 
 std::unique_ptr<SimulatorAdapter> make_adapter(const std::string& domain) {
@@ -576,6 +687,7 @@ std::unique_ptr<SimulatorAdapter> make_adapter(const std::string& domain) {
   if (domain == "autoscale") return make_autoscale_adapter();
   if (domain == "p2p") return make_p2p_adapter();
   if (domain == "graph") return make_graph_adapter();
+  if (domain == "eco") return make_eco_adapter();
   std::string known;
   for (const auto& d : adapter_domains()) {
     if (!known.empty()) known += ", ";

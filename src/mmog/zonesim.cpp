@@ -1,6 +1,9 @@
 #include "atlarge/mmog/zonesim.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -12,7 +15,7 @@
 #include "atlarge/stats/rng.hpp"
 
 namespace atlarge::mmog {
-namespace {
+namespace detail {
 
 constexpr std::uint64_t kAvatarMix = 0x9e3779b97f4a7c15ULL;
 constexpr std::uint64_t kSpikeMix = 0xc2b2ae3d27d4eb4fULL;
@@ -36,17 +39,24 @@ struct Zone {
   std::uint64_t spikes_seen = 0;  // per-zone spike ordinal (layout-stable)
   obs::Digest sessions;
   std::uint64_t session_us = 0;
+  /// Login capacity (eco autoscale binding); unlimited by default, which
+  /// makes the full-zone branch unreachable.
+  std::size_t capacity = std::numeric_limits<std::size_t>::max();
+  std::deque<AvatarState> login_queue;  // FIFO, admitted as slots free up
+  std::uint64_t queued_logins = 0;
 };
 
 // All mutable state is partitioned by zone, and a zone is touched only by
 // the lane currently running its LP — the engine needs no locks.
-struct Engine {
+struct ZoneEngine {
   const ZoneSimConfig* config = nullptr;
   sim::ShardedSimulation* sharded = nullptr;
   std::vector<Zone> zones;
+  std::size_t lp_base = 0;  // zones live on LPs [lp_base, lp_base+lp_count)
+  std::size_t lp_count = 1;
 
   std::size_t lp_of(std::size_t zone) const noexcept {
-    return zone % sharded->shards();
+    return lp_base + zone % lp_count;
   }
 
   void depart(Zone& z, AvatarState& a, double now) {
@@ -61,12 +71,35 @@ struct Engine {
         at, [this, zone, avatar] { act(zone, avatar); });
   }
 
+  /// A login (spawn or completed crossing) reaches the zone: admitted
+  /// immediately unless the zone is at capacity, in which case it waits
+  /// in the FIFO login queue.
   void arrive(std::size_t zone, AvatarState state, double now) {
     Zone& z = zones[zone];
+    if (z.residents.size() >= z.capacity) {
+      ++z.queued_logins;
+      z.login_queue.push_back(std::move(state));
+      return;
+    }
+    admit(z, zone, std::move(state), now);
+  }
+
+  void admit(Zone& z, std::size_t zone, AvatarState state, double now) {
     const double gap = state.rng.exponential(1.0 / config->act_mean);
     const std::uint64_t id = state.id;
     z.residents.emplace(id, std::move(state));
     schedule_act(zone, id, now + gap);
+  }
+
+  /// Admits queued logins into freed slots (no-op while the queue is
+  /// empty, i.e. always without capacity caps).
+  void drain_queue(std::size_t zone, double now) {
+    Zone& z = zones[zone];
+    while (!z.login_queue.empty() && z.residents.size() < z.capacity) {
+      AvatarState state = std::move(z.login_queue.front());
+      z.login_queue.pop_front();
+      admit(z, zone, std::move(state), now);
+    }
   }
 
   void cross(std::size_t zone, AvatarState state, double now) {
@@ -83,6 +116,7 @@ struct Engine {
     if (now >= a.session_end) {
       depart(z, a, now);
       z.residents.erase(it);
+      drain_queue(zone, now);
       return;
     }
     ++z.actions;
@@ -101,6 +135,7 @@ struct Engine {
                       cross(dst, std::move(state),
                             sharded->lp(lp_of(dst)).now());
                     });
+      drain_queue(zone, now);
       return;
     }
     schedule_act(zone, avatar, now + a.rng.exponential(1.0 / config->act_mean));
@@ -133,10 +168,11 @@ struct Engine {
         ++it;
       }
     }
+    drain_queue(zone, sharded->lp(lp_of(zone)).now());
   }
 };
 
-}  // namespace
+}  // namespace detail
 
 std::vector<ZoneArrival> synthetic_zone_arrivals(std::size_t avatars,
                                                  std::size_t zones,
@@ -145,7 +181,8 @@ std::vector<ZoneArrival> synthetic_zone_arrivals(std::size_t avatars,
   std::vector<ZoneArrival> arrivals;
   arrivals.reserve(avatars);
   for (std::size_t i = 0; i < avatars; ++i) {
-    stats::Rng rng(seed ^ (static_cast<std::uint64_t>(i + 1) * kAvatarMix));
+    stats::Rng rng(seed ^
+                   (static_cast<std::uint64_t>(i + 1) * detail::kAvatarMix));
     ZoneArrival a;
     a.avatar = static_cast<std::uint64_t>(i);
     a.time = rng.uniform(0.0, spawn_window);
@@ -159,31 +196,37 @@ std::vector<ZoneArrival> synthetic_zone_arrivals(std::size_t avatars,
   return arrivals;
 }
 
-ZoneSimResult simulate_zones(const ZoneSimConfig& config,
-                             const std::vector<ZoneArrival>& arrivals) {
-  sim::ShardOptions shard = config.shard;
-  shard.shards = std::min(std::max<std::size_t>(1, shard.shards),
-                          std::max<std::size_t>(1, config.zones));
-  shard.lookahead = config.crossing_time;  // derived, not user-set
-  sim::ShardedSimulation sharded(shard);
+ZoneWorld::ZoneWorld(const ZoneSimConfig& config,
+                     const std::vector<ZoneArrival>& arrivals,
+                     sim::ShardedSimulation& sharded, std::size_t lp_base,
+                     std::size_t lp_count)
+    : engine_(std::make_unique<detail::ZoneEngine>()) {
+  assert(lp_count >= 1 && lp_base + lp_count <= sharded.shards());
+  engine_->config = &config;
+  engine_->sharded = &sharded;
+  engine_->zones.resize(std::max<std::size_t>(1, config.zones));
+  engine_->lp_base = lp_base;
+  engine_->lp_count = std::max<std::size_t>(
+      1, std::min(lp_count, engine_->zones.size()));
+  arrivals_ = &arrivals;
+}
 
-  Engine engine;
-  engine.config = &config;
-  engine.sharded = &sharded;
-  engine.zones.resize(std::max<std::size_t>(1, config.zones));
+ZoneWorld::~ZoneWorld() = default;
 
-  obs::Observability* const plane = config.obs;
-  if (plane != nullptr) plane->tracer.begin("mmog.zonesim", "mmog", 0.0);
+void ZoneWorld::prepare() {
+  detail::ZoneEngine& engine = *engine_;
+  const ZoneSimConfig& config = *engine.config;
+  sim::ShardedSimulation& sharded = *engine.sharded;
 
   // Per-LP injectors over the shared plan, attached before any avatar is
   // scheduled: injection events then carry the earliest sequence numbers
   // on every LP, so at tied timestamps a spike precedes the activity it
   // preempts regardless of layout. Each injector handles only the zones
   // its LP hosts.
-  std::vector<std::unique_ptr<fault::Injector>> injectors;
   if (config.faults != nullptr && !config.faults->empty()) {
-    injectors.reserve(sharded.shards());
-    for (std::size_t l = 0; l < sharded.shards(); ++l) {
+    injectors_.reserve(engine.lp_count);
+    for (std::size_t l = engine.lp_base;
+         l < engine.lp_base + engine.lp_count; ++l) {
       auto injector =
           std::make_unique<fault::Injector>(*config.faults, nullptr);
       injector->on_kind(
@@ -194,26 +237,45 @@ ZoneSimResult simulate_zones(const ZoneSimConfig& config,
             engine.churn(zone, e.magnitude);
           });
       sharded.lp(l).set_fault_hook(injector.get());
-      injectors.push_back(std::move(injector));
+      injectors_.push_back(std::move(injector));
     }
   }
 
   // Seed the world through the same sorted-mailbox path as every other
   // cross-LP message: spawn order is then (time, avatar) on every layout.
-  for (const ZoneArrival& a : arrivals) {
+  for (const ZoneArrival& a : *arrivals_) {
     const std::size_t zone = a.zone % engine.zones.size();
     const std::uint64_t avatar = a.avatar;
     const double at = a.time;
     sharded.send(engine.lp_of(zone), engine.lp_of(zone), at, avatar,
                  [&engine, zone, avatar, at] { engine.spawn(zone, avatar, at); });
   }
+}
 
-  sharded.run_until(config.horizon);
+std::size_t ZoneWorld::lp_of(std::size_t zone) const {
+  return engine_->lp_of(zone);
+}
 
+std::size_t ZoneWorld::population(std::size_t zone) const {
+  return engine_->zones[zone].residents.size();
+}
+
+std::size_t ZoneWorld::queue_length(std::size_t zone) const {
+  return engine_->zones[zone].login_queue.size();
+}
+
+void ZoneWorld::set_capacity(std::size_t zone, std::uint32_t capacity) {
+  detail::ZoneEngine& engine = *engine_;
+  engine.zones[zone].capacity = capacity;
+  engine.drain_queue(zone, engine.sharded->lp(engine.lp_of(zone)).now());
+}
+
+ZoneSimResult ZoneWorld::collect() const {
+  const detail::ZoneEngine& engine = *engine_;
   ZoneSimResult result;
   result.zone_actions.reserve(engine.zones.size());
   result.final_population.reserve(engine.zones.size());
-  for (const Zone& z : engine.zones) {
+  for (const detail::Zone& z : engine.zones) {
     result.actions += z.actions;
     result.migrations += z.migrations;
     result.arrivals += z.arrivals;
@@ -225,7 +287,28 @@ ZoneSimResult simulate_zones(const ZoneSimConfig& config,
         static_cast<std::uint32_t>(z.residents.size()));
     result.session_digest.merge(z.sessions);
     result.session_seconds_x1e6 += z.session_us;
+    result.queued_logins += z.queued_logins;
   }
+  return result;
+}
+
+ZoneSimResult simulate_zones(const ZoneSimConfig& config,
+                             const std::vector<ZoneArrival>& arrivals) {
+  sim::ShardOptions shard = config.shard;
+  shard.shards = std::min(std::max<std::size_t>(1, shard.shards),
+                          std::max<std::size_t>(1, config.zones));
+  shard.lookahead = config.crossing_time;  // derived, not user-set
+  sim::ShardedSimulation sharded(shard);
+
+  obs::Observability* const plane = config.obs;
+  if (plane != nullptr) plane->tracer.begin("mmog.zonesim", "mmog", 0.0);
+
+  ZoneWorld world(config, arrivals, sharded, 0, sharded.shards());
+  world.prepare();
+
+  sharded.run_until(config.horizon);
+
+  ZoneSimResult result = world.collect();
   result.windows = sharded.windows();
   result.messages = sharded.messages();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 
@@ -17,7 +18,7 @@ double JobStats::slowdown() const noexcept {
   return std::max(1.0, response() / critical_path);
 }
 
-namespace {
+namespace detail {
 
 enum class TaskStatus : std::uint8_t { kPending, kEligible, kRunning, kDone };
 
@@ -56,16 +57,28 @@ struct RunningTask {
   sim::EventHandle completion;
 };
 
-class Engine {
+class SchedEngine {
  public:
-  Engine(const cluster::Environment& env, const workflow::Workload& workload,
-         Policy& policy, const SimOptions& options)
-      : env_(env), policy_(policy), options_(options), obs_(options.obs) {
+  SchedEngine(const cluster::Environment& env,
+              const workflow::Workload& workload, Policy& policy,
+              const SimOptions& options, sim::Simulation* external = nullptr)
+      : env_(env),
+        policy_(policy),
+        options_(options),
+        obs_(options.obs),
+        owned_(external != nullptr ? nullptr
+                                   : std::make_unique<sim::Simulation>()),
+        sim_(external != nullptr ? *external : *owned_),
+        external_(external != nullptr) {
     if (obs_ != nullptr) {
-      sim_.set_observer(obs_->kernel_observer());
-      if (obs_->sampling_hook() != nullptr)
-        sim_.set_sampling_hook(obs_->sampling_hook(),
-                               obs_->sampling_interval());
+      // A shared kernel's observer/sampling hooks belong to whoever owns
+      // the kernel (the composition layer); attach only to an owned one.
+      if (!external_) {
+        sim_.set_observer(obs_->kernel_observer());
+        if (obs_->sampling_hook() != nullptr)
+          sim_.set_sampling_hook(obs_->sampling_hook(),
+                                 obs_->sampling_interval());
+      }
       passes_ = &obs_->metrics.counter("sched.passes");
       placed_ = &obs_->metrics.counter("sched.tasks_placed");
       queue_depth_ = &obs_->metrics.gauge("sched.eligible_queue");
@@ -125,7 +138,7 @@ class Engine {
     sim_.reserve(workload.jobs.size() + total_tasks + 2 * fault_events + 8);
   }
 
-  SchedResult run() {
+  void prepare() {
     if (obs_ != nullptr)
       obs_->tracer.begin("sched.simulate", "sched", sim_.now());
     if (options_.faults != nullptr && !options_.faults->empty())
@@ -134,11 +147,55 @@ class Engine {
       sim_.schedule_at(jobs_[ji].job->submit_time,
                        [this, ji] { arrive(ji); });
     }
-    sim_.run_until(options_.time_limit);
+  }
+
+  SchedResult collect() {
     finalize();
     if (obs_ != nullptr)
       obs_->tracer.end("sched.simulate", "sched", sim_.now());
     return std::move(result_);
+  }
+
+  SchedResult run() {
+    prepare();
+    sim_.run_until(options_.time_limit);
+    return collect();
+  }
+
+  // ---- fabric seam ----------------------------------------------------
+
+  std::size_t machine_count() const { return machines_.size(); }
+  std::uint32_t free_cores_on(std::size_t mi) const {
+    return machines_[mi].free;
+  }
+  std::uint32_t total_cores_on(std::size_t mi) const {
+    return machines_[mi].total;
+  }
+  bool machine_is_down(std::size_t mi) const { return machines_[mi].down; }
+
+  bool reserve_cores(std::size_t mi, std::uint32_t cores) {
+    auto& m = machines_[mi];
+    if (m.down || m.free < cores) return false;
+    m.free -= cores;
+    observe_busy();
+    return true;
+  }
+
+  void release_cores(std::size_t mi, std::uint32_t cores) {
+    auto& m = machines_[mi];
+    m.free = std::min(m.total, m.free + cores);
+    observe_busy();
+    if (!eligible_.empty()) request_pass();
+  }
+
+  void fail_machine(std::size_t mi, double duration) {
+    if (machines_[mi].down) return;
+    kill_machine(mi, duration);
+    sim_.schedule_after(duration, [this, mi] {
+      machines_[mi].down = false;
+      request_pass();
+    });
+    request_pass();
   }
 
  private:
@@ -155,16 +212,28 @@ class Engine {
 
   void crash(const fault::FaultEvent& e) {
     const std::size_t mi = e.target % machines_.size();
+    if (machines_[mi].down) return;  // overlapping crash, already down
+    kill_machine(mi, e.duration);
+    sim_.schedule_after(e.duration, [this, mi, e] {
+      machines_[mi].down = false;
+      injector_->recovered(e, sim_.now());
+      request_pass();
+    });
+    request_pass();
+  }
+
+  /// Shared crash body: marks the machine down and kills every task
+  /// running on it — its completion is cancelled, its partial work is
+  /// lost (busy seconds give back the un-run remainder), and it is
+  /// re-queued to run from scratch. Recovery scheduling stays with the
+  /// caller (injector path records recovered(), the fabric seam does not).
+  void kill_machine(std::size_t mi, double duration) {
     auto& m = machines_[mi];
-    if (m.down) return;  // overlapping crash on an already-down machine
     m.down = true;
     std::uint64_t crash_seq = 0;
     if (flight_ != nullptr)
       crash_seq = flight_->record(flight_entity_[mi], sim_.now(), "crash",
-                                  e.duration);
-    // Kill every task running on the machine: its completion is
-    // cancelled, its partial work is lost (busy seconds give back the
-    // un-run remainder), and it is re-queued to run from scratch.
+                                  duration);
     for (auto it = running_.begin(); it != running_.end();) {
       if (it->machine != mi) {
         ++it;
@@ -184,12 +253,6 @@ class Engine {
       it = running_.erase(it);
     }
     observe_busy();
-    sim_.schedule_after(e.duration, [this, mi, e] {
-      machines_[mi].down = false;
-      injector_->recovered(e, sim_.now());
-      request_pass();
-    });
-    request_pass();
   }
 
   void slow_down(const fault::FaultEvent& e) {
@@ -503,7 +566,11 @@ class Engine {
   obs::FlightRecorder* flight_ = nullptr;
   std::vector<std::size_t> flight_entity_;  // per-machine ring ids
 
-  sim::Simulation sim_;
+  // Kernel: owned in standalone runs, borrowed from the composition layer
+  // in composed runs. owned_ must precede sim_ (init order).
+  std::unique_ptr<sim::Simulation> owned_;
+  sim::Simulation& sim_;
+  bool external_ = false;
   std::vector<MachineState> machines_;
   std::vector<JobState> jobs_;
   std::vector<std::pair<std::size_t, std::size_t>> eligible_;
@@ -516,13 +583,46 @@ class Engine {
   SchedResult result_;
 };
 
-}  // namespace
+}  // namespace detail
 
 SchedResult simulate(const cluster::Environment& env,
                      const workflow::Workload& workload, Policy& policy,
                      const SimOptions& options) {
-  Engine engine(env, workload, policy, options);
+  detail::SchedEngine engine(env, workload, policy, options);
   return engine.run();
+}
+
+SchedDriver::SchedDriver(const cluster::Environment& env,
+                         const workflow::Workload& workload, Policy& policy,
+                         const SimOptions& options, sim::Simulation& sim)
+    : engine_(std::make_unique<detail::SchedEngine>(env, workload, policy,
+                                                    options, &sim)) {}
+
+SchedDriver::~SchedDriver() = default;
+
+void SchedDriver::prepare() { engine_->prepare(); }
+SchedResult SchedDriver::collect() { return engine_->collect(); }
+
+std::size_t SchedDriver::machine_count() const {
+  return engine_->machine_count();
+}
+std::uint32_t SchedDriver::free_cores_on(std::size_t machine) const {
+  return engine_->free_cores_on(machine);
+}
+std::uint32_t SchedDriver::total_cores_on(std::size_t machine) const {
+  return engine_->total_cores_on(machine);
+}
+bool SchedDriver::machine_down(std::size_t machine) const {
+  return engine_->machine_is_down(machine);
+}
+bool SchedDriver::reserve_cores(std::size_t machine, std::uint32_t cores) {
+  return engine_->reserve_cores(machine, cores);
+}
+void SchedDriver::release_cores(std::size_t machine, std::uint32_t cores) {
+  engine_->release_cores(machine, cores);
+}
+void SchedDriver::fail_machine(std::size_t machine, double duration) {
+  engine_->fail_machine(machine, duration);
 }
 
 }  // namespace atlarge::sched

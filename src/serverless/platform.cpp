@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 
@@ -11,7 +12,10 @@
 #include "atlarge/stats/descriptive.hpp"
 
 namespace atlarge::serverless {
-namespace {
+namespace detail {
+
+constexpr std::size_t kNoInstance = static_cast<std::size_t>(-1);
+constexpr std::uint32_t kNoMachine = static_cast<std::uint32_t>(-1);
 
 struct Instance {
   std::size_t function = 0;
@@ -19,6 +23,13 @@ struct Instance {
   bool alive = true;
   double idle_since = 0.0;
   sim::EventHandle expiry;
+  /// Backing-substrate lease (kNoMachine with the abstract pool).
+  std::uint32_t machine = kNoMachine;
+  /// Provisioning delay owed on this instance's first cold execution.
+  double provision_extra = 0.0;
+  /// Machine crashed while the instance was busy: destroy on release
+  /// instead of rejoining the warm pool.
+  bool doomed = false;
 };
 
 // Per-request bookkeeping. In vector mode one Request exists per input
@@ -35,11 +46,18 @@ class FaasEngine {
  public:
   FaasEngine(const std::vector<FunctionSpec>& registry,
              const std::vector<Invocation>* invocations,
-             InvocationSource* source, const PlatformConfig& config)
+             InvocationSource* source, const PlatformConfig& config,
+             sim::Simulation* external = nullptr,
+             InstanceBacking* backing = nullptr)
       : registry_(registry),
         invocations_(invocations),
         source_(source),
         config_(config),
+        owned_(external != nullptr ? nullptr
+                                   : std::make_unique<sim::Simulation>()),
+        sim_(external != nullptr ? *external : *owned_),
+        external_(external != nullptr),
+        backing_(backing),
         obs_(config.obs) {
     if (invocations_ != nullptr) {
       for (const auto& inv : *invocations_) {
@@ -65,12 +83,16 @@ class FaasEngine {
     }
   }
 
-  PlatformResult run() {
+  void prepare() {
     if (obs_ != nullptr) {
-      sim_.set_observer(obs_->kernel_observer());
-      if (obs_->sampling_hook() != nullptr)
-        sim_.set_sampling_hook(obs_->sampling_hook(),
-                               obs_->sampling_interval());
+      // A shared kernel's observer/sampling hooks belong to whoever owns
+      // the kernel (the composition layer); attach only to an owned one.
+      if (!external_) {
+        sim_.set_observer(obs_->kernel_observer());
+        if (obs_->sampling_hook() != nullptr)
+          sim_.set_sampling_hook(obs_->sampling_hook(),
+                                 obs_->sampling_interval());
+      }
       obs_->tracer.begin("faas.run", "serverless", sim_.now());
     }
     const std::size_t upfront =
@@ -81,11 +103,11 @@ class FaasEngine {
     sim_.reserve(upfront + config_.max_instances + 8);
     if (config_.faults != nullptr && !config_.faults->empty())
       attach_faults();
-    // Pre-warm pools.
+    // Pre-warm pools (a backing substrate may refuse part of the pool).
     for (std::size_t f = 0; f < registry_.size(); ++f) {
       for (std::uint32_t i = 0; i < config_.prewarmed; ++i) {
         if (live_count_ >= config_.max_instances) break;
-        make_instance(f, /*busy=*/false);
+        if (make_instance(f, /*busy=*/false) == kNoInstance) break;
       }
     }
     if (invocations_ != nullptr) {
@@ -98,11 +120,32 @@ class FaasEngine {
     } else {
       schedule_next_arrival();
     }
-    sim_.run();
+  }
+
+  PlatformResult collect() {
     finalize();
     if (obs_ != nullptr)
       obs_->tracer.end("faas.run", "serverless", sim_.now());
     return std::move(result_);
+  }
+
+  PlatformResult run() {
+    prepare();
+    sim_.run();
+    return collect();
+  }
+
+  /// Crash propagation from the backing substrate (see PlatformDriver).
+  void fail_machine(std::uint32_t machine) {
+    for (std::size_t idx = 0; idx < instances_.size(); ++idx) {
+      auto& inst = instances_[idx];
+      if (!inst.alive || inst.machine != machine) continue;
+      if (inst.busy) {
+        inst.doomed = true;
+        continue;
+      }
+      destroy_instance(idx);
+    }
   }
 
  private:
@@ -159,11 +202,18 @@ class FaasEngine {
     return instances_.size();
   }
 
+  /// Creates an instance, or returns kNoInstance when the backing
+  /// substrate is out of capacity (never with the abstract pool).
   std::size_t make_instance(std::size_t function, bool busy) {
     Instance inst;
     inst.function = function;
     inst.busy = busy;
     inst.idle_since = sim_.now();
+    if (backing_ != nullptr &&
+        !backing_->acquire(function, inst.machine, inst.provision_extra)) {
+      ++result_.capacity_denials;
+      return kNoInstance;
+    }
     instances_.push_back(std::move(inst));
     ++live_count_;
     result_.peak_instances = std::max(result_.peak_instances, live_count_);
@@ -184,6 +234,10 @@ class FaasEngine {
       live_gauge_->set(static_cast<double>(live_count_));
     if (!inst.busy)
       result_.billed_instance_seconds += sim_.now() - inst.idle_since;
+    if (backing_ != nullptr && inst.machine != kNoMachine) {
+      backing_->release(inst.machine);
+      inst.machine = kNoMachine;
+    }
   }
 
   void arm_expiry(std::size_t idx) {
@@ -271,7 +325,13 @@ class FaasEngine {
     }
     if (live_count_ < config_.max_instances) {
       const std::size_t idx = make_instance(f, /*busy=*/true);
-      start_execution(i, idx, /*cold=*/true);
+      if (idx != kNoInstance) {
+        start_execution(i, idx, /*cold=*/true);
+        return;
+      }
+      // Backing substrate out of capacity: the attempt fails like a
+      // cold-start failure (retry policy applies).
+      attempt_failed(i);
       return;
     }
     if (obs_ != nullptr) {
@@ -322,7 +382,13 @@ class FaasEngine {
       inst.busy = true;
     }
     const auto& spec = registry_[inv.function];
-    const double total = (cold ? spec.cold_start : 0.0) + spec.exec_time;
+    // With a backing substrate a cold start also pays the machine's
+    // provisioning delay, once (x + 0.0 keeps the abstract pool bitwise
+    // identical).
+    const double cold_latency =
+        cold ? spec.cold_start + inst.provision_extra : 0.0;
+    if (cold) inst.provision_extra = 0.0;
+    const double total = cold_latency + spec.exec_time;
     if (config_.retry.timeout > 0.0 && total > config_.retry.timeout) {
       // The attempt times out before the function would finish: the
       // instance is occupied (and billed) until the timeout, the work is
@@ -334,7 +400,7 @@ class FaasEngine {
       });
       return;
     }
-    const double start = sim_.now() + (cold ? spec.cold_start : 0.0);
+    const double start = sim_.now() + cold_latency;
     const double finish = start + spec.exec_time;
     InvocationStats stats;
     stats.function = inv.function;
@@ -386,6 +452,12 @@ class FaasEngine {
     auto& inst = instances_[idx];
     inst.busy = false;
     inst.idle_since = sim_.now();
+    if (inst.doomed) {
+      // The machine crashed mid-execution: the committed work finished,
+      // but the instance cannot rejoin the warm pool.
+      destroy_instance(idx);
+      return;
+    }
 
     // Serve a queued request for the same function warm, if any.
     const auto same =
@@ -413,6 +485,13 @@ class FaasEngine {
       }
       destroy_instance(idx);
       const std::size_t fresh = make_instance(f, /*busy=*/true);
+      if (fresh == kNoInstance) {
+        // The substrate refused the replacement (e.g. its machine just
+        // crashed): the request loses its attempt; later releases will
+        // serve the remaining queue.
+        attempt_failed(i);
+        return;
+      }
       start_execution(i, fresh, /*cold=*/true);
       return;
     }
@@ -472,7 +551,12 @@ class FaasEngine {
   const std::vector<Invocation>* invocations_;  // vector mode (else null)
   InvocationSource* source_;                    // streaming mode (else null)
   PlatformConfig config_;
-  sim::Simulation sim_;
+  // Kernel: owned in standalone runs, borrowed from the composition layer
+  // in composed runs. owned_ must precede sim_ (init order).
+  std::unique_ptr<sim::Simulation> owned_;
+  sim::Simulation& sim_;
+  bool external_ = false;
+  InstanceBacking* backing_ = nullptr;
   std::vector<Instance> instances_;
   std::vector<Request> reqs_;        // request slots, indexed by `i`
   std::vector<std::size_t> free_slots_;  // streaming-mode slot freelist
@@ -510,20 +594,36 @@ class FaasEngine {
   std::vector<std::size_t> flight_entity_;  // per-function ring ids
 };
 
-}  // namespace
+}  // namespace detail
 
 PlatformResult run_platform(const std::vector<FunctionSpec>& registry,
                             const std::vector<Invocation>& invocations,
                             const PlatformConfig& config) {
-  FaasEngine engine(registry, &invocations, nullptr, config);
+  detail::FaasEngine engine(registry, &invocations, nullptr, config);
   return engine.run();
 }
 
 PlatformResult run_platform(const std::vector<FunctionSpec>& registry,
                             InvocationSource& source,
                             const PlatformConfig& config) {
-  FaasEngine engine(registry, nullptr, &source, config);
+  detail::FaasEngine engine(registry, nullptr, &source, config);
   return engine.run();
+}
+
+PlatformDriver::PlatformDriver(const std::vector<FunctionSpec>& registry,
+                               const std::vector<Invocation>& invocations,
+                               const PlatformConfig& config,
+                               sim::Simulation& sim, InstanceBacking* backing)
+    : engine_(std::make_unique<detail::FaasEngine>(registry, &invocations,
+                                                   nullptr, config, &sim,
+                                                   backing)) {}
+
+PlatformDriver::~PlatformDriver() = default;
+
+void PlatformDriver::prepare() { engine_->prepare(); }
+PlatformResult PlatformDriver::collect() { return engine_->collect(); }
+void PlatformDriver::fail_machine(std::uint32_t machine) {
+  engine_->fail_machine(machine);
 }
 
 PlatformResult run_microservice_baseline(

@@ -7,9 +7,12 @@
 #include "atlarge/autoscale/autoscalers.hpp"
 #include "atlarge/autoscale/elastic_sim.hpp"
 #include "atlarge/cluster/machine.hpp"
+#include "atlarge/eco/ecosystem.hpp"
+#include "atlarge/mmog/zonesim.hpp"
 #include "atlarge/obs/metrics.hpp"
 #include "atlarge/sched/policies.hpp"
 #include "atlarge/sched/simulator.hpp"
+#include "atlarge/workflow/generators.hpp"
 
 namespace atlarge::trace::catalog {
 namespace {
@@ -120,6 +123,35 @@ std::vector<Scenario> build_catalog() {
     s.diurnal.session.mean_request_gap = 20.0;
     s.diurnal.session.max_requests = 48;
     s.default_seed = 404;
+    out.push_back(std::move(s));
+  }
+  {
+    // FaaS on the shared fabric vs reserved capacity, inside the full
+    // ecosystem composition: the same request flashcrowd replays once
+    // with the serverless tier leasing machines from the cluster fabric
+    // it shares with MMOG zones and workflow DAGs, and once on reserved
+    // (always-warm, contention-free) instances. The metric pairs quote
+    // the price of co-tenancy directly.
+    Scenario s;
+    s.name = "eco-faas-vs-reserved";
+    s.family = "ecosystem co-tenancy";
+    s.engine = "eco";
+    s.shape = Scenario::Shape::kFlashcrowd;
+    s.flashcrowd.duration = 2400.0;
+    s.flashcrowd.base_rate = 4.0;
+    s.flashcrowd.surge_time = 1200.0;
+    s.flashcrowd.surge_rate = 24.0;
+    s.flashcrowd.surge_width = 90.0;
+    s.flashcrowd.mix.entities = 50'000;
+    s.flashcrowd.mix.zipf_s = 0.99;
+    s.flashcrowd.mix.regions = 4;
+    s.flashcrowd.session.tail = gen::SessionShape::Tail::kPareto;
+    s.flashcrowd.session.pareto_alpha = 1.6;
+    s.flashcrowd.session.pareto_scale = 30.0;
+    s.flashcrowd.session.max_duration = 1200.0;
+    s.flashcrowd.session.mean_request_gap = 4.0;
+    s.flashcrowd.session.max_requests = 48;
+    s.default_seed = 505;
     out.push_back(std::move(s));
   }
   return out;
@@ -236,6 +268,98 @@ void replay_autoscale(CountingStream& stream, ReplaySummary& summary) {
        static_cast<double>(result.deadline_violations)},
       {"deadline_total", static_cast<double>(result.deadline_total)},
       {"rented_machine_seconds", rented_seconds},
+  };
+}
+
+// The co-tenant spec shared by both sides of the eco comparison: MMOG
+// zones autoscaled off the fabric and workflow DAGs scheduled on it, with
+// fixed seeds (replay determinism is part of the contract). Only the
+// serverless backing differs between the two runs.
+eco::EcosystemSpec eco_replay_spec(std::vector<serverless::Invocation> invs,
+                                   double horizon) {
+  eco::EcosystemSpec spec;
+  spec.horizon = horizon;
+  // Sized so the three tenants genuinely contend: MMOG demand alone wants
+  // more machines than the fabric has at peak population.
+  spec.fabric.machines = 6;
+  spec.fabric.cores_per_machine = 8;
+  spec.fabric.provisioning_delay = 45.0;
+
+  spec.serverless.enabled = true;
+  spec.serverless.backing = eco::ServerlessBacking::kCluster;
+  spec.serverless.instance_cores = 1;
+  spec.serverless.registry = {
+      {"fanout-write", 0.020, 0.8, 256.0},
+      {"timeline-read", 0.005, 0.4, 128.0},
+      {"notify", 0.010, 0.5, 128.0},
+  };
+  spec.serverless.config.keep_alive = 60.0;
+  spec.serverless.config.prewarmed = 0;
+  spec.serverless.invocations = std::move(invs);
+
+  spec.mmog.enabled = true;
+  spec.mmog.provisioning = eco::ZoneProvisioning::kAutoscaled;
+  spec.mmog.autoscaler = "React";
+  spec.mmog.avatars_per_machine = 32;
+  spec.mmog.report_interval = 30.0;
+  spec.mmog.initial_machines = 1;
+  spec.mmog.config.zones = 4;
+  spec.mmog.config.crossing_time = 5.0;
+  spec.mmog.config.act_mean = 25.0;
+  spec.mmog.config.migrate_prob = 0.1;
+  spec.mmog.config.session_mean = 1'500.0;
+  spec.mmog.config.seed = 42;
+  spec.mmog.arrivals = mmog::synthetic_zone_arrivals(
+      256, spec.mmog.config.zones, 0.6 * horizon, 42);
+
+  spec.dags.enabled = true;
+  spec.dags.scheduling = eco::DagScheduling::kSharedFabric;
+  spec.dags.policy = "FCFS";
+  workflow::WorkloadSpec jobs;
+  jobs.cls = workflow::WorkloadClass::kSynthetic;
+  jobs.jobs = 24;
+  jobs.horizon = 0.5 * horizon;
+  jobs.seed = 42;
+  spec.dags.workload = workflow::generate(jobs);
+  return spec;
+}
+
+void replay_eco(const Scenario& scenario, CountingStream& stream,
+                ReplaySummary& summary) {
+  // Materialize the request stream once; both sides of the comparison
+  // replay the identical invocations.
+  RequestInvocationSource source(stream, 3);
+  std::vector<serverless::Invocation> invocations;
+  serverless::Invocation inv;
+  while (source.next(inv)) invocations.push_back(inv);
+
+  // Give the ecosystem headroom past the trace horizon so in-flight work
+  // (provisioning, queued logins, tail jobs) drains deterministically.
+  const double horizon = scenario.horizon() * 1.5;
+  const eco::EcosystemResult shared =
+      eco::run_ecosystem(eco_replay_spec(invocations, horizon));
+
+  eco::EcosystemSpec reserved_spec = eco_replay_spec(invocations, horizon);
+  reserved_spec.serverless.backing = eco::ServerlessBacking::kAbstract;
+  reserved_spec.serverless.config.prewarmed = 4;
+  const eco::EcosystemResult reserved = eco::run_ecosystem(reserved_spec);
+
+  summary.metrics = {
+      {"shared_p95_latency", shared.faas.p95_latency},
+      {"reserved_p95_latency", reserved.faas.p95_latency},
+      {"shared_p999_latency", shared.faas.p999_latency},
+      {"reserved_p999_latency", reserved.faas.p999_latency},
+      {"shared_cold_fraction", shared.faas.cold_fraction},
+      {"reserved_cold_fraction", reserved.faas.cold_fraction},
+      {"shared_failed", static_cast<double>(shared.faas.failed_invocations)},
+      {"shared_faas_denials",
+       static_cast<double>(shared.fabric.faas_denials)},
+      {"shared_machine_leases",
+       static_cast<double>(shared.fabric.machine_leases)},
+      {"shared_queued_logins",
+       static_cast<double>(shared.zones.queued_logins)},
+      {"shared_dag_mean_wait", shared.dags.mean_wait},
+      {"reserved_dag_mean_wait", reserved.dags.mean_wait},
   };
 }
 
@@ -377,6 +501,8 @@ ReplaySummary replay(const Scenario& scenario, EventStream& events,
     replay_sched(counted, summary);
   else if (scenario.engine == "autoscale")
     replay_autoscale(counted, summary);
+  else if (scenario.engine == "eco")
+    replay_eco(scenario, counted, summary);
   else
     throw std::logic_error("replay: unknown engine " + scenario.engine);
   if (options.obs != nullptr) {

@@ -13,6 +13,7 @@
 #include "atlarge/autoscale/autoscalers.hpp"
 #include "atlarge/autoscale/elastic_sim.hpp"
 #include "atlarge/cluster/machine.hpp"
+#include "atlarge/eco/ecosystem.hpp"
 #include "atlarge/fault/fault.hpp"
 #include "atlarge/obs/observability.hpp"
 #include "atlarge/obs/slo.hpp"
@@ -20,6 +21,7 @@
 #include "atlarge/p2p/swarm.hpp"
 #include "atlarge/sched/policies.hpp"
 #include "atlarge/sched/simulator.hpp"
+#include "atlarge/mmog/zonesim.hpp"
 #include "atlarge/serverless/platform.hpp"
 #include "atlarge/serverless/workflow_engine.hpp"
 #include "atlarge/sim/simulation.hpp"
@@ -439,6 +441,122 @@ TEST(ChaosSlo, AlertStreamIsIdenticalAcrossQueueBackends) {
   ASSERT_EQ(heap.alerts.size(), calendar.alerts.size());
   for (std::size_t i = 0; i < heap.alerts.size(); ++i)
     EXPECT_EQ(exact(heap.alerts[i].time), exact(calendar.alerts[i].time));
+}
+
+// ----------------------------------------------------------- ecosystem ----
+//
+// The eco composition layer binds every domain to one fabric, so a single
+// kMachineCrash plan must ripple through all of them at once: serverless
+// warm pools die with their host machine (cold starts and denials go up),
+// the autoscaler finds fewer idle machines to lease (zone capacity arrives
+// later, logins queue longer), and the shared-fabric scheduler requeues the
+// tasks that were running on the lost machine.
+
+eco::EcosystemSpec chaos_eco_spec() {
+  eco::EcosystemSpec spec;
+  spec.horizon = 2400.0;
+  spec.fabric.machines = 8;
+  spec.fabric.cores_per_machine = 4;
+  spec.fabric.provisioning_delay = 45.0;
+
+  spec.serverless.enabled = true;
+  spec.serverless.backing = eco::ServerlessBacking::kCluster;
+  spec.serverless.instance_cores = 1;
+  spec.serverless.registry = {{"frontend", 0.1, 1.0, 128.0}};
+  spec.serverless.config.keep_alive = 600.0;
+  spec.serverless.config.prewarmed = 0;
+  stats::Rng faas_rng(97);
+  spec.serverless.invocations = serverless::bursty_invocations(
+      1, 0.2, spec.horizon, 400.0, 12, faas_rng);
+
+  spec.mmog.enabled = true;
+  spec.mmog.provisioning = eco::ZoneProvisioning::kAutoscaled;
+  spec.mmog.autoscaler = "React";
+  spec.mmog.avatars_per_machine = 16;
+  spec.mmog.report_interval = 20.0;
+  spec.mmog.initial_machines = 0;
+  spec.mmog.config.zones = 4;
+  spec.mmog.config.act_mean = 25.0;
+  spec.mmog.config.migrate_prob = 0.1;
+  spec.mmog.config.crossing_time = 5.0;
+  spec.mmog.config.session_mean = 6000.0;
+  spec.mmog.config.seed = 7;
+  spec.mmog.arrivals = mmog::synthetic_zone_arrivals(300, 4, 2200.0, 7);
+
+  spec.dags.enabled = true;
+  spec.dags.scheduling = eco::DagScheduling::kSharedFabric;
+  spec.dags.policy = "FCFS";
+  workflow::WorkloadSpec jobs;
+  jobs.cls = workflow::WorkloadClass::kSynthetic;
+  jobs.jobs = 24;
+  jobs.horizon = 2000.0;
+  jobs.seed = 31;
+  spec.dags.workload = workflow::generate(jobs);
+  return spec;
+}
+
+std::string eco_fingerprint(const eco::EcosystemResult& r) {
+  return r.summary() +
+         "faas_dig=" + chaos::digest_fingerprint(r.faas.latency_digest) +
+         "\nzone_dig=" + chaos::digest_fingerprint(r.zones.session_digest) +
+         "\n";
+}
+
+chaos::Scenario eco_scenario() {
+  return [](const FaultPlan* plan) {
+    eco::EcosystemSpec spec = chaos_eco_spec();
+    spec.faults = plan;
+    return eco_fingerprint(eco::run_ecosystem(spec));
+  };
+}
+
+FaultPlan eco_crash_plan() {
+  FaultSpec fs;
+  fs.horizon = 2200.0;
+  fs.rate = 15.0;  // ~33 crashes: every fabric machine gets hit
+  fs.targets = 8;
+  fs.seed = 4242;
+  fs.mean_duration = 150.0;
+  fs.kinds = {FaultKind::kMachineCrash};
+  return FaultPlan::generate(fs);
+}
+
+TEST(ChaosEcosystem, NullAndReplayIdentity) {
+  chaos::check_scenario(eco_scenario(), eco_crash_plan());
+}
+
+TEST(ChaosEcosystem, MachineCrashPropagatesAcrossDomains) {
+  const FaultPlan plan = eco_crash_plan();
+  eco::EcosystemSpec spec = chaos_eco_spec();
+  const eco::EcosystemResult calm = eco::run_ecosystem(spec);
+  spec.faults = &plan;
+  const eco::EcosystemResult hurt = eco::run_ecosystem(spec);
+
+  // The plan actually landed on the shared fabric.
+  ASSERT_GT(hurt.fabric.crashes, 0u);
+  EXPECT_EQ(calm.fabric.crashes, 0u);
+
+  // Serverless: losing the host machine kills the warm pool, so the same
+  // invocation stream pays more cold starts (and fails while the machine is
+  // down), which shows up in the latency distribution.
+  EXPECT_GT(hurt.faas.cold_fraction, calm.faas.cold_fraction);
+  EXPECT_GE(hurt.faas.failed_invocations, calm.faas.failed_invocations);
+  EXPECT_NE(chaos::digest_fingerprint(hurt.faas.latency_digest),
+            chaos::digest_fingerprint(calm.faas.latency_digest));
+
+  // Autoscale: down machines cannot be leased, so zone capacity arrives on a
+  // different trajectory and login admission shifts with it.
+  EXPECT_NE(hurt.zones.queued_logins, calm.zones.queued_logins);
+  EXPECT_NE(chaos::digest_fingerprint(hurt.zones.session_digest),
+            chaos::digest_fingerprint(calm.zones.session_digest));
+
+  // Scheduler: tasks running on the crashed machine are requeued.
+  EXPECT_GT(hurt.dags.tasks_requeued, calm.dags.tasks_requeued);
+
+  // The whole cascade is deterministic across shard/thread layouts.
+  spec.shards = 3;
+  spec.threads = 4;
+  EXPECT_EQ(eco_fingerprint(hurt), eco_fingerprint(eco::run_ecosystem(spec)));
 }
 
 }  // namespace

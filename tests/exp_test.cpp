@@ -18,6 +18,7 @@
 #include "atlarge/exp/adapters.hpp"
 #include "atlarge/exp/engine.hpp"
 #include "atlarge/obs/observability.hpp"
+#include "golden_util.hpp"
 
 namespace {
 
@@ -50,14 +51,11 @@ class LinearAdapter final : public exp::SimulatorAdapter {
 };
 
 std::string temp_path(const std::string& leaf) {
-  return testing::TempDir() + "exp_test_" + leaf;
+  return atlarge::golden::temp_path("exp_test", leaf);
 }
 
 std::string slurp(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  std::ostringstream out;
-  out << in.rdbuf();
-  return out.str();
+  return atlarge::golden::slurp(path);
 }
 
 exp::CampaignSpec linear_spec() {

@@ -1,0 +1,100 @@
+#pragma once
+// Shared golden-statistics helpers for the test suites. These used to be
+// copy-pasted per test binary (workload_plane_test, shard_test); they live
+// here once so the eco conformance suite can compare composed runs against
+// standalone engines with the exact same renderings.
+//
+// Fingerprints follow the chaos_util discipline: every field rendered
+// exactly (%.17g doubles, decimal integers), so EXPECT_EQ on two
+// fingerprints is a byte-identity check over the model outputs. Kernel
+// diagnostics that are documented as layout-dependent (windows, messages)
+// are deliberately excluded — append them locally where a test pins them.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "atlarge/mmog/zonesim.hpp"
+#include "atlarge/sched/simulator.hpp"
+#include "atlarge/serverless/platform.hpp"
+#include "chaos_util.hpp"
+
+namespace atlarge::golden {
+
+/// Scratch-file path under gtest's temp dir, prefixed per test binary so
+/// concurrently running suites never collide.
+inline std::string temp_path(const std::string& prefix,
+                             const std::string& leaf) {
+  return ::testing::TempDir() + prefix + "_" + leaf;
+}
+
+/// Whole file as bytes (empty string when the file does not exist).
+inline std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Exact rendering of a zone-world result's model outputs.
+inline std::string zone_fingerprint(const mmog::ZoneSimResult& r) {
+  std::string fp;
+  fp += "a=" + std::to_string(r.actions);
+  fp += " m=" + std::to_string(r.migrations);
+  fp += " ar=" + std::to_string(r.arrivals);
+  fp += " d=" + std::to_string(r.departures);
+  fp += " c=" + std::to_string(r.churned);
+  fp += " res=" + std::to_string(r.residents);
+  fp += " q=" + std::to_string(r.queued_logins);
+  fp += " us=" + std::to_string(r.session_seconds_x1e6);
+  fp += " za=";
+  for (const auto v : r.zone_actions) fp += std::to_string(v) + ",";
+  fp += " pop=";
+  for (const auto v : r.final_population) fp += std::to_string(v) + ",";
+  fp += " dig=" + chaos::digest_fingerprint(r.session_digest);
+  return fp;
+}
+
+/// Exact rendering of a serverless platform result.
+inline std::string faas_fingerprint(const serverless::PlatformResult& r) {
+  std::string fp;
+  fp += "n=" + std::to_string(r.invocations.size());
+  fp += " p50=" + chaos::exact(r.p50_latency);
+  fp += " p95=" + chaos::exact(r.p95_latency);
+  fp += " p99=" + chaos::exact(r.p99_latency);
+  fp += " p999=" + chaos::exact(r.p999_latency);
+  fp += " cold=" + chaos::exact(r.cold_fraction);
+  fp += " billed=" + chaos::exact(r.billed_instance_seconds);
+  fp += " busy=" + chaos::exact(r.busy_instance_seconds);
+  fp += " peak=" + std::to_string(r.peak_instances);
+  fp += " failed=" + std::to_string(r.failed_invocations);
+  fp += " retries=" + std::to_string(r.retries);
+  fp += " ok=" + chaos::exact(r.success_rate);
+  fp += " inj=" + std::to_string(r.faults_injected);
+  fp += " rec=" + std::to_string(r.faults_recovered);
+  fp += " denied=" + std::to_string(r.capacity_denials);
+  fp += " dig=" + chaos::digest_fingerprint(r.latency_digest);
+  return fp;
+}
+
+/// Exact rendering of a cluster-scheduling result.
+inline std::string sched_fingerprint(const sched::SchedResult& r) {
+  std::string fp;
+  fp += "jobs=" + std::to_string(r.jobs.size());
+  fp += " mk=" + chaos::exact(r.makespan);
+  fp += " wait=" + chaos::exact(r.mean_wait);
+  fp += " slow=" + chaos::exact(r.mean_slowdown);
+  fp += " p95=" + chaos::exact(r.p95_slowdown);
+  fp += " util=" + chaos::exact(r.utilization);
+  fp += " tasks=" + std::to_string(r.tasks_completed);
+  fp += " rq=" + std::to_string(r.tasks_requeued);
+  fp += " inj=" + std::to_string(r.faults_injected);
+  fp += " rec=" + std::to_string(r.faults_recovered);
+  fp += " wdig=" + chaos::digest_fingerprint(r.wait_digest);
+  fp += " sdig=" + chaos::digest_fingerprint(r.slowdown_digest);
+  return fp;
+}
+
+}  // namespace atlarge::golden

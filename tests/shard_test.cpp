@@ -26,6 +26,7 @@
 #include "atlarge/p2p/swarmnet.hpp"
 #include "atlarge/sim/sharded.hpp"
 #include "chaos_util.hpp"
+#include "golden_util.hpp"
 
 namespace sim = atlarge::sim;
 namespace mmog = atlarge::mmog;
@@ -200,22 +201,12 @@ TEST(ShardedSimulationDeathTest, CrossThreadCancelAssertsInDebug) {
 // ---------------------------------------------------------------------
 // Engine invariance across the shards x threads matrix.
 
+// The shared golden_util fingerprint plus the message counter, which for
+// standalone zone runs is a model invariant (spawns + migrations) even
+// though it is a kernel diagnostic in composed runs.
 std::string zone_fingerprint(const mmog::ZoneSimResult& r) {
-  std::string fp;
-  fp += "a=" + std::to_string(r.actions);
-  fp += " m=" + std::to_string(r.migrations);
-  fp += " ar=" + std::to_string(r.arrivals);
-  fp += " d=" + std::to_string(r.departures);
-  fp += " c=" + std::to_string(r.churned);
-  fp += " res=" + std::to_string(r.residents);
-  fp += " msg=" + std::to_string(r.messages);
-  fp += " us=" + std::to_string(r.session_seconds_x1e6);
-  fp += " za=";
-  for (const auto v : r.zone_actions) fp += std::to_string(v) + ",";
-  fp += " pop=";
-  for (const auto v : r.final_population) fp += std::to_string(v) + ",";
-  fp += " dig=" + chaos::digest_fingerprint(r.session_digest);
-  return fp;
+  return atlarge::golden::zone_fingerprint(r) +
+         " msg=" + std::to_string(r.messages);
 }
 
 mmog::ZoneSimConfig small_world() {

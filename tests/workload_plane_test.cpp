@@ -24,6 +24,7 @@
 #include "atlarge/trace/catalog.hpp"
 #include "atlarge/trace/event.hpp"
 #include "atlarge/trace/gen.hpp"
+#include "golden_util.hpp"
 
 namespace {
 
@@ -32,15 +33,10 @@ namespace catalog = atlarge::trace::catalog;
 using atlarge::stats::Rng;
 
 std::string temp_path(const std::string& name) {
-  return ::testing::TempDir() + "workload_plane_" + name;
+  return golden::temp_path("workload_plane", name);
 }
 
-std::string slurp(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  std::stringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
+using golden::slurp;
 
 // ------------------------------------------------------------ generators --
 
@@ -129,12 +125,13 @@ TEST(Generators, SessionDurationsRespectTailCaps) {
 
 // --------------------------------------------------------------- catalog --
 
-TEST(Catalog, HasTheFourCaseStudyFamilies) {
-  ASSERT_EQ(catalog::scenarios().size(), 4u);
+TEST(Catalog, HasTheCaseStudyFamilies) {
+  ASSERT_EQ(catalog::scenarios().size(), 5u);
   EXPECT_EQ(catalog::find("feed-fanout")->engine, "serverless");
   EXPECT_EQ(catalog::find("video-flashcrowd")->engine, "p2p");
   EXPECT_EQ(catalog::find("ecommerce-spike")->engine, "sched");
   EXPECT_EQ(catalog::find("gaming-diurnal")->engine, "autoscale");
+  EXPECT_EQ(catalog::find("eco-faas-vs-reserved")->engine, "eco");
   EXPECT_EQ(catalog::find("nope"), nullptr);
 }
 
@@ -155,6 +152,8 @@ TEST(Catalog, GoldenReplayStatistics) {
        4'830.0, 500.0},
       {"ecommerce-spike", 8'000, 612, 6'820, "tasks_completed", 612.0, 0.0},
       {"gaming-diurnal", 8'000, 645, 6'955, "deadline_total", 645.0, 0.0},
+      {"eco-faas-vs-reserved", 8'000, 620, 6'994, "shared_p999_latency",
+       0.82, 0.05},
   };
   for (const auto& g : goldens) {
     SCOPED_TRACE(g.name);
